@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 13c: TSO suite-generation runtime per axiom
+//! and bound. Absolute numbers differ from the paper's server farm; the
+//! super-exponential growth with the bound is the reproduced shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litsynth_core::{synthesize_axiom, SynthConfig};
+use litsynth_models::{MemoryModel, Tso};
+
+fn bench(c: &mut Criterion) {
+    let tso = Tso::new();
+    let mut g = c.benchmark_group("fig13c_tso");
+    g.sample_size(10);
+    for n in [2usize, 3, 4] {
+        for ax in tso.axioms() {
+            g.bench_with_input(BenchmarkId::new(*ax, n), &n, |b, &n| {
+                b.iter(|| synthesize_axiom(&tso, ax, &SynthConfig::new(n)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 20b: SCC suite-generation runtime — between
+//! TSO and Power, as the paper's streamlining story predicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litsynth_core::{synthesize_axiom, SynthConfig};
+use litsynth_models::{MemoryModel, Scc};
+
+fn bench(c: &mut Criterion) {
+    let scc = Scc::new();
+    let mut g = c.benchmark_group("fig20b_scc");
+    g.sample_size(10);
+    for n in [2usize, 3, 4] {
+        for ax in scc.axioms() {
+            g.bench_with_input(BenchmarkId::new(*ax, n), &n, |b, &n| {
+                b.iter(|| synthesize_axiom(&scc, ax, &SynthConfig::new(n)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

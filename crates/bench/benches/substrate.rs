@@ -1,0 +1,57 @@
+//! Microbenchmarks of the substrates: the CDCL solver, the circuit
+//! compiler, the explicit oracle, and the canonicalizers. These support
+//! the ablation discussion in EXPERIMENTS.md (hash vs exact
+//! canonicalization, oracle vs SAT minimality).
+
+#![allow(clippy::needless_range_loop)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litsynth_core::check_minimal;
+use litsynth_litmus::suites::classics;
+use litsynth_litmus::{canonical_key_exact, canonical_key_hash};
+use litsynth_models::{oracle, Tso};
+use litsynth_sat::{Lit, Solver, Var};
+
+fn pigeonhole(n: usize) -> Solver {
+    let m = n - 1;
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+    for row in &p {
+        s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole_7_into_6", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(7);
+            assert!(!s.solve().is_sat());
+        })
+    });
+
+    let (wrc, o) = classics::wrc();
+    c.bench_function("oracle/wrc_forbidden_tso", |b| {
+        b.iter(|| assert!(oracle::forbidden(&Tso::new(), &wrc, &o)))
+    });
+    c.bench_function("oracle/wrc_minimality_tso", |b| {
+        b.iter(|| check_minimal(&Tso::new(), "causality", &wrc, &o))
+    });
+
+    c.bench_function("canon/exact_wrc", |b| {
+        b.iter(|| canonical_key_exact(&wrc, &o))
+    });
+    c.bench_function("canon/hash_wrc", |b| {
+        b.iter(|| canonical_key_hash(&wrc, &o))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

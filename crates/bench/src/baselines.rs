@@ -1,0 +1,73 @@
+//! Baseline test suites for the comparisons in Figures 13 and 16.
+
+use litsynth_litmus::diy::{DiyConfig, DiyGenerator, LocalEdge};
+use litsynth_litmus::{canonical_key_exact, DepKind, FenceKind, LitmusTest, Outcome};
+use litsynth_models::{oracle, MemoryModel};
+use std::collections::BTreeMap;
+
+/// The diy-style randomized baseline — our stand-in for the `cats` suite
+/// (DESIGN.md substitution 2): random critical-cycle tests, filtered to
+/// those whose cycle-observing outcome the model forbids, deduplicated
+/// canonically.
+pub struct DiyBaseline;
+
+impl DiyBaseline {
+    /// Generates `attempts` random tests for `model` and keeps the
+    /// distinct forbidden ones.
+    pub fn generate<M: MemoryModel>(model: &M, attempts: usize) -> Vec<(LitmusTest, Outcome)> {
+        let mut local_edges = vec![LocalEdge::Po];
+        for &k in model.fence_kinds() {
+            local_edges.push(LocalEdge::Fence(k));
+        }
+        for &d in model.dep_kinds() {
+            if d != DepKind::CtrlIsync {
+                local_edges.push(LocalEdge::Dep(d));
+            }
+        }
+        // Keep lwsync in only if the model has it.
+        local_edges.retain(|e| match e {
+            LocalEdge::Fence(FenceKind::Lightweight) => {
+                model.fence_kinds().contains(&FenceKind::Lightweight)
+            }
+            _ => true,
+        });
+        let cfg = DiyConfig { local_edges, min_comm: 2, max_comm: 3 };
+        let mut gen = DiyGenerator::new(0xC0FFEE, cfg);
+        let mut out: BTreeMap<String, (LitmusTest, Outcome)> = BTreeMap::new();
+        for (t, o) in gen.generate(attempts) {
+            if oracle::forbidden(model, &t, &o) {
+                out.entry(canonical_key_exact(&t, &o)).or_insert((t, o));
+            }
+        }
+        out.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litsynth_models::{Power, Tso};
+
+    #[test]
+    fn tso_baseline_contains_forbidden_tests_only() {
+        let m = Tso::new();
+        let suite = DiyBaseline::generate(&m, 100);
+        assert!(!suite.is_empty());
+        for (t, o) in &suite {
+            assert!(oracle::forbidden(&m, t, o), "{t}");
+        }
+    }
+
+    #[test]
+    fn power_baseline_uses_deps_and_fences() {
+        let m = Power::new();
+        let suite = DiyBaseline::generate(&m, 200);
+        assert!(!suite.is_empty());
+        let with_sync = suite.iter().any(|(t, _)| {
+            (0..t.num_events()).any(|g| t.instr(g).is_fence())
+        });
+        let with_deps = suite.iter().any(|(t, _)| !t.deps().is_empty());
+        assert!(with_sync, "some baseline test should use a fence");
+        assert!(with_deps, "some baseline test should use a dependency");
+    }
+}

@@ -1,0 +1,36 @@
+//! Developer tool: print every synthesized test for a model at a bound.
+//!
+//! Usage: `dump <sc|tso|power|scc|c11> <events> [axiom]`.
+
+use litsynth_core::{synthesize_axiom, SynthConfig};
+use litsynth_models::{MemoryModel, Power, Scc, Tso, C11, Sc};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model = args.get(1).map(String::as_str).unwrap_or("tso");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let axiom = args.get(3).cloned();
+    macro_rules! run {
+        ($m:expr) => {{
+            let m = $m;
+            let mut cfg = SynthConfig::new(n);
+            cfg.time_budget_ms = 120_000;
+            for ax in m.axioms() {
+                if let Some(ref a) = axiom { if a != ax { continue; } }
+                let r = synthesize_axiom(&m, ax, &cfg);
+                println!("== {} n={} {}: {} tests", m.name(), n, ax, r.len());
+                for (t, o) in r.tests.values() {
+                    println!("{t}  outcome: {}", o.display(t));
+                }
+            }
+        }};
+    }
+    match model {
+        "tso" => run!(Tso::new()),
+        "sc" => run!(Sc::new()),
+        "power" => run!(Power::new()),
+        "scc" => run!(Scc::new()),
+        "c11" => run!(C11::new()),
+        _ => eprintln!("unknown model"),
+    }
+}

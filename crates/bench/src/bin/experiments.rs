@@ -1,0 +1,500 @@
+//! The evaluation harness: regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §5 for the experiment index).
+//!
+//! Usage: `experiments <id> [budget_ms_per_query]` where `<id>` is one of
+//! `table2 table4 fig11 fig12 fig13 fig14 fig16 fig20 c11 scc_wa soundness
+//! all`, or `experiments emit <model> <max_bound> [budget_ms]` to write the
+//! synthesized union suite to `suites_out/<model>/` in the textual litmus
+//! format.
+
+use litsynth_bench::baselines::DiyBaseline;
+use litsynth_bench::report;
+use litsynth_core::{
+    check_minimal, count_programs, covering_subtests, minimal_for_some_axiom, synthesize_axiom,
+    SynthConfig,
+};
+use litsynth_litmus::suites::{cambridge, owens};
+use litsynth_litmus::canonical_key_exact;
+use litsynth_models::{oracle, MemoryModel, Power, RelaxKind, Sc, Scc, Tso, C11};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120_000);
+    match which {
+        "table2" => table2(),
+        "table4" => table4(budget),
+        "fig11" => fig11(budget),
+        "fig12" => fig12(budget),
+        "fig13" => fig13(budget),
+        "fig14" => fig14(budget),
+        "fig16" => fig16(budget),
+        "fig20" => fig20(budget),
+        "c11" => c11(budget),
+        "scc_wa" => scc_wa(budget),
+        "soundness" => soundness(budget),
+        "orphan" => orphan(budget),
+        "armv7" => armv7(budget),
+        "emit" => emit(
+            args.get(2).map(String::as_str).unwrap_or("tso"),
+            args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5),
+            args.get(4).and_then(|s| s.parse().ok()).unwrap_or(120_000),
+        ),
+        "all" => {
+            table2();
+            table4(budget);
+            fig11(budget);
+            fig12(budget);
+            fig13(budget);
+            fig14(budget);
+            fig16(budget);
+            fig20(budget);
+            c11(budget);
+            scc_wa(budget);
+            soundness(budget);
+            orphan(budget);
+            armv7(budget);
+        }
+        other => eprintln!("unknown experiment {other:?}"),
+    }
+}
+
+fn cfg(n: usize, budget: u64) -> SynthConfig {
+    let mut c = SynthConfig::new(n);
+    c.time_budget_ms = budget;
+    c
+}
+
+/// Writes the synthesized union suite to `suites_out/<model>/NNN.litmus`.
+fn emit(model: &str, max_bound: usize, budget: u64) {
+    fn go<M: MemoryModel>(m: &M, max_bound: usize, budget: u64) {
+        let dir = std::path::PathBuf::from("suites_out").join(m.name().to_lowercase());
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        let union = report::union_suite(m, 2..=max_bound, budget);
+        for (i, (test, outcome)) in union.values().enumerate() {
+            let named = test.clone().with_name(format!("{}-{:04}", m.name().to_lowercase(), i));
+            let text = litsynth_litmus::format::to_text(&named, outcome);
+            let path = dir.join(format!("{i:04}.litmus"));
+            std::fs::write(&path, text).expect("write test file");
+        }
+        println!("wrote {} tests to {}", union.len(), dir.display());
+    }
+    match model {
+        "sc" => go(&Sc::new(), max_bound, budget),
+        "tso" => go(&Tso::new(), max_bound, budget),
+        "power" => go(&Power::new(), max_bound, budget),
+        "armv7" => go(&Power::armv7(), max_bound, budget),
+        "scc" => go(&Scc::new(), max_bound, budget),
+        "c11" => go(&C11::new(), max_bound, budget),
+        other => eprintln!("unknown model {other:?}"),
+    }
+}
+
+/// Table 2: which instruction relaxations apply to which model.
+fn table2() {
+    println!("\n## Table 2 — relaxation applicability\n");
+    println!("| model | RI | DRMW | DF | DMO | RD | DS |");
+    println!("|-------|----|------|----|-----|----|----|");
+    fn row<M: MemoryModel>(m: &M) {
+        let r = m.relaxations();
+        let mark = |k: RelaxKind| if r.contains(&k) { "x" } else { " " };
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            m.name(),
+            mark(RelaxKind::Ri),
+            mark(RelaxKind::Drmw),
+            mark(RelaxKind::Df),
+            mark(RelaxKind::Dmo),
+            mark(RelaxKind::Rd),
+            mark(RelaxKind::Ds),
+        );
+    }
+    row(&Sc::new());
+    row(&Tso::new());
+    row(&Power::new());
+    row(&Power::armv7());
+    row(&Scc::new());
+    row(&C11::new());
+}
+
+/// Table 4: the Owens suite vs the synthesized TSO union, with subtest
+/// coverage for the non-minimal entries.
+fn table4(budget: u64) {
+    println!("\n## Table 4 — Owens suite vs synthesized TSO suites (bounds 2–6)\n");
+    let tso = Tso::new();
+    let union = report::union_suite(&tso, 2..=6, budget);
+    println!("synthesized TSO-union (≤6 insts): {} tests", union.len());
+
+    let mut rows: Vec<(usize, String, String)> = Vec::new();
+    for e in owens::suite() {
+        if !e.forbidden {
+            continue;
+        }
+        let minimal = minimal_for_some_axiom(&tso, &e.test, &e.outcome);
+        let status = if minimal {
+            "minimal (in union)".to_string()
+        } else {
+            let covers = covering_subtests(&tso, &e.test, union.values());
+            let names: Vec<String> = covers
+                .iter()
+                .take(3)
+                .map(|(t, o)| o.display(t))
+                .collect();
+            format!("non-minimal; covered by {} union test(s) {}", covers.len(), names.join(" | "))
+        };
+        rows.push((e.test.num_events(), e.test.name().to_string(), status));
+    }
+    rows.sort();
+    println!("\n| #insts | Owens test | verdict |");
+    println!("|--------|------------|---------|");
+    for (n, name, status) in rows {
+        println!("| {n} | {name} | {status} |");
+    }
+}
+
+/// Figure 11: the sc_per_loc tests that are in neither causality nor Owens.
+fn fig11(budget: u64) {
+    println!("\n## Figure 11 — sc_per_loc-only TSO tests\n");
+    let tso = Tso::new();
+    let mut scl: BTreeMap<String, _> = BTreeMap::new();
+    let mut caus: BTreeMap<String, _> = BTreeMap::new();
+    for n in 2..=4 {
+        let r = synthesize_axiom(&tso, "sc_per_loc", &cfg(n, budget));
+        scl.extend(r.tests);
+        let r = synthesize_axiom(&tso, "causality", &cfg(n, budget));
+        caus.extend(r.tests);
+    }
+    println!("sc_per_loc total: {} (paper: 10)", scl.len());
+    let only: Vec<_> = scl.iter().filter(|(k, _)| !caus.contains_key(*k)).collect();
+    println!("sc_per_loc ∖ causality: {} tests:", only.len());
+    for (_, (t, o)) in only {
+        println!("{t}  outcome: {}\n", o.display(t));
+    }
+}
+
+/// Figure 12: the rmw_atomicity tests.
+fn fig12(budget: u64) {
+    println!("\n## Figure 12 — TSO rmw_atomicity tests\n");
+    let tso = Tso::new();
+    let mut all: BTreeMap<String, _> = BTreeMap::new();
+    for n in 2..=5 {
+        let r = synthesize_axiom(&tso, "rmw_atomicity", &cfg(n, budget));
+        all.extend(r.tests);
+    }
+    println!("rmw_atomicity total: {} (paper: 4)", all.len());
+    for (t, o) in all.values() {
+        println!("{t}  outcome: {}\n", o.display(t));
+    }
+}
+
+/// Figure 13: TSO counts and runtimes per bound.
+fn fig13(budget: u64) {
+    println!("\n## Figure 13 — TSO results\n");
+    let tso = Tso::new();
+    let owens_forbidden: Vec<_> = owens::suite().into_iter().filter(|e| e.forbidden).collect();
+
+    println!("| bound | Owens(≤) | tso-union(≤) | all-progs(=) | sc_per_loc | rmw_atom | causality | runtime(s) |");
+    println!("|-------|----------|--------------|--------------|------------|----------|-----------|------------|");
+    let mut union: BTreeMap<String, _> = BTreeMap::new();
+    for n in 2..=6 {
+        let mut per_axiom = Vec::new();
+        let mut secs = 0.0;
+        let mut trunc = false;
+        for ax in tso.axioms() {
+            let r = synthesize_axiom(&tso, ax, &cfg(n, budget));
+            secs += r.elapsed.as_secs_f64();
+            trunc |= r.truncated;
+            per_axiom.push(r.len());
+            union.extend(r.tests);
+        }
+        let owens_n = owens_forbidden.iter().filter(|e| e.test.num_events() <= n).count();
+        println!(
+            "| {n} | {owens_n} | {} | {} | {} | {} | {} | {:.2}{} |",
+            union.len(),
+            count_programs(&tso, n, 3),
+            per_axiom[0],
+            per_axiom[1],
+            per_axiom[2],
+            secs,
+            if trunc { " (truncated)" } else { "" },
+        );
+    }
+}
+
+/// Figure 14: the WWC symmetry the hash canonicalizer misses.
+fn fig14(budget: u64) {
+    println!("\n## Figure 14 — canonicalizer ablation (hash vs exact)\n");
+    let tso = Tso::new();
+    for n in 4..=5 {
+        let mut exact_cfg = cfg(n, budget);
+        exact_cfg.exact_canon = true;
+        let mut hash_cfg = cfg(n, budget);
+        hash_cfg.exact_canon = false;
+        let mut exact = 0;
+        let mut hash = 0;
+        for ax in tso.axioms() {
+            exact += synthesize_axiom(&tso, ax, &exact_cfg).len();
+            hash += synthesize_axiom(&tso, ax, &hash_cfg).len();
+        }
+        println!(
+            "bound {n}: exact canonicalizer {exact} tests, paper's hash scheme {hash} \
+             ({} redundant duplicates, the WWC effect)",
+            hash - exact
+        );
+    }
+}
+
+/// Figure 16: Power results vs the Cambridge suite and a diy-style
+/// baseline (the cats-suite stand-in; DESIGN.md substitution 2).
+fn fig16(budget: u64) {
+    println!("\n## Figure 16 — Power results\n");
+    let power = Power::new();
+    let cambridge_forbidden: Vec<_> =
+        cambridge::suite().into_iter().filter(|e| e.forbidden).collect();
+    let diy = DiyBaseline::generate(&power, 500);
+    println!(
+        "baselines: Cambridge {} forbidden tests; diy-style {} distinct forbidden tests",
+        cambridge_forbidden.len(),
+        diy.len()
+    );
+
+    println!("\n| bound | Cambridge(≤) | diy(≤) | power-union(≤) | sc_per_loc | no_thin_air | observation | propagation | runtime(s) |");
+    println!("|-------|--------------|--------|----------------|------------|-------------|-------------|-------------|------------|");
+    let mut union: BTreeMap<String, _> = BTreeMap::new();
+    for n in 2..=5 {
+        let mut per_axiom = Vec::new();
+        let mut secs = 0.0;
+        let mut trunc = false;
+        for ax in power.axioms() {
+            let r = synthesize_axiom(&power, ax, &cfg(n, budget));
+            secs += r.elapsed.as_secs_f64();
+            trunc |= r.truncated;
+            per_axiom.push(r.len());
+            union.extend(r.tests);
+        }
+        let cam = cambridge_forbidden.iter().filter(|e| e.test.num_events() <= n).count();
+        let d = diy.iter().filter(|(t, _)| t.num_events() <= n).count();
+        println!(
+            "| {n} | {cam} | {d} | {} | {} | {} | {} | {} | {:.2}{} |",
+            union.len(),
+            per_axiom[0],
+            per_axiom[1],
+            per_axiom[2],
+            per_axiom[3],
+            secs,
+            if trunc { " (truncated)" } else { "" },
+        );
+    }
+
+    // Cambridge coverage check (the PPOAA remark in §6.2).
+    println!("\nCambridge forbidden tests vs minimality:");
+    for e in &cambridge_forbidden {
+        let minimal = minimal_for_some_axiom(&power, &e.test, &e.outcome);
+        if !minimal {
+            println!("  {}: NOT minimal as presented (cf. PPOAA, §6.2)", e.test.name());
+        }
+    }
+}
+
+/// Figure 20: SCC results.
+fn fig20(budget: u64) {
+    println!("\n## Figure 20 — SCC results\n");
+    let scc = Scc::new();
+    println!("| bound | scc-union(≤) | sc_per_loc | no_thin_air | rmw_atom | causality | runtime(s) |");
+    println!("|-------|--------------|------------|-------------|----------|-----------|------------|");
+    let mut union: BTreeMap<String, _> = BTreeMap::new();
+    for n in 2..=5 {
+        let mut per_axiom = Vec::new();
+        let mut secs = 0.0;
+        let mut trunc = false;
+        for ax in scc.axioms() {
+            let r = synthesize_axiom(&scc, ax, &cfg(n, budget));
+            secs += r.elapsed.as_secs_f64();
+            trunc |= r.truncated;
+            per_axiom.push(r.len());
+            union.extend(r.tests);
+        }
+        println!(
+            "| {n} | {} | {} | {} | {} | {} | {:.2}{} |",
+            union.len(),
+            per_axiom[0],
+            per_axiom[1],
+            per_axiom[2],
+            per_axiom[3],
+            secs,
+            if trunc { " (truncated)" } else { "" },
+        );
+    }
+}
+
+/// §6.4: C11 per-axiom counts (the paper's text truncates mid-section; the
+/// same per-axiom/per-bound shape is reported).
+fn c11(budget: u64) {
+    println!("\n## §6.4 — C11 results (reconstructed shape)\n");
+    let m = C11::new();
+    println!("| bound | c11-union(≤) | coherence | atomicity | no_thin_air | seq_cst | runtime(s) |");
+    println!("|-------|--------------|-----------|-----------|-------------|---------|------------|");
+    let mut union: BTreeMap<String, _> = BTreeMap::new();
+    for n in 2..=4 {
+        let mut per_axiom = Vec::new();
+        let mut secs = 0.0;
+        let mut trunc = false;
+        for ax in m.axioms() {
+            let r = synthesize_axiom(&m, ax, &cfg(n, budget));
+            secs += r.elapsed.as_secs_f64();
+            trunc |= r.truncated;
+            per_axiom.push(r.len());
+            union.extend(r.tests);
+        }
+        println!(
+            "| {n} | {} | {} | {} | {} | {} | {:.2}{} |",
+            union.len(),
+            per_axiom[0],
+            per_axiom[1],
+            per_axiom[2],
+            per_axiom[3],
+            secs,
+            if trunc { " (truncated)" } else { "" },
+        );
+    }
+}
+
+/// Figures 18/19: the SB false negative and its workaround.
+fn scc_wa(budget: u64) {
+    println!("\n## Figures 18/19 — SCC sc workaround\n");
+    let scc = Scc::new();
+    // SB with two FenceSC instructions is 6 events.
+    let r = synthesize_axiom(&scc, "causality", &cfg(6, budget));
+    let sb_like = r
+        .tests
+        .values()
+        .filter(|(t, _)| {
+            let fences = (0..t.num_events()).filter(|&g| t.instr(g).is_fence()).count();
+            fences == 2
+        })
+        .count();
+    println!(
+        "SCC causality bound 6: {} tests, {} with two FenceSC instructions \
+         (SB+FenceSCs present ⇒ the Figure 19 workaround recovered the \
+         Figure 18 false negative){}",
+        r.len(),
+        sb_like,
+        if r.truncated { " [truncated]" } else { "" }
+    );
+    for (t, o) in r.tests.values().filter(|(t, _)| {
+        (0..t.num_events()).filter(|&g| t.instr(g).is_fence()).count() == 2
+    }) {
+        println!("{t}  outcome: {}", o.display(t));
+    }
+}
+
+/// §6.2's ARMv7 remark: "broadly similar to Power, but … no equivalent of
+/// the Power lwsync" — compare the two unions directly.
+fn armv7(budget: u64) {
+    println!("\n## §6.2 — Power vs ARMv7 (no lwsync)\n");
+    let power = Power::new();
+    let armv7 = Power::armv7();
+    println!("| bound | power-union | armv7-union | lwsync tests (power only) |");
+    println!("|-------|-------------|-------------|---------------------------|");
+    let mut pu: BTreeMap<String, _> = BTreeMap::new();
+    let mut au: BTreeMap<String, _> = BTreeMap::new();
+    for n in 2..=5 {
+        for ax in power.axioms() {
+            pu.extend(synthesize_axiom(&power, ax, &cfg(n, budget)).tests);
+            au.extend(synthesize_axiom(&armv7, ax, &cfg(n, budget)).tests);
+        }
+        let lw = pu
+            .values()
+            .filter(|(t, _)| {
+                (0..t.num_events()).any(|g| {
+                    matches!(
+                        t.instr(g),
+                        litsynth_litmus::Instr::Fence {
+                            kind: litsynth_litmus::FenceKind::Lightweight,
+                            ..
+                        }
+                    )
+                })
+            })
+            .count();
+        println!("| {n} | {} | {} | {lw} |", pu.len(), au.len());
+    }
+    // Every ARMv7 test is (canonically) a Power test: the models agree on
+    // the lwsync-free fragment at these bounds.
+    let only_armv7 = au.keys().filter(|k| !pu.contains_key(*k)).count();
+    println!("\ntests in armv7-union but not power-union: {only_armv7}");
+}
+
+/// §4.3 ablation: what the orphaned-read policy is worth. With
+/// `orphan_unconstrained = false`, a read whose rf source was removed by RI
+/// snaps to the initial value — reintroducing exactly the class of false
+/// negatives §4.3's "leave it unconstrained" choice avoids.
+fn orphan(budget: u64) {
+    println!("\n## §4.3 ablation — orphaned-read policy (TSO sc_per_loc)\n");
+    let tso = Tso::new();
+    for unconstrained in [true, false] {
+        let mut total = 0;
+        for n in 2..=4 {
+            let mut c = cfg(n, budget);
+            c.orphan_unconstrained = unconstrained;
+            total += synthesize_axiom(&tso, "sc_per_loc", &c).len();
+        }
+        println!(
+            "orphan reads {:<14} → sc_per_loc suite (bounds ≤4): {} tests{}",
+            if unconstrained { "unconstrained" } else { "read-initial" },
+            total,
+            if unconstrained { " (paper: 10)" } else { " (CoWR-class false negatives)" },
+        );
+    }
+}
+
+/// §4.2/§6.3: quantifying the Figure 5c approximation against the exact
+/// exists-forall oracle, by exhaustive program enumeration at small bounds.
+fn soundness(budget: u64) {
+    println!("\n## Soundness — Figure 5c vs the exact oracle (TSO)\n");
+    let tso = Tso::new();
+    for n in 2..=3 {
+        let mut synth: BTreeMap<String, _> = BTreeMap::new();
+        for ax in tso.axioms() {
+            synth.extend(synthesize_axiom(&tso, ax, &cfg(n, budget)).tests);
+        }
+        // Exhaustive ground truth: every canonical program of n events,
+        // every candidate outcome, exact minimality for some axiom.
+        let mut truth: BTreeMap<String, _> = BTreeMap::new();
+        for (t, o) in report::enumerate_all_tests(&tso, n) {
+            if minimal_for_some_axiom(&tso, &t, &o) {
+                truth.insert(canonical_key_exact(&t, &o), (t, o));
+            }
+        }
+        let both = synth.keys().filter(|k| truth.contains_key(*k)).count();
+        let only_synth = synth.len() - both;
+        let only_truth = truth.len() - both;
+        println!(
+            "bound {n}: exact-minimal {} | Fig5c-synthesized {} | both {} | \
+             false positives {} | false negatives {}",
+            truth.len(),
+            synth.len(),
+            both,
+            only_synth,
+            only_truth
+        );
+        for (k, (t, o)) in &truth {
+            if !synth.contains_key(k) {
+                println!("  missed (false negative): {t}  {}", o.display(t));
+            }
+        }
+        for (k, (t, o)) in &synth {
+            if !truth.contains_key(k) {
+                println!("  extra (false positive): {t}  {}", o.display(t));
+                // False positives are harmless (§4.3) but must still be
+                // forbidden outcomes.
+                assert!(
+                    tso.axioms().iter().any(|ax| !oracle::observable_axiom(&tso, ax, t, o)),
+                    "a synthesized test must at least be forbidden"
+                );
+            }
+        }
+    }
+    let _ = check_minimal(&tso, "causality", &litsynth_litmus::suites::classics::mp().0, &litsynth_litmus::suites::classics::mp().1);
+}

@@ -1,0 +1,34 @@
+//! Developer tool: time one synthesis query per axiom at a given bound.
+//!
+//! Usage: `probe <tso|power|scc> <events> [budget_ms]`.
+
+use litsynth_core::{synthesize_axiom, SynthConfig};
+use litsynth_models::{MemoryModel, Power, Scc, Tso};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model = args.get(1).map(String::as_str).unwrap_or("tso");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let budget: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let mut cfg = SynthConfig::new(n);
+    cfg.time_budget_ms = budget;
+    macro_rules! run {
+        ($m:expr) => {{
+            let m = $m;
+            for ax in m.axioms() {
+                let r = synthesize_axiom(&m, ax, &cfg);
+                println!(
+                    "{} n={} axiom={}: {} tests ({} raw) in {:.2}s trunc={} cnf={}v/{}c",
+                    m.name(), n, ax, r.len(), r.raw_instances,
+                    r.elapsed.as_secs_f64(), r.truncated, r.cnf_vars, r.cnf_clauses
+                );
+            }
+        }};
+    }
+    match model {
+        "tso" => run!(Tso::new()),
+        "power" => run!(Power::new()),
+        "scc" => run!(Scc::new()),
+        _ => eprintln!("unknown model"),
+    }
+}

@@ -1,0 +1,7 @@
+//! # litsynth-bench
+//!
+//! The evaluation harness's shared plumbing: baselines and report helpers
+//! used by the `experiments` binary and the Criterion benches.
+
+pub mod baselines;
+pub mod report;

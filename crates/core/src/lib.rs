@@ -1,0 +1,30 @@
+//! # litsynth-core
+//!
+//! The paper's contribution: comprehensive-by-construction litmus test
+//! suite synthesis from an axiomatic memory-model specification.
+//!
+//! * [`relax`] — instruction relaxations (RI, DMO, DF, DRMW, RD) applied at
+//!   the test level.
+//! * [`minimal`] — the exact (exists-forall) minimality criterion, decided
+//!   by explicit enumeration.
+//! * [`symbolic`] — the symbolic test encoding over `litsynth-relalg`.
+//! * [`perturb`] — context perturbations (the paper's `_p` relations).
+//! * [`synth`] — the SAT-based synthesis loop (Figure 5c + Figure 19).
+//! * [`subtest`] — subtest containment via relaxation reachability
+//!   (Table 4).
+//! * [`allprogs`] — all-programs counting (Figure 13a's upper line).
+
+pub mod allprogs;
+pub mod minimal;
+pub mod perturb;
+pub mod relax;
+pub mod subtest;
+pub mod symbolic;
+pub mod synth;
+
+pub use minimal::{check_minimal, minimal_for_some_axiom, MinimalityVerdict};
+pub use relax::{applications, apply, Application};
+pub use symbolic::{vocabulary, Shape, SymbolicTest, SynthConfig};
+pub use allprogs::count_programs;
+pub use subtest::{contains_subtest, covering_subtests, program_key};
+pub use synth::{synthesize_axiom, synthesize_union, synthesize_union_up_to, SynthResult};

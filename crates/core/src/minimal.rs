@@ -1,0 +1,129 @@
+//! The exact minimality criterion (paper Definition 1), decided by
+//! explicit enumeration.
+//!
+//! This is the *proper* exists-forall semantics of Figure 5b: the outcome
+//! must be forbidden (no execution satisfying the target axiom produces
+//! it), and under **every** applicable instruction relaxation **some**
+//! execution of the relaxed test, valid under the *full* model, must
+//! produce the projected outcome. The SAT-based synthesis instead uses the
+//! Figure 5c single-execution approximation; comparing the two quantifies
+//! the false negatives the paper discusses in §4.2/§6.3.
+
+use crate::relax::{applications, apply};
+use litsynth_litmus::{LitmusTest, Outcome};
+use litsynth_models::{oracle, MemoryModel};
+
+/// Why a test failed the minimality criterion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MinimalityVerdict {
+    /// The test satisfies the criterion for the given axiom.
+    Minimal,
+    /// The outcome is already observable under the target axiom — there is
+    /// nothing to test.
+    NotForbidden,
+    /// Some relaxation fails to expose the outcome (the test is
+    /// over-synchronized); the failing application is reported.
+    OverSynchronized(String),
+}
+
+impl MinimalityVerdict {
+    /// `true` for [`MinimalityVerdict::Minimal`].
+    pub fn is_minimal(&self) -> bool {
+        matches!(self, MinimalityVerdict::Minimal)
+    }
+}
+
+/// Decides the exact minimality criterion of `(test, outcome)` with respect
+/// to `axiom` of `model`.
+pub fn check_minimal<M: MemoryModel>(
+    model: &M,
+    axiom: &str,
+    test: &LitmusTest,
+    outcome: &Outcome,
+) -> MinimalityVerdict {
+    if oracle::observable_axiom(model, axiom, test, outcome) {
+        return MinimalityVerdict::NotForbidden;
+    }
+    for app in applications(model, test) {
+        let (relaxed, projected) = apply(test, outcome, app);
+        if !oracle::observable(model, &relaxed, &projected) {
+            return MinimalityVerdict::OverSynchronized(app.describe());
+        }
+    }
+    MinimalityVerdict::Minimal
+}
+
+/// `true` iff the test satisfies the criterion for *some* axiom of the
+/// model (membership in the per-model union suite, §5.2).
+pub fn minimal_for_some_axiom<M: MemoryModel>(
+    model: &M,
+    test: &LitmusTest,
+    outcome: &Outcome,
+) -> bool {
+    model
+        .axioms()
+        .iter()
+        .any(|ax| check_minimal(model, ax, test, outcome).is_minimal())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litsynth_litmus::suites::classics;
+    use litsynth_models::{Scc, Tso};
+
+    #[test]
+    fn mp_is_minimal_for_tso_causality() {
+        let (t, o) = classics::mp();
+        assert!(check_minimal(&Tso::new(), "causality", &t, &o).is_minimal());
+    }
+
+    #[test]
+    fn corw_is_minimal_for_sc_per_loc() {
+        // The paper's Figure 7 walkthrough: every RI application exposes
+        // part of the outcome.
+        let (t, o) = classics::corw();
+        assert!(check_minimal(&Tso::new(), "sc_per_loc", &t, &o).is_minimal());
+    }
+
+    #[test]
+    fn colb_is_not_minimal() {
+        // Figure 10: n5/CoLB fails the criterion (RI on a load leaves a
+        // still-forbidden residue) — it contains CoRW as a subtest.
+        let (t, o) = classics::colb();
+        let v = check_minimal(&Tso::new(), "sc_per_loc", &t, &o);
+        assert!(matches!(v, MinimalityVerdict::OverSynchronized(_)), "{v:?}");
+        assert!(!minimal_for_some_axiom(&Tso::new(), &t, &o));
+    }
+
+    #[test]
+    fn sb_is_not_forbidden_under_tso() {
+        let (t, o) = classics::sb();
+        for ax in Tso::new().axioms() {
+            assert_eq!(
+                check_minimal(&Tso::new(), ax, &t, &o),
+                MinimalityVerdict::NotForbidden
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_mp_minimal_under_scc_but_fig2_is_not() {
+        let scc = Scc::new();
+        // Figure 1's MP (one release, one acquire) is minimally
+        // synchronized for SCC's causality axiom…
+        let (t, o) = classics::mp_rel_acq();
+        assert!(check_minimal(&scc, "causality", &t, &o).is_minimal());
+        // …while Figure 2's over-synchronized flavor is not: demoting the
+        // extra release (or acquire) changes nothing.
+        let (t, o) = classics::mp_rel2_acq2();
+        let v = check_minimal(&scc, "causality", &t, &o);
+        assert!(matches!(v, MinimalityVerdict::OverSynchronized(_)), "{v:?}");
+    }
+
+    #[test]
+    fn rmw_st_is_minimal_for_tso_atomicity() {
+        let (t, o) = classics::rmw_st();
+        assert!(check_minimal(&Tso::new(), "rmw_atomicity", &t, &o).is_minimal());
+    }
+}

@@ -1,0 +1,321 @@
+//! Symbolic instruction relaxations: perturbed execution contexts (the
+//! paper's `_p` relations, Figure 6).
+//!
+//! For each concrete (relaxation, event) pair the synthesis builds a
+//! perturbed copy of the base context — a circuit-level function of the
+//! base relations — plus an *applicability guard* (the paper's
+//! `relaxation_applies`). The Figure 5c minimality formula then asserts
+//! `guard ⇒ model(perturbed)` for every pair.
+
+use crate::symbolic::{Shape, SymbolicTest};
+use litsynth_litmus::{FenceKind, MemOrder};
+use litsynth_models::{Ctx, MemoryModel, RelAlg, SymAlg};
+use litsynth_relalg::{Bit, Circuit, Matrix2};
+
+/// One symbolic relaxation application.
+pub struct SymApplication {
+    /// Human-readable label (for diagnostics and logs).
+    pub label: String,
+    /// `relaxation_applies[r, e]` as a circuit bit.
+    pub guard: Bit,
+    /// The perturbed context.
+    pub ctx: Ctx<SymAlg>,
+}
+
+/// Zeroes row and column `e` of a relation.
+fn drop_event_rel(m: &Matrix2, e: usize) -> Matrix2 {
+    let mut out = m.clone();
+    for j in 0..m.cols() {
+        out.set(e, j, Circuit::FALSE);
+    }
+    for i in 0..m.rows() {
+        out.set(i, e, Circuit::FALSE);
+    }
+    out
+}
+
+/// The RI perturbation: event `e` vanishes from every set and relation.
+///
+/// `co` needs no Figure 8 repair here because well-formedness already
+/// constrains it to be transitive, so removing one element of a chain
+/// leaves the rest related. Reads that were sourcing from `e` become
+/// *orphans*: their value is left unconstrained rather than snapped to the
+/// initial value (the paper's §4.3 choice, which avoids false negatives
+/// like CoWR at the cost of occasional harmless false positives).
+fn exclude_event(alg: &mut SymAlg, ctx: &Ctx<SymAlg>, e: usize, orphan_unconstrained: bool) -> Ctx<SymAlg> {
+    let mut p = ctx.clone();
+    if orphan_unconstrained {
+        let n = ctx.n;
+        for r in 0..n {
+            if r != e {
+                let was = p.orphan.get(r);
+                let src = ctx.rf.get(e, r);
+                let now = alg.circuit.or(was, src);
+                p.orphan.set(r, now);
+            }
+        }
+    }
+    for set in [
+        &mut p.read,
+        &mut p.write,
+        &mut p.fence_full,
+        &mut p.fence_lw,
+        &mut p.fence_acqrel,
+        &mut p.fence_acq,
+        &mut p.fence_rel,
+        &mut p.acquire,
+        &mut p.release,
+        &mut p.seqcst,
+        &mut p.consume,
+    ] {
+        set.set(e, Circuit::FALSE);
+    }
+    for rel in [
+        &mut p.po,
+        &mut p.loc,
+        &mut p.rf,
+        &mut p.co,
+        &mut p.addr_dep,
+        &mut p.data_dep,
+        &mut p.ctrl_dep,
+        &mut p.ctrlisync_dep,
+        &mut p.rmw,
+        &mut p.sc,
+        &mut p.int,
+        &mut p.ext,
+    ] {
+        let d = drop_event_rel(rel, e);
+        *rel = d;
+    }
+    p
+}
+
+/// Builds every symbolic relaxation application for `model` on `st`.
+pub fn symbolic_applications<M: MemoryModel>(
+    alg: &mut SymAlg,
+    model: &M,
+    st: &SymbolicTest,
+) -> Vec<SymApplication> {
+    symbolic_applications_opts(alg, model, st, true)
+}
+
+/// [`symbolic_applications`] with the orphan-read policy explicit:
+/// `orphan_unconstrained = false` snaps RI-orphaned reads to the initial
+/// value instead (the ablation measured in EXPERIMENTS.md).
+pub fn symbolic_applications_opts<M: MemoryModel>(
+    alg: &mut SymAlg,
+    model: &M,
+    st: &SymbolicTest,
+    orphan_unconstrained: bool,
+) -> Vec<SymApplication> {
+    let n = st.n;
+    let base = &st.ctx;
+    let mut out = Vec::new();
+
+    // RI: applies to every event unconditionally.
+    for e in 0..n {
+        let ctx = exclude_event(alg, base, e, orphan_unconstrained);
+        out.push(SymApplication {
+            label: format!("RI@{e}"),
+            guard: Circuit::TRUE,
+            ctx,
+        });
+    }
+
+    // DMO: for each event and each demotable vocabulary shape.
+    for e in 0..n {
+        for (v, &shape) in st.vocab.iter().enumerate() {
+            let demotions: Vec<MemOrder> = match shape {
+                Shape::Load(o) => model
+                    .order_demotions(litsynth_litmus::Instr::load_ord(0, o))
+                    .into_iter()
+                    .collect(),
+                Shape::Store(o) => model
+                    .order_demotions(litsynth_litmus::Instr::store_ord(0, o))
+                    .into_iter()
+                    .collect(),
+                Shape::Fence(_) => Vec::new(),
+            };
+            for to in demotions {
+                let guard = st.kind[e][v];
+                let mut ctx = base.clone();
+                let (read_side, write_side) = match shape {
+                    Shape::Load(_) => (true, false),
+                    Shape::Store(_) => (false, true),
+                    Shape::Fence(_) => unreachable!(),
+                };
+                if read_side {
+                    let acq = matches!(to, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst);
+                    let cons = matches!(to, MemOrder::Consume);
+                    ctx.acquire.set(e, if acq { Circuit::TRUE } else { Circuit::FALSE });
+                    ctx.consume.set(e, if cons { Circuit::TRUE } else { Circuit::FALSE });
+                    ctx.seqcst.set(
+                        e,
+                        if to == MemOrder::SeqCst { Circuit::TRUE } else { Circuit::FALSE },
+                    );
+                }
+                if write_side {
+                    let rel = matches!(to, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst);
+                    ctx.release.set(e, if rel { Circuit::TRUE } else { Circuit::FALSE });
+                    ctx.seqcst.set(
+                        e,
+                        if to == MemOrder::SeqCst { Circuit::TRUE } else { Circuit::FALSE },
+                    );
+                }
+                out.push(SymApplication {
+                    label: format!("DMO@{e}:{shape:?}→{to:?}"),
+                    guard,
+                    ctx,
+                });
+            }
+        }
+    }
+
+    // DF: fence-strength demotions.
+    for e in 0..n {
+        for (v, &shape) in st.vocab.iter().enumerate() {
+            let Shape::Fence(k) = shape else { continue };
+            for to in model.fence_demotions(k) {
+                let guard = st.kind[e][v];
+                let mut ctx = base.clone();
+                set_fence_membership(&mut ctx, e, k, Circuit::FALSE);
+                set_fence_membership(&mut ctx, e, to, Circuit::TRUE);
+                if k == FenceKind::Full {
+                    // A demoted FenceSC leaves the sc order.
+                    ctx.sc = drop_event_rel(&ctx.sc, e);
+                }
+                out.push(SymApplication {
+                    label: format!("DF@{e}:{k:?}→{to:?}"),
+                    guard,
+                    ctx,
+                });
+            }
+        }
+    }
+
+    // RD: applies when some dependency originates at `e`.
+    if !model.dep_kinds().is_empty() {
+        for e in 0..n {
+            let mut outgoing: Vec<Bit> = Vec::new();
+            for m in st.deps.values() {
+                for j in 0..n {
+                    outgoing.push(m.get(e, j));
+                }
+            }
+            let guard = alg.circuit.or_many(outgoing);
+            let mut ctx = base.clone();
+            for rel in [
+                &mut ctx.addr_dep,
+                &mut ctx.data_dep,
+                &mut ctx.ctrl_dep,
+                &mut ctx.ctrlisync_dep,
+            ] {
+                for j in 0..n {
+                    rel.set(e, j, Circuit::FALSE);
+                }
+            }
+            out.push(SymApplication { label: format!("RD@{e}"), guard, ctx });
+        }
+    }
+
+    // DRMW: applies when `e` is the load of an rmw pair; removes the edge.
+    if st.has_rmw {
+        for e in 0..n.saturating_sub(1) {
+            let guard = st.rmw.get(e, e + 1);
+            let mut ctx = base.clone();
+            let mut rmw = ctx.rmw.clone();
+            rmw.set(e, e + 1, Circuit::FALSE);
+            ctx.rmw = rmw;
+            out.push(SymApplication { label: format!("DRMW@{e}"), guard, ctx });
+        }
+    }
+
+    out
+}
+
+fn set_fence_membership(ctx: &mut Ctx<SymAlg>, e: usize, kind: FenceKind, value: Bit) {
+    match kind {
+        FenceKind::Full => ctx.fence_full.set(e, value),
+        FenceKind::Lightweight => ctx.fence_lw.set(e, value),
+        FenceKind::AcqRel => ctx.fence_acqrel.set(e, value),
+        FenceKind::Acquire => ctx.fence_acq.set(e, value),
+        FenceKind::Release => ctx.fence_rel.set(e, value),
+    }
+}
+
+/// The Figure 5c minimality formula for one axiom: well-formedness, the
+/// target axiom violated on the base context, and — under every guard — the
+/// full model satisfied on the perturbed context.
+pub fn minimality_asserts<M: MemoryModel>(
+    alg: &mut SymAlg,
+    model: &M,
+    st: &SymbolicTest,
+    axiom: &str,
+) -> Vec<Bit> {
+    minimality_asserts_opts(alg, model, st, axiom, true)
+}
+
+/// [`minimality_asserts`] with the orphan-read policy explicit.
+pub fn minimality_asserts_opts<M: MemoryModel>(
+    alg: &mut SymAlg,
+    model: &M,
+    st: &SymbolicTest,
+    axiom: &str,
+    orphan_unconstrained: bool,
+) -> Vec<Bit> {
+    let mut asserts = st.wellformed.clone();
+    let base_ok = model.synthesis_axiom(alg, &st.ctx, axiom);
+    asserts.push(alg.not(base_ok));
+    for app in symbolic_applications_opts(alg, model, st, orphan_unconstrained) {
+        let valid = model.synthesis_valid(alg, &app.ctx);
+        let imp = alg.circuit.implies(app.guard, valid);
+        asserts.push(imp);
+    }
+    asserts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::SynthConfig;
+    use litsynth_models::{Scc, Sc, Tso};
+
+    #[test]
+    fn application_counts_match_vocabularies() {
+        let cfg = SynthConfig::new(4);
+
+        let mut alg = SymAlg::new();
+        let st = SymbolicTest::build(&mut alg, &Sc::new(), &cfg);
+        let apps = symbolic_applications(&mut alg, &Sc::new(), &st);
+        assert_eq!(apps.len(), 4, "SC: RI only");
+
+        let mut alg = SymAlg::new();
+        let st = SymbolicTest::build(&mut alg, &Tso::new(), &cfg);
+        let apps = symbolic_applications(&mut alg, &Tso::new(), &st);
+        // RI×4 + DRMW×3 (adjacent positions).
+        assert_eq!(apps.len(), 7);
+
+        let mut alg = SymAlg::new();
+        let st = SymbolicTest::build(&mut alg, &Scc::new(), &cfg);
+        let apps = symbolic_applications(&mut alg, &Scc::new(), &st);
+        // RI×4 + DMO (acquire-load + release-store demote) ×4×2
+        // + DF (FenceSC→FenceAcqRel) ×4 + RD×4 + DRMW×3.
+        assert_eq!(apps.len(), 4 + 8 + 4 + 4 + 3);
+    }
+
+    #[test]
+    fn ri_guard_is_unconditional_and_dmo_guard_is_kind_bit() {
+        let cfg = SynthConfig::new(3);
+        let mut alg = SymAlg::new();
+        let st = SymbolicTest::build(&mut alg, &Scc::new(), &cfg);
+        let apps = symbolic_applications(&mut alg, &Scc::new(), &st);
+        for a in &apps {
+            if a.label.starts_with("RI@") {
+                assert_eq!(a.guard, Circuit::TRUE);
+            }
+            if a.label.starts_with("DMO@") {
+                assert_ne!(a.guard, Circuit::TRUE);
+            }
+        }
+    }
+}

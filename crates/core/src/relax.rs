@@ -1,0 +1,433 @@
+//! Instruction relaxations (paper §3): transformations that weaken one
+//! instruction's synchronization, applied at the *test* level.
+//!
+//! These concrete applications drive the exact (exists-forall) minimality
+//! oracle and the subtest-containment analysis of Table 4. The symbolic
+//! synthesis applies the same relaxations as context perturbations instead
+//! (see [`crate::perturb`]), mirroring the paper's `_p` relations.
+
+use litsynth_litmus::{Addr, DepKind, FenceKind, Instr, LitmusTest, MemOrder, Outcome};
+use litsynth_models::MemoryModel;
+use std::collections::BTreeMap;
+
+/// One concrete relaxation application: a kind, a target event (global id),
+/// and the demotion target where relevant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Application {
+    /// Remove instruction `gid`.
+    Ri {
+        /// Target event.
+        gid: usize,
+    },
+    /// Demote the memory order of `gid` to `to`.
+    Dmo {
+        /// Target event.
+        gid: usize,
+        /// Demotion target.
+        to: MemOrder,
+    },
+    /// Demote the fence `gid` to kind `to`.
+    Df {
+        /// Target event.
+        gid: usize,
+        /// Demotion target.
+        to: FenceKind,
+    },
+    /// Remove all dependencies originating at `gid`.
+    Rd {
+        /// Target event.
+        gid: usize,
+    },
+    /// Decompose the RMW at `gid` (a single-instruction RMW, or the load of
+    /// a two-instruction pair).
+    Drmw {
+        /// Target event.
+        gid: usize,
+    },
+}
+
+impl Application {
+    /// The targeted event.
+    pub fn gid(&self) -> usize {
+        match *self {
+            Application::Ri { gid }
+            | Application::Dmo { gid, .. }
+            | Application::Df { gid, .. }
+            | Application::Rd { gid }
+            | Application::Drmw { gid } => gid,
+        }
+    }
+
+    /// Short display form, e.g. `RI@3` or `DMO@1→relaxed`.
+    pub fn describe(&self) -> String {
+        match *self {
+            Application::Ri { gid } => format!("RI@{gid}"),
+            Application::Dmo { gid, to } => format!("DMO@{gid}→{to:?}"),
+            Application::Df { gid, to } => format!("DF@{gid}→{to:?}"),
+            Application::Rd { gid } => format!("RD@{gid}"),
+            Application::Drmw { gid } => format!("DRMW@{gid}"),
+        }
+    }
+}
+
+/// Enumerates every relaxation application the model admits on `test`
+/// (the paper's `relaxation_applies` guard, concretely).
+pub fn applications<M: MemoryModel>(model: &M, test: &LitmusTest) -> Vec<Application> {
+    let mut out = Vec::new();
+    for gid in 0..test.num_events() {
+        let instr = test.instr(gid);
+        // RI applies to every instruction.
+        out.push(Application::Ri { gid });
+        // DMO: every in-vocabulary demotion step.
+        for to in model.order_demotions(instr) {
+            out.push(Application::Dmo { gid, to });
+        }
+        // DF: fence-strength demotions.
+        if let Instr::Fence { kind, .. } = instr {
+            for to in model.fence_demotions(kind) {
+                out.push(Application::Df { gid, to });
+            }
+        }
+        // RD: only when dependencies actually originate here.
+        let tid = test.thread_of(gid);
+        let idx = test.index_of(gid);
+        if test.deps().iter().any(|d| d.tid == tid && d.from == idx) {
+            out.push(Application::Rd { gid });
+        }
+        // DRMW: single-instruction RMWs and pair loads.
+        if matches!(instr, Instr::Rmw { .. }) {
+            out.push(Application::Drmw { gid });
+        }
+        if test
+            .rmw_pairs()
+            .iter()
+            .any(|p| p.tid == tid && p.load == idx)
+        {
+            out.push(Application::Drmw { gid });
+        }
+    }
+    out
+}
+
+/// Applies one relaxation, producing the relaxed test and the projected
+/// outcome (components referring to removed structure are dropped — the
+/// paper's "leave the read unconstrained" rule, §4.3).
+pub fn apply(test: &LitmusTest, outcome: &Outcome, app: Application) -> (LitmusTest, Outcome) {
+    match app {
+        Application::Ri { gid } => apply_ri(test, outcome, gid),
+        Application::Dmo { gid, to } => {
+            let t = rebuild_with(test, gid, |i| i.with_order(to));
+            (t, outcome.clone())
+        }
+        Application::Df { gid, to } => {
+            let t = rebuild_with(test, gid, |i| match i {
+                Instr::Fence { scope, .. } => Instr::Fence { kind: to, scope },
+                other => other,
+            });
+            (t, outcome.clone())
+        }
+        Application::Rd { gid } => {
+            let tid = test.thread_of(gid);
+            let idx = test.index_of(gid);
+            let mut t = LitmusTest::new(test.name().to_string(), test.threads().to_vec());
+            for d in test.deps() {
+                if !(d.tid == tid && d.from == idx) {
+                    t = t.with_dep(d.tid, d.from, d.to, d.kind);
+                }
+            }
+            for p in test.rmw_pairs() {
+                t = t.with_rmw_pair(p.tid, p.load);
+            }
+            (t, outcome.clone())
+        }
+        Application::Drmw { gid } => apply_drmw(test, outcome, gid),
+    }
+}
+
+fn rebuild_with(test: &LitmusTest, gid: usize, f: impl Fn(Instr) -> Instr) -> LitmusTest {
+    let mut threads = test.threads().to_vec();
+    threads[test.thread_of(gid)][test.index_of(gid)] = f(test.instr(gid));
+    let mut t = LitmusTest::new(test.name().to_string(), threads);
+    for d in test.deps() {
+        t = t.with_dep(d.tid, d.from, d.to, d.kind);
+    }
+    for p in test.rmw_pairs() {
+        t = t.with_rmw_pair(p.tid, p.load);
+    }
+    t
+}
+
+fn apply_ri(test: &LitmusTest, outcome: &Outcome, gid: usize) -> (LitmusTest, Outcome) {
+    let rm_tid = test.thread_of(gid);
+    let rm_idx = test.index_of(gid);
+    let mut threads = test.threads().to_vec();
+    threads[rm_tid].remove(rm_idx);
+    // Drop a now-empty thread entirely.
+    let drop_thread = threads[rm_tid].is_empty();
+    if drop_thread {
+        threads.remove(rm_tid);
+    }
+    let mut t = LitmusTest::new(test.name().to_string(), threads);
+
+    let map_tid = |tid: usize| -> Option<usize> {
+        if drop_thread {
+            if tid == rm_tid {
+                None
+            } else if tid > rm_tid {
+                Some(tid - 1)
+            } else {
+                Some(tid)
+            }
+        } else {
+            Some(tid)
+        }
+    };
+    let map_idx = |tid: usize, idx: usize| -> Option<usize> {
+        if tid == rm_tid {
+            if idx == rm_idx {
+                None
+            } else if idx > rm_idx {
+                Some(idx - 1)
+            } else {
+                Some(idx)
+            }
+        } else {
+            Some(idx)
+        }
+    };
+    for d in test.deps() {
+        if let (Some(tid), Some(from), Some(to)) =
+            (map_tid(d.tid), map_idx(d.tid, d.from), map_idx(d.tid, d.to))
+        {
+            t = t.with_dep(tid, from, to, d.kind);
+        }
+    }
+    for p in test.rmw_pairs() {
+        if let (Some(tid), Some(load), Some(store)) =
+            (map_tid(p.tid), map_idx(p.tid, p.load), map_idx(p.tid, p.store))
+        {
+            // The pair survives only if it is still adjacent.
+            if store == load + 1 {
+                t = t.with_rmw_pair(tid, load);
+            }
+        }
+    }
+
+    // Global-id remapping.
+    let map_gid = |g: usize| -> Option<usize> {
+        if g == gid {
+            return None;
+        }
+        let tid = test.thread_of(g);
+        let idx = test.index_of(g);
+        Some(t.gid(map_tid(tid)?, map_idx(tid, idx)?))
+    };
+    let mut rf: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    for (&r, &w) in &outcome.rf {
+        let Some(r2) = map_gid(r) else { continue };
+        match w {
+            None => {
+                rf.insert(r2, None);
+            }
+            Some(w) => {
+                // If the source write was removed, the read becomes
+                // unconstrained (paper Figure 3d): drop the entry.
+                if let Some(w2) = map_gid(w) {
+                    rf.insert(r2, Some(w2));
+                }
+            }
+        }
+    }
+    let mut finals: BTreeMap<Addr, usize> = BTreeMap::new();
+    for (&a, &w) in &outcome.finals {
+        if let Some(w2) = map_gid(w) {
+            finals.insert(a, w2);
+        }
+    }
+    (t, Outcome { rf, finals })
+}
+
+fn apply_drmw(test: &LitmusTest, outcome: &Outcome, gid: usize) -> (LitmusTest, Outcome) {
+    let tid = test.thread_of(gid);
+    let idx = test.index_of(gid);
+    // Pair form: just drop the rmw edge.
+    if test.rmw_pairs().iter().any(|p| p.tid == tid && p.load == idx) {
+        let mut t = LitmusTest::new(test.name().to_string(), test.threads().to_vec());
+        for d in test.deps() {
+            t = t.with_dep(d.tid, d.from, d.to, d.kind);
+        }
+        for p in test.rmw_pairs() {
+            if !(p.tid == tid && p.load == idx) {
+                t = t.with_rmw_pair(p.tid, p.load);
+            }
+        }
+        // Decomposition keeps the data dependency between the halves.
+        let t = t.with_dep(tid, idx, idx + 1, DepKind::Data);
+        return (t, outcome.clone());
+    }
+    // Single-instruction form: split into Ld;St with a data dependency.
+    let Instr::Rmw { addr, order, scope } = test.instr(gid) else {
+        panic!("DRMW target {gid} is not an RMW");
+    };
+    let load_order = match order {
+        MemOrder::SeqCst => MemOrder::SeqCst,
+        MemOrder::AcqRel | MemOrder::Acquire => MemOrder::Acquire,
+        MemOrder::Consume => MemOrder::Consume,
+        _ => MemOrder::Relaxed,
+    };
+    let store_order = match order {
+        MemOrder::SeqCst => MemOrder::SeqCst,
+        MemOrder::AcqRel | MemOrder::Release => MemOrder::Release,
+        _ => MemOrder::Relaxed,
+    };
+    let mut threads = test.threads().to_vec();
+    threads[tid][idx] = Instr::Load { addr, order: load_order, scope };
+    threads[tid].insert(idx + 1, Instr::Store { addr, order: store_order, scope });
+    let mut t = LitmusTest::new(test.name().to_string(), threads);
+    let shift_idx = |d_tid: usize, i: usize| if d_tid == tid && i > idx { i + 1 } else { i };
+    for d in test.deps() {
+        t = t.with_dep(d.tid, shift_idx(d.tid, d.from), shift_idx(d.tid, d.to), d.kind);
+    }
+    for p in test.rmw_pairs() {
+        t = t.with_rmw_pair(p.tid, shift_idx(p.tid, p.load));
+    }
+    t = t.with_dep(tid, idx, idx + 1, DepKind::Data);
+
+    // Gid remapping: reads at the old RMW stay at `gid` (the load); writes
+    // move to `gid + 1` (the store); everything after shifts by one.
+    let map_read = |g: usize| if g > gid { g + 1 } else { g };
+    let map_write = |g: usize| if g >= gid { g + 1 } else { g };
+    let rf = outcome
+        .rf
+        .iter()
+        .map(|(&r, &w)| (map_read(r), w.map(map_write)))
+        .collect();
+    let finals = outcome
+        .finals
+        .iter()
+        .map(|(&a, &w)| (a, map_write(w)))
+        .collect();
+    (t, Outcome { rf, finals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litsynth_litmus::suites::classics;
+    use litsynth_models::{Scc, Tso};
+
+    #[test]
+    fn ri_on_mp_store_matches_fig3() {
+        // Figure 3a: removing the store to [data] leaves the (r=1, r2=0)
+        // residue with the data-read unconstrained — here rf keeps (flag
+        // read ← flag write) and the x-read's init entry.
+        let (t, o) = classics::mp();
+        let (t2, o2) = apply(&t, &o, Application::Ri { gid: 0 });
+        assert_eq!(t2.num_events(), 3);
+        assert_eq!(o2.rf.len(), 2);
+        // Figure 3d: removing the store to [flag] orphans the flag read.
+        let (t3, o3) = apply(&t, &o, Application::Ri { gid: 1 });
+        assert_eq!(t3.num_events(), 3);
+        // The flag read's rf entry is dropped (unconstrained)…
+        assert_eq!(o3.rf.len(), 1);
+        // …while the data read keeps its init entry.
+        assert!(o3.rf.values().any(|w| w.is_none()));
+    }
+
+    #[test]
+    fn ri_drops_empty_threads_and_remaps() {
+        let (t, o) = classics::wrc();
+        // Remove the lone store in thread 0.
+        let (t2, o2) = apply(&t, &o, Application::Ri { gid: 0 });
+        assert_eq!(t2.num_threads(), 2);
+        assert_eq!(t2.num_events(), 4);
+        for (&r, &w) in &o2.rf {
+            assert!(r < 4);
+            if let Some(w) = w {
+                assert!(w < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn dmo_demotes_in_place() {
+        let (t, o) = classics::mp_rel_acq();
+        let (t2, o2) = apply(&t, &o, Application::Dmo { gid: 1, to: MemOrder::Relaxed });
+        assert_eq!(t2.instr(1).order(), Some(MemOrder::Relaxed));
+        assert_eq!(o2, o);
+        assert_eq!(t2.num_events(), t.num_events());
+    }
+
+    #[test]
+    fn rd_strips_only_the_targeted_source() {
+        let (t, o) = classics::lb_addrs();
+        let (t2, _) = apply(&t, &o, Application::Rd { gid: 0 });
+        assert_eq!(t2.deps().len(), 1);
+        assert_eq!(t2.deps()[0].tid, 1);
+        let _ = o;
+    }
+
+    #[test]
+    fn drmw_splits_single_instruction_rmw() {
+        let (t, o) = classics::rmw_st();
+        let (t2, o2) = apply(&t, &o, Application::Drmw { gid: 0 });
+        assert_eq!(t2.num_events(), 3);
+        assert!(t2.instr(0).is_read() && !t2.instr(0).is_write());
+        assert!(t2.instr(1).is_write() && !t2.instr(1).is_read());
+        // The data dependency between the halves remains (§3.2).
+        assert_eq!(t2.deps().len(), 1);
+        assert_eq!(t2.deps()[0].kind, DepKind::Data);
+        // The outcome's read entry stays on the load; the final moves to
+        // the store.
+        assert!(o2.rf.contains_key(&0));
+        assert_eq!(o2.finals[&Addr(0)], 1);
+        let _ = o;
+    }
+
+    #[test]
+    fn drmw_on_pair_drops_the_edge() {
+        let t = LitmusTest::new(
+            "pair",
+            vec![vec![Instr::load(0), Instr::store(0)], vec![Instr::store(0)]],
+        )
+        .with_rmw_pair(0, 0);
+        let o = classics::oc([(0, None)], [(0, 1)]);
+        let (t2, o2) = apply(&t, &o, Application::Drmw { gid: 0 });
+        assert!(t2.rmw_pairs().is_empty());
+        assert_eq!(t2.num_events(), t.num_events());
+        assert_eq!(t2.deps().len(), 1);
+        assert_eq!(o2, o);
+    }
+
+    #[test]
+    fn applications_respect_vocabulary() {
+        let tso = Tso::new();
+        let (t, _) = classics::sb_fences();
+        let apps = applications(&tso, &t);
+        // RI on all 6 events; no DF (TSO has one fence kind), no DMO, no RD.
+        assert_eq!(apps.len(), 6);
+        assert!(apps.iter().all(|a| matches!(a, Application::Ri { .. })));
+
+        let scc = Scc::new();
+        let (t, _) = classics::mp_rel_acq();
+        let apps = applications(&scc, &t);
+        // RI×4 + DMO on the release and the acquire.
+        assert_eq!(apps.len(), 6);
+        assert_eq!(
+            apps.iter().filter(|a| matches!(a, Application::Dmo { .. })).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn df_applies_to_scc_fencesc() {
+        let scc = Scc::new();
+        let (t, _) = classics::sb_fences();
+        let apps = applications(&scc, &t);
+        let dfs: Vec<_> = apps
+            .iter()
+            .filter(|a| matches!(a, Application::Df { to: FenceKind::AcqRel, .. }))
+            .collect();
+        assert_eq!(dfs.len(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Subtest containment (paper §6.1, Table 4): a non-minimal test "contains
+//! inside of it" a minimal one when some sequence of instruction
+//! relaxations rewrites the former's program into the latter's.
+//!
+//! Containment is decided on *programs* (canonical up to thread and address
+//! renaming): Table 4's point is that every non-minimal Owens test embeds a
+//! synthesized minimal test, so running the minimal one covers the pattern.
+
+use crate::relax::{applications, apply};
+use litsynth_litmus::{canonical_key_exact, LitmusTest, Outcome};
+use litsynth_models::MemoryModel;
+use std::collections::{HashSet, VecDeque};
+
+/// Canonical program key: the test alone, outcome ignored.
+pub fn program_key(test: &LitmusTest) -> String {
+    canonical_key_exact(test, &Outcome::empty())
+}
+
+/// `true` iff `inner`'s program is reachable from `outer`'s by a (possibly
+/// empty) sequence of relaxation applications admitted by `model`.
+pub fn contains_subtest<M: MemoryModel>(
+    model: &M,
+    outer: &LitmusTest,
+    inner: &LitmusTest,
+) -> bool {
+    let target = program_key(inner);
+    let target_events = inner.num_events();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut queue: VecDeque<LitmusTest> = VecDeque::new();
+    let start_key = program_key(outer);
+    if start_key == target {
+        return true;
+    }
+    seen.insert(start_key);
+    queue.push_back(outer.clone());
+    while let Some(t) = queue.pop_front() {
+        if t.num_events() < target_events {
+            continue;
+        }
+        for app in applications(model, &t) {
+            let (t2, _) = apply(&t, &Outcome::empty(), app);
+            if t2.num_events() < target_events {
+                continue;
+            }
+            let key = program_key(&t2);
+            if key == target {
+                return true;
+            }
+            if seen.insert(key) {
+                queue.push_back(t2);
+            }
+        }
+    }
+    false
+}
+
+/// For a non-minimal `outer`, finds all suite members it contains (the
+/// parenthesized column of Table 4).
+pub fn covering_subtests<'s, M: MemoryModel>(
+    model: &M,
+    outer: &LitmusTest,
+    suite: impl IntoIterator<Item = &'s (LitmusTest, Outcome)>,
+) -> Vec<&'s (LitmusTest, Outcome)> {
+    suite
+        .into_iter()
+        .filter(|(inner, _)| inner.num_events() <= outer.num_events())
+        .filter(|(inner, _)| contains_subtest(model, outer, inner))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litsynth_litmus::suites::classics;
+    use litsynth_models::Tso;
+
+    #[test]
+    fn colb_contains_corw_figure_10() {
+        let (colb, _) = classics::colb();
+        let (corw, _) = classics::corw();
+        assert!(contains_subtest(&Tso::new(), &colb, &corw));
+    }
+
+    #[test]
+    fn sb_fences_contains_sb() {
+        let (outer, _) = classics::sb_fences();
+        let (inner, _) = classics::sb();
+        assert!(contains_subtest(&Tso::new(), &outer, &inner));
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_respects_size() {
+        let (mp, _) = classics::mp();
+        assert!(contains_subtest(&Tso::new(), &mp, &mp));
+        let (sb6, _) = classics::sb_fences();
+        let (mp4, _) = classics::mp();
+        // SB+fences does not contain MP (no relaxation turns stores into
+        // the MP read pattern).
+        assert!(!contains_subtest(&Tso::new(), &sb6, &mp4));
+    }
+
+    #[test]
+    fn iriw_contained_in_wider_iriw_like_test() {
+        let (iriw, _) = classics::iriw();
+        // n3-style: IRIW plus an extra location in thread 0 and reader.
+        let n3 = litsynth_litmus::LitmusTest::new(
+            "n3ish",
+            vec![
+                vec![litsynth_litmus::Instr::store(0), litsynth_litmus::Instr::store(2)],
+                vec![litsynth_litmus::Instr::store(1)],
+                vec![litsynth_litmus::Instr::load(2), litsynth_litmus::Instr::load(0), litsynth_litmus::Instr::load(1)],
+                vec![litsynth_litmus::Instr::load(1), litsynth_litmus::Instr::load(0)],
+            ],
+        );
+        assert!(contains_subtest(&Tso::new(), &n3, &iriw));
+    }
+}

@@ -1,0 +1,354 @@
+//! Litmus-test canonicalization (paper §5.1).
+//!
+//! Two symmetric tests — same structure up to thread reordering and address
+//! renaming (Figure 9) — should count once in a suite. This module provides:
+//!
+//! * [`canonical_key_hash`]: the paper's scheme (adapted from Mador-Haim et
+//!   al., extended with instruction features such as memory orders and
+//!   fences): threads are keyed and sorted, then addresses are relabelled in
+//!   first-use order. It deliberately reproduces the paper's known
+//!   limitation: two threads with identical instruction shapes (litmus test
+//!   WWC, Figure 14) tie, so the two swapped variants canonicalize
+//!   differently.
+//! * [`canonical_key_exact`]: an exact canonical form that minimizes the
+//!   serialization over *all* thread permutations, closing the WWC gap (the
+//!   enhancement the paper leaves as future work).
+
+use crate::event::Addr;
+use crate::test::{Dep, LitmusTest, Outcome, RmwPair};
+use std::collections::BTreeMap;
+
+/// Reorders threads by `order` (new tid `k` is old thread `order[k]`),
+/// remaps global ids and addresses (first-use order), and returns the
+/// renamed test and outcome.
+pub fn apply_thread_order(
+    test: &LitmusTest,
+    outcome: &Outcome,
+    order: &[usize],
+) -> (LitmusTest, Outcome) {
+    assert_eq!(order.len(), test.num_threads());
+    // Address map: first use scanning the new thread order.
+    let mut addr_map: BTreeMap<Addr, Addr> = BTreeMap::new();
+    for &old_tid in order {
+        for instr in &test.threads()[old_tid] {
+            if let Some(a) = instr.addr() {
+                let next = addr_map.len() as u8;
+                addr_map.entry(a).or_insert(Addr(next));
+            }
+        }
+    }
+    // New thread bodies.
+    let threads: Vec<Vec<crate::event::Instr>> = order
+        .iter()
+        .map(|&old_tid| {
+            test.threads()[old_tid]
+                .iter()
+                .map(|i| match i.addr() {
+                    Some(a) => i.with_addr(addr_map[&a]),
+                    None => *i,
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = LitmusTest::new(test.name().to_string(), threads);
+    // Old gid → new gid.
+    let mut gid_map = vec![0usize; test.num_events()];
+    for (new_tid, &old_tid) in order.iter().enumerate() {
+        for idx in 0..test.threads()[old_tid].len() {
+            gid_map[test.gid(old_tid, idx)] = out.gid(new_tid, idx);
+        }
+    }
+    // Deps and rmw pairs.
+    let old_tid_to_new: BTreeMap<usize, usize> =
+        order.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+    for &Dep { tid, from, to, kind } in test.deps() {
+        out = out.with_dep(old_tid_to_new[&tid], from, to, kind);
+    }
+    for &RmwPair { tid, load, .. } in test.rmw_pairs() {
+        out = out.with_rmw_pair(old_tid_to_new[&tid], load);
+    }
+    // Outcome.
+    let rf = outcome
+        .rf
+        .iter()
+        .map(|(&r, &w)| (gid_map[r], w.map(|w| gid_map[w])))
+        .collect();
+    let finals = outcome
+        .finals
+        .iter()
+        .map(|(&a, &w)| (addr_map[&a], gid_map[w]))
+        .collect();
+    (out, Outcome { rf, finals })
+}
+
+/// Serializes a (test, outcome) pair into a stable textual key.
+///
+/// Addresses, orders, scopes, fences, dependencies, RMW pairing, and the
+/// outcome all participate, so two keys are equal iff the named tests are
+/// identical after renaming.
+pub fn serialize(test: &LitmusTest, outcome: &Outcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for t in test.threads() {
+        s.push('|');
+        for i in t {
+            let _ = write!(s, "{i};");
+        }
+    }
+    let mut deps: Vec<_> = test.deps().to_vec();
+    deps.sort();
+    for d in &deps {
+        let _ = write!(s, "#d{},{},{},{}", d.tid, d.from, d.to, d.kind.mnemonic());
+    }
+    let mut rmws: Vec<_> = test.rmw_pairs().to_vec();
+    rmws.sort();
+    for p in &rmws {
+        let _ = write!(s, "#a{},{}", p.tid, p.load);
+    }
+    for (&r, &w) in &outcome.rf {
+        match w {
+            Some(w) => {
+                let _ = write!(s, "#rf{r}<-{w}");
+            }
+            None => {
+                let _ = write!(s, "#rf{r}<-init");
+            }
+        }
+    }
+    for (&a, &w) in &outcome.finals {
+        let _ = write!(s, "#fin{a}={w}");
+    }
+    s
+}
+
+/// The per-thread key used by the hash-based canonicalizer: the thread's
+/// instructions with addresses relabelled *locally* (first use within the
+/// thread), so that symmetric threads in different tests compare equal.
+fn thread_local_key(test: &LitmusTest, tid: usize) -> String {
+    use std::fmt::Write as _;
+    let mut addr_map: BTreeMap<Addr, Addr> = BTreeMap::new();
+    let mut s = String::new();
+    for instr in &test.threads()[tid] {
+        let i = match instr.addr() {
+            Some(a) => {
+                let next = addr_map.len() as u8;
+                let local = *addr_map.entry(a).or_insert(Addr(next));
+                instr.with_addr(local)
+            }
+            None => *instr,
+        };
+        let _ = write!(s, "{i};");
+    }
+    for d in test.deps().iter().filter(|d| d.tid == tid) {
+        let _ = write!(s, "#d{},{},{}", d.from, d.to, d.kind.mnemonic());
+    }
+    for p in test.rmw_pairs().iter().filter(|p| p.tid == tid) {
+        let _ = write!(s, "#a{}", p.load);
+    }
+    s
+}
+
+/// The paper's canonicalization: sort threads by their local keys (stable —
+/// ties keep original order, which is exactly the WWC limitation), relabel
+/// addresses in first-use order, serialize.
+pub fn canonical_key_hash(test: &LitmusTest, outcome: &Outcome) -> String {
+    let mut order: Vec<usize> = (0..test.num_threads()).collect();
+    let keys: Vec<String> = order.iter().map(|&t| thread_local_key(test, t)).collect();
+    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    let (t, o) = apply_thread_order(test, outcome, &order);
+    serialize(&t, &o)
+}
+
+/// The exact canonical form: minimum serialization over all thread
+/// permutations. Cost is `threads!`, trivially small for litmus tests.
+pub fn canonical_key_exact(test: &LitmusTest, outcome: &Outcome) -> String {
+    canonicalize_exact(test, outcome).0
+}
+
+/// Like [`canonical_key_exact`], also returning the renamed test/outcome
+/// that realizes the canonical key.
+pub fn canonicalize_exact(test: &LitmusTest, outcome: &Outcome) -> (String, LitmusTest, Outcome) {
+    let n = test.num_threads();
+    let mut best: Option<(String, LitmusTest, Outcome)> = None;
+    for order in thread_permutations(n) {
+        let (t, o) = apply_thread_order(test, outcome, &order);
+        let key = serialize(&t, &o);
+        if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
+            best = Some((key, t, o));
+        }
+    }
+    best.expect("at least one permutation")
+}
+
+fn thread_permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let x = rest.remove(i);
+            prefix.push(x);
+            go(prefix, rest, out);
+            prefix.pop();
+            rest.insert(i, x);
+        }
+    }
+    let mut out = Vec::new();
+    go(&mut Vec::new(), &mut (0..n).collect(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DepKind, Instr, MemOrder};
+    use std::collections::BTreeMap;
+
+    /// The two symmetric MP flavors of the paper's Figure 9.
+    fn fig9_pair() -> ((LitmusTest, Outcome), (LitmusTest, Outcome)) {
+        // Test 1: T0 = St x; St.release y   T1 = Ld.acquire y; Ld x
+        let t1 = LitmusTest::new(
+            "fig9a",
+            vec![
+                vec![Instr::store(0), Instr::store_ord(1, MemOrder::Release)],
+                vec![Instr::load_ord(1, MemOrder::Acquire), Instr::load(0)],
+            ],
+        );
+        let o1 = Outcome {
+            rf: BTreeMap::from([(2, Some(1)), (3, None)]),
+            finals: BTreeMap::from([(Addr(0), 0), (Addr(1), 1)]),
+        };
+        // Test 2: threads and addresses swapped.
+        let t2 = LitmusTest::new(
+            "fig9b",
+            vec![
+                vec![Instr::load_ord(0, MemOrder::Acquire), Instr::load(1)],
+                vec![Instr::store(1), Instr::store_ord(0, MemOrder::Release)],
+            ],
+        );
+        let o2 = Outcome {
+            rf: BTreeMap::from([(0, Some(3)), (1, None)]),
+            finals: BTreeMap::from([(Addr(0), 3), (Addr(1), 2)]),
+        };
+        ((t1, o1), (t2, o2))
+    }
+
+    #[test]
+    fn fig9_symmetry_is_detected_by_both_canonicalizers() {
+        let ((t1, o1), (t2, o2)) = fig9_pair();
+        assert_eq!(canonical_key_hash(&t1, &o1), canonical_key_hash(&t2, &o2));
+        assert_eq!(canonical_key_exact(&t1, &o1), canonical_key_exact(&t2, &o2));
+    }
+
+    /// WWC (Figure 14): threads 1 and 2 have identical instruction shapes,
+    /// so the hash canonicalizer cannot merge the two swapped variants — but
+    /// the exact canonicalizer can.
+    fn wwc_variants() -> ((LitmusTest, Outcome), (LitmusTest, Outcome)) {
+        // T0: Ld x           T1: St y; St x (x=2)     T2: St x? — use the
+        // paper's WWC shape: T0: Ld x, St y / T1: Ld y, St x ... Figure 14:
+        //   T0: St [x],2 | Ld r1=[x]? — we encode the essential symmetric
+        // pair instead: two threads with identical Ld a; St b patterns.
+        let t1 = LitmusTest::new(
+            "wwc1",
+            vec![
+                vec![Instr::store(0)],
+                vec![Instr::load(0), Instr::store(1)],
+                vec![Instr::load(1), Instr::store(0)],
+            ],
+        );
+        let o1 = Outcome {
+            rf: BTreeMap::from([(1, Some(0)), (3, Some(2))]),
+            finals: BTreeMap::from([(Addr(0), 0), (Addr(1), 2)]),
+        };
+        // Swap the two identical-shape threads; relabel addresses to match.
+        let t2 = LitmusTest::new(
+            "wwc2",
+            vec![
+                vec![Instr::store(1)],
+                vec![Instr::load(0), Instr::store(1)],
+                vec![Instr::load(1), Instr::store(0)],
+            ],
+        );
+        let o2 = Outcome {
+            rf: BTreeMap::from([(3, Some(0)), (1, Some(4))]),
+            finals: BTreeMap::from([(Addr(1), 0), (Addr(0), 4)]),
+        };
+        ((t1, o1), (t2, o2))
+    }
+
+    #[test]
+    fn wwc_limitation_hash_misses_exact_catches() {
+        let ((t1, o1), (t2, o2)) = wwc_variants();
+        // The exact canonicalizer merges the pair…
+        assert_eq!(canonical_key_exact(&t1, &o1), canonical_key_exact(&t2, &o2));
+        // …while the paper's hash scheme does not (documented limitation).
+        assert_ne!(canonical_key_hash(&t1, &o1), canonical_key_hash(&t2, &o2));
+    }
+
+    #[test]
+    fn exact_key_invariant_under_any_thread_permutation() {
+        let ((t1, o1), _) = fig9_pair();
+        let base = canonical_key_exact(&t1, &o1);
+        for order in thread_permutations(t1.num_threads()) {
+            let (t, o) = apply_thread_order(&t1, &o1, &order);
+            assert_eq!(canonical_key_exact(&t, &o), base, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn deps_participate_in_keys() {
+        let mk = |with_dep: bool| {
+            let t = LitmusTest::new(
+                "t",
+                vec![vec![Instr::load(0), Instr::store(1)]],
+            );
+            let t = if with_dep { t.with_dep(0, 0, 1, DepKind::Addr) } else { t };
+            let o = Outcome {
+                rf: BTreeMap::from([(0, None)]),
+                finals: BTreeMap::from([(Addr(1), 1)]),
+            };
+            canonical_key_exact(&t, &o)
+        };
+        assert_ne!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn orders_participate_in_keys() {
+        let mk = |ord: MemOrder| {
+            let t = LitmusTest::new("t", vec![vec![Instr::load_ord(0, ord)]]);
+            let o = Outcome { rf: BTreeMap::from([(0, None)]), finals: BTreeMap::new() };
+            canonical_key_exact(&t, &o)
+        };
+        assert_ne!(mk(MemOrder::Relaxed), mk(MemOrder::Acquire));
+    }
+
+    #[test]
+    fn outcome_participates_in_keys() {
+        let t = LitmusTest::new(
+            "t",
+            vec![vec![Instr::store(0)], vec![Instr::load(0)]],
+        );
+        let o1 = Outcome {
+            rf: BTreeMap::from([(1, None)]),
+            finals: BTreeMap::from([(Addr(0), 0)]),
+        };
+        let o2 = Outcome {
+            rf: BTreeMap::from([(1, Some(0))]),
+            finals: BTreeMap::from([(Addr(0), 0)]),
+        };
+        assert_ne!(canonical_key_exact(&t, &o1), canonical_key_exact(&t, &o2));
+    }
+
+    #[test]
+    fn apply_thread_order_preserves_structure() {
+        let ((t1, o1), _) = fig9_pair();
+        let (t, o) = apply_thread_order(&t1, &o1, &[1, 0]);
+        assert_eq!(t.num_events(), t1.num_events());
+        assert_eq!(o.rf.len(), o1.rf.len());
+        // Thread 0 of the permuted test is thread 1 of the original.
+        assert_eq!(t.threads()[0].len(), t1.threads()[1].len());
+        // Address relabelling: first-used address becomes x.
+        assert_eq!(t.threads()[0][0].addr(), Some(Addr(0)));
+    }
+}

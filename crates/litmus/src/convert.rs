@@ -1,0 +1,144 @@
+//! Conversions between the two RMW formalizations.
+//!
+//! The paper's Figure 4 models RMWs as adjacent load/store pairs linked by
+//! an `rmw` edge; ISA suites (and our Owens encoding) often use
+//! single-instruction RMW primitives instead. §5.2: "load-store pairs …
+//! count as two instructions, while atomic RMW primitives count as one" —
+//! so the same conceptual test has different sizes in the two forms.
+
+use crate::event::Instr;
+use crate::test::{LitmusTest, Outcome};
+use litsynth_litmus_memorder_split::split_orders;
+
+mod litsynth_litmus_memorder_split {
+    use crate::event::MemOrder;
+
+    /// Splits an RMW's order annotation into its read and write halves.
+    pub fn split_orders(o: MemOrder) -> (MemOrder, MemOrder) {
+        let load = match o {
+            MemOrder::SeqCst => MemOrder::SeqCst,
+            MemOrder::AcqRel | MemOrder::Acquire => MemOrder::Acquire,
+            MemOrder::Consume => MemOrder::Consume,
+            _ => MemOrder::Relaxed,
+        };
+        let store = match o {
+            MemOrder::SeqCst => MemOrder::SeqCst,
+            MemOrder::AcqRel | MemOrder::Release => MemOrder::Release,
+            _ => MemOrder::Relaxed,
+        };
+        (load, store)
+    }
+}
+
+/// Rewrites every single-instruction RMW into an adjacent load/store pair
+/// linked by an `rmw` edge, remapping the outcome's event ids: reads stay
+/// on the load half, write references move to the store half.
+///
+/// Tests already in pair form are returned unchanged.
+pub fn to_rmw_pairs(test: &LitmusTest, outcome: &Outcome) -> (LitmusTest, Outcome) {
+    let mut cur = test.clone();
+    let mut out = outcome.clone();
+    loop {
+        let Some(gid) = (0..cur.num_events()).find(|&g| matches!(cur.instr(g), Instr::Rmw { .. }))
+        else {
+            return (cur, out);
+        };
+        let tid = cur.thread_of(gid);
+        let idx = cur.index_of(gid);
+        let Instr::Rmw { addr, order, scope } = cur.instr(gid) else { unreachable!() };
+        let (lo, so) = split_orders(order);
+        let mut threads = cur.threads().to_vec();
+        threads[tid][idx] = Instr::Load { addr, order: lo, scope };
+        threads[tid].insert(idx + 1, Instr::Store { addr, order: so, scope });
+        let mut next = LitmusTest::new(cur.name().to_string(), threads);
+        let shift = |d_tid: usize, i: usize| if d_tid == tid && i > idx { i + 1 } else { i };
+        for d in cur.deps() {
+            next = next.with_dep(d.tid, shift(d.tid, d.from), shift(d.tid, d.to), d.kind);
+        }
+        for p in cur.rmw_pairs() {
+            next = next.with_rmw_pair(p.tid, shift(p.tid, p.load));
+        }
+        next = next.with_rmw_pair(tid, idx);
+        // Remap the outcome: reads stay at `gid`, writes move to `gid+1`,
+        // later ids shift by one.
+        let map_read = |g: usize| if g > gid { g + 1 } else { g };
+        let map_write = |g: usize| if g >= gid { g + 1 } else { g };
+        out = Outcome {
+            rf: out.rf.iter().map(|(&r, &w)| (map_read(r), w.map(map_write))).collect(),
+            finals: out.finals.iter().map(|(&a, &w)| (a, map_write(w))).collect(),
+        };
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemOrder;
+    use crate::suites::classics;
+    use crate::test::LitmusTest;
+
+    #[test]
+    fn rmw_st_converts_to_three_events() {
+        let (t, o) = classics::rmw_st();
+        let (t2, o2) = to_rmw_pairs(&t, &o);
+        assert_eq!(t2.num_events(), 3);
+        assert_eq!(t2.rmw_pairs().len(), 1);
+        assert!(t2.instr(0).is_read() && !t2.instr(0).is_write());
+        assert!(t2.instr(1).is_write() && !t2.instr(1).is_read());
+        // The final write moved from gid 0 (the RMW) to gid 1 (the store).
+        assert_eq!(o2.finals[&crate::event::Addr(0)], 1);
+        // The read entry stays on the load.
+        assert!(o2.rf.contains_key(&0));
+    }
+
+    #[test]
+    fn sb_rmws_converts_to_six_events() {
+        let (t, o) = classics::sb_rmws();
+        let (t2, o2) = to_rmw_pairs(&t, &o);
+        assert_eq!(t2.num_events(), 6);
+        assert_eq!(t2.rmw_pairs().len(), 2);
+        // The two plain loads' init entries survive with shifted gids.
+        assert_eq!(o2.rf.values().filter(|w| w.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn orders_split_correctly() {
+        let t = LitmusTest::new(
+            "acqrel",
+            vec![vec![Instr::Rmw {
+                addr: crate::event::Addr(0),
+                order: MemOrder::AcqRel,
+                scope: crate::event::Scope::System,
+            }]],
+        );
+        let (t2, _) = to_rmw_pairs(&t, &Outcome::empty());
+        assert_eq!(t2.instr(0).order(), Some(MemOrder::Acquire));
+        assert_eq!(t2.instr(1).order(), Some(MemOrder::Release));
+    }
+
+    #[test]
+    fn pair_form_is_identity() {
+        let t = LitmusTest::new(
+            "pair",
+            vec![vec![Instr::load(0), Instr::store(0)]],
+        )
+        .with_rmw_pair(0, 0);
+        let o = Outcome::empty();
+        let (t2, _) = to_rmw_pairs(&t, &o);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn legality_is_preserved_under_conversion() {
+        // The conversion is semantics-preserving: a forbidden outcome stays
+        // forbidden (checked in the cross-crate tests against the models;
+        // here structurally: the candidate outcome remains realizable).
+        let (t, o) = classics::rmw_rmw();
+        let (t2, o2) = to_rmw_pairs(&t, &o);
+        let ok = crate::exec::Execution::enumerate(&t2)
+            .iter()
+            .any(|e| o2.matches(&e.outcome()));
+        assert!(ok);
+    }
+}

@@ -1,0 +1,298 @@
+//! Candidate executions of a litmus test, enumerated explicitly.
+//!
+//! A *candidate execution* fixes each read's source write (or the initial
+//! value) and a coherence order per address. Whether a candidate is *allowed*
+//! is the memory model's decision (`litsynth-models`); this module only
+//! enumerates the well-formed candidates — the ground truth against which the
+//! SAT-based synthesis is cross-validated.
+
+use crate::event::Addr;
+use crate::rel::Rel;
+use crate::test::{LitmusTest, Outcome};
+use std::collections::BTreeMap;
+
+/// One candidate execution: a reads-from choice plus per-address coherence
+/// orders.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Execution {
+    /// For each read gid (sorted): the source write gid, or `None` for the
+    /// initial value.
+    pub rf: BTreeMap<usize, Option<usize>>,
+    /// For each address with ≥1 write: write gids in coherence order.
+    pub co: BTreeMap<Addr, Vec<usize>>,
+}
+
+impl Execution {
+    /// Enumerates every candidate execution of `test`.
+    ///
+    /// Each read may source from any same-address write (including po-later
+    /// ones — filtering those is the `sc_per_loc` axiom's job) or the initial
+    /// value; each address's writes may be coherence-ordered in any
+    /// permutation.
+    pub fn enumerate(test: &LitmusTest) -> Vec<Execution> {
+        let reads = test.reads();
+        let addrs = test.addresses();
+
+        // All rf choices: cartesian product over reads.
+        let mut rf_choices: Vec<BTreeMap<usize, Option<usize>>> = vec![BTreeMap::new()];
+        for &r in &reads {
+            let addr = test.instr(r).addr().expect("read has address");
+            let mut sources: Vec<Option<usize>> = vec![None];
+            for w in test.writes_to(addr) {
+                if w != r {
+                    sources.push(Some(w));
+                }
+            }
+            let mut next = Vec::with_capacity(rf_choices.len() * sources.len());
+            for base in &rf_choices {
+                for &s in &sources {
+                    let mut m = base.clone();
+                    m.insert(r, s);
+                    next.push(m);
+                }
+            }
+            rf_choices = next;
+        }
+
+        // All co choices: product of permutations per address.
+        let mut co_choices: Vec<BTreeMap<Addr, Vec<usize>>> = vec![BTreeMap::new()];
+        for &a in &addrs {
+            let ws = test.writes_to(a);
+            if ws.is_empty() {
+                continue;
+            }
+            let perms = permutations(&ws);
+            let mut next = Vec::with_capacity(co_choices.len() * perms.len());
+            for base in &co_choices {
+                for p in &perms {
+                    let mut m = base.clone();
+                    m.insert(a, p.clone());
+                    next.push(m);
+                }
+            }
+            co_choices = next;
+        }
+
+        let mut out = Vec::with_capacity(rf_choices.len() * co_choices.len());
+        for rf in &rf_choices {
+            for co in &co_choices {
+                out.push(Execution { rf: rf.clone(), co: co.clone() });
+            }
+        }
+        out
+    }
+
+    /// The observable outcome of this execution.
+    pub fn outcome(&self) -> Outcome {
+        Outcome {
+            rf: self.rf.clone(),
+            finals: self
+                .co
+                .iter()
+                .map(|(&a, order)| (a, *order.last().expect("non-empty co")))
+                .collect(),
+        }
+    }
+
+    /// The `rf` relation (write → read edges; initial reads have none).
+    pub fn rf_rel(&self, n: usize) -> Rel {
+        let mut r = Rel::new(n);
+        for (&read, &src) in &self.rf {
+            if let Some(w) = src {
+                r.add(w, read);
+            }
+        }
+        r
+    }
+
+    /// The `co` relation: transitive same-address write order.
+    pub fn co_rel(&self, n: usize) -> Rel {
+        let mut r = Rel::new(n);
+        for order in self.co.values() {
+            for i in 0..order.len() {
+                for j in (i + 1)..order.len() {
+                    r.add(order[i], order[j]);
+                }
+            }
+        }
+        r
+    }
+
+    /// The `fr` (from-reads) relation, accounting for implicit initial
+    /// writes: a read of the initial value reads-before *every* write to its
+    /// address; a read of write `w` reads-before every write co-after `w`.
+    pub fn fr_rel(&self, test: &LitmusTest) -> Rel {
+        let n = test.num_events();
+        let mut r = Rel::new(n);
+        for (&read, &src) in &self.rf {
+            let addr = test.instr(read).addr().expect("read has address");
+            let order = match self.co.get(&addr) {
+                Some(o) => o.as_slice(),
+                None => continue,
+            };
+            let after: &[usize] = match src {
+                None => order,
+                Some(w) => {
+                    let pos = order.iter().position(|&x| x == w).expect("rf source in co");
+                    &order[pos + 1..]
+                }
+            };
+            for &w in after {
+                if w != read {
+                    r.add(read, w);
+                }
+            }
+        }
+        r
+    }
+
+    /// External (inter-thread) restriction of a relation, e.g. `rfe` from
+    /// `rf`.
+    pub fn externalize(rel: &Rel, test: &LitmusTest) -> Rel {
+        let mut r = Rel::new(rel.len());
+        for (i, j) in rel.pairs() {
+            if test.thread_of(i) != test.thread_of(j) {
+                r.add(i, j);
+            }
+        }
+        r
+    }
+
+    /// Internal (intra-thread) restriction of a relation.
+    pub fn internalize(rel: &Rel, test: &LitmusTest) -> Rel {
+        let mut r = Rel::new(rel.len());
+        for (i, j) in rel.pairs() {
+            if test.thread_of(i) == test.thread_of(j) {
+                r.add(i, j);
+            }
+        }
+        r
+    }
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Instr, MemOrder};
+
+    fn mp() -> LitmusTest {
+        LitmusTest::new(
+            "MP",
+            vec![
+                vec![Instr::store(0), Instr::store_ord(1, MemOrder::Release)],
+                vec![Instr::load_ord(1, MemOrder::Acquire), Instr::load(0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn enumeration_count_mp() {
+        // Each read: 1 same-address write + initial = 2 choices; co orders
+        // are singletons. 2 * 2 = 4 candidates.
+        let t = mp();
+        let execs = Execution::enumerate(&t);
+        assert_eq!(execs.len(), 4);
+        // All outcomes distinct.
+        let mut outcomes: Vec<_> = execs.iter().map(|e| e.outcome()).collect();
+        outcomes.sort();
+        outcomes.dedup();
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn enumeration_count_two_writes_same_addr() {
+        // CoRW-ish: one read of x, two writes to x (one same thread).
+        // rf choices: init, w1, w2 → 3; co: 2 permutations. Total 6.
+        let t = LitmusTest::new(
+            "CoRW",
+            vec![vec![Instr::load(0), Instr::store(0)], vec![Instr::store(0)]],
+        );
+        assert_eq!(Execution::enumerate(&t).len(), 6);
+    }
+
+    #[test]
+    fn fr_with_initial_read() {
+        let t = mp();
+        // Read of x (gid 3) reads initial; write to x is gid 0.
+        let mut rf: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        rf.insert(2, Some(1));
+        rf.insert(3, None);
+        let e = Execution {
+            rf,
+            co: BTreeMap::from([(Addr(0), vec![0]), (Addr(1), vec![1])]),
+        };
+        let fr = e.fr_rel(&t);
+        assert!(fr.contains(3, 0), "initial read frs to the write");
+        assert!(!fr.contains(2, 1), "read of the final write has no fr");
+    }
+
+    #[test]
+    fn fr_with_co_chain() {
+        // One read + two writes to x in another thread.
+        let t = LitmusTest::new(
+            "t",
+            vec![vec![Instr::load(0)], vec![Instr::store(0), Instr::store(0)]],
+        );
+        let e = Execution {
+            rf: BTreeMap::from([(0usize, Some(1usize))]),
+            co: BTreeMap::from([(Addr(0), vec![1, 2])]),
+        };
+        let fr = e.fr_rel(&t);
+        assert!(fr.contains(0, 2));
+        assert!(!fr.contains(0, 1));
+    }
+
+    #[test]
+    fn outcome_finals_are_co_max() {
+        let _two_writes = LitmusTest::new(
+            "t",
+            vec![vec![Instr::store(0)], vec![Instr::store(0)]],
+        );
+        let e = Execution {
+            rf: BTreeMap::new(),
+            co: BTreeMap::from([(Addr(0), vec![1, 0])]),
+        };
+        assert_eq!(e.outcome().finals[&Addr(0)], 0);
+    }
+
+    #[test]
+    fn externalize_internalize_partition() {
+        let t = mp();
+        let e = &Execution::enumerate(&t)[0];
+        let rf = e.rf_rel(t.num_events());
+        let rfe = Execution::externalize(&rf, &t);
+        let rfi = Execution::internalize(&rf, &t);
+        assert_eq!(rfe.union(&rfi), rf);
+        assert!(rfe.intersect(&rfi).no_edges());
+    }
+
+    #[test]
+    fn rmw_instruction_does_not_read_itself() {
+        let t = LitmusTest::new("t", vec![vec![Instr::rmw(0)], vec![Instr::store(0)]]);
+        for e in Execution::enumerate(&t) {
+            assert_ne!(e.rf[&0], Some(0), "an RMW cannot read its own write");
+        }
+    }
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations(&[]).len(), 1);
+    }
+}

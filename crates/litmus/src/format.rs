@@ -1,0 +1,326 @@
+//! A textual litmus-test format (round-trippable), in the spirit of the
+//! `.litmus` files used by herd/litmus7 — the interchange point between the
+//! synthesizer and external testing infrastructure ("these tests can then
+//! be fed into any existing testing infrastructure", §1).
+//!
+//! ```text
+//! test MP+rel+acq
+//! thread
+//!   St [x]
+//!   St.release [y]
+//! thread
+//!   Ld.acquire [y]
+//!   Ld [x]
+//! forbid rf 2 <- 1
+//! forbid rf 3 <- init
+//! end
+//! ```
+//!
+//! Lines: `test <name>`, `thread`, one instruction per line, `dep <tid>
+//! <from> <to> <kind>`, `rmwpair <tid> <load>`, `forbid rf <read> <- <write
+//! | init>`, `forbid final <addr> = <write>`, `end`.
+
+use crate::event::{Addr, DepKind, FenceKind, Instr, MemOrder, Scope};
+use crate::test::{LitmusTest, Outcome};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a test and its forbidden outcome in the textual format.
+pub fn to_text(test: &LitmusTest, outcome: &Outcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "test {}", if test.name().is_empty() { "unnamed" } else { test.name() });
+    for t in test.threads() {
+        let _ = writeln!(s, "thread");
+        for i in t {
+            let _ = writeln!(s, "  {i}");
+        }
+    }
+    for d in test.deps() {
+        let _ = writeln!(s, "dep {} {} {} {}", d.tid, d.from, d.to, d.kind.mnemonic());
+    }
+    for p in test.rmw_pairs() {
+        let _ = writeln!(s, "rmwpair {} {}", p.tid, p.load);
+    }
+    for (&r, &w) in &outcome.rf {
+        match w {
+            Some(w) => {
+                let _ = writeln!(s, "forbid rf {r} <- {w}");
+            }
+            None => {
+                let _ = writeln!(s, "forbid rf {r} <- init");
+            }
+        }
+    }
+    for (&a, &w) in &outcome.finals {
+        let _ = writeln!(s, "forbid final {a} = {w}");
+    }
+    let _ = writeln!(s, "end");
+    s
+}
+
+/// Parse error with a 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseTestError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTestError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTestError {
+    ParseTestError { line, message: message.into() }
+}
+
+/// Parses the textual format back into a test and outcome.
+///
+/// # Errors
+///
+/// Returns the first syntax or consistency error with its line number.
+pub fn from_text(text: &str) -> Result<(LitmusTest, Outcome), ParseTestError> {
+    let mut name = String::from("unnamed");
+    let mut threads: Vec<Vec<Instr>> = Vec::new();
+    let mut deps: Vec<(usize, usize, usize, DepKind)> = Vec::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut rf: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    let mut finals: BTreeMap<Addr, usize> = BTreeMap::new();
+    let mut ended = false;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(err(ln, "content after 'end'"));
+        }
+        let mut words = line.split_whitespace();
+        match words.next().unwrap() {
+            "test" => {
+                name = words.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(err(ln, "missing test name"));
+                }
+            }
+            "thread" => threads.push(Vec::new()),
+            "dep" => {
+                let (t, f, to, k) = parse_dep(&mut words).map_err(|m| err(ln, m))?;
+                deps.push((t, f, to, k));
+            }
+            "rmwpair" => {
+                let t = parse_num(words.next(), "tid").map_err(|m| err(ln, m))?;
+                let l = parse_num(words.next(), "load index").map_err(|m| err(ln, m))?;
+                pairs.push((t, l));
+            }
+            "forbid" => match words.next() {
+                Some("rf") => {
+                    let r = parse_num(words.next(), "read gid").map_err(|m| err(ln, m))?;
+                    if words.next() != Some("<-") {
+                        return Err(err(ln, "expected '<-'"));
+                    }
+                    let src = match words.next() {
+                        Some("init") => None,
+                        Some(w) => Some(
+                            w.parse::<usize>().map_err(|_| err(ln, format!("bad write gid {w:?}")))?,
+                        ),
+                        None => return Err(err(ln, "missing rf source")),
+                    };
+                    rf.insert(r, src);
+                }
+                Some("final") => {
+                    let a = words.next().ok_or_else(|| err(ln, "missing address"))?;
+                    let addr = parse_addr(a).ok_or_else(|| err(ln, format!("bad address {a:?}")))?;
+                    if words.next() != Some("=") {
+                        return Err(err(ln, "expected '='"));
+                    }
+                    let w = parse_num(words.next(), "write gid").map_err(|m| err(ln, m))?;
+                    finals.insert(addr, w);
+                }
+                other => return Err(err(ln, format!("unknown forbid clause {other:?}"))),
+            },
+            "end" => ended = true,
+            instr_head => {
+                let Some(current) = threads.last_mut() else {
+                    return Err(err(ln, "instruction before any 'thread'"));
+                };
+                let i = parse_instr(instr_head, &mut words).map_err(|m| err(ln, m))?;
+                current.push(i);
+            }
+        }
+    }
+    if !ended {
+        return Err(err(text.lines().count().max(1), "missing 'end'"));
+    }
+    if threads.is_empty() {
+        return Err(err(1, "no threads"));
+    }
+    let mut test = LitmusTest::new(name, threads);
+    for (t, f, to, k) in deps {
+        test = test.with_dep(t, f, to, k);
+    }
+    for (t, l) in pairs {
+        test = test.with_rmw_pair(t, l);
+    }
+    Ok((test, Outcome { rf, finals }))
+}
+
+fn parse_num(word: Option<&str>, what: &str) -> Result<usize, String> {
+    word.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("bad {what}"))
+}
+
+fn parse_addr(s: &str) -> Option<Addr> {
+    // Inverse of the Display names "x y z w a b c d" / "mN".
+    const NAMES: &[u8] = b"xyzwabcd";
+    let s = s.trim_matches(|c| c == '[' || c == ']');
+    if s.len() == 1 {
+        if let Some(pos) = NAMES.iter().position(|&c| c == s.as_bytes()[0]) {
+            return Some(Addr(pos as u8));
+        }
+    }
+    s.strip_prefix('m').and_then(|n| n.parse().ok()).map(Addr)
+}
+
+fn parse_dep<'a>(
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<(usize, usize, usize, DepKind), String> {
+    let t = parse_num(words.next(), "tid")?;
+    let f = parse_num(words.next(), "from")?;
+    let to = parse_num(words.next(), "to")?;
+    let kind = match words.next() {
+        Some("addr") => DepKind::Addr,
+        Some("data") => DepKind::Data,
+        Some("ctrl") => DepKind::Ctrl,
+        Some("ctrlisync") => DepKind::CtrlIsync,
+        other => return Err(format!("unknown dep kind {other:?}")),
+    };
+    Ok((t, f, to, kind))
+}
+
+fn parse_order(suffix: &str) -> Result<MemOrder, String> {
+    match suffix {
+        "" => Ok(MemOrder::Relaxed),
+        ".consume" => Ok(MemOrder::Consume),
+        ".acquire" => Ok(MemOrder::Acquire),
+        ".release" => Ok(MemOrder::Release),
+        ".acq_rel" => Ok(MemOrder::AcqRel),
+        ".sc" => Ok(MemOrder::SeqCst),
+        other => Err(format!("unknown order suffix {other:?}")),
+    }
+}
+
+fn parse_instr<'a>(
+    head: &str,
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<Instr, String> {
+    let fence = |kind| Ok(Instr::Fence { kind, scope: Scope::System });
+    match head {
+        "FenceSC" => return fence(FenceKind::Full),
+        "lwsync" => return fence(FenceKind::Lightweight),
+        "FenceAcqRel" => return fence(FenceKind::AcqRel),
+        "FenceAcq" => return fence(FenceKind::Acquire),
+        "FenceRel" => return fence(FenceKind::Release),
+        _ => {}
+    }
+    let (mnemonic, order) = if let Some(rest) = head.strip_prefix("Ld") {
+        ("Ld", parse_order(rest)?)
+    } else if let Some(rest) = head.strip_prefix("St") {
+        ("St", parse_order(rest)?)
+    } else if let Some(rest) = head.strip_prefix("RMW") {
+        ("RMW", parse_order(rest)?)
+    } else {
+        return Err(format!("unknown instruction {head:?}"));
+    };
+    let a = words.next().ok_or("missing address")?;
+    let addr = parse_addr(a).ok_or_else(|| format!("bad address {a:?}"))?;
+    Ok(match mnemonic {
+        "Ld" => Instr::Load { addr, order, scope: Scope::System },
+        "St" => Instr::Store { addr, order, scope: Scope::System },
+        _ => Instr::Rmw { addr, order, scope: Scope::System },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::classics;
+
+    #[test]
+    fn roundtrip_classics() {
+        for (t, o) in [
+            classics::mp(),
+            classics::mp_rel_acq(),
+            classics::sb_fences(),
+            classics::lb_addrs(),
+            classics::wrc(),
+            classics::iriw(),
+            classics::rmw_st(),
+            classics::colb(),
+        ] {
+            let text = to_text(&t, &o);
+            let (t2, o2) = from_text(&text).unwrap_or_else(|e| panic!("{}:\n{text}", e));
+            assert_eq!(t.threads(), t2.threads(), "{text}");
+            assert_eq!(t.deps(), t2.deps());
+            assert_eq!(t.rmw_pairs(), t2.rmw_pairs());
+            assert_eq!(o, o2);
+            assert_eq!(t.name(), t2.name());
+        }
+    }
+
+    #[test]
+    fn roundtrip_rmw_pair_and_scoped() {
+        let t = LitmusTest::new(
+            "pairster",
+            vec![vec![Instr::load(0), Instr::store(0)], vec![Instr::store(0)]],
+        )
+        .with_rmw_pair(0, 0);
+        let o = Outcome::of([(0, None)], [(Addr(0), 1)]);
+        let (t2, o2) = from_text(&to_text(&t, &o)).unwrap();
+        assert_eq!(t.rmw_pairs(), t2.rmw_pairs());
+        assert_eq!(o, o2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("test x\nLd [x]\nend\n", 2, "before any 'thread'"),
+            ("test x\nthread\n  Zap [x]\nend\n", 3, "unknown instruction"),
+            ("test x\nthread\n  Ld [q9]\nend\n", 3, "bad address"),
+            ("test x\nthread\n  Ld [x]\n", 3, "missing 'end'"),
+            ("test x\nthread\n  Ld [x]\nend\nmore\n", 5, "content after 'end'"),
+            ("test x\nthread\n  Ld [x]\nforbid rf 0 <- zap\nend\n", 4, "bad write gid"),
+            ("test x\nthread\n  Ld.zap [x]\nend\n", 3, "unknown order"),
+        ];
+        for (text, line, needle) in cases {
+            let e = from_text(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?} → {e}");
+            assert!(e.message.contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\ntest c\nthread\n  # not here though\n  Ld [x]\nend\n";
+        // '#' only starts a comment at line start after trim; the indented
+        // comment line is also trimmed and skipped.
+        let (t, _) = from_text(text).unwrap();
+        assert_eq!(t.num_events(), 1);
+    }
+
+    #[test]
+    fn addresses_beyond_the_names_roundtrip() {
+        let t = LitmusTest::new("big", vec![vec![Instr::load(9)]]);
+        let o = Outcome::of([(0, None)], []);
+        let (t2, _) = from_text(&to_text(&t, &o)).unwrap();
+        assert_eq!(t2.instr(0).addr(), Some(Addr(9)));
+    }
+}

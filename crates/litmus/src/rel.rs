@@ -1,0 +1,274 @@
+//! Concrete (fully known) finite relations as bitset adjacency matrices.
+//!
+//! This mirrors the *symbolic* relational algebra in `litsynth-relalg`, but
+//! over concrete executions: every edge is a known boolean. It powers the
+//! explicit-enumeration oracle that cross-validates the SAT-based synthesis.
+//!
+//! Relations are over at most 64 elements (litmus tests have well under 16
+//! events), so a row is a single `u64`.
+
+/// A concrete binary relation over `0..n` with `n ≤ 64`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rel {
+    n: usize,
+    rows: Vec<u64>,
+}
+
+impl Rel {
+    /// The empty relation over `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn new(n: usize) -> Rel {
+        assert!(n <= 64, "Rel supports at most 64 elements");
+        Rel { n, rows: vec![0; n] }
+    }
+
+    /// The identity relation.
+    pub fn identity(n: usize) -> Rel {
+        let mut r = Rel::new(n);
+        for i in 0..n {
+            r.add(i, i);
+        }
+        r
+    }
+
+    /// Builds a relation from an edge list.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Rel {
+        let mut r = Rel::new(n);
+        for (i, j) in pairs {
+            r.add(i, j);
+        }
+        r
+    }
+
+    /// Number of elements in the carrier.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the carrier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the edge `(i, j)`.
+    pub fn add(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n);
+        self.rows[i] |= 1 << j;
+    }
+
+    /// Removes the edge `(i, j)`.
+    pub fn remove(&mut self, i: usize, j: usize) {
+        self.rows[i] &= !(1 << j);
+    }
+
+    /// `true` if the edge `(i, j)` is present.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        i < self.n && j < self.n && self.rows[i] >> j & 1 == 1
+    }
+
+    /// The successor set of `i` as a bitmask.
+    pub fn row(&self, i: usize) -> u64 {
+        self.rows[i]
+    }
+
+    /// `true` if the relation has no edges.
+    pub fn no_edges(&self) -> bool {
+        self.rows.iter().all(|&r| r == 0)
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.rows.iter().map(|r| r.count_ones() as usize).sum()
+    }
+
+    /// Iterates over all edges in row-major order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            let mut row = self.rows[i];
+            std::iter::from_fn(move || {
+                if row == 0 {
+                    None
+                } else {
+                    let j = row.trailing_zeros() as usize;
+                    row &= row - 1;
+                    Some((i, j))
+                }
+            })
+        })
+    }
+
+    /// Union.
+    pub fn union(&self, other: &Rel) -> Rel {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &Rel) -> Rel {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Difference.
+    pub fn difference(&self, other: &Rel) -> Rel {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    fn zip(&self, other: &Rel, f: impl Fn(u64, u64) -> u64) -> Rel {
+        assert_eq!(self.n, other.n);
+        Rel {
+            n: self.n,
+            rows: self.rows.iter().zip(&other.rows).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Converse relation.
+    pub fn transpose(&self) -> Rel {
+        let mut r = Rel::new(self.n);
+        for (i, j) in self.pairs() {
+            r.add(j, i);
+        }
+        r
+    }
+
+    /// Relational composition `self ; other`.
+    pub fn compose(&self, other: &Rel) -> Rel {
+        assert_eq!(self.n, other.n);
+        let mut r = Rel::new(self.n);
+        for i in 0..self.n {
+            let mut mid = self.rows[i];
+            let mut acc = 0u64;
+            while mid != 0 {
+                let k = mid.trailing_zeros() as usize;
+                mid &= mid - 1;
+                acc |= other.rows[k];
+            }
+            r.rows[i] = acc;
+        }
+        r
+    }
+
+    /// Transitive closure (repeated squaring).
+    pub fn transitive_closure(&self) -> Rel {
+        let mut acc = self.clone();
+        let mut span = 1;
+        while span < self.n {
+            let sq = acc.compose(&acc);
+            acc = acc.union(&sq);
+            span *= 2;
+        }
+        acc
+    }
+
+    /// Reflexive-transitive closure.
+    pub fn reflexive_transitive_closure(&self) -> Rel {
+        self.transitive_closure().union(&Rel::identity(self.n))
+    }
+
+    /// Restricts to edges whose source is in `domain` and target in `range`
+    /// (bitmask sets).
+    pub fn restrict(&self, domain: u64, range: u64) -> Rel {
+        let mut r = Rel::new(self.n);
+        for i in 0..self.n {
+            if domain >> i & 1 == 1 {
+                r.rows[i] = self.rows[i] & range;
+            }
+        }
+        r
+    }
+
+    /// `true` if no element is related to itself.
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|i| !self.contains(i, i))
+    }
+
+    /// `true` if the relation has no cycle (closure is irreflexive).
+    pub fn is_acyclic(&self) -> bool {
+        self.transitive_closure().is_irreflexive()
+    }
+
+    /// `true` if `self ⊆ other`.
+    pub fn is_subset(&self, other: &Rel) -> bool {
+        assert_eq!(self.n, other.n);
+        self.rows.iter().zip(&other.rows).all(|(&a, &b)| a & !b == 0)
+    }
+}
+
+/// Union of several relations over the same carrier.
+pub fn union_all(n: usize, rels: &[&Rel]) -> Rel {
+    let mut acc = Rel::new(n);
+    for r in rels {
+        acc = acc.union(r);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_chain() {
+        let r = Rel::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let tc = r.transitive_closure();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(tc.contains(i, j), i < j, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        assert!(!Rel::from_pairs(3, [(0, 1), (1, 2), (2, 0)]).is_acyclic());
+        assert!(Rel::from_pairs(3, [(0, 1), (1, 2), (0, 2)]).is_acyclic());
+        assert!(!Rel::from_pairs(1, [(0, 0)]).is_acyclic());
+        assert!(Rel::new(0).is_acyclic());
+    }
+
+    #[test]
+    fn compose_and_transpose() {
+        let a = Rel::from_pairs(3, [(0, 1)]);
+        let b = Rel::from_pairs(3, [(1, 2)]);
+        assert!(a.compose(&b).contains(0, 2));
+        assert_eq!(a.compose(&b).edge_count(), 1);
+        assert!(a.transpose().contains(1, 0));
+    }
+
+    #[test]
+    fn pairs_iteration() {
+        let r = Rel::from_pairs(4, [(3, 0), (1, 2), (1, 3)]);
+        let got: Vec<_> = r.pairs().collect();
+        assert_eq!(got, vec![(1, 2), (1, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = Rel::from_pairs(3, [(0, 1), (1, 2)]);
+        let b = Rel::from_pairs(3, [(1, 2), (2, 0)]);
+        assert_eq!(a.union(&b).edge_count(), 3);
+        assert_eq!(a.intersect(&b).edge_count(), 1);
+        assert_eq!(a.difference(&b).edge_count(), 1);
+        assert!(a.intersect(&b).contains(1, 2));
+        assert!(a.difference(&b).contains(0, 1));
+        assert!(a.intersect(&b).is_subset(&a));
+    }
+
+    #[test]
+    fn restriction() {
+        let r = Rel::from_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        let restricted = r.restrict(0b011, 0b110);
+        assert!(restricted.contains(0, 1));
+        assert!(restricted.contains(1, 2));
+        assert!(!restricted.contains(2, 0));
+    }
+
+    #[test]
+    fn rstc_includes_identity() {
+        let r = Rel::from_pairs(2, [(0, 1)]);
+        let s = r.reflexive_transitive_closure();
+        assert!(s.contains(0, 0) && s.contains(1, 1) && s.contains(0, 1));
+        assert!(!s.contains(1, 0));
+    }
+}

@@ -1,0 +1,309 @@
+//! The Cambridge Power/ARM test summary (Sarkar et al. 2011) — the paper's
+//! baseline suite for Figure 16.
+//!
+//! A representative encoding of the published 55-test summary: the classic
+//! shapes in their plain, fenced (`sync`/`lwsync`), and dependency (`addr`/
+//! `data`/`ctrl`/`ctrlisync`) variants, with the statuses the Cambridge work
+//! established for the Power model. As with the Owens suite, every claimed
+//! status is cross-checked against our herding-cats-style Power oracle by
+//! integration tests.
+//!
+//! `FenceKind::Full` encodes `sync` and `FenceKind::Lightweight` encodes
+//! `lwsync` throughout.
+
+use super::classics;
+use super::SuiteEntry;
+use crate::event::{DepKind, FenceKind, Instr};
+use crate::suites::classics::oc;
+use crate::test::LitmusTest;
+
+fn sync() -> Instr {
+    Instr::fence(FenceKind::Full)
+}
+
+fn lwsync() -> Instr {
+    Instr::fence(FenceKind::Lightweight)
+}
+
+/// MP with chosen per-thread strengthenings: an optional fence between the
+/// writes and an optional fence or dependency between the reads.
+fn mp_variant(name: &str, wfence: Option<Instr>, rsync: Option<Instr>, rdep: Option<DepKind>) -> SuiteEntry {
+    let mut t0 = vec![Instr::store(0)];
+    if let Some(f) = wfence {
+        t0.push(f);
+    }
+    t0.push(Instr::store(1));
+    let mut t1 = vec![Instr::load(1)];
+    if let Some(f) = rsync {
+        t1.push(f);
+    }
+    t1.push(Instr::load(0));
+    let read0 = t0.len(); // gid of Ld y
+    let read1 = t0.len() + t1.len() - 1; // gid of Ld x
+    let wy = t0.len() - 1;
+    let mut t = LitmusTest::new(name, vec![t0, t1]);
+    if let Some(k) = rdep {
+        let last = t.threads()[1].len() - 1;
+        t = t.with_dep(1, 0, last, k);
+    }
+    // Placeholder `forbidden` — the caller overrides it.
+    SuiteEntry::new(t, oc([(read0, Some(wy)), (read1, None)], []), false)
+}
+
+fn forbid(mut e: SuiteEntry) -> SuiteEntry {
+    e.forbidden = true;
+    e
+}
+
+/// The suite (41 entries).
+pub fn suite() -> Vec<SuiteEntry> {
+    let mut v: Vec<SuiteEntry> = Vec::new();
+
+    // ---- MP family -------------------------------------------------------
+    let (t, o) = classics::mp();
+    v.push(SuiteEntry::new(t, o, false));
+    v.push(forbid(mp_variant("MP+syncs", Some(sync()), Some(sync()), None)));
+    v.push(forbid(mp_variant("MP+lwsyncs", Some(lwsync()), Some(lwsync()), None)));
+    v.push(forbid(mp_variant("MP+lwsync+addr", Some(lwsync()), None, Some(DepKind::Addr))));
+    v.push(forbid(mp_variant("MP+sync+addr", Some(sync()), None, Some(DepKind::Addr))));
+    v.push(mp_variant("MP+po+addr", None, None, Some(DepKind::Addr)));
+    v.push(mp_variant("MP+lwsync+po", Some(lwsync()), None, None));
+    // ctrl does not order read→read on Power…
+    v.push(mp_variant("MP+lwsync+ctrl", Some(lwsync()), None, Some(DepKind::Ctrl)));
+    // …but ctrl+isync does.
+    v.push(forbid(mp_variant(
+        "MP+lwsync+ctrlisync",
+        Some(lwsync()),
+        None,
+        Some(DepKind::CtrlIsync),
+    )));
+
+    // ---- SB family -------------------------------------------------------
+    let (t, o) = classics::sb();
+    v.push(SuiteEntry::new(t, o, false));
+    let (t, o) = classics::sb_fences();
+    v.push(SuiteEntry::new(t.with_name("SB+syncs"), o, true));
+    // lwsync does not order write→read: still observable.
+    let t = LitmusTest::new(
+        "SB+lwsyncs",
+        vec![
+            vec![Instr::store(0), lwsync(), Instr::load(1)],
+            vec![Instr::store(1), lwsync(), Instr::load(0)],
+        ],
+    );
+    v.push(SuiteEntry::new(t, oc([(2, None), (5, None)], []), false));
+
+    // ---- LB family -------------------------------------------------------
+    let (t, o) = classics::lb();
+    v.push(SuiteEntry::new(t, o, false));
+    let (t, o) = classics::lb_addrs();
+    v.push(SuiteEntry::new(t, o, true));
+    let (t, o) = classics::lb_datas();
+    v.push(SuiteEntry::new(t, o, true));
+    let (t, o) = classics::lb();
+    let t = t
+        .with_name("LB+ctrls")
+        .with_dep(0, 0, 1, DepKind::Ctrl)
+        .with_dep(1, 0, 1, DepKind::Ctrl);
+    v.push(SuiteEntry::new(t, o, true));
+
+    // ---- S and R ---------------------------------------------------------
+    let (t, o) = classics::s();
+    v.push(SuiteEntry::new(t, o, false));
+    let t = LitmusTest::new(
+        "S+lwsync+data",
+        vec![
+            vec![Instr::store(0), lwsync(), Instr::store(1)],
+            vec![Instr::load(1), Instr::store(0)],
+        ],
+    )
+    .with_dep(1, 0, 1, DepKind::Data);
+    v.push(SuiteEntry::new(t, oc([(3, Some(2))], [(0, 0)]), true));
+    let (t, o) = classics::r();
+    v.push(SuiteEntry::new(t, o, false));
+    let t = LitmusTest::new(
+        "R+syncs",
+        vec![
+            vec![Instr::store(0), sync(), Instr::store(1)],
+            vec![Instr::store(1), sync(), Instr::load(0)],
+        ],
+    );
+    v.push(SuiteEntry::new(t, oc([(5, None)], [(1, 3)]), true));
+
+    // ---- 2+2W ------------------------------------------------------------
+    let (t, o) = classics::two_plus_two_w();
+    v.push(SuiteEntry::new(t, o, false));
+    let t = LitmusTest::new(
+        "2+2W+lwsyncs",
+        vec![
+            vec![Instr::store(0), lwsync(), Instr::store(1)],
+            vec![Instr::store(1), lwsync(), Instr::store(0)],
+        ],
+    );
+    v.push(SuiteEntry::new(t, oc([], [(0, 0), (1, 3)]), true));
+
+    // ---- WRC family ------------------------------------------------------
+    let (t, o) = classics::wrc();
+    v.push(SuiteEntry::new(t, o, false));
+    let (t, o) = classics::wrc_deps();
+    v.push(SuiteEntry::new(t, o, false)); // deps alone: Power is not MCA
+    let t = LitmusTest::new(
+        "WRC+lwsync+addr",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::load(0), lwsync(), Instr::store(1)],
+            vec![Instr::load(1), Instr::load(0)],
+        ],
+    )
+    .with_dep(2, 0, 1, DepKind::Addr);
+    v.push(SuiteEntry::new(t, oc([(1, Some(0)), (4, Some(3)), (5, None)], []), true));
+    let t = LitmusTest::new(
+        "WRC+sync+addr",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::load(0), sync(), Instr::store(1)],
+            vec![Instr::load(1), Instr::load(0)],
+        ],
+    )
+    .with_dep(2, 0, 1, DepKind::Addr);
+    v.push(SuiteEntry::new(t, oc([(1, Some(0)), (4, Some(3)), (5, None)], []), true));
+
+    // ---- IRIW family -----------------------------------------------------
+    let (t, o) = classics::iriw();
+    v.push(SuiteEntry::new(t, o, false));
+    let t = LitmusTest::new(
+        "IRIW+addrs",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::store(1)],
+            vec![Instr::load(0), Instr::load(1)],
+            vec![Instr::load(1), Instr::load(0)],
+        ],
+    )
+    .with_dep(2, 0, 1, DepKind::Addr)
+    .with_dep(3, 0, 1, DepKind::Addr);
+    v.push(SuiteEntry::new(t, oc([(2, Some(0)), (3, None), (4, Some(1)), (5, None)], []), false));
+    let t = LitmusTest::new(
+        "IRIW+lwsyncs",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::store(1)],
+            vec![Instr::load(0), lwsync(), Instr::load(1)],
+            vec![Instr::load(1), lwsync(), Instr::load(0)],
+        ],
+    );
+    // The famous one: lwsync is *not* enough for IRIW on Power.
+    v.push(SuiteEntry::new(t, oc([(2, Some(0)), (4, None), (5, Some(1)), (7, None)], []), false));
+    let t = LitmusTest::new(
+        "IRIW+syncs",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::store(1)],
+            vec![Instr::load(0), sync(), Instr::load(1)],
+            vec![Instr::load(1), sync(), Instr::load(0)],
+        ],
+    );
+    v.push(SuiteEntry::new(t, oc([(2, Some(0)), (4, None), (5, Some(1)), (7, None)], []), true));
+
+    // ---- RWC, WWC, ISA2 --------------------------------------------------
+    let (t, o) = classics::rwc();
+    v.push(SuiteEntry::new(t, o, false));
+    let t = LitmusTest::new(
+        "RWC+syncs",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::load(0), sync(), Instr::load(1)],
+            vec![Instr::store(1), sync(), Instr::load(0)],
+        ],
+    );
+    v.push(SuiteEntry::new(t, oc([(1, Some(0)), (3, None), (6, None)], []), true));
+    let (t, o) = classics::wwc();
+    v.push(SuiteEntry::new(t, o, false));
+    let (t, o) = classics::isa2();
+    v.push(SuiteEntry::new(t, o, false));
+    let (t, o) = classics::isa2_sync_deps();
+    v.push(SuiteEntry::new(t, o, true));
+
+    // ---- Coherence -------------------------------------------------------
+    let (t, o) = classics::corr();
+    v.push(SuiteEntry::new(t, o, true));
+    let (t, o) = classics::coww();
+    v.push(SuiteEntry::new(t, o, true));
+    let (t, o) = classics::corw();
+    v.push(SuiteEntry::new(t, o, true));
+    let (t, o) = classics::cowr();
+    v.push(SuiteEntry::new(t, o, true));
+
+    // ---- Preserved-program-order subtleties -------------------------------
+    // PPOCA: ctrl + internal rf — observable (speculative store forwarding).
+    let t = LitmusTest::new(
+        "PPOCA",
+        vec![
+            vec![Instr::store(2), sync(), Instr::store(1)],
+            vec![
+                Instr::load(1),
+                Instr::store(0),
+                Instr::load(0),
+                Instr::load(2),
+            ],
+        ],
+    )
+    .with_dep(1, 0, 1, DepKind::Ctrl)
+    .with_dep(1, 2, 3, DepKind::Addr);
+    v.push(SuiteEntry::new(
+        t,
+        oc([(3, Some(2)), (5, Some(4)), (6, None)], []),
+        false,
+    ));
+    // PPOAA: addr + internal rf — forbidden. The Cambridge summary presents
+    // it with a full sync; the paper notes only lwsync is needed (§6.2).
+    let t = LitmusTest::new(
+        "PPOAA",
+        vec![
+            vec![Instr::store(2), sync(), Instr::store(1)],
+            vec![
+                Instr::load(1),
+                Instr::store(0),
+                Instr::load(0),
+                Instr::load(2),
+            ],
+        ],
+    )
+    .with_dep(1, 0, 1, DepKind::Addr)
+    .with_dep(1, 2, 3, DepKind::Addr);
+    v.push(SuiteEntry::new(
+        t,
+        oc([(3, Some(2)), (5, Some(4)), (6, None)], []),
+        true,
+    ));
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Execution;
+
+    #[test]
+    fn suite_size_and_realizability() {
+        let s = suite();
+        assert_eq!(s.len(), 41);
+        for e in &s {
+            let ok = Execution::enumerate(&e.test)
+                .iter()
+                .any(|x| e.outcome.matches(&x.outcome()));
+            assert!(ok, "{}: outcome not realizable", e.test.name());
+        }
+    }
+
+    #[test]
+    fn ppoaa_and_ppoca_differ_only_in_one_dep() {
+        let s = suite();
+        let ppoca = s.iter().find(|e| e.test.name() == "PPOCA").unwrap();
+        let ppoaa = s.iter().find(|e| e.test.name() == "PPOAA").unwrap();
+        assert_eq!(ppoca.test.threads(), ppoaa.test.threads());
+        assert_ne!(ppoca.test.deps()[0].kind, ppoaa.test.deps()[0].kind);
+        assert!(!ppoca.forbidden && ppoaa.forbidden);
+    }
+}

@@ -1,0 +1,490 @@
+//! Builders for the classic named litmus tests.
+//!
+//! Each builder returns the program together with the outcome of interest
+//! (the one whose legality distinguishes models). Values in comments follow
+//! the standard convention: the k-th write to an address (global order)
+//! writes `k`, `0` is the initial value.
+
+use crate::event::{Addr, DepKind, FenceKind, Instr, MemOrder};
+use crate::test::{LitmusTest, Outcome};
+
+/// Shorthand used throughout: builds a partial outcome.
+pub fn oc(
+    rf: impl IntoIterator<Item = (usize, Option<usize>)>,
+    finals: impl IntoIterator<Item = (u8, usize)>,
+) -> Outcome {
+    Outcome::of(rf, finals.into_iter().map(|(a, w)| (Addr(a), w)))
+}
+
+/// Message passing: `St x; St y ‖ Ld y; Ld x`, outcome `r_y=1 ∧ r_x=0`
+/// (paper Figure 1, relaxed flavor).
+pub fn mp() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "MP",
+        vec![
+            vec![Instr::store(0), Instr::store(1)],
+            vec![Instr::load(1), Instr::load(0)],
+        ],
+    );
+    (t, oc([(2, Some(1)), (3, None)], []))
+}
+
+/// MP with release/acquire synchronization (paper Figure 1).
+pub fn mp_rel_acq() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "MP+rel+acq",
+        vec![
+            vec![Instr::store(0), Instr::store_ord(1, MemOrder::Release)],
+            vec![Instr::load_ord(1, MemOrder::Acquire), Instr::load(0)],
+        ],
+    );
+    (t, oc([(2, Some(1)), (3, None)], []))
+}
+
+/// MP with *two* releases and *two* acquires — the over-synchronized,
+/// non-minimal flavor of the paper's Figure 2.
+pub fn mp_rel2_acq2() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "MP+rels+acqs",
+        vec![
+            vec![
+                Instr::store_ord(0, MemOrder::Release),
+                Instr::store_ord(1, MemOrder::Release),
+            ],
+            vec![
+                Instr::load_ord(1, MemOrder::Acquire),
+                Instr::load_ord(0, MemOrder::Acquire),
+            ],
+        ],
+    );
+    (t, oc([(2, Some(1)), (3, None)], []))
+}
+
+/// MP with a fence in each thread.
+pub fn mp_fences(kind: FenceKind, name: &str) -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        name,
+        vec![
+            vec![Instr::store(0), Instr::fence(kind), Instr::store(1)],
+            vec![Instr::load(1), Instr::fence(kind), Instr::load(0)],
+        ],
+    );
+    (t, oc([(3, Some(2)), (5, None)], []))
+}
+
+/// MP with a fence on the writer and an address dependency on the reader.
+pub fn mp_fence_addr(kind: FenceKind, name: &str) -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        name,
+        vec![
+            vec![Instr::store(0), Instr::fence(kind), Instr::store(1)],
+            vec![Instr::load(1), Instr::load(0)],
+        ],
+    )
+    .with_dep(1, 0, 1, DepKind::Addr);
+    (t, oc([(3, Some(2)), (4, None)], []))
+}
+
+/// MP with only an address dependency on the reader side (writer unfenced).
+pub fn mp_addr() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "MP+po+addr",
+        vec![
+            vec![Instr::store(0), Instr::store(1)],
+            vec![Instr::load(1), Instr::load(0)],
+        ],
+    )
+    .with_dep(1, 0, 1, DepKind::Addr);
+    (t, oc([(2, Some(1)), (3, None)], []))
+}
+
+/// Store buffering: `St x; Ld y ‖ St y; Ld x`, outcome `0 ∧ 0`.
+pub fn sb() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "SB",
+        vec![
+            vec![Instr::store(0), Instr::load(1)],
+            vec![Instr::store(1), Instr::load(0)],
+        ],
+    );
+    (t, oc([(1, None), (3, None)], []))
+}
+
+/// SB with a full fence in each thread (x86 `mfence`, Power `sync`).
+pub fn sb_fences() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "SB+fences",
+        vec![
+            vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
+            vec![Instr::store(1), Instr::fence(FenceKind::Full), Instr::load(0)],
+        ],
+    );
+    (t, oc([(2, None), (5, None)], []))
+}
+
+/// SB with a single fence (in thread 0 only).
+pub fn sb_one_fence() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "SB+fence+po",
+        vec![
+            vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
+            vec![Instr::store(1), Instr::load(0)],
+        ],
+    );
+    (t, oc([(2, None), (4, None)], []))
+}
+
+/// Load buffering: `Ld x; St y ‖ Ld y; St x`, outcome `1 ∧ 1`.
+pub fn lb() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "LB",
+        vec![
+            vec![Instr::load(0), Instr::store(1)],
+            vec![Instr::load(1), Instr::store(0)],
+        ],
+    );
+    (t, oc([(0, Some(3)), (2, Some(1))], []))
+}
+
+/// LB with address dependencies in both threads.
+pub fn lb_addrs() -> (LitmusTest, Outcome) {
+    let (t, o) = lb();
+    let t = t
+        .with_name("LB+addrs")
+        .with_dep(0, 0, 1, DepKind::Addr)
+        .with_dep(1, 0, 1, DepKind::Addr);
+    (t, o)
+}
+
+/// LB with data dependencies in both threads.
+pub fn lb_datas() -> (LitmusTest, Outcome) {
+    let (t, o) = lb();
+    let t = t
+        .with_name("LB+datas")
+        .with_dep(0, 0, 1, DepKind::Data)
+        .with_dep(1, 0, 1, DepKind::Data);
+    (t, o)
+}
+
+/// The store-after-read test S: `St x(1); St y ‖ Ld y; St x(2)`, outcome
+/// `r_y=1 ∧ x finally 1` (thread 1's write coherence-before thread 0's).
+pub fn s() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "S",
+        vec![
+            vec![Instr::store(0), Instr::store(1)],
+            vec![Instr::load(1), Instr::store(0)],
+        ],
+    );
+    (t, oc([(2, Some(1))], [(0, 0)]))
+}
+
+/// The R test: `St x; St y(1) ‖ St y(2); Ld x`, outcome `y finally 2 ∧
+/// r_x=0`.
+pub fn r() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "R",
+        vec![
+            vec![Instr::store(0), Instr::store(1)],
+            vec![Instr::store(1), Instr::load(0)],
+        ],
+    );
+    (t, oc([(3, None)], [(1, 2)]))
+}
+
+/// 2+2W: `St x(1); St y(1) ‖ St y(2); St x(2)`, outcome `x finally 1 ∧ y
+/// finally 2` (each thread's first write loses).
+pub fn two_plus_two_w() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "2+2W",
+        vec![
+            vec![Instr::store(0), Instr::store(1)],
+            vec![Instr::store(1), Instr::store(0)],
+        ],
+    );
+    (t, oc([], [(0, 0), (1, 2)]))
+}
+
+/// Write-to-read causality WRC: `St x ‖ Ld x; St y ‖ Ld y; Ld x`,
+/// outcome `1 ∧ 1 ∧ 0`.
+pub fn wrc() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "WRC",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::load(0), Instr::store(1)],
+            vec![Instr::load(1), Instr::load(0)],
+        ],
+    );
+    (t, oc([(1, Some(0)), (3, Some(2)), (4, None)], []))
+}
+
+/// WRC with dependencies in the middle and final threads.
+pub fn wrc_deps() -> (LitmusTest, Outcome) {
+    let (t, o) = wrc();
+    let t = t
+        .with_name("WRC+data+addr")
+        .with_dep(1, 0, 1, DepKind::Data)
+        .with_dep(2, 0, 1, DepKind::Addr);
+    (t, o)
+}
+
+/// WWC (paper Figure 14): `St x(2) ‖ Ld x; St y ‖ Ld y; St x(1)`,
+/// outcome `r=2 ∧ r2=1 ∧ x finally 2`.
+pub fn wwc() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "WWC",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::load(0), Instr::store(1)],
+            vec![Instr::load(1), Instr::store(0)],
+        ],
+    );
+    // Writes to x in gid order: 0 (thread 0) then 4 (thread 2); the outcome
+    // pins co as 4 → 0, i.e. x finally thread 0's write.
+    (t, oc([(1, Some(0)), (3, Some(2))], [(0, 0)]))
+}
+
+/// RWC: `St x ‖ Ld x; Ld y ‖ St y; Ld x`, outcome `1 ∧ 0 ∧ 0`.
+pub fn rwc() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "RWC",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::load(0), Instr::load(1)],
+            vec![Instr::store(1), Instr::load(0)],
+        ],
+    );
+    (t, oc([(1, Some(0)), (2, None), (4, None)], []))
+}
+
+/// RWC with a full fence in the writing/reading thread 2.
+pub fn rwc_fence() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "RWC+fence",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::load(0), Instr::load(1)],
+            vec![Instr::store(1), Instr::fence(FenceKind::Full), Instr::load(0)],
+        ],
+    );
+    (t, oc([(1, Some(0)), (2, None), (5, None)], []))
+}
+
+/// Independent reads of independent writes (amd6/IRIW).
+pub fn iriw() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "IRIW",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::store(1)],
+            vec![Instr::load(0), Instr::load(1)],
+            vec![Instr::load(1), Instr::load(0)],
+        ],
+    );
+    (t, oc([(2, Some(0)), (3, None), (4, Some(1)), (5, None)], []))
+}
+
+/// IRIW where all four reads target the *same* location (iwp2.6/CoIRIW):
+/// the two readers disagree on the coherence order.
+pub fn coiriw() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "CoIRIW",
+        vec![
+            vec![Instr::store(0)],
+            vec![Instr::store(0)],
+            vec![Instr::load(0), Instr::load(0)],
+            vec![Instr::load(0), Instr::load(0)],
+        ],
+    );
+    (t, oc([(2, Some(0)), (3, Some(1)), (4, Some(1)), (5, Some(0))], []))
+}
+
+/// ISA2: `St x; St y ‖ Ld y; St z ‖ Ld z; Ld x`, outcome `1 ∧ 1 ∧ 0`.
+pub fn isa2() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "ISA2",
+        vec![
+            vec![Instr::store(0), Instr::store(1)],
+            vec![Instr::load(1), Instr::store(2)],
+            vec![Instr::load(2), Instr::load(0)],
+        ],
+    );
+    (t, oc([(2, Some(1)), (4, Some(3)), (5, None)], []))
+}
+
+/// ISA2 strengthened with sync + dependencies (forbidden on Power).
+pub fn isa2_sync_deps() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "ISA2+sync+data+addr",
+        vec![
+            vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::store(1)],
+            vec![Instr::load(1), Instr::store(2)],
+            vec![Instr::load(2), Instr::load(0)],
+        ],
+    )
+    .with_dep(1, 0, 1, DepKind::Data)
+    .with_dep(2, 0, 1, DepKind::Addr);
+    (t, oc([(3, Some(2)), (5, Some(4)), (6, None)], []))
+}
+
+// ---------------------------------------------------------------------
+// Coherence (sc_per_loc) tests
+// ---------------------------------------------------------------------
+
+/// CoRR: `St x ‖ Ld x; Ld x`, outcome `new-then-old` (`1 ∧ 0`).
+pub fn corr() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "CoRR",
+        vec![vec![Instr::store(0)], vec![Instr::load(0), Instr::load(0)]],
+    );
+    (t, oc([(1, Some(0)), (2, None)], []))
+}
+
+/// CoWW: `St x; St x` with the *first* write winning — forbidden everywhere.
+pub fn coww() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new("CoWW", vec![vec![Instr::store(0), Instr::store(0)]]);
+    (t, oc([], [(0, 0)]))
+}
+
+/// CoRW (paper Figure 7): `Ld x; St x(1) ‖ St x(2)`, outcome `r=2 ∧ x
+/// finally 2`.
+pub fn corw() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "CoRW",
+        vec![vec![Instr::load(0), Instr::store(0)], vec![Instr::store(0)]],
+    );
+    // Writes to x in gid order: 1 (value 1), 2 (value 2).
+    (t, oc([(0, Some(2))], [(0, 2)]))
+}
+
+/// CoWR: `St x(1); Ld x ‖ St x(2)`, outcome `r=2 ∧ x finally 1`
+/// (own store overtaken despite being read… wait — the read sees the other
+/// write but coherence puts it before the own store).
+pub fn cowr() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "CoWR",
+        vec![vec![Instr::store(0), Instr::load(0)], vec![Instr::store(0)]],
+    );
+    (t, oc([(1, Some(2))], [(0, 0)]))
+}
+
+/// CoLB / n5 (paper Figure 10): `Ld x; St x(1) ‖ Ld x; St x(2)`, outcome
+/// `r=1 ∧ r2=2 ∧ x finally 2` — each load reads its own thread's later
+/// store.
+pub fn colb() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "n5/CoLB",
+        vec![
+            vec![Instr::load(0), Instr::store(0)],
+            vec![Instr::load(0), Instr::store(0)],
+        ],
+    );
+    (t, oc([(0, Some(1)), (2, Some(3))], [(0, 3)]))
+}
+
+// ---------------------------------------------------------------------
+// RMW (atomicity) tests
+// ---------------------------------------------------------------------
+
+/// Two competing single-instruction RMWs on one location: both reading the
+/// initial value is an atomicity violation.
+pub fn rmw_rmw() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "RMW+RMW",
+        vec![vec![Instr::rmw(0)], vec![Instr::rmw(0)]],
+    );
+    (t, oc([(0, None), (1, None)], []))
+}
+
+/// An RMW with a plain store slipping between its read and write:
+/// the RMW reads the initial value but the store is coherence-between.
+pub fn rmw_st() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "RMW+St",
+        vec![vec![Instr::rmw(0)], vec![Instr::store(0)]],
+    );
+    // Writes to x in gid order: 0 (the RMW, value 1), 1 (the store, value
+    // 2). RMW reads init but final value is the RMW's — store in between.
+    (t, oc([(0, None)], [(0, 0)]))
+}
+
+/// SB with the stores replaced by RMWs (iwp2.8.a-style).
+pub fn sb_rmws() -> (LitmusTest, Outcome) {
+    let t = LitmusTest::new(
+        "SB+rmws",
+        vec![
+            vec![Instr::rmw(0), Instr::load(1)],
+            vec![Instr::rmw(1), Instr::load(0)],
+        ],
+    );
+    (t, oc([(1, None), (3, None)], []))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Execution;
+
+    #[test]
+    fn all_builders_produce_well_formed_outcomes() {
+        let all: Vec<(LitmusTest, Outcome)> = vec![
+            mp(),
+            mp_rel_acq(),
+            mp_rel2_acq2(),
+            mp_fences(FenceKind::Full, "MP+fences"),
+            mp_fence_addr(FenceKind::Lightweight, "MP+lwsync+addr"),
+            mp_addr(),
+            sb(),
+            sb_fences(),
+            sb_one_fence(),
+            lb(),
+            lb_addrs(),
+            lb_datas(),
+            s(),
+            r(),
+            two_plus_two_w(),
+            wrc(),
+            wrc_deps(),
+            wwc(),
+            rwc(),
+            rwc_fence(),
+            iriw(),
+            coiriw(),
+            isa2(),
+            isa2_sync_deps(),
+            corr(),
+            coww(),
+            corw(),
+            cowr(),
+            colb(),
+            rmw_rmw(),
+            rmw_st(),
+            sb_rmws(),
+        ];
+        for (t, o) in &all {
+            // Every outcome is realizable by at least one *candidate*
+            // execution (whether any model allows it is a separate story).
+            let found = Execution::enumerate(t)
+                .iter()
+                .any(|e| o.matches(&e.outcome()));
+            assert!(found, "{}: outcome {} unrealizable", t.name(), o.display(t));
+        }
+    }
+
+    #[test]
+    fn mp_outcome_display() {
+        let (t, o) = mp();
+        let d = o.display(&t);
+        assert!(d.contains("[y]=1"), "{d}");
+        assert!(d.contains("[x]=0"), "{d}");
+    }
+
+    #[test]
+    fn wwc_outcome_pins_final() {
+        let (t, o) = wwc();
+        assert_eq!(o.finals[&Addr(0)], 0);
+        assert_eq!(t.write_value(0), 1);
+        assert_eq!(t.write_value(4), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Reference litmus-test suites from the literature.
+//!
+//! * [`classics`] — the named tests every memory-model paper uses (MP, SB,
+//!   LB, WRC, IRIW, the coherence tests, …), as reusable builders.
+//! * [`owens`] — the x86-TSO suite gathered by Owens et al. (2009), the
+//!   baseline for the paper's Table 4 / Figure 13.
+//! * [`cambridge`] — the Cambridge Power/ARM test summary (Sarkar et al.
+//!   2011), the baseline for Figure 16.
+//!
+//! Every entry carries the status (`forbidden` or allowed) claimed by its
+//! source; integration tests cross-check each claim against our model
+//! oracles, so an encoding error here cannot survive `cargo test`.
+
+pub mod cambridge;
+pub mod classics;
+pub mod owens;
+
+use crate::test::{LitmusTest, Outcome};
+
+/// One suite entry: a program, the outcome the source discusses, and whether
+/// the source claims that outcome is forbidden under the suite's model.
+#[derive(Clone, Debug)]
+pub struct SuiteEntry {
+    /// The program.
+    pub test: LitmusTest,
+    /// The (possibly partial) outcome of interest.
+    pub outcome: Outcome,
+    /// `true` if the source claims the outcome is forbidden.
+    pub forbidden: bool,
+}
+
+impl SuiteEntry {
+    /// Convenience constructor.
+    pub fn new(test: LitmusTest, outcome: Outcome, forbidden: bool) -> SuiteEntry {
+        SuiteEntry { test, outcome, forbidden }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owens_suite_shape() {
+        let s = owens::suite();
+        assert_eq!(s.len(), 24, "the Owens suite has 24 tests");
+        let forbidden = s.iter().filter(|e| e.forbidden).count();
+        assert_eq!(forbidden, 15, "…of which 15 specify forbidden outcomes");
+        // Names are unique.
+        let mut names: Vec<&str> = s.iter().map(|e| e.test.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn cambridge_suite_shape() {
+        let s = cambridge::suite();
+        assert!(s.len() >= 30, "representative Cambridge subset");
+        let mut names: Vec<&str> = s.iter().map(|e| e.test.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), s.len(), "names unique");
+    }
+
+    #[test]
+    fn every_outcome_references_valid_events() {
+        for e in owens::suite().iter().chain(cambridge::suite().iter()) {
+            for (&r, &w) in &e.outcome.rf {
+                assert!(e.test.instr(r).is_read(), "{}: rf target is a read", e.test.name());
+                if let Some(w) = w {
+                    assert!(e.test.instr(w).is_write(), "{}: rf source is a write", e.test.name());
+                    assert_eq!(
+                        e.test.instr(r).addr(),
+                        e.test.instr(w).addr(),
+                        "{}: rf respects addresses",
+                        e.test.name()
+                    );
+                }
+            }
+            for (&a, &w) in &e.outcome.finals {
+                assert_eq!(e.test.instr(w).addr(), Some(a), "{}: final is a write to the address", e.test.name());
+                assert!(e.test.instr(w).is_write());
+            }
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! A C/C++11 memory-model fragment (§6.4), following the repaired
+//! Batty-style axiomatization (coherence as `hb ; eco?` irreflexivity) with
+//! initialization events elided — the same simplification the paper makes
+//! "in order to scale more easily to larger tests".
+//!
+//! Out-of-thin-air is axiomatized via explicit dependencies (`acyclic(dep ∪
+//! rf)`), mirroring the paper's observation that in software models RD
+//! applies to no-thin-air axioms only; full OOTA remains an open problem the
+//! paper (and we) sidestep.
+
+use crate::alg::RelAlg;
+use crate::ctx::Ctx;
+use crate::model::MemoryModel;
+use litsynth_litmus::{DepKind, FenceKind, MemOrder};
+
+/// The C11 fragment.
+///
+/// ```text
+/// irreflexive(hb ; eco?)                       -- coherence
+/// no (fr ; co) ∩ rmw                           -- atomicity
+/// acyclic(dep ∪ rf)                            -- no_thin_air
+/// acyclic((hb ∪ co ∪ rf ∪ fr) ∩ SC×SC)         -- seq_cst
+///   sw  = [REL ∪ Frel;po] ; rf ; [ACQ ∪ po;Facq]
+///   hb  = (po ∪ sw)⁺,  eco = (rf ∪ co ∪ fr)⁺
+/// ```
+#[derive(Clone, Copy, Default, Debug)]
+pub struct C11;
+
+impl C11 {
+    /// Creates the model.
+    pub fn new() -> C11 {
+        C11
+    }
+
+    /// Synchronizes-with: release writes (or writes after a release-ish
+    /// fence) reading into acquire reads (or reads before an acquire-ish
+    /// fence).
+    pub fn sw<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>) -> A::Rel {
+        // Fences with release semantics: release, acq_rel, seq_cst fences.
+        let frel0 = alg.set_union(&ctx.fence_rel, &ctx.fence_acqrel);
+        let frel = alg.set_union(&frel0, &ctx.fence_full);
+        let facq0 = alg.set_union(&ctx.fence_acq, &ctx.fence_acqrel);
+        let facq = alg.set_union(&facq0, &ctx.fence_full);
+
+        let direct = {
+            let d = alg.dom(&ctx.release, &ctx.rf);
+            alg.ran(&d, &ctx.acquire)
+        };
+        let fence_pre = {
+            let p = alg.dom(&frel, &ctx.po);
+            let pr = alg.seq(&p, &ctx.rf);
+            alg.ran(&pr, &ctx.acquire)
+        };
+        let fence_post = {
+            let p = alg.ran(&ctx.po, &facq);
+            let rp = alg.seq(&ctx.rf, &p);
+            alg.dom(&ctx.release, &rp)
+        };
+        let fence_both = {
+            let pre = alg.dom(&frel, &ctx.po);
+            let post = alg.ran(&ctx.po, &facq);
+            let t = alg.seq(&pre, &ctx.rf);
+            alg.seq(&t, &post)
+        };
+        alg.union_many(&[&direct, &fence_pre, &fence_post, &fence_both])
+    }
+
+    /// Happens-before: `(po ∪ sw)⁺`.
+    pub fn hb<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>) -> A::Rel {
+        let sw = self.sw(alg, ctx);
+        let u = alg.union(&ctx.po, &sw);
+        alg.tc(&u)
+    }
+}
+
+impl MemoryModel for C11 {
+    fn name(&self) -> &'static str {
+        "C11"
+    }
+
+    fn axioms(&self) -> &'static [&'static str] {
+        &["coherence", "atomicity", "no_thin_air", "seq_cst"]
+    }
+
+    fn axiom<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>, axiom: &str) -> A::B {
+        match axiom {
+            "coherence" => {
+                let hb = self.hb(alg, ctx);
+                let com = ctx.com(alg);
+                let eco = alg.tc(&com);
+                let id = alg.iden(ctx.n);
+                let eco_opt = alg.union(&eco, &id);
+                let t = alg.seq(&hb, &eco_opt);
+                alg.irreflexive(&t)
+            }
+            "atomicity" => {
+                let fr = ctx.fr(alg);
+                let s = alg.seq(&fr, &ctx.co);
+                let bad = alg.inter(&s, &ctx.rmw);
+                alg.is_empty(&bad)
+            }
+            "no_thin_air" => {
+                let dep = ctx.dep(alg);
+                let u = alg.union(&dep, &ctx.rf);
+                alg.acyclic(&u)
+            }
+            "seq_cst" => {
+                // RC11-style psc: SC accesses anchor directly; SC fences
+                // anchor through happens-before.
+                //   scb  = po ∪ po;hb;po ∪ (hb ∩ loc) ∪ co ∪ fr
+                //   pre  = [SC] ∪ [F_sc];hb?     post = [SC] ∪ hb?;[F_sc]
+                //   acyclic(pre ; scb ; post)
+                let hb = self.hb(alg, ctx);
+                let fr = ctx.fr(alg);
+                let id = alg.iden(ctx.n);
+                let hb_opt = alg.union(&hb, &id);
+                let po_hb = alg.seq(&ctx.po, &hb);
+                let po_hb_po = alg.seq(&po_hb, &ctx.po);
+                let hb_loc = alg.inter(&hb, &ctx.loc);
+                let scb = alg.union_many(&[&ctx.po, &po_hb_po, &hb_loc, &ctx.co, &fr]);
+                let sc_id = alg.dom(&ctx.seqcst, &id);
+                let fsc_hb = alg.dom(&ctx.fence_full, &hb_opt);
+                let pre = alg.union(&sc_id, &fsc_hb);
+                let hb_fsc = alg.ran(&hb_opt, &ctx.fence_full);
+                let post = alg.union(&sc_id, &hb_fsc);
+                let psc = {
+                    let a = alg.seq(&pre, &scb);
+                    alg.seq(&a, &post)
+                };
+                alg.acyclic(&psc)
+            }
+            other => panic!("C11 has no axiom {other:?}"),
+        }
+    }
+
+    fn fence_kinds(&self) -> &'static [FenceKind] {
+        &[FenceKind::Full, FenceKind::AcqRel, FenceKind::Acquire, FenceKind::Release]
+    }
+
+    fn read_orders(&self) -> &'static [MemOrder] {
+        &[MemOrder::Relaxed, MemOrder::Acquire, MemOrder::SeqCst]
+    }
+
+    fn write_orders(&self) -> &'static [MemOrder] {
+        &[MemOrder::Relaxed, MemOrder::Release, MemOrder::SeqCst]
+    }
+
+    fn rmw_orders(&self) -> &'static [MemOrder] {
+        &[MemOrder::Relaxed, MemOrder::Acquire, MemOrder::Release, MemOrder::AcqRel, MemOrder::SeqCst]
+    }
+
+    fn dep_kinds(&self) -> &'static [DepKind] {
+        &[DepKind::Data]
+    }
+
+    fn fence_demotions(&self, kind: FenceKind) -> Vec<FenceKind> {
+        match kind {
+            FenceKind::Full => vec![FenceKind::AcqRel],
+            FenceKind::AcqRel => vec![FenceKind::Acquire, FenceKind::Release],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RelaxKind;
+    use crate::oracle;
+    use litsynth_litmus::suites::classics;
+    use litsynth_litmus::{Instr, LitmusTest};
+
+    #[test]
+    fn relaxed_atomics_allow_the_classics() {
+        let m = C11::new();
+        for (t, o) in [classics::mp(), classics::sb(), classics::lb(), classics::iriw()] {
+            assert!(oracle::observable(&m, &t, &o), "{} allowed with relaxed atomics", t.name());
+        }
+    }
+
+    #[test]
+    fn release_acquire_forbids_mp() {
+        let m = C11::new();
+        let (t, o) = classics::mp_rel_acq();
+        assert!(!oracle::observable(&m, &t, &o));
+        let (t, o) = classics::mp_rel2_acq2();
+        assert!(!oracle::observable(&m, &t, &o), "Figure 2's flavor is equally forbidden");
+    }
+
+    #[test]
+    fn seq_cst_forbids_sb() {
+        let m = C11::new();
+        let t = LitmusTest::new(
+            "SB+scs",
+            vec![
+                vec![Instr::store_ord(0, MemOrder::SeqCst), Instr::load_ord(1, MemOrder::SeqCst)],
+                vec![Instr::store_ord(1, MemOrder::SeqCst), Instr::load_ord(0, MemOrder::SeqCst)],
+            ],
+        );
+        let o = classics::oc([(1, None), (3, None)], []);
+        assert!(!oracle::observable(&m, &t, &o));
+        // Release/acquire alone leaves SB observable.
+        let t2 = LitmusTest::new(
+            "SB+rel+acq",
+            vec![
+                vec![Instr::store_ord(0, MemOrder::Release), Instr::load_ord(1, MemOrder::Acquire)],
+                vec![Instr::store_ord(1, MemOrder::Release), Instr::load_ord(0, MemOrder::Acquire)],
+            ],
+        );
+        let o2 = classics::oc([(1, None), (3, None)], []);
+        assert!(oracle::observable(&m, &t2, &o2));
+    }
+
+    #[test]
+    fn coherence_holds_for_relaxed_atomics() {
+        let m = C11::new();
+        for (t, o) in [classics::corr(), classics::coww(), classics::corw(), classics::cowr()] {
+            assert!(!oracle::observable(&m, &t, &o), "{} forbidden", t.name());
+        }
+    }
+
+    #[test]
+    fn fence_based_synchronization() {
+        let m = C11::new();
+        // MP with release/acquire *fences* around relaxed accesses.
+        let t = LitmusTest::new(
+            "MP+fence-rel+fence-acq",
+            vec![
+                vec![Instr::store(0), Instr::fence(FenceKind::Release), Instr::store(1)],
+                vec![Instr::load(1), Instr::fence(FenceKind::Acquire), Instr::load(0)],
+            ],
+        );
+        let o = classics::oc([(3, Some(2)), (5, None)], []);
+        assert!(!oracle::observable(&m, &t, &o));
+    }
+
+    #[test]
+    fn sc_fences_forbid_sb() {
+        // SB with relaxed accesses and seq_cst *fences* — the psc anchors
+        // through hb, so this must be forbidden too.
+        let m = C11::new();
+        let t = LitmusTest::new(
+            "SB+sc-fences",
+            vec![
+                vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
+                vec![Instr::store(1), Instr::fence(FenceKind::Full), Instr::load(0)],
+            ],
+        );
+        let o = classics::oc([(2, None), (5, None)], []);
+        assert!(!oracle::observable(&m, &t, &o));
+        // …while acq_rel fences are not enough for SB.
+        let t2 = LitmusTest::new(
+            "SB+acqrel-fences",
+            vec![
+                vec![Instr::store(0), Instr::fence(FenceKind::AcqRel), Instr::load(1)],
+                vec![Instr::store(1), Instr::fence(FenceKind::AcqRel), Instr::load(0)],
+            ],
+        );
+        let o2 = classics::oc([(2, None), (5, None)], []);
+        assert!(oracle::observable(&m, &t2, &o2));
+    }
+
+    #[test]
+    fn psc_does_not_over_forbid_release_acquire() {
+        // A single SC fence in one thread must not forbid SB.
+        let m = C11::new();
+        let t = LitmusTest::new(
+            "SB+sc-fence+po",
+            vec![
+                vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
+                vec![Instr::store(1), Instr::load(0)],
+            ],
+        );
+        let o = classics::oc([(2, None), (4, None)], []);
+        assert!(oracle::observable(&m, &t, &o));
+    }
+
+    #[test]
+    fn no_thin_air_with_deps() {
+        let m = C11::new();
+        let (t, o) = classics::lb_datas();
+        assert!(!oracle::observable(&m, &t, &o));
+    }
+
+    #[test]
+    fn relaxation_row_is_the_widest() {
+        let r = C11::new().relaxations();
+        for k in [RelaxKind::Ri, RelaxKind::Drmw, RelaxKind::Df, RelaxKind::Dmo, RelaxKind::Rd] {
+            assert!(r.contains(&k), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn dmo_ladders() {
+        let m = C11::new();
+        assert_eq!(
+            m.order_demotions(Instr::load_ord(0, MemOrder::SeqCst)),
+            vec![MemOrder::Acquire]
+        );
+        assert_eq!(
+            m.order_demotions(Instr::store_ord(0, MemOrder::SeqCst)),
+            vec![MemOrder::Release]
+        );
+        let rmw_sc = Instr::Rmw {
+            addr: litsynth_litmus::Addr(0),
+            order: MemOrder::SeqCst,
+            scope: litsynth_litmus::Scope::System,
+        };
+        assert_eq!(m.order_demotions(rmw_sc), vec![MemOrder::AcqRel]);
+    }
+}

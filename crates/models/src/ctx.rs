@@ -1,0 +1,380 @@
+//! The execution context: every primitive set and relation an axiom may
+//! consult, in either the concrete or the symbolic world.
+
+use crate::alg::{CSet, ConcreteAlg, RelAlg};
+use litsynth_litmus::{Execution, FenceKind, Instr, LitmusTest, MemOrder, Rel};
+
+/// All primitive sets and relations describing one (concrete or symbolic)
+/// execution of a litmus test.
+///
+/// Derived relations (`fr`, `po_loc`, `rfe`, fence orders, …) are computed
+/// by methods so that perturbed contexts (see `litsynth-core`) rebuild them
+/// from perturbed primitives, exactly as the paper's `_p` relations do.
+#[derive(Debug)]
+pub struct Ctx<A: RelAlg> {
+    /// Number of events.
+    pub n: usize,
+    /// Read events (loads and RMWs).
+    pub read: A::Set,
+    /// Write events (stores and RMWs).
+    pub write: A::Set,
+    /// Full fences (`mfence`/`sync`/`FenceSC`).
+    pub fence_full: A::Set,
+    /// Lightweight fences (`lwsync`).
+    pub fence_lw: A::Set,
+    /// Acquire-release fences (`FenceAcqRel` / C11 acq_rel fences).
+    pub fence_acqrel: A::Set,
+    /// C11 acquire fences.
+    pub fence_acq: A::Set,
+    /// C11 release fences.
+    pub fence_rel: A::Set,
+    /// Events with acquire semantics on their read side
+    /// (order ∈ {Acquire, AcqRel, SeqCst} on a read).
+    pub acquire: A::Set,
+    /// Events with release semantics on their write side.
+    pub release: A::Set,
+    /// Events annotated `seq_cst`.
+    pub seqcst: A::Set,
+    /// Events annotated `consume` (reads).
+    pub consume: A::Set,
+    /// Program order (transitive, intra-thread).
+    pub po: A::Rel,
+    /// Same-address pairs among memory accesses (symmetric, reflexive on
+    /// accesses).
+    pub loc: A::Rel,
+    /// Reads-from.
+    pub rf: A::Rel,
+    /// Coherence (transitive, per address).
+    pub co: A::Rel,
+    /// Address dependencies.
+    pub addr_dep: A::Rel,
+    /// Data dependencies.
+    pub data_dep: A::Rel,
+    /// Control dependencies.
+    pub ctrl_dep: A::Rel,
+    /// Control+isync dependencies.
+    pub ctrlisync_dep: A::Rel,
+    /// RMW pairing (pair edges; single-instruction RMWs self-paired).
+    pub rmw: A::Rel,
+    /// The SCC `sc` total order over full fences (empty when unused).
+    pub sc: A::Rel,
+    /// Same-thread pairs (irreflexive).
+    pub int: A::Rel,
+    /// Different-thread pairs.
+    pub ext: A::Rel,
+    /// Reads whose value is *unconstrained* (RI removed their rf source,
+    /// §4.3): they contribute no `fr` edges. Empty in concrete contexts.
+    pub orphan: A::Set,
+}
+
+impl<A: RelAlg> Clone for Ctx<A> {
+    fn clone(&self) -> Self {
+        Ctx {
+            n: self.n,
+            read: self.read.clone(),
+            write: self.write.clone(),
+            fence_full: self.fence_full.clone(),
+            fence_lw: self.fence_lw.clone(),
+            fence_acqrel: self.fence_acqrel.clone(),
+            fence_acq: self.fence_acq.clone(),
+            fence_rel: self.fence_rel.clone(),
+            acquire: self.acquire.clone(),
+            release: self.release.clone(),
+            seqcst: self.seqcst.clone(),
+            consume: self.consume.clone(),
+            po: self.po.clone(),
+            loc: self.loc.clone(),
+            rf: self.rf.clone(),
+            co: self.co.clone(),
+            addr_dep: self.addr_dep.clone(),
+            data_dep: self.data_dep.clone(),
+            ctrl_dep: self.ctrl_dep.clone(),
+            ctrlisync_dep: self.ctrlisync_dep.clone(),
+            rmw: self.rmw.clone(),
+            sc: self.sc.clone(),
+            int: self.int.clone(),
+            ext: self.ext.clone(),
+            orphan: self.orphan.clone(),
+        }
+    }
+}
+
+impl<A: RelAlg> Ctx<A> {
+    /// `po_loc`: program order between same-address accesses.
+    pub fn po_loc(&self, alg: &mut A) -> A::Rel {
+        alg.inter(&self.po, &self.loc)
+    }
+
+    /// All dependency edges.
+    pub fn dep(&self, alg: &mut A) -> A::Rel {
+        alg.union_many(&[&self.addr_dep, &self.data_dep, &self.ctrl_dep, &self.ctrlisync_dep])
+    }
+
+    /// From-reads: `fr = (R <: loc :> W) − (rf⁻¹ ; co*⁻¹) − iden`, the
+    /// paper's initial-write-aware formulation (Figure 4).
+    pub fn fr(&self, alg: &mut A) -> A::Rel {
+        let rw = {
+            let d = alg.dom(&self.read, &self.loc);
+            alg.ran(&d, &self.write)
+        };
+        let inv_rf = alg.inv(&self.rf);
+        let co_star = alg.rtc(&self.co);
+        let inv_co_star = alg.inv(&co_star);
+        let covered = alg.seq(&inv_rf, &inv_co_star);
+        let minus = alg.diff(&rw, &covered);
+        let id = alg.iden(self.n);
+        let fr = alg.diff(&minus, &id);
+        // Orphaned reads (rf source removed by RI) are value-unconstrained:
+        // they read neither the initial value nor any particular write, so
+        // they impose no from-reads edges (§4.3).
+        let orphan_rows = alg.dom(&self.orphan, &fr);
+        alg.diff(&fr, &orphan_rows)
+    }
+
+    /// External restriction of a relation (cross-thread edges only).
+    pub fn external(&self, alg: &mut A, r: &A::Rel) -> A::Rel {
+        alg.inter(r, &self.ext)
+    }
+
+    /// Internal restriction.
+    pub fn internal(&self, alg: &mut A, r: &A::Rel) -> A::Rel {
+        alg.inter(r, &self.int)
+    }
+
+    /// External reads-from.
+    pub fn rfe(&self, alg: &mut A) -> A::Rel {
+        let rf = self.rf.clone();
+        self.external(alg, &rf)
+    }
+
+    /// Internal reads-from.
+    pub fn rfi(&self, alg: &mut A) -> A::Rel {
+        let rf = self.rf.clone();
+        self.internal(alg, &rf)
+    }
+
+    /// External coherence.
+    pub fn coe(&self, alg: &mut A) -> A::Rel {
+        let co = self.co.clone();
+        self.external(alg, &co)
+    }
+
+    /// External from-reads.
+    pub fn fre(&self, alg: &mut A) -> A::Rel {
+        let fr = self.fr(alg);
+        self.external(alg, &fr)
+    }
+
+    /// The set of fences of `kind`.
+    pub fn fences_of(&self, kind: FenceKind) -> &A::Set {
+        match kind {
+            FenceKind::Full => &self.fence_full,
+            FenceKind::Lightweight => &self.fence_lw,
+            FenceKind::AcqRel => &self.fence_acqrel,
+            FenceKind::Acquire => &self.fence_acq,
+            FenceKind::Release => &self.fence_rel,
+        }
+    }
+
+    /// The fence-order relation for `kind`: `(po :> F) ; po` — pairs
+    /// separated by a fence of that kind (paper Figure 4's `fence`).
+    pub fn fence_order(&self, alg: &mut A, kind: FenceKind) -> A::Rel {
+        let to_fence = alg.ran(&self.po, self.fences_of(kind));
+        alg.seq(&to_fence, &self.po)
+    }
+
+    /// `com` = rf ∪ co ∪ fr, the communication relation.
+    pub fn com(&self, alg: &mut A) -> A::Rel {
+        let fr = self.fr(alg);
+        alg.union_many(&[&self.rf, &self.co, &fr])
+    }
+}
+
+/// Builds the concrete context for one candidate execution.
+///
+/// `sc_order` supplies the SCC `sc` total order over full fences when the
+/// model uses one (see `Scc`); pass `&[]` otherwise.
+pub fn concrete_ctx(test: &LitmusTest, exec: &Execution, sc_order: &[usize]) -> Ctx<ConcreteAlg> {
+    let n = test.num_events();
+    let mut acquire = 0u64;
+    let mut release = 0u64;
+    let mut seqcst = 0u64;
+    let mut consume = 0u64;
+    let fence = |k: FenceKind| -> u64 {
+        let mut m = 0;
+        for g in 0..n {
+            if matches!(test.instr(g), Instr::Fence { kind, .. } if kind == k) {
+                m |= 1 << g;
+            }
+        }
+        m
+    };
+    let fence_full = fence(FenceKind::Full);
+    let fence_lw = fence(FenceKind::Lightweight);
+    let fence_acqrel = fence(FenceKind::AcqRel);
+    let fence_acq = fence(FenceKind::Acquire);
+    let fence_rel = fence(FenceKind::Release);
+    for g in 0..n {
+        let i = test.instr(g);
+        if let Some(ord) = i.order() {
+            let read_side = i.is_read();
+            let write_side = i.is_write();
+            match ord {
+                MemOrder::Relaxed => {}
+                MemOrder::Consume => {
+                    if read_side {
+                        consume |= 1 << g;
+                    }
+                }
+                MemOrder::Acquire => {
+                    if read_side {
+                        acquire |= 1 << g;
+                    }
+                }
+                MemOrder::Release => {
+                    if write_side {
+                        release |= 1 << g;
+                    }
+                }
+                MemOrder::AcqRel => {
+                    if read_side {
+                        acquire |= 1 << g;
+                    }
+                    if write_side {
+                        release |= 1 << g;
+                    }
+                }
+                MemOrder::SeqCst => {
+                    seqcst |= 1 << g;
+                    if read_side {
+                        acquire |= 1 << g;
+                    }
+                    if write_side {
+                        release |= 1 << g;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut int = Rel::new(n);
+    let mut ext = Rel::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                if test.thread_of(i) == test.thread_of(j) {
+                    int.add(i, j);
+                } else {
+                    ext.add(i, j);
+                }
+            }
+        }
+    }
+
+    let mut sc = Rel::new(n);
+    for i in 0..sc_order.len() {
+        for j in (i + 1)..sc_order.len() {
+            sc.add(sc_order[i], sc_order[j]);
+        }
+    }
+
+    Ctx {
+        n,
+        read: CSet::new(n, test.read_mask()),
+        write: CSet::new(n, test.write_mask()),
+        fence_full: CSet::new(n, fence_full),
+        fence_lw: CSet::new(n, fence_lw),
+        fence_acqrel: CSet::new(n, fence_acqrel),
+        fence_acq: CSet::new(n, fence_acq),
+        fence_rel: CSet::new(n, fence_rel),
+        acquire: CSet::new(n, acquire),
+        release: CSet::new(n, release),
+        seqcst: CSet::new(n, seqcst),
+        consume: CSet::new(n, consume),
+        po: test.po(),
+        loc: test.same_addr(),
+        rf: exec.rf_rel(n),
+        co: exec.co_rel(n),
+        addr_dep: test.dep_rel(&[litsynth_litmus::DepKind::Addr]),
+        data_dep: test.dep_rel(&[litsynth_litmus::DepKind::Data]),
+        ctrl_dep: test.dep_rel(&[litsynth_litmus::DepKind::Ctrl]),
+        ctrlisync_dep: test.dep_rel(&[litsynth_litmus::DepKind::CtrlIsync]),
+        rmw: test.rmw_rel(),
+        sc,
+        int,
+        ext,
+        orphan: CSet::new(n, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litsynth_litmus::suites::classics;
+
+    #[test]
+    fn concrete_fr_matches_execution_fr() {
+        // On every candidate execution of several classic tests, the ctx's
+        // algebraic `fr` must equal the direct enumeration `fr_rel`.
+        let mut alg = ConcreteAlg;
+        for (t, _) in [classics::mp(), classics::sb(), classics::corw(), classics::colb()] {
+            for e in Execution::enumerate(&t) {
+                let ctx = concrete_ctx(&t, &e, &[]);
+                let algebraic = ctx.fr(&mut alg);
+                let direct = e.fr_rel(&t);
+                assert_eq!(algebraic, direct, "{} {:?}", t.name(), e);
+            }
+        }
+    }
+
+    #[test]
+    fn acquire_release_sets() {
+        let (t, _) = classics::mp_rel_acq();
+        let e = &Execution::enumerate(&t)[0];
+        let ctx = concrete_ctx(&t, e, &[]);
+        assert_eq!(ctx.release.mask, 0b0010); // St.release y is gid 1
+        assert_eq!(ctx.acquire.mask, 0b0100); // Ld.acquire y is gid 2
+        assert_eq!(ctx.seqcst.mask, 0);
+    }
+
+    #[test]
+    fn fence_order_spans_the_fence() {
+        let (t, _) = classics::sb_fences();
+        let e = &Execution::enumerate(&t)[0];
+        let ctx = concrete_ctx(&t, e, &[]);
+        let mut alg = ConcreteAlg;
+        let fo = ctx.fence_order(&mut alg, FenceKind::Full);
+        // St x (0) → Ld y (2) is fenced; so is St y (3) → Ld x (5).
+        assert!(fo.contains(0, 2));
+        assert!(fo.contains(3, 5));
+        assert!(!fo.contains(0, 5));
+        assert!(!fo.contains(2, 0));
+    }
+
+    #[test]
+    fn int_ext_partition_non_diagonal() {
+        let (t, _) = classics::wrc();
+        let e = &Execution::enumerate(&t)[0];
+        let ctx = concrete_ctx(&t, e, &[]);
+        for i in 0..ctx.n {
+            for j in 0..ctx.n {
+                let in_int = ctx.int.contains(i, j);
+                let in_ext = ctx.ext.contains(i, j);
+                if i == j {
+                    assert!(!in_int && !in_ext);
+                } else {
+                    assert!(in_int ^ in_ext);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sc_order_becomes_total_order_rel() {
+        let (t, _) = classics::sb_fences();
+        let e = &Execution::enumerate(&t)[0];
+        let ctx = concrete_ctx(&t, e, &[1, 4]);
+        assert!(ctx.sc.contains(1, 4));
+        assert!(!ctx.sc.contains(4, 1));
+    }
+}

@@ -1,0 +1,44 @@
+//! # litsynth-models
+//!
+//! Axiomatic memory-model definitions, written once against a relational
+//! algebra abstraction and evaluated two ways:
+//!
+//! * **concretely** ([`ConcreteAlg`]) over fully known executions — the
+//!   explicit-enumeration oracle in [`oracle`];
+//! * **symbolically** ([`SymAlg`]) over boolean-circuit relations — the
+//!   SAT-based synthesis in `litsynth-core`.
+//!
+//! Bundled models: [`Sc`], [`Tso`] (paper Figure 4), [`Power`] and its
+//! ARMv7 variant (Figure 15, herding-cats), [`Scc`] (Figure 17), and a
+//! [`C11`] fragment (§6.4).
+//!
+//! # Example: is MP's weak outcome allowed?
+//!
+//! ```
+//! use litsynth_models::{oracle, MemoryModel, Sc, Tso, Power};
+//! use litsynth_litmus::suites::classics;
+//!
+//! let (mp, weak) = classics::mp();
+//! assert!(oracle::forbidden(&Tso::new(), &mp, &weak));   // forbidden on TSO
+//! assert!(oracle::observable(&Power::new(), &mp, &weak)); // allowed on Power
+//! ```
+
+mod alg;
+mod c11;
+mod ctx;
+mod model;
+mod power;
+mod sc;
+mod scc;
+mod tso;
+
+pub mod oracle;
+
+pub use alg::{CSet, ConcreteAlg, RelAlg, SymAlg};
+pub use c11::C11;
+pub use ctx::{concrete_ctx, Ctx};
+pub use model::{MemoryModel, RelaxKind};
+pub use power::Power;
+pub use sc::Sc;
+pub use scc::Scc;
+pub use tso::Tso;

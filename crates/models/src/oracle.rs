@@ -1,0 +1,160 @@
+//! The explicit-enumeration oracle: ground-truth legality by brute force.
+//!
+//! For litmus-scale tests, every candidate execution (and, for models with
+//! an auxiliary `sc` order, every `sc` permutation) can be enumerated
+//! outright. This is the reference semantics against which the SAT-based
+//! synthesis is cross-validated, and it implements the *proper*
+//! exists-forall reading of the paper's definitions that Figure 5c only
+//! approximates.
+
+use crate::alg::ConcreteAlg;
+use crate::ctx::concrete_ctx;
+use crate::model::MemoryModel;
+use litsynth_litmus::{Execution, LitmusTest, Outcome};
+
+/// All `sc` total orders the model needs to consider for `test`: the
+/// permutations of its full fences, or just the empty order for models
+/// without an auxiliary `sc`.
+fn sc_orders<M: MemoryModel>(model: &M, test: &LitmusTest) -> Vec<Vec<usize>> {
+    if !model.uses_sc_order() {
+        return vec![Vec::new()];
+    }
+    let fences: Vec<usize> = (0..test.num_events())
+        .filter(|&g| {
+            matches!(
+                test.instr(g),
+                litsynth_litmus::Instr::Fence { kind: litsynth_litmus::FenceKind::Full, .. }
+            )
+        })
+        .collect();
+    permutations(&fences)
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// `true` if the model allows this candidate execution (for some `sc` order
+/// where applicable — `sc` is auxiliary, hence existential, §4.3).
+pub fn allows<M: MemoryModel>(model: &M, test: &LitmusTest, exec: &Execution) -> bool {
+    let mut alg = ConcreteAlg;
+    sc_orders(model, test)
+        .iter()
+        .any(|sc| model.valid(&mut alg, &concrete_ctx(test, exec, sc)))
+}
+
+/// `true` if some execution satisfying the single named `axiom` (for some
+/// `sc` order) produces an outcome matching `outcome`.
+pub fn observable_axiom<M: MemoryModel>(
+    model: &M,
+    axiom: &str,
+    test: &LitmusTest,
+    outcome: &Outcome,
+) -> bool {
+    let mut alg = ConcreteAlg;
+    Execution::enumerate(test).iter().any(|e| {
+        outcome.matches(&e.outcome())
+            && sc_orders(model, test)
+                .iter()
+                .any(|sc| model.axiom(&mut alg, &concrete_ctx(test, e, sc), axiom))
+    })
+}
+
+/// `true` if some fully-allowed execution produces an outcome matching
+/// `outcome`.
+pub fn observable<M: MemoryModel>(model: &M, test: &LitmusTest, outcome: &Outcome) -> bool {
+    Execution::enumerate(test)
+        .iter()
+        .any(|e| outcome.matches(&e.outcome()) && allows(model, test, e))
+}
+
+/// The outcome is forbidden: no allowed execution matches it.
+pub fn forbidden<M: MemoryModel>(model: &M, test: &LitmusTest, outcome: &Outcome) -> bool {
+    !observable(model, test, outcome)
+}
+
+/// All *distinct complete* outcomes of the test's candidate executions that
+/// no allowed execution produces.
+pub fn forbidden_outcomes<M: MemoryModel>(model: &M, test: &LitmusTest) -> Vec<Outcome> {
+    let execs = Execution::enumerate(test);
+    let mut outcomes: Vec<Outcome> = execs.iter().map(|e| e.outcome()).collect();
+    outcomes.sort();
+    outcomes.dedup();
+    outcomes
+        .into_iter()
+        .filter(|o| {
+            !execs.iter().any(|e| o.matches(&e.outcome()) && allows(model, test, e))
+        })
+        .collect()
+}
+
+/// Outcomes forbidden by the single named axiom alone.
+pub fn forbidden_outcomes_axiom<M: MemoryModel>(
+    model: &M,
+    axiom: &str,
+    test: &LitmusTest,
+) -> Vec<Outcome> {
+    let execs = Execution::enumerate(test);
+    let mut outcomes: Vec<Outcome> = execs.iter().map(|e| e.outcome()).collect();
+    outcomes.sort();
+    outcomes.dedup();
+    outcomes
+        .into_iter()
+        .filter(|o| !observable_axiom(model, axiom, test, o))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sc::Sc;
+    use crate::tso::Tso;
+    use litsynth_litmus::suites::classics;
+
+    #[test]
+    fn forbidden_outcomes_of_mp_under_sc() {
+        let (t, o) = classics::mp();
+        let forb = forbidden_outcomes(&Sc::new(), &t);
+        // Exactly the (r_y=1, r_x=0) outcome is forbidden (Figure 1).
+        assert_eq!(forb.len(), 1);
+        assert!(o.matches(&forb[0]));
+    }
+
+    #[test]
+    fn sb_has_no_forbidden_outcome_under_tso() {
+        let (t, _) = classics::sb();
+        assert!(forbidden_outcomes(&Tso::new(), &t).is_empty());
+    }
+
+    #[test]
+    fn per_axiom_forbidden_sets_union_to_model_set() {
+        // Any outcome forbidden by a single axiom is forbidden by the whole
+        // model (more axioms only shrink the allowed set).
+        let m = Tso::new();
+        for (t, _) in [classics::mp(), classics::corw(), classics::rmw_st()] {
+            let whole = forbidden_outcomes(&m, &t);
+            for ax in m.axioms() {
+                for o in forbidden_outcomes_axiom(&m, ax, &t) {
+                    assert!(
+                        whole.contains(&o),
+                        "{}: axiom {} forbids an outcome the model allows",
+                        t.name(),
+                        ax
+                    );
+                }
+            }
+        }
+    }
+}

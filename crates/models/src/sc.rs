@@ -1,0 +1,101 @@
+//! Sequential consistency (Lamport 1979).
+
+use crate::alg::RelAlg;
+use crate::ctx::Ctx;
+use crate::model::MemoryModel;
+
+/// The SC model: all communication and program order embed in one total
+/// order, i.e. `acyclic(rf ∪ co ∪ fr ∪ po)`.
+///
+/// Only RI applies (Table 2): there are no fences, orders, dependencies, or
+/// RMW primitives to weaken.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Sc;
+
+impl Sc {
+    /// Creates the model.
+    pub fn new() -> Sc {
+        Sc
+    }
+}
+
+impl MemoryModel for Sc {
+    fn name(&self) -> &'static str {
+        "SC"
+    }
+
+    fn axioms(&self) -> &'static [&'static str] {
+        &["sc_per_loc", "causality"]
+    }
+
+    fn axiom<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>, axiom: &str) -> A::B {
+        match axiom {
+            "sc_per_loc" => {
+                let com = ctx.com(alg);
+                let pl = ctx.po_loc(alg);
+                let u = alg.union(&com, &pl);
+                alg.acyclic(&u)
+            }
+            "causality" => {
+                let com = ctx.com(alg);
+                let u = alg.union(&com, &ctx.po);
+                alg.acyclic(&u)
+            }
+            other => panic!("SC has no axiom {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::ConcreteAlg;
+    use crate::ctx::concrete_ctx;
+    use litsynth_litmus::suites::classics;
+    use litsynth_litmus::Execution;
+
+    fn observable(test: &litsynth_litmus::LitmusTest, o: &litsynth_litmus::Outcome) -> bool {
+        let sc = Sc::new();
+        let mut alg = ConcreteAlg;
+        Execution::enumerate(test).iter().any(|e| {
+            o.matches(&e.outcome()) && sc.valid(&mut alg, &concrete_ctx(test, e, &[]))
+        })
+    }
+
+    #[test]
+    fn sc_forbids_all_classic_relaxations() {
+        for (t, o) in [
+            classics::mp(),
+            classics::sb(),
+            classics::lb(),
+            classics::s(),
+            classics::r(),
+            classics::two_plus_two_w(),
+            classics::wrc(),
+            classics::iriw(),
+            classics::corr(),
+            classics::coww(),
+            classics::corw(),
+            classics::colb(),
+        ] {
+            assert!(!observable(&t, &o), "{} must be forbidden under SC", t.name());
+        }
+    }
+
+    #[test]
+    fn sc_allows_benign_outcomes() {
+        // MP with the message seen: r_y=1 ∧ r_x=1.
+        let (t, _) = classics::mp();
+        let o = classics::oc([(2, Some(1)), (3, Some(0))], []);
+        assert!(observable(&t, &o));
+        // And the all-zero pre-read.
+        let o = classics::oc([(2, None), (3, None)], []);
+        assert!(observable(&t, &o));
+    }
+
+    #[test]
+    fn only_ri_applies() {
+        use crate::model::RelaxKind;
+        assert_eq!(Sc::new().relaxations(), vec![RelaxKind::Ri]);
+    }
+}

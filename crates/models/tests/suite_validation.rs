@@ -1,0 +1,42 @@
+//! Cross-validation: every status claimed by the reference suites must match
+//! the corresponding model oracle. This pins the suite encodings to the
+//! models (and vice versa) — an error in either cannot survive `cargo test`.
+
+use litsynth_litmus::suites::{cambridge, owens};
+use litsynth_models::{oracle, Power, Tso};
+
+#[test]
+fn owens_suite_statuses_match_tso_oracle() {
+    let tso = Tso::new();
+    let mut bad = Vec::new();
+    for e in owens::suite() {
+        let forbidden = oracle::forbidden(&tso, &e.test, &e.outcome);
+        if forbidden != e.forbidden {
+            bad.push(format!(
+                "{}: claimed {} but oracle says {}",
+                e.test.name(),
+                if e.forbidden { "forbidden" } else { "allowed" },
+                if forbidden { "forbidden" } else { "allowed" },
+            ));
+        }
+    }
+    assert!(bad.is_empty(), "mismatches:\n{}", bad.join("\n"));
+}
+
+#[test]
+fn cambridge_suite_statuses_match_power_oracle() {
+    let power = Power::new();
+    let mut bad = Vec::new();
+    for e in cambridge::suite() {
+        let forbidden = oracle::forbidden(&power, &e.test, &e.outcome);
+        if forbidden != e.forbidden {
+            bad.push(format!(
+                "{}: claimed {} but oracle says {}",
+                e.test.name(),
+                if e.forbidden { "forbidden" } else { "allowed" },
+                if forbidden { "forbidden" } else { "allowed" },
+            ));
+        }
+    }
+    assert!(bad.is_empty(), "mismatches:\n{}", bad.join("\n"));
+}

@@ -1,0 +1,349 @@
+//! CNF compilation (Tseitin) and instance enumeration.
+
+use crate::circuit::{Bit, Circuit, Node};
+use litsynth_sat::{Lit, SolveResult, Solver, Var};
+
+/// A satisfying assignment to the circuit inputs.
+///
+/// Inputs that never reached the solver (unconstrained) default to `false`,
+/// which is always a legal completion.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    inputs: Vec<bool>,
+}
+
+impl Instance {
+    /// The value of input `idx`.
+    pub fn input(&self, idx: usize) -> bool {
+        self.inputs.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Evaluates an arbitrary circuit bit under this instance.
+    pub fn eval(&self, c: &Circuit, bit: Bit) -> bool {
+        let mut memo: Vec<Option<bool>> = vec![None; c.num_nodes()];
+        self.eval_memo(c, bit, &mut memo)
+    }
+
+    /// Evaluates many bits, sharing the memo table.
+    pub fn eval_many(&self, c: &Circuit, bits: &[Bit]) -> Vec<bool> {
+        let mut memo: Vec<Option<bool>> = vec![None; c.num_nodes()];
+        bits.iter().map(|&b| self.eval_memo(c, b, &mut memo)).collect()
+    }
+
+    fn eval_memo(&self, c: &Circuit, bit: Bit, memo: &mut [Option<bool>]) -> bool {
+        // Iterative DFS to avoid deep recursion on large circuits.
+        let mut stack = vec![bit.node()];
+        while let Some(&n) = stack.last() {
+            if memo[n].is_some() {
+                stack.pop();
+                continue;
+            }
+            match c.node(n) {
+                Node::ConstTrue => {
+                    memo[n] = Some(true);
+                    stack.pop();
+                }
+                Node::Input(i) => {
+                    memo[n] = Some(self.input(i as usize));
+                    stack.pop();
+                }
+                Node::And(a, b) => {
+                    let (na, nb) = (a.node(), b.node());
+                    match (memo[na], memo[nb]) {
+                        (Some(va), Some(vb)) => {
+                            let ra = va ^ a.is_negated();
+                            let rb = vb ^ b.is_negated();
+                            memo[n] = Some(ra && rb);
+                            stack.pop();
+                        }
+                        (None, _) => stack.push(na),
+                        (_, None) => stack.push(nb),
+                    }
+                }
+            }
+        }
+        memo[bit.node()].expect("evaluated") ^ bit.is_negated()
+    }
+}
+
+/// Translates circuit formulas to CNF and enumerates satisfying instances.
+///
+/// The typical enumeration loop is:
+///
+/// ```ignore
+/// let mut finder = Finder::new(&circuit);
+/// while let Some(inst) = finder.next_instance(&circuit, &asserts) {
+///     /* extract a model instance */
+///     finder.block(&circuit, &inst, &observable_bits);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Finder {
+    solver: Solver,
+    node_var: Vec<Option<Var>>,
+    const_true: Option<Var>,
+    input_of_var: Vec<Option<usize>>,
+}
+
+impl Finder {
+    /// Creates a finder for (the current state of) `circuit`.
+    ///
+    /// The circuit may keep growing afterwards; translation is demand-driven.
+    pub fn new(circuit: &Circuit) -> Finder {
+        let _ = circuit;
+        Finder {
+            solver: Solver::new(),
+            node_var: Vec::new(),
+            const_true: None,
+            input_of_var: Vec::new(),
+        }
+    }
+
+    /// Statistics from the underlying SAT solver.
+    pub fn solver_stats(&self) -> litsynth_sat::SolverStats {
+        self.solver.stats()
+    }
+
+    /// Number of CNF variables allocated so far.
+    pub fn num_cnf_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    /// Number of CNF clauses added so far.
+    pub fn num_cnf_clauses(&self) -> usize {
+        self.solver.num_clauses()
+    }
+
+    /// The CNF literal equivalent to `bit`, creating Tseitin definitions on
+    /// demand.
+    pub fn lit_of(&mut self, c: &Circuit, bit: Bit) -> Lit {
+        if self.node_var.len() < c.num_nodes() {
+            self.node_var.resize(c.num_nodes(), None);
+        }
+        // Iterative post-order translation.
+        let mut stack = vec![bit.node()];
+        while let Some(&n) = stack.last() {
+            if self.node_var[n].is_some() {
+                stack.pop();
+                continue;
+            }
+            match c.node(n) {
+                Node::ConstTrue => {
+                    let v = *self.const_true.get_or_insert_with(|| {
+                        let v = self.solver.new_var();
+                        self.input_of_var.push(None);
+                        self.solver.add_clause([Lit::pos(v)]);
+                        v
+                    });
+                    self.node_var[n] = Some(v);
+                    stack.pop();
+                }
+                Node::Input(i) => {
+                    let v = self.solver.new_var();
+                    self.input_of_var.push(Some(i as usize));
+                    self.node_var[n] = Some(v);
+                    stack.pop();
+                }
+                Node::And(a, b) => {
+                    let (na, nb) = (a.node(), b.node());
+                    if self.node_var[na].is_none() {
+                        stack.push(na);
+                        continue;
+                    }
+                    if self.node_var[nb].is_none() {
+                        stack.push(nb);
+                        continue;
+                    }
+                    let la = Lit::new(self.node_var[na].unwrap(), !a.is_negated());
+                    let lb = Lit::new(self.node_var[nb].unwrap(), !b.is_negated());
+                    let v = self.solver.new_var();
+                    self.input_of_var.push(None);
+                    // v ↔ la ∧ lb
+                    self.solver.add_clause([Lit::neg(v), la]);
+                    self.solver.add_clause([Lit::neg(v), lb]);
+                    self.solver.add_clause([Lit::pos(v), !la, !lb]);
+                    self.node_var[n] = Some(v);
+                    stack.pop();
+                }
+            }
+        }
+        Lit::new(self.node_var[bit.node()].unwrap(), !bit.is_negated())
+    }
+
+    /// Finds the next instance satisfying all `asserts`, or `None`.
+    ///
+    /// The assertions are passed as solver assumptions, so they constrain
+    /// only this call; blocking clauses added via [`Finder::block`] persist.
+    pub fn next_instance(&mut self, c: &Circuit, asserts: &[Bit]) -> Option<Instance> {
+        let mut assumptions = Vec::with_capacity(asserts.len());
+        for &a in asserts {
+            if a == Circuit::FALSE {
+                return None;
+            }
+            if a == Circuit::TRUE {
+                continue;
+            }
+            assumptions.push(self.lit_of(c, a));
+        }
+        match self.solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Unsat => None,
+            SolveResult::Sat => {
+                let mut inputs = vec![false; c.num_inputs()];
+                for (vi, &input) in self.input_of_var.iter().enumerate() {
+                    if let Some(i) = input {
+                        if let Some(val) = self.solver.value(Var::from_index(vi)) {
+                            inputs[i] = val;
+                        }
+                    }
+                }
+                Some(Instance { inputs })
+            }
+        }
+    }
+
+    /// Permanently excludes every instance that agrees with `inst` on all of
+    /// the `observed` bits.
+    pub fn block(&mut self, c: &Circuit, inst: &Instance, observed: &[Bit]) {
+        let mut clause = Vec::with_capacity(observed.len());
+        for &b in observed {
+            if b == Circuit::TRUE || b == Circuit::FALSE {
+                continue; // a constant can never differ
+            }
+            let lit = self.lit_of(c, b);
+            let val = inst.eval(c, b);
+            clause.push(if val { !lit } else { lit });
+        }
+        self.solver.add_clause(clause);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{Matrix1, Matrix2};
+
+    #[test]
+    fn sat_and_unsat_roots() {
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let y = c.input("y");
+        let both = c.and(x, y);
+        let mut f = Finder::new(&c);
+        let inst = f.next_instance(&c, &[both]).expect("x∧y is satisfiable");
+        assert!(inst.eval(&c, x));
+        assert!(inst.eval(&c, y));
+        let contradiction = c.and(x, x.not());
+        assert!(f.next_instance(&c, &[contradiction]).is_none());
+    }
+
+    #[test]
+    fn constants_as_asserts() {
+        let c = Circuit::new();
+        let mut f = Finder::new(&c);
+        assert!(f.next_instance(&c, &[Circuit::TRUE]).is_some());
+        assert!(f.next_instance(&c, &[Circuit::FALSE]).is_none());
+    }
+
+    #[test]
+    fn enumeration_counts_models() {
+        // x ∨ y: 3 models over observed {x, y}.
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let y = c.input("y");
+        let root = c.or(x, y);
+        let mut f = Finder::new(&c);
+        let mut n = 0;
+        while let Some(inst) = f.next_instance(&c, &[root]) {
+            n += 1;
+            f.block(&c, &inst, &[x, y]);
+            assert!(n <= 3);
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn blocking_on_derived_bits() {
+        // Observe only x⊕y: two classes {same, different}.
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let y = c.input("y");
+        let obs = c.xor(x, y);
+        let mut f = Finder::new(&c);
+        let mut n = 0;
+        while let Some(inst) = f.next_instance(&c, &[Circuit::TRUE]) {
+            n += 1;
+            f.block(&c, &inst, &[obs]);
+            assert!(n <= 2);
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn assumptions_do_not_persist_across_queries() {
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let mut f = Finder::new(&c);
+        assert!(f.next_instance(&c, &[x]).is_some());
+        assert!(f.next_instance(&c, &[x.not()]).is_some());
+        assert!(f.next_instance(&c, &[x]).is_some());
+    }
+
+    #[test]
+    fn instance_eval_matches_solver() {
+        let mut c = Circuit::new();
+        let xs: Vec<Bit> = (0..4).map(|i| c.input(format!("x{i}"))).collect();
+        let f1 = c.xor(xs[0], xs[1]);
+        let f2 = c.ite(xs[2], f1, xs[3]);
+        let root = c.and(f2, xs[0]);
+        let mut f = Finder::new(&c);
+        let inst = f.next_instance(&c, &[root]).expect("satisfiable");
+        assert!(inst.eval(&c, root));
+        assert!(inst.eval(&c, xs[0]));
+    }
+
+    #[test]
+    fn count_permutation_matrices() {
+        // Bijections on 3 atoms: 3! = 6.
+        let mut c = Circuit::new();
+        let r = Matrix2::free(&mut c, 3, 3, "r");
+        let func = r.is_function(&mut c);
+        let inj = r.is_injective(&mut c);
+        let total: Vec<Bit> = (0..3)
+            .map(|i| {
+                let row: Vec<Bit> = (0..3).map(|j| r.get(i, j)).collect();
+                c.or_many(row)
+            })
+            .collect();
+        let all_total = c.and_many(total);
+        let asserts = vec![func, inj, all_total];
+        let observed: Vec<Bit> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| r.get(i, j))
+            .collect();
+        let mut f = Finder::new(&c);
+        let mut n = 0;
+        while let Some(inst) = f.next_instance(&c, &asserts) {
+            n += 1;
+            f.block(&c, &inst, &observed);
+            assert!(n <= 6);
+        }
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn subset_enumeration() {
+        // Subsets of a 4-atom sort that contain atom 0: 8.
+        let mut c = Circuit::new();
+        let s = Matrix1::free(&mut c, 4, "s");
+        let has0 = s.get(0);
+        let observed: Vec<Bit> = (0..4).map(|i| s.get(i)).collect();
+        let mut f = Finder::new(&c);
+        let mut n = 0;
+        while let Some(inst) = f.next_instance(&c, &[has0]) {
+            n += 1;
+            f.block(&c, &inst, &observed);
+            assert!(n <= 8);
+        }
+        assert_eq!(n, 8);
+    }
+}

@@ -1,0 +1,297 @@
+//! The concurrent test executor.
+
+use crate::map::{executability, fence_ordering, load_ordering, rmw_ordering, store_ordering, Unsupported};
+use litsynth_litmus::{Addr, Instr, LitmusTest, Outcome};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Barrier;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Number of iterations (each is one synchronized execution).
+    pub iterations: usize,
+    /// Upper bound on the random pre-run spin (adds interleaving jitter —
+    /// the cheap cousin of the "external stressors" the paper cites).
+    pub max_prerun_spin: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { iterations: 10_000, max_prerun_spin: 64 }
+    }
+}
+
+/// Why a run could not start.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// The test uses a feature with no native mapping.
+    Unsupported(Unsupported),
+    /// The test has no events.
+    Empty,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Unsupported(u) => write!(f, "unsupported test: {u}"),
+            RunError::Empty => write!(f, "empty test"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The observation histogram of a run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Complete outcomes and how often each was observed.
+    pub histogram: BTreeMap<Outcome, u64>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl RunReport {
+    /// Number of iterations whose outcome matches the (possibly partial)
+    /// `outcome`.
+    pub fn count_matching(&self, outcome: &Outcome) -> u64 {
+        self.histogram
+            .iter()
+            .filter(|(full, _)| outcome.matches(full))
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Number of distinct complete outcomes observed.
+    pub fn distinct(&self) -> usize {
+        self.histogram.len()
+    }
+
+    /// Renders the histogram against the test.
+    pub fn display(&self, test: &LitmusTest) -> String {
+        let mut s = String::new();
+        for (o, c) in &self.histogram {
+            s.push_str(&format!("{:>9}  {}\n", c, o.display(test)));
+        }
+        s
+    }
+}
+
+/// Runs `test` for `cfg.iterations` synchronized iterations.
+///
+/// # Errors
+///
+/// Fails fast if the test uses unmappable features (see
+/// [`executability`]).
+pub fn run(test: &LitmusTest, cfg: &RunConfig) -> Result<RunReport, RunError> {
+    executability(test).map_err(RunError::Unsupported)?;
+    if test.num_events() == 0 {
+        return Err(RunError::Empty);
+    }
+    let n_threads = test.num_threads();
+    let n_addrs = test
+        .addresses()
+        .iter()
+        .map(|a| a.0 as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let locations: Vec<AtomicU32> = (0..n_addrs).map(|_| AtomicU32::new(0)).collect();
+    // Per-thread read logs, one slot per instruction (only reads used).
+    let logs: Vec<Vec<AtomicU32>> = test
+        .threads()
+        .iter()
+        .map(|t| (0..t.len()).map(|_| AtomicU32::new(0)).collect())
+        .collect();
+    let start = Barrier::new(n_threads);
+    let go = Barrier::new(n_threads);
+    let done = Barrier::new(n_threads);
+
+    let mut histogram: BTreeMap<Outcome, u64> = BTreeMap::new();
+    {
+        let hist = std::sync::Mutex::new(&mut histogram);
+        std::thread::scope(|scope| {
+            for tid in 0..n_threads {
+                let locations = &locations;
+                let logs = &logs;
+                let start = &start;
+                let go = &go;
+                let done = &done;
+                let hist = &hist;
+                let body: Vec<Instr> = test.threads()[tid].clone();
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let mut rng: u32 = 0x9E3779B9u32.wrapping_mul(tid as u32 + 1) | 1;
+                    for _ in 0..cfg.iterations {
+                        let leading = start.wait().is_leader();
+                        if leading {
+                            for l in locations {
+                                l.store(0, Ordering::Relaxed);
+                            }
+                        }
+                        go.wait();
+                        // Jitter.
+                        if cfg.max_prerun_spin > 0 {
+                            rng ^= rng << 13;
+                            rng ^= rng >> 17;
+                            rng ^= rng << 5;
+                            for _ in 0..(rng % cfg.max_prerun_spin) {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        // The test body.
+                        for (idx, i) in body.iter().enumerate() {
+                            match *i {
+                                Instr::Load { addr, order, .. } => {
+                                    let v = locations[addr.0 as usize].load(load_ordering(order));
+                                    logs[tid][idx].store(v, Ordering::Relaxed);
+                                }
+                                Instr::Store { addr, order, .. } => {
+                                    let gid = test.gid(tid, idx);
+                                    locations[addr.0 as usize]
+                                        .store(test.write_value(gid), store_ordering(order));
+                                }
+                                Instr::Rmw { addr, order, .. } => {
+                                    let gid = test.gid(tid, idx);
+                                    let old = locations[addr.0 as usize]
+                                        .swap(test.write_value(gid), rmw_ordering(order));
+                                    logs[tid][idx].store(old, Ordering::Relaxed);
+                                }
+                                Instr::Fence { kind, .. } => {
+                                    std::sync::atomic::fence(fence_ordering(kind));
+                                }
+                            }
+                        }
+                        let fin = done.wait();
+                        if fin.is_leader() {
+                            let outcome = collect_outcome(test, locations, logs);
+                            *hist.lock().unwrap().entry(outcome).or_insert(0) += 1;
+                        }
+                    }
+                });
+            }
+        });
+    }
+    Ok(RunReport { histogram, iterations: cfg.iterations })
+}
+
+fn collect_outcome(
+    test: &LitmusTest,
+    locations: &[AtomicU32],
+    logs: &[Vec<AtomicU32>],
+) -> Outcome {
+    let mut rf = BTreeMap::new();
+    for &r in &test.reads() {
+        let tid = test.thread_of(r);
+        let idx = test.index_of(r);
+        let v = logs[tid][idx].load(Ordering::Relaxed);
+        let addr = test.instr(r).addr().expect("reads have addresses");
+        let src = if v == 0 { None } else { Some(test.write_with_value(addr, v)) };
+        rf.insert(r, src);
+    }
+    let mut finals = BTreeMap::new();
+    for a in test.addresses() {
+        let ws = test.writes_to(a);
+        if ws.is_empty() {
+            continue;
+        }
+        let v = locations[a.0 as usize].load(Ordering::Relaxed);
+        debug_assert!(v > 0, "a written location cannot finish at 0");
+        finals.insert(Addr(a.0), test.write_with_value(a, v));
+    }
+    Outcome { rf, finals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litsynth_litmus::suites::classics;
+    use litsynth_litmus::MemOrder;
+    use litsynth_models::{oracle, C11};
+
+    fn quick(iterations: usize) -> RunConfig {
+        RunConfig { iterations, max_prerun_spin: 32 }
+    }
+
+    #[test]
+    fn mp_rel_acq_never_shows_the_weak_outcome() {
+        let (t, weak) = classics::mp_rel_acq();
+        let r = run(&t, &quick(20_000)).unwrap();
+        assert_eq!(r.count_matching(&weak), 0, "{}", r.display(&t));
+        // Counts add up.
+        let total: u64 = r.histogram.values().sum();
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn sb_with_sc_accesses_never_shows_both_zero() {
+        let t = litsynth_litmus::LitmusTest::new(
+            "SB+scs",
+            vec![
+                vec![
+                    Instr::store_ord(0, MemOrder::SeqCst),
+                    Instr::load_ord(1, MemOrder::SeqCst),
+                ],
+                vec![
+                    Instr::store_ord(1, MemOrder::SeqCst),
+                    Instr::load_ord(0, MemOrder::SeqCst),
+                ],
+            ],
+        );
+        let weak = classics::oc([(1, None), (3, None)], []);
+        let r = run(&t, &quick(20_000)).unwrap();
+        assert_eq!(r.count_matching(&weak), 0, "{}", r.display(&t));
+    }
+
+    #[test]
+    fn rmw_atomicity_holds_natively() {
+        // Two competing swaps can never both read the initial value.
+        let (t, violation) = classics::rmw_rmw();
+        let r = run(&t, &quick(20_000)).unwrap();
+        assert_eq!(r.count_matching(&violation), 0, "{}", r.display(&t));
+    }
+
+    #[test]
+    fn coherence_holds_natively() {
+        let (t, violation) = classics::coww();
+        let r = run(&t, &quick(5_000)).unwrap();
+        assert_eq!(r.count_matching(&violation), 0);
+    }
+
+    #[test]
+    fn every_observed_outcome_is_c11_observable() {
+        // The C11 fragment must be weaker than (or equal to) whatever the
+        // host toolchain+hardware produce: nothing observed may be
+        // model-forbidden. This differentially tests the model against
+        // reality.
+        let m = C11::new();
+        for (t, _) in [classics::mp(), classics::sb(), classics::mp_rel_acq(), classics::iriw()] {
+            let r = run(&t, &quick(5_000)).unwrap();
+            for o in r.histogram.keys() {
+                assert!(
+                    oracle::observable(&m, &t, o),
+                    "{}: observed outcome {} is C11-forbidden!",
+                    t.name(),
+                    o.display(&t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_tests_are_rejected() {
+        let (t, _) = classics::lb_addrs();
+        assert!(matches!(run(&t, &quick(10)), Err(RunError::Unsupported(_))));
+    }
+
+    #[test]
+    fn histogram_is_deterministically_complete_for_single_thread() {
+        let (t, _) = classics::coww();
+        let r = run(&t, &quick(100)).unwrap();
+        // One thread ⇒ exactly one possible outcome.
+        assert_eq!(r.distinct(), 1);
+        let (o, &c) = r.histogram.iter().next().unwrap();
+        assert_eq!(c, 100);
+        // The final value is the program-order-last write.
+        assert_eq!(o.finals[&Addr(0)], 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # litsynth-runner
+//!
+//! Executes litmus tests as *real concurrent programs* on the host machine,
+//! mapping the C11-fragment vocabulary onto Rust's `std::sync::atomic`
+//! operations — the downstream half of the paper's pipeline ("these tests
+//! can then be fed into any existing testing infrastructure", §1).
+//!
+//! Each iteration resets the shared locations, releases all threads from a
+//! barrier simultaneously (the classic litmus stressor), executes every
+//! thread's instructions, and records the observed [`Outcome`](litsynth_litmus::Outcome) (what each
+//! read returned, and each location's final value). Histograms over many
+//! iterations can then be checked against a model: observing an outcome
+//! the model forbids is a (model or toolchain) soundness violation.
+//!
+//! # Example
+//!
+//! ```
+//! use litsynth_litmus::suites::classics;
+//! use litsynth_runner::{run, RunConfig};
+//!
+//! let (mp, weak) = classics::mp_rel_acq();
+//! let report = run(&mp, &RunConfig { iterations: 2_000, ..RunConfig::default() }).unwrap();
+//! // Release/acquire MP: the weak outcome must never appear.
+//! assert_eq!(report.count_matching(&weak), 0);
+//! ```
+
+mod exec;
+mod map;
+
+pub use exec::{run, RunConfig, RunError, RunReport};
+pub use map::{executability, Unsupported};

@@ -1,0 +1,151 @@
+//! Mapping litmus vocabulary onto Rust atomics, and the executability
+//! check.
+
+use litsynth_litmus::{FenceKind, Instr, LitmusTest, MemOrder};
+use std::sync::atomic::Ordering;
+
+/// Why a test cannot be executed natively.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Unsupported {
+    /// Explicit dependency edges cannot be enforced from safe Rust (the
+    /// compiler is free to break syntactic dependencies).
+    Dependencies,
+    /// Two-instruction RMW pairs (LL/SC) have no Rust equivalent; use
+    /// single-instruction RMWs instead.
+    RmwPairs,
+    /// `lwsync` has no Rust mapping (Rust exposes the C11 fence ladder).
+    LightweightFence,
+    /// `memory_order_consume` is not exposed by Rust.
+    Consume,
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unsupported::Dependencies => write!(f, "dependency edges are not enforceable"),
+            Unsupported::RmwPairs => write!(f, "LL/SC pairs are not expressible"),
+            Unsupported::LightweightFence => write!(f, "lwsync has no Rust mapping"),
+            Unsupported::Consume => write!(f, "consume ordering is not exposed"),
+        }
+    }
+}
+
+/// Checks that every feature of `test` maps onto Rust atomics.
+///
+/// # Errors
+///
+/// Returns the first unsupported feature.
+pub fn executability(test: &LitmusTest) -> Result<(), Unsupported> {
+    if !test.deps().is_empty() {
+        return Err(Unsupported::Dependencies);
+    }
+    if !test.rmw_pairs().is_empty() {
+        return Err(Unsupported::RmwPairs);
+    }
+    for g in 0..test.num_events() {
+        match test.instr(g) {
+            Instr::Fence { kind: FenceKind::Lightweight, .. } => {
+                return Err(Unsupported::LightweightFence)
+            }
+            i => {
+                if i.order() == Some(MemOrder::Consume) {
+                    return Err(Unsupported::Consume);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rust ordering for a load.
+pub(crate) fn load_ordering(o: MemOrder) -> Ordering {
+    match o {
+        MemOrder::Relaxed => Ordering::Relaxed,
+        MemOrder::Acquire | MemOrder::AcqRel => Ordering::Acquire,
+        MemOrder::SeqCst => Ordering::SeqCst,
+        // Release on a load / consume are rejected by `executability` or
+        // never constructed; degrade safely.
+        MemOrder::Release | MemOrder::Consume => Ordering::Relaxed,
+    }
+}
+
+/// Rust ordering for a store.
+pub(crate) fn store_ordering(o: MemOrder) -> Ordering {
+    match o {
+        MemOrder::Relaxed => Ordering::Relaxed,
+        MemOrder::Release | MemOrder::AcqRel => Ordering::Release,
+        MemOrder::SeqCst => Ordering::SeqCst,
+        MemOrder::Acquire | MemOrder::Consume => Ordering::Relaxed,
+    }
+}
+
+/// Rust ordering for a single-instruction RMW (`swap`).
+pub(crate) fn rmw_ordering(o: MemOrder) -> Ordering {
+    match o {
+        MemOrder::Relaxed => Ordering::Relaxed,
+        MemOrder::Acquire => Ordering::Acquire,
+        MemOrder::Release => Ordering::Release,
+        MemOrder::AcqRel => Ordering::AcqRel,
+        MemOrder::SeqCst => Ordering::SeqCst,
+        MemOrder::Consume => Ordering::Relaxed,
+    }
+}
+
+/// Rust ordering for a fence.
+pub(crate) fn fence_ordering(k: FenceKind) -> Ordering {
+    match k {
+        FenceKind::Full => Ordering::SeqCst,
+        FenceKind::AcqRel => Ordering::AcqRel,
+        FenceKind::Acquire => Ordering::Acquire,
+        FenceKind::Release => Ordering::Release,
+        // Rejected by `executability`.
+        FenceKind::Lightweight => Ordering::SeqCst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litsynth_litmus::suites::classics;
+    use litsynth_litmus::{DepKind, LitmusTest};
+
+    #[test]
+    fn classics_are_executable() {
+        for (t, _) in [classics::mp(), classics::mp_rel_acq(), classics::sb_fences(), classics::iriw(), classics::rmw_rmw()]
+        {
+            assert_eq!(executability(&t), Ok(()), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn unsupported_features_are_rejected() {
+        let (t, _) = classics::lb_addrs();
+        assert_eq!(executability(&t), Err(Unsupported::Dependencies));
+
+        let t = LitmusTest::new(
+            "pair",
+            vec![vec![Instr::load(0), Instr::store(0)]],
+        )
+        .with_rmw_pair(0, 0);
+        assert_eq!(executability(&t), Err(Unsupported::RmwPairs));
+
+        let t = LitmusTest::new(
+            "lw",
+            vec![vec![Instr::store(0), Instr::fence(FenceKind::Lightweight), Instr::store(1)]],
+        );
+        assert_eq!(executability(&t), Err(Unsupported::LightweightFence));
+
+        let t = LitmusTest::new("cons", vec![vec![Instr::load_ord(0, MemOrder::Consume)]]);
+        assert_eq!(executability(&t), Err(Unsupported::Consume));
+        let _ = DepKind::Addr;
+    }
+
+    #[test]
+    fn ordering_maps() {
+        assert_eq!(load_ordering(MemOrder::Acquire), Ordering::Acquire);
+        assert_eq!(store_ordering(MemOrder::Release), Ordering::Release);
+        assert_eq!(rmw_ordering(MemOrder::AcqRel), Ordering::AcqRel);
+        assert_eq!(fence_ordering(FenceKind::Full), Ordering::SeqCst);
+        assert_eq!(load_ordering(MemOrder::SeqCst), Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,177 @@
+//! Indexed binary max-heap ordered by variable activity (VSIDS).
+//!
+//! The heap stores variable indices and supports `decrease`/`increase` key
+//! updates in `O(log n)` via a position index, which a plain
+//! `std::collections::BinaryHeap` cannot do.
+
+/// A binary max-heap over `usize` keys with an external score array.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ActivityHeap {
+    heap: Vec<usize>,
+    /// `pos[k]` is the index of key `k` in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl ActivityHeap {
+    #[cfg(test)]
+    pub(crate) fn new() -> Self {
+        ActivityHeap::default()
+    }
+
+    /// Grows the position index to accommodate keys `< n`.
+    pub(crate) fn reserve_keys(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    pub(crate) fn contains(&self, key: usize) -> bool {
+        self.pos.get(key).copied().unwrap_or(ABSENT) != ABSENT
+    }
+
+    /// Inserts `key`; no-op if already present.
+    pub(crate) fn insert(&mut self, key: usize, score: &[f64]) {
+        self.reserve_keys(key + 1);
+        if self.contains(key) {
+            return;
+        }
+        self.pos[key] = self.heap.len();
+        self.heap.push(key);
+        self.sift_up(self.heap.len() - 1, score);
+    }
+
+    /// Removes and returns the key with the highest score.
+    pub(crate) fn pop_max(&mut self, score: &[f64]) -> Option<usize> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 0;
+            self.sift_down(0, score);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `key`'s score increased.
+    pub(crate) fn increased(&mut self, key: usize, score: &[f64]) {
+        if let Some(&p) = self.pos.get(key) {
+            if p != ABSENT {
+                self.sift_up(p, score);
+            }
+        }
+    }
+
+    /// Rebuilds the heap after all scores were rescaled uniformly.
+    /// Uniform rescaling preserves order, so this is a no-op; provided for
+    /// symmetry with solvers that use non-uniform decay.
+    pub(crate) fn rescaled(&mut self) {}
+
+    fn sift_up(&mut self, mut i: usize, score: &[f64]) {
+        let key = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if score[self.heap[parent]] >= score[key] {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.pos[self.heap[i]] = i;
+            i = parent;
+        }
+        self.heap[i] = key;
+        self.pos[key] = i;
+    }
+
+    fn sift_down(&mut self, mut i: usize, score: &[f64]) {
+        let key = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < n && score[self.heap[right]] > score[self.heap[left]] {
+                right
+            } else {
+                left
+            };
+            if score[self.heap[child]] <= score[key] {
+                break;
+            }
+            self.heap[i] = self.heap[child];
+            self.pos[self.heap[i]] = i;
+            i = child;
+        }
+        self.heap[i] = key;
+        self.pos[key] = i;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, score: &[f64]) {
+        for (i, &k) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[k], i);
+            if i > 0 {
+                assert!(score[self.heap[(i - 1) / 2]] >= score[k]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_order_is_descending_by_score() {
+        let score = vec![0.5, 3.0, 1.0, 2.0, 0.0];
+        let mut h = ActivityHeap::new();
+        for k in 0..score.len() {
+            h.insert(k, &score);
+            h.check_invariants(&score);
+        }
+        let mut out = Vec::new();
+        while let Some(k) = h.pop_max(&score) {
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let score = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.insert(0, &score);
+        h.insert(1, &score);
+        assert_eq!(h.pop_max(&score), Some(1));
+        assert!(!h.contains(1));
+        h.insert(1, &score);
+        assert!(h.contains(1));
+        assert_eq!(h.pop_max(&score), Some(1));
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let score = vec![1.0];
+        let mut h = ActivityHeap::new();
+        h.insert(0, &score);
+        h.insert(0, &score);
+        assert_eq!(h.pop_max(&score), Some(0));
+        assert_eq!(h.pop_max(&score), None);
+    }
+
+    #[test]
+    fn increased_restores_order() {
+        let mut score = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for k in 0..3 {
+            h.insert(k, &score);
+        }
+        score[0] = 10.0;
+        h.increased(0, &score);
+        h.check_invariants(&score);
+        assert_eq!(h.pop_max(&score), Some(0));
+    }
+}

@@ -1,0 +1,73 @@
+//! # litsynth-sat
+//!
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This crate is the bottom layer of the `litsynth` stack: the bounded
+//! relational model finder in `litsynth-relalg` compiles relational logic to
+//! CNF and uses this solver to enumerate model instances, exactly as the
+//! paper's Alloy → Kodkod → MiniSAT pipeline does.
+//!
+//! The solver implements the standard modern architecture:
+//!
+//! * two-watched-literal unit propagation,
+//! * first-UIP conflict analysis with clause minimization,
+//! * VSIDS variable activity with an indexed max-heap,
+//! * phase saving,
+//! * Luby-sequence restarts,
+//! * learnt-clause database reduction,
+//! * incremental solving under assumptions, and
+//! * incremental clause addition between `solve` calls (used for
+//!   blocking-clause model enumeration).
+//!
+//! # Example
+//!
+//! ```
+//! use litsynth_sat::{Solver, Lit};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! // (a ∨ b) ∧ (¬a ∨ b) — forces b.
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a), Lit::pos(b)]);
+//! assert!(s.solve().is_sat());
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+mod heap;
+mod solver;
+mod types;
+
+pub mod dimacs;
+
+pub use solver::{SolveResult, Solver, SolverStats};
+pub use types::{Lit, Var};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        s.add_clause([Lit::neg(a)]);
+        assert!(!s.solve().is_sat());
+    }
+}

@@ -1,0 +1,835 @@
+//! The CDCL solver proper.
+
+use crate::heap::ActivityHeap;
+use crate::types::{LBool, Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// `true` if the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        matches!(self, SolveResult::Sat)
+    }
+}
+
+/// Aggregate search statistics, useful for the benchmark harness.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 100;
+
+/// A CDCL SAT solver. See the crate-level documentation for an overview and
+/// example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    heap: ActivityHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<u32>>,
+    level: Vec<u32>,
+    qhead: usize,
+    ok: bool,
+    var_inc: f64,
+    cla_inc: f64,
+    seen: Vec<bool>,
+    model: Vec<LBool>,
+    stats: SolverStats,
+    n_learnts: usize,
+    max_learnts: f64,
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            ok: true,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnts: 1000.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v.index(), &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of original (non-learnt, non-deleted) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnts = self.n_learnts as u64;
+        s
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// May be called at any time, including between `solve` calls; this is how
+    /// blocking clauses are added during model enumeration. Returns `false` if
+    /// the formula has become trivially unsatisfiable.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut ls: Vec<Lit> = lits.into_iter().collect();
+        ls.sort();
+        ls.dedup();
+        // Detect tautologies and drop literals already false at level 0.
+        let mut filtered = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: l and ¬l both present
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_new_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. The assumptions hold only
+    /// for this call; subsequent calls start fresh.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.model.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let mut restart = 0u64;
+        loop {
+            let budget = RESTART_BASE * luby(restart);
+            match self.search(budget, assumptions) {
+                Some(r) => {
+                    self.cancel_until(0);
+                    return r;
+                }
+                None => {
+                    self.stats.restarts += 1;
+                    restart += 1;
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying assignment, or `None`
+    /// if the last solve was unsatisfiable (or never happened, or the variable
+    /// was created afterwards).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.model.get(v.index()) {
+            Some(LBool::True) => Some(true),
+            Some(LBool::False) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The value of a literal in the most recent satisfying assignment.
+    pub fn lit_model_value(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b == l.is_positive())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].under_sign(l.is_positive())
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(Watcher { cref, blocker: lits[1] });
+        self.watches[lits[1].code()].push(Watcher { cref, blocker: lits[0] });
+        if learnt {
+            self.n_learnts += 1;
+        }
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause reference, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ¬p must be inspected: ¬p just became false.
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                if self.clauses[cref].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize so the false literal is at index 1.
+                {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut found = None;
+                for k in 2..self.clauses[cref].lits.len() {
+                    let q = self.clauses[cref].lits[k];
+                    if self.lit_value(q) != LBool::False {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = found {
+                    let q = self.clauses[cref].lits[k];
+                    self.clauses[cref].lits.swap(1, k);
+                    self.watches[q.code()].push(Watcher { cref: w.cref, blocker: first });
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // No replacement: clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore the remaining watchers and bail.
+                    self.qhead = self.trail.len();
+                    self.watches[false_lit.code()] = ws;
+                    return Some(w.cref);
+                }
+                self.unchecked_enqueue(first, Some(w.cref));
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, target: usize) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.polarity[v] = l.is_positive();
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target);
+        self.qhead = lim;
+    }
+
+    fn var_bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+            self.heap.rescaled();
+        }
+        self.heap.increased(v, &self.activity);
+    }
+
+    fn clause_bump(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE_LIMIT {
+            for cl in &mut self.clauses {
+                cl.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting lit
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        let mut to_clear: Vec<usize> = Vec::new();
+        let dl = self.decision_level() as u32;
+
+        loop {
+            if self.clauses[confl as usize].learnt {
+                self.clause_bump(confl);
+            }
+            let start = if p.is_none() { 0 } else { 1 };
+            for j in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[j];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    to_clear.push(v);
+                    self.var_bump(v);
+                    if self.level[v] >= dl {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next implication-graph node to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision must have a reason");
+        }
+        learnt[0] = !p.expect("1UIP exists");
+
+        // Basic clause minimization: drop literals implied by the rest.
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            let keep = match self.reason[l.var().index()] {
+                None => true,
+                Some(r) => {
+                    let c = &self.clauses[r as usize];
+                    c.lits.iter().any(|&q| {
+                        q != !l && !self.seen[q.var().index()] && self.level[q.var().index()] > 0
+                    })
+                }
+            };
+            if keep {
+                learnt[j] = l;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+
+        // Backtrack level: highest level among the non-asserting literals.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+        (learnt, bt)
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v] == LBool::Undef {
+                return Some(Var(v as u32));
+            }
+        }
+        None
+    }
+
+    /// Deletes roughly half of the learnt clauses, lowest activity first.
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_locked(i)
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n_delete = learnt_refs.len() / 2;
+        for &cref in &learnt_refs[..n_delete] {
+            self.clauses[cref as usize].deleted = true;
+            self.n_learnts -= 1;
+        }
+        // Deleted clauses are pruned lazily from watch lists in `propagate`.
+    }
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let c = &self.clauses[cref as usize];
+        let first = c.lits[0];
+        self.lit_value(first) == LBool::True
+            && self.reason[first.var().index()] == Some(cref)
+    }
+
+    /// Runs CDCL search for up to `budget` conflicts.
+    ///
+    /// Returns `Some(result)` on a definitive answer, `None` when the conflict
+    /// budget was exhausted (caller restarts).
+    fn search(&mut self, budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                if self.decision_level() <= assumptions.len() {
+                    // Conflict among the assumptions themselves.
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                // Never backtrack past the assumption levels.
+                let bt = bt.max(self.trail_lim.len().min(assumptions.len()).min(bt));
+                self.cancel_until(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    if self.decision_level() == 0 {
+                        if self.lit_value(asserting) == LBool::False {
+                            self.ok = false;
+                            return Some(SolveResult::Unsat);
+                        }
+                        if self.lit_value(asserting) == LBool::Undef {
+                            self.unchecked_enqueue(asserting, None);
+                        }
+                    } else {
+                        // Backtracked to an assumption level with a unit
+                        // learnt clause: record it at level 0 next restart.
+                        if self.lit_value(asserting) == LBool::Undef {
+                            self.unchecked_enqueue(asserting, None);
+                        } else if self.lit_value(asserting) == LBool::False {
+                            return Some(SolveResult::Unsat);
+                        }
+                    }
+                } else {
+                    let cref = self.attach_new_clause(learnt, true);
+                    self.unchecked_enqueue(self.clauses[cref as usize].lits[0], Some(cref));
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+                if self.n_learnts as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+            } else {
+                if conflicts >= budget {
+                    return None; // restart
+                }
+                // Establish assumptions one level at a time.
+                if self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.lit_value(p) {
+                        LBool::True => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return Some(SolveResult::Unsat),
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(p, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        self.model = self.assigns.clone();
+                        return Some(SolveResult::Sat);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.polarity[v.index()];
+                        self.unchecked_enqueue(Lit::new(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+fn luby(mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, v: &mut Vec<Var>, i: usize, pos: bool) -> Lit {
+        while v.len() <= i {
+            v.push(s.new_var());
+        }
+        Lit::new(v[i], pos)
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        let vs: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
+        for w in vs.windows(2) {
+            s.add_clause([Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        s.add_clause([Lit::pos(vs[0])]);
+        assert!(s.solve().is_sat());
+        for &v in &vs {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: var p_{i,j} = pigeon i in hole j.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause([Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5;
+        let m = 4;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> =
+            (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_enumeration_with_blocking_clauses() {
+        // x ∨ y has exactly 3 models.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause([Lit::pos(x), Lit::pos(y)]);
+        let mut models = Vec::new();
+        while s.solve().is_sat() {
+            let mx = s.value(x).unwrap();
+            let my = s.value(y).unwrap();
+            models.push((mx, my));
+            s.add_clause([Lit::new(x, !mx), Lit::new(y, !my)]);
+        }
+        models.sort();
+        assert_eq!(models, vec![(false, true), (true, false), (true, true)]);
+    }
+
+    #[test]
+    fn assumptions_are_transient() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause([Lit::pos(x), Lit::pos(y)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(x), Lit::neg(y)]),
+            SolveResult::Unsat
+        );
+        // The assumptions must not persist.
+        assert!(s.solve().is_sat());
+        assert!(s
+            .solve_with_assumptions(&[Lit::neg(x)])
+            .is_sat());
+        assert_eq!(s.value(y), Some(true));
+    }
+
+    #[test]
+    fn tautology_and_duplicate_literals() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        assert!(s.add_clause([Lit::pos(x), Lit::neg(x)])); // tautology dropped
+        assert!(s.add_clause([Lit::pos(y), Lit::pos(y)])); // dedup to unit
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(y), Some(true));
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unsat_is_sticky_but_clause_add_reports_it() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        s.add_clause([Lit::pos(x)]);
+        s.add_clause([Lit::neg(x)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.add_clause([Lit::pos(x)]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn at_most_one_chain() {
+        // Exactly-one over 8 variables, 8 models.
+        let mut s = Solver::new();
+        let vs: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+        s.add_clause(vs.iter().map(|&v| Lit::pos(v)));
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                s.add_clause([Lit::neg(vs[i]), Lit::neg(vs[j])]);
+            }
+        }
+        let mut count = 0;
+        while s.solve().is_sat() {
+            count += 1;
+            let block: Vec<Lit> = vs
+                .iter()
+                .map(|&v| Lit::new(v, !s.value(v).unwrap()))
+                .collect();
+            s.add_clause(block);
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn graph_coloring_triangle() {
+        // Triangle 2-colorable: UNSAT. Triangle 3-colorable: SAT.
+        for (colors, expect_sat) in [(2usize, false), (3usize, true)] {
+            let mut s = Solver::new();
+            let v: Vec<Vec<Var>> = (0..3)
+                .map(|_| (0..colors).map(|_| s.new_var()).collect())
+                .collect();
+            for node in &v {
+                s.add_clause(node.iter().map(|&x| Lit::pos(x)));
+            }
+            for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+                for c in 0..colors {
+                    s.add_clause([Lit::neg(v[a][c]), Lit::neg(v[b][c])]);
+                }
+            }
+            assert_eq!(s.solve().is_sat(), expect_sat, "colors={colors}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let mut vars = Vec::new();
+        for i in 0..6 {
+            let a = lit(&mut s, &mut vars, i, true);
+            let b = lit(&mut s, &mut vars, (i + 1) % 6, false);
+            s.add_clause([a, b]);
+        }
+        s.solve();
+        assert!(s.stats().propagations > 0 || s.stats().decisions > 0);
+    }
+
+    /// Cross-check the CDCL solver against brute force on many small random
+    /// formulas. This is the key correctness test for the solver.
+    #[test]
+    fn random_formulas_match_brute_force() {
+        // Simple deterministic LCG so the test needs no external crates here.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..300 {
+            let n_vars = 3 + (next() % 6) as usize; // 3..8
+            let n_clauses = 2 + (next() % 20) as usize;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..n_clauses {
+                let len = 1 + (next() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(((next() as usize) % n_vars, next() % 2 == 0));
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << n_vars) {
+                for c in &clauses {
+                    if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = Solver::new();
+            let vs: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
+            for c in &clauses {
+                s.add_clause(c.iter().map(|&(v, pos)| Lit::new(vs[v], pos)));
+            }
+            let got = s.solve().is_sat();
+            assert_eq!(got, brute_sat, "round {round}: clauses {clauses:?}");
+            if got {
+                // The model must actually satisfy every clause.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&(v, pos)| s.value(vs[v]).unwrap() == pos),
+                        "model does not satisfy {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

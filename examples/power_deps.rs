@@ -1,0 +1,73 @@
+//! Explore Power's dependency semantics — the subtleties §6.2 highlights:
+//! address, data, control, and control+isync dependencies all behave
+//! differently, and the synthesizer enumerates every distinct combination.
+//!
+//! Run with `cargo run --release --example power_deps`.
+
+use litsynth_core::{synthesize_axiom, SynthConfig};
+use litsynth_litmus::suites::{cambridge, classics};
+use litsynth_litmus::{DepKind, FenceKind};
+use litsynth_models::{oracle, Power};
+
+fn main() {
+    let power = Power::new();
+
+    // Dependency strength one pattern at a time: MP with a writer-side
+    // lwsync and each reader-side ordering mechanism.
+    println!("MP with writer-side lwsync; reader-side mechanism varies:\n");
+    let reader_side: Vec<(&str, litsynth_litmus::LitmusTest, litsynth_litmus::Outcome)> = {
+        let mk = |name: &str, dep: Option<DepKind>| {
+            let t = litsynth_litmus::LitmusTest::new(
+                name,
+                vec![
+                    vec![
+                        litsynth_litmus::Instr::store(0),
+                        litsynth_litmus::Instr::fence(FenceKind::Lightweight),
+                        litsynth_litmus::Instr::store(1),
+                    ],
+                    vec![litsynth_litmus::Instr::load(1), litsynth_litmus::Instr::load(0)],
+                ],
+            );
+            let t = match dep {
+                Some(k) => t.with_dep(1, 0, 1, k),
+                None => t,
+            };
+            let o = classics::oc([(3, Some(2)), (4, None)], []);
+            (t, o)
+        };
+        vec![
+            ("plain po", mk("MP+lwsync+po", None).0, mk("x", None).1),
+            ("addr dep", mk("MP+lwsync+addr", Some(DepKind::Addr)).0, mk("x", None).1),
+            ("ctrl dep", mk("MP+lwsync+ctrl", Some(DepKind::Ctrl)).0, mk("x", None).1),
+            ("ctrl+isync", mk("MP+lwsync+ctrlisync", Some(DepKind::CtrlIsync)).0, mk("x", None).1),
+        ]
+    };
+    for (name, t, o) in &reader_side {
+        println!(
+            "  {name:<11} → {}",
+            if oracle::forbidden(&power, t, o) { "forbidden (orders R→R)" } else { "ALLOWED (too weak)" }
+        );
+    }
+
+    // The PPOCA/PPOAA pair: one dependency kind apart, opposite verdicts.
+    println!("\nPPOCA vs PPOAA (ctrl vs addr into a forwarded store):");
+    for e in cambridge::suite() {
+        if e.test.name() == "PPOCA" || e.test.name() == "PPOAA" {
+            println!(
+                "  {:<6} → {}",
+                e.test.name(),
+                if oracle::forbidden(&power, &e.test, &e.outcome) { "forbidden" } else { "allowed" }
+            );
+        }
+    }
+
+    // Synthesis: the no_thin_air axiom's suite is where the dependency
+    // variety shows up (§6.2: "a huge number of subtle dependency
+    // variants").
+    println!("\nSynthesizing Power no_thin_air at 4 instructions…");
+    let r = synthesize_axiom(&power, "no_thin_air", &SynthConfig::new(4));
+    println!("{} minimal tests; a sample:\n", r.len());
+    for (t, o) in r.tests.values().take(6) {
+        println!("{t}  forbidden outcome: {}\n", o.display(t));
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: check a litmus test against a model, decide minimality, and
+//! synthesize a small suite.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use litsynth_core::{check_minimal, synthesize_axiom, SynthConfig};
+use litsynth_litmus::suites::classics;
+use litsynth_models::{oracle, MemoryModel, Tso};
+
+fn main() {
+    let tso = Tso::new();
+
+    // 1. The message-passing test (paper Figure 1) and its weak outcome.
+    let (mp, weak) = classics::mp();
+    println!("{mp}");
+    println!("outcome {}:", weak.display(&mp));
+    println!(
+        "  under TSO: {}",
+        if oracle::forbidden(&tso, &mp, &weak) { "forbidden" } else { "allowed" }
+    );
+
+    // 2. Is MP minimally synchronized for TSO's causality axiom?
+    let verdict = check_minimal(&tso, "causality", &mp, &weak);
+    println!("  minimality for causality: {verdict:?}");
+
+    // 3. Store buffering is TSO's signature allowed relaxation.
+    let (sb, weak_sb) = classics::sb();
+    println!(
+        "\nSB outcome {} under TSO: {}",
+        weak_sb.display(&sb),
+        if oracle::forbidden(&tso, &sb, &weak_sb) { "forbidden" } else { "allowed" }
+    );
+
+    // 4. Synthesize every minimal 4-instruction test for the causality
+    //    axiom — MP, LB, S and 2+2W fall out automatically.
+    println!("\nSynthesizing the 4-instruction TSO causality suite…");
+    let result = synthesize_axiom(&tso, "causality", &SynthConfig::new(4));
+    println!(
+        "{} tests in {:.2}s ({} CNF vars, {} clauses):\n",
+        result.len(),
+        result.elapsed.as_secs_f64(),
+        result.cnf_vars,
+        result.cnf_clauses
+    );
+    for (test, outcome) in result.tests.values() {
+        println!("{test}  forbidden outcome: {}\n", outcome.display(test));
+    }
+}

@@ -1,0 +1,53 @@
+//! Audit an existing hand-written suite against the synthesizer — the
+//! paper's §6.1 workflow on the Owens x86-TSO suite:
+//!
+//! * confirm every claimed status against the model oracle,
+//! * flag over-synchronized (non-minimal) tests,
+//! * show which synthesized minimal test covers each non-minimal one.
+//!
+//! Run with `cargo run --release --example tso_audit`.
+
+use litsynth_bench::report;
+use litsynth_core::{covering_subtests, minimal_for_some_axiom};
+use litsynth_litmus::suites::owens;
+use litsynth_models::{oracle, Tso};
+
+fn main() {
+    let tso = Tso::new();
+    println!("Auditing the Owens x86-TSO suite ({} tests)…\n", owens::suite().len());
+
+    // Synthesized comparison suite (bounds 2–5 keeps this example quick).
+    let union = report::union_suite(&tso, 2..=5, 60_000);
+    println!("synthesized TSO-union at bounds 2–5: {} tests\n", union.len());
+
+    let mut minimal_count = 0;
+    let mut covered_count = 0;
+    for entry in owens::suite() {
+        let verdict = oracle::forbidden(&tso, &entry.test, &entry.outcome);
+        assert_eq!(
+            verdict, entry.forbidden,
+            "suite claim mismatch on {}",
+            entry.test.name()
+        );
+        if !entry.forbidden {
+            println!("{:<22} allowed (documents a TSO relaxation)", entry.test.name());
+            continue;
+        }
+        if minimal_for_some_axiom(&tso, &entry.test, &entry.outcome) {
+            minimal_count += 1;
+            println!("{:<22} forbidden, minimal", entry.test.name());
+        } else {
+            let covers = covering_subtests(&tso, &entry.test, union.values());
+            covered_count += 1;
+            println!(
+                "{:<22} forbidden, NOT minimal — contains {} synthesized subtest(s)",
+                entry.test.name(),
+                covers.len()
+            );
+        }
+    }
+    println!(
+        "\nSummary: {minimal_count} minimal, {covered_count} over-synchronized \
+         (each covered by smaller synthesized tests)."
+    );
+}

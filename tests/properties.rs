@@ -1,0 +1,335 @@
+//! Property-based tests over randomly generated litmus tests, relations,
+//! and CNF formulas.
+
+use litsynth_core::{applications, apply};
+use litsynth_litmus::{
+    apply_thread_order, canonical_key_exact, Execution, Instr, LitmusTest, Outcome, Rel,
+};
+use litsynth_models::{oracle, Power, Sc, Tso};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// A random relaxed instruction (load/store over ≤3 addresses, or a full
+/// fence).
+fn instr_strategy(allow_fence: bool) -> impl Strategy<Value = Instr> {
+    let upper = if allow_fence { 7 } else { 5 };
+    (0u8..=upper).prop_map(|k| match k {
+        0..=2 => Instr::load(k),
+        3..=5 => Instr::store(k - 3),
+        _ => Instr::fence(litsynth_litmus::FenceKind::Full),
+    })
+}
+
+/// A random multi-threaded program of ≤7 events.
+fn test_strategy(allow_fence: bool) -> impl Strategy<Value = LitmusTest> {
+    proptest::collection::vec(
+        proptest::collection::vec(instr_strategy(allow_fence), 1..=3),
+        1..=3,
+    )
+    .prop_map(|threads| LitmusTest::new("prop", threads))
+}
+
+/// A random (program, complete outcome) pair: the outcome of a random
+/// candidate execution.
+fn test_outcome_strategy(allow_fence: bool) -> impl Strategy<Value = (LitmusTest, Outcome)> {
+    (test_strategy(allow_fence), any::<prop::sample::Index>()).prop_map(|(t, idx)| {
+        let execs = Execution::enumerate(&t);
+        let e = &execs[idx.index(execs.len())];
+        let o = e.outcome();
+        (t, o)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Canonicalization properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The exact canonical key is invariant under thread permutation.
+    #[test]
+    fn exact_canonical_key_thread_invariant(
+        (t, o) in test_outcome_strategy(true),
+        seed in any::<u64>(),
+    ) {
+        let base = canonical_key_exact(&t, &o);
+        // Derive a permutation from the seed deterministically.
+        let n = t.num_threads();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let (t2, o2) = apply_thread_order(&t, &o, &order);
+        prop_assert_eq!(canonical_key_exact(&t2, &o2), base);
+    }
+
+    /// Canonicalization never changes legality: a model's verdict on the
+    /// canonical form equals its verdict on the original.
+    #[test]
+    fn canonicalization_preserves_legality((t, o) in test_outcome_strategy(true)) {
+        let tso = Tso::new();
+        let before = oracle::observable(&tso, &t, &o);
+        let (_, ct, co) = litsynth_litmus::canonicalize_exact(&t, &o);
+        let after = oracle::observable(&tso, &ct, &co);
+        prop_assert_eq!(before, after);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relaxation properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Weakening monotonicity: relaxing a test never *un*-observes an
+    /// outcome — every relaxation application preserves observability.
+    #[test]
+    fn relaxations_preserve_observability((t, o) in test_outcome_strategy(true)) {
+        let tso = Tso::new();
+        if oracle::observable(&tso, &t, &o) {
+            for app in applications(&tso, &t) {
+                let (t2, o2) = apply(&t, &o, app);
+                prop_assert!(
+                    oracle::observable(&tso, &t2, &o2),
+                    "{} un-observed by {}",
+                    t,
+                    app.describe()
+                );
+            }
+        }
+    }
+
+    /// Model strength chain on the common vocabulary (no deps, no RMWs):
+    /// SC-observable ⊆ TSO-observable ⊆ Power-observable.
+    #[test]
+    fn model_strength_chain((t, o) in test_outcome_strategy(true)) {
+        let sc = Sc::new();
+        let tso = Tso::new();
+        let power = Power::new();
+        if oracle::observable(&sc, &t, &o) {
+            prop_assert!(oracle::observable(&tso, &t, &o), "SC ⊆ TSO on {}", t);
+        }
+        if oracle::observable(&tso, &t, &o) {
+            prop_assert!(oracle::observable(&power, &t, &o), "TSO ⊆ Power on {}", t);
+        }
+    }
+
+    /// Every candidate execution's outcome is either observable or
+    /// forbidden — and `forbidden` is the exact complement.
+    #[test]
+    fn forbidden_is_complement_of_observable((t, o) in test_outcome_strategy(true)) {
+        let tso = Tso::new();
+        prop_assert_eq!(
+            oracle::forbidden(&tso, &t, &o),
+            !oracle::observable(&tso, &t, &o)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concrete relation algebra properties
+// ---------------------------------------------------------------------
+
+fn rel_strategy(n: usize) -> impl Strategy<Value = Rel> {
+    proptest::collection::vec((0..n, 0..n), 0..=n * 2)
+        .prop_map(move |pairs| Rel::from_pairs(n, pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compose_is_associative(a in rel_strategy(5), b in rel_strategy(5), c in rel_strategy(5)) {
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn closure_is_idempotent(a in rel_strategy(6)) {
+        let tc = a.transitive_closure();
+        prop_assert_eq!(tc.transitive_closure(), tc.clone());
+        // And the closure is transitive by definition.
+        prop_assert!(tc.compose(&tc).is_subset(&tc));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in rel_strategy(6)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn de_morgan_for_union_intersection(a in rel_strategy(5), b in rel_strategy(5)) {
+        // (a ∪ b)ᵀ = aᵀ ∪ bᵀ and (a ∩ b)ᵀ = aᵀ ∩ bᵀ.
+        prop_assert_eq!(a.union(&b).transpose(), a.transpose().union(&b.transpose()));
+        prop_assert_eq!(
+            a.intersect(&b).transpose(),
+            a.transpose().intersect(&b.transpose())
+        );
+    }
+
+    #[test]
+    fn acyclic_iff_no_self_reachability(a in rel_strategy(6)) {
+        let tc = a.transitive_closure();
+        let has_loop = (0..6).any(|i| tc.contains(i, i));
+        prop_assert_eq!(a.is_acyclic(), !has_loop);
+    }
+
+    #[test]
+    fn permutation_preserves_execution_count(threads in proptest::collection::vec(
+        proptest::collection::vec(instr_strategy(false), 1..=2), 1..=3))
+    {
+        // The candidate-execution count is invariant under thread renaming.
+        let t = LitmusTest::new("p", threads);
+        let count = Execution::enumerate(&t).len();
+        let order: Vec<usize> = (0..t.num_threads()).rev().collect();
+        let (t2, _) = apply_thread_order(&t, &Outcome::empty(), &order);
+        prop_assert_eq!(Execution::enumerate(&t2).len(), count);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SAT solver properties (via the DIMACS layer)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// CDCL agrees with brute force on random small CNFs.
+    #[test]
+    fn solver_matches_brute_force(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, any::<bool>()), 1..=3),
+            1..=24,
+        )
+    ) {
+        use litsynth_sat::{Lit, Solver, Var};
+        let brute = (0u32..64).any(|m| {
+            clauses.iter().all(|c| {
+                c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
+            })
+        });
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        for c in &clauses {
+            s.add_clause(c.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
+        }
+        prop_assert_eq!(s.solve().is_sat(), brute);
+    }
+
+    /// DIMACS round-trips preserve satisfiability.
+    #[test]
+    fn dimacs_roundtrip_preserves_sat(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, any::<bool>()), 1..=3),
+            1..=16,
+        )
+    ) {
+        use litsynth_sat::dimacs::Cnf;
+        use litsynth_sat::{Lit, Var};
+        let mut cnf = Cnf::new();
+        for c in &clauses {
+            cnf.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
+        }
+        let text = cnf.to_dimacs();
+        let back = Cnf::parse_dimacs(&text).unwrap();
+        let a = cnf.into_solver().solve().is_sat();
+        let b = back.into_solver().solve().is_sat();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model differential: symbolic vs concrete evaluation
+// ---------------------------------------------------------------------
+
+/// Builds a symbolic context whose every bit is the *constant* matching a
+/// concrete execution, evaluates an axiom through `SymAlg`, and compares
+/// with `ConcreteAlg`. Because the models are generic over the algebra,
+/// this checks the two instantiations agree gate-for-gate.
+fn symbolic_equals_concrete<M: litsynth_models::MemoryModel>(
+    model: &M,
+    t: &LitmusTest,
+    e: &Execution,
+) -> bool {
+    use litsynth_models::{concrete_ctx, ConcreteAlg, Ctx, SymAlg};
+    use litsynth_relalg::{Circuit, Matrix1, Matrix2};
+
+    let cctx = concrete_ctx(t, e, &[]);
+    let n = t.num_events();
+    let lift_set = |s: &litsynth_models::CSet| {
+        Matrix1::from_bits(
+            (0..n)
+                .map(|i| if s.mask >> i & 1 == 1 { Circuit::TRUE } else { Circuit::FALSE })
+                .collect(),
+        )
+    };
+    let lift_rel = |r: &Rel| {
+        let mut m = Matrix2::empty(n, n);
+        for (i, j) in r.pairs() {
+            m.set(i, j, Circuit::TRUE);
+        }
+        m
+    };
+    let sctx = Ctx::<SymAlg> {
+        n,
+        read: lift_set(&cctx.read),
+        write: lift_set(&cctx.write),
+        fence_full: lift_set(&cctx.fence_full),
+        fence_lw: lift_set(&cctx.fence_lw),
+        fence_acqrel: lift_set(&cctx.fence_acqrel),
+        fence_acq: lift_set(&cctx.fence_acq),
+        fence_rel: lift_set(&cctx.fence_rel),
+        acquire: lift_set(&cctx.acquire),
+        release: lift_set(&cctx.release),
+        seqcst: lift_set(&cctx.seqcst),
+        consume: lift_set(&cctx.consume),
+        po: lift_rel(&cctx.po),
+        loc: lift_rel(&cctx.loc),
+        rf: lift_rel(&cctx.rf),
+        co: lift_rel(&cctx.co),
+        addr_dep: lift_rel(&cctx.addr_dep),
+        data_dep: lift_rel(&cctx.data_dep),
+        ctrl_dep: lift_rel(&cctx.ctrl_dep),
+        ctrlisync_dep: lift_rel(&cctx.ctrlisync_dep),
+        rmw: lift_rel(&cctx.rmw),
+        sc: lift_rel(&cctx.sc),
+        int: lift_rel(&cctx.int),
+        ext: lift_rel(&cctx.ext),
+        orphan: lift_set(&cctx.orphan),
+    };
+    let mut calg = litsynth_models::ConcreteAlg;
+    let _: ConcreteAlg = calg;
+    let mut salg = SymAlg::new();
+    model.axioms().iter().all(|ax| {
+        let want = model.axiom(&mut calg, &cctx, ax);
+        let bit = model.axiom(&mut salg, &sctx, ax);
+        // Constant inputs fold to constants.
+        bit == if want { Circuit::TRUE } else { Circuit::FALSE }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For random tests and executions, every model's axioms evaluate the
+    /// same through both algebra instantiations.
+    #[test]
+    fn models_agree_symbolically_and_concretely(
+        (t, _) in test_outcome_strategy(true),
+        idx in any::<prop::sample::Index>(),
+    ) {
+        let execs = Execution::enumerate(&t);
+        let e = &execs[idx.index(execs.len())];
+        prop_assert!(symbolic_equals_concrete(&Sc::new(), &t, e));
+        prop_assert!(symbolic_equals_concrete(&Tso::new(), &t, e));
+        prop_assert!(symbolic_equals_concrete(&Power::new(), &t, e));
+        prop_assert!(symbolic_equals_concrete(&litsynth_models::Power::armv7(), &t, e));
+        prop_assert!(symbolic_equals_concrete(&litsynth_models::C11::new(), &t, e));
+    }
+}
