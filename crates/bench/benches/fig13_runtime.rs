@@ -1,24 +1,36 @@
-//! Criterion bench for Figure 13c: TSO suite-generation runtime per axiom
-//! and bound. Absolute numbers differ from the paper's server farm; the
+//! Bench for Figure 13c: TSO suite-generation runtime per axiom and
+//! bound. Absolute numbers differ from the paper's server farm; the
 //! super-exponential growth with the bound is the reproduced shape.
+//!
+//! Uses the in-tree timing harness (`litsynth_bench::timing`) — the
+//! workspace carries no external dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use litsynth_core::{synthesize_axiom, SynthConfig};
+use litsynth_bench::timing::Group;
+use litsynth_core::{synthesize_axiom, synthesize_union, SynthConfig};
 use litsynth_models::{MemoryModel, Tso};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tso = Tso::new();
-    let mut g = c.benchmark_group("fig13c_tso");
-    g.sample_size(10);
+    let mut g = Group::new("fig13c_tso", 10);
     for n in [2usize, 3, 4] {
         for ax in tso.axioms() {
-            g.bench_with_input(BenchmarkId::new(*ax, n), &n, |b, &n| {
-                b.iter(|| synthesize_axiom(&tso, ax, &SynthConfig::new(n)));
+            g.bench(format!("{ax}/{n}"), || {
+                synthesize_axiom(&tso, ax, &SynthConfig::new(n))
             });
         }
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    // The parallel engine on the full union query: one worker vs all
+    // cores, with and without cube splitting.
+    let mut g = Group::new("fig13c_tso_union_parallel", 5);
+    for n in [3usize, 4] {
+        for (label, threads, cube_bits) in [("seq", 1, 0), ("par", 0, 0), ("par+cubes", 0, 2)] {
+            let mut cfg = SynthConfig::new(n);
+            cfg.threads = threads;
+            cfg.cube_bits = cube_bits;
+            g.bench(format!("union/{n}/{label}"), || {
+                synthesize_union(&tso, &cfg)
+            });
+        }
+    }
+}

@@ -1,23 +1,21 @@
-//! Criterion bench for Figure 16c: Power suite-generation runtime — note
-//! the much larger constant factor than TSO (the ppo fixpoint, §6.2).
+//! Bench for Figure 16c: Power suite-generation runtime — note the much
+//! larger constant factor than TSO (the ppo fixpoint, §6.2).
+//!
+//! Uses the in-tree timing harness (`litsynth_bench::timing`) — the
+//! workspace carries no external dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litsynth_bench::timing::Group;
 use litsynth_core::{synthesize_axiom, SynthConfig};
 use litsynth_models::{MemoryModel, Power};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let power = Power::new();
-    let mut g = c.benchmark_group("fig16c_power");
-    g.sample_size(10);
+    let mut g = Group::new("fig16c_power", 10);
     for n in [2usize, 3, 4] {
         for ax in power.axioms() {
-            g.bench_with_input(BenchmarkId::new(*ax, n), &n, |b, &n| {
-                b.iter(|| synthesize_axiom(&power, ax, &SynthConfig::new(n)));
+            g.bench(format!("{ax}/{n}"), || {
+                synthesize_axiom(&power, ax, &SynthConfig::new(n))
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

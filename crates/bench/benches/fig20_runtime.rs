@@ -1,23 +1,21 @@
-//! Criterion bench for Figure 20b: SCC suite-generation runtime — between
-//! TSO and Power, as the paper's streamlining story predicts.
+//! Bench for Figure 20b: SCC suite-generation runtime — between TSO and
+//! Power, as the paper's streamlining story predicts.
+//!
+//! Uses the in-tree timing harness (`litsynth_bench::timing`) — the
+//! workspace carries no external dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litsynth_bench::timing::Group;
 use litsynth_core::{synthesize_axiom, SynthConfig};
 use litsynth_models::{MemoryModel, Scc};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scc = Scc::new();
-    let mut g = c.benchmark_group("fig20b_scc");
-    g.sample_size(10);
+    let mut g = Group::new("fig20b_scc", 10);
     for n in [2usize, 3, 4] {
         for ax in scc.axioms() {
-            g.bench_with_input(BenchmarkId::new(*ax, n), &n, |b, &n| {
-                b.iter(|| synthesize_axiom(&scc, ax, &SynthConfig::new(n)));
+            g.bench(format!("{ax}/{n}"), || {
+                synthesize_axiom(&scc, ax, &SynthConfig::new(n))
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

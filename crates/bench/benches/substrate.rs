@@ -2,10 +2,13 @@
 //! compiler, the explicit oracle, and the canonicalizers. These support
 //! the ablation discussion in EXPERIMENTS.md (hash vs exact
 //! canonicalization, oracle vs SAT minimality).
+//!
+//! Uses the in-tree timing harness (`litsynth_bench::timing`) — the
+//! workspace carries no external dependencies.
 
 #![allow(clippy::needless_range_loop)]
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use litsynth_bench::timing::Group;
 use litsynth_core::check_minimal;
 use litsynth_litmus::suites::classics;
 use litsynth_litmus::{canonical_key_exact, canonical_key_hash};
@@ -15,7 +18,9 @@ use litsynth_sat::{Lit, Solver, Var};
 fn pigeonhole(n: usize) -> Solver {
     let m = n - 1;
     let mut s = Solver::new();
-    let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+    let p: Vec<Vec<Var>> = (0..n)
+        .map(|_| (0..m).map(|_| s.new_var()).collect())
+        .collect();
     for row in &p {
         s.add_clause(row.iter().map(|&v| Lit::pos(v)));
     }
@@ -29,29 +34,21 @@ fn pigeonhole(n: usize) -> Solver {
     s
 }
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("sat/pigeonhole_7_into_6", |b| {
-        b.iter(|| {
-            let mut s = pigeonhole(7);
-            assert!(!s.solve().is_sat());
-        })
+fn main() {
+    let mut g = Group::new("substrate", 20);
+    g.bench("sat/pigeonhole_7_into_6", || {
+        let mut s = pigeonhole(7);
+        assert!(!s.solve().is_sat());
     });
 
     let (wrc, o) = classics::wrc();
-    c.bench_function("oracle/wrc_forbidden_tso", |b| {
-        b.iter(|| assert!(oracle::forbidden(&Tso::new(), &wrc, &o)))
+    g.bench("oracle/wrc_forbidden_tso", || {
+        assert!(oracle::forbidden(&Tso::new(), &wrc, &o))
     });
-    c.bench_function("oracle/wrc_minimality_tso", |b| {
-        b.iter(|| check_minimal(&Tso::new(), "causality", &wrc, &o))
+    g.bench("oracle/wrc_minimality_tso", || {
+        check_minimal(&Tso::new(), "causality", &wrc, &o)
     });
 
-    c.bench_function("canon/exact_wrc", |b| {
-        b.iter(|| canonical_key_exact(&wrc, &o))
-    });
-    c.bench_function("canon/hash_wrc", |b| {
-        b.iter(|| canonical_key_hash(&wrc, &o))
-    });
+    g.bench("canon/exact_wrc", || canonical_key_exact(&wrc, &o));
+    g.bench("canon/hash_wrc", || canonical_key_hash(&wrc, &o));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

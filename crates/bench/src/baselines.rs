@@ -31,7 +31,11 @@ impl DiyBaseline {
             }
             _ => true,
         });
-        let cfg = DiyConfig { local_edges, min_comm: 2, max_comm: 3 };
+        let cfg = DiyConfig {
+            local_edges,
+            min_comm: 2,
+            max_comm: 3,
+        };
         let mut gen = DiyGenerator::new(0xC0FFEE, cfg);
         let mut out: BTreeMap<String, (LitmusTest, Outcome)> = BTreeMap::new();
         for (t, o) in gen.generate(attempts) {
@@ -63,9 +67,9 @@ mod tests {
         let m = Power::new();
         let suite = DiyBaseline::generate(&m, 200);
         assert!(!suite.is_empty());
-        let with_sync = suite.iter().any(|(t, _)| {
-            (0..t.num_events()).any(|g| t.instr(g).is_fence())
-        });
+        let with_sync = suite
+            .iter()
+            .any(|(t, _)| (0..t.num_events()).any(|g| t.instr(g).is_fence()));
         let with_deps = suite.iter().any(|(t, _)| !t.deps().is_empty());
         assert!(with_sync, "some baseline test should use a fence");
         assert!(with_deps, "some baseline test should use a dependency");

@@ -3,7 +3,7 @@
 //! Usage: `dump <sc|tso|power|scc|c11> <events> [axiom]`.
 
 use litsynth_core::{synthesize_axiom, SynthConfig};
-use litsynth_models::{MemoryModel, Power, Scc, Tso, C11, Sc};
+use litsynth_models::{MemoryModel, Power, Sc, Scc, Tso, C11};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -16,7 +16,11 @@ fn main() {
             let mut cfg = SynthConfig::new(n);
             cfg.time_budget_ms = 120_000;
             for ax in m.axioms() {
-                if let Some(ref a) = axiom { if a != ax { continue; } }
+                if let Some(ref a) = axiom {
+                    if a != ax {
+                        continue;
+                    }
+                }
                 let r = synthesize_axiom(&m, ax, &cfg);
                 println!("== {} n={} {}: {} tests", m.name(), n, ax, r.len());
                 for (t, o) in r.tests.values() {

@@ -3,18 +3,29 @@
 //!
 //! Usage: `experiments <id> [budget_ms_per_query]` where `<id>` is one of
 //! `table2 table4 fig11 fig12 fig13 fig14 fig16 fig20 c11 scc_wa soundness
-//! all`, or `experiments emit <model> <max_bound> [budget_ms]` to write the
-//! synthesized union suite to `suites_out/<model>/` in the textual litmus
-//! format.
+//! speedup all`, or `experiments emit <model> <max_bound> [budget_ms]` to
+//! write the synthesized union suite to `suites_out/<model>/` in the
+//! textual litmus format.
+//!
+//! The parallel synthesis engine is controlled by two environment
+//! variables picked up by every experiment:
+//!
+//! * `LITSYNTH_THREADS` — worker threads (`0` = all cores; default `1`,
+//!   fully sequential).
+//! * `LITSYNTH_CUBE_BITS` — split each query into `2^bits` cubes
+//!   (default `0`, unsplit).
+//!
+//! `experiments speedup` measures the threads=1 vs threads=N wall-clock
+//! ratio directly (the acceptance experiment for the parallel engine).
 
 use litsynth_bench::baselines::DiyBaseline;
 use litsynth_bench::report;
 use litsynth_core::{
     check_minimal, count_programs, covering_subtests, minimal_for_some_axiom, synthesize_axiom,
-    SynthConfig,
+    synthesize_union, SynthConfig,
 };
-use litsynth_litmus::suites::{cambridge, owens};
 use litsynth_litmus::canonical_key_exact;
+use litsynth_litmus::suites::{cambridge, owens};
 use litsynth_models::{oracle, MemoryModel, Power, RelaxKind, Sc, Scc, Tso, C11};
 use std::collections::BTreeMap;
 
@@ -36,6 +47,10 @@ fn main() {
         "soundness" => soundness(budget),
         "orphan" => orphan(budget),
         "armv7" => armv7(budget),
+        "speedup" => speedup(
+            args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4),
+            args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0),
+        ),
         "emit" => emit(
             args.get(2).map(String::as_str).unwrap_or("tso"),
             args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5),
@@ -60,20 +75,94 @@ fn main() {
     }
 }
 
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 fn cfg(n: usize, budget: u64) -> SynthConfig {
     let mut c = SynthConfig::new(n);
     c.time_budget_ms = budget;
+    c.threads = env_usize("LITSYNTH_THREADS", 1);
+    c.cube_bits = env_usize("LITSYNTH_CUBE_BITS", 0);
     c
+}
+
+/// The parallel-engine acceptance experiment: the TSO union at `bound`,
+/// sequential vs parallel, checking the suites are byte-identical and
+/// reporting the wall-clock speedup and per-worker solver statistics.
+fn speedup(bound: usize, threads: usize) {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let cube_bits = env_usize("LITSYNTH_CUBE_BITS", 2);
+    println!("\n## Parallel speedup — TSO union, bound {bound}, {threads} threads\n");
+    let tso = Tso::new();
+
+    let mut seq_cfg = SynthConfig::new(bound);
+    seq_cfg.threads = 1;
+    let t0 = std::time::Instant::now();
+    let (seq_axioms, seq_union) = synthesize_union(&tso, &seq_cfg);
+    let seq_time = t0.elapsed();
+
+    let mut par_cfg = SynthConfig::new(bound);
+    par_cfg.threads = threads;
+    par_cfg.cube_bits = cube_bits;
+    let t0 = std::time::Instant::now();
+    let (par_axioms, par_union) = synthesize_union(&tso, &par_cfg);
+    let par_time = t0.elapsed();
+
+    assert_eq!(
+        seq_union.keys().collect::<Vec<_>>(),
+        par_union.keys().collect::<Vec<_>>(),
+        "parallel suite diverged from sequential"
+    );
+    println!(
+        "suite: {} tests (byte-identical in both modes)",
+        seq_union.len()
+    );
+    println!(
+        "sequential: {:.2}s   parallel ({} threads, {} cubes/query): {:.2}s   speedup: {:.2}x",
+        seq_time.as_secs_f64(),
+        threads,
+        1usize << cube_bits,
+        par_time.as_secs_f64(),
+        seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9),
+    );
+    println!("\n| axiom | cube | instances | CNF vars | CNF clauses | time(s) |");
+    println!("|-------|------|-----------|----------|-------------|---------|");
+    for (ax, r) in &par_axioms {
+        for w in &r.workers {
+            println!(
+                "| {ax} | {}/{} | {} | {} | {} | {:.3} |",
+                w.cube,
+                w.num_cubes,
+                w.raw_instances,
+                w.cnf_vars,
+                w.cnf_clauses,
+                w.elapsed.as_secs_f64()
+            );
+        }
+    }
+    let _ = seq_axioms;
 }
 
 /// Writes the synthesized union suite to `suites_out/<model>/NNN.litmus`.
 fn emit(model: &str, max_bound: usize, budget: u64) {
-    fn go<M: MemoryModel>(m: &M, max_bound: usize, budget: u64) {
+    fn go<M: MemoryModel + Sync>(m: &M, max_bound: usize, budget: u64) {
         let dir = std::path::PathBuf::from("suites_out").join(m.name().to_lowercase());
         std::fs::create_dir_all(&dir).expect("create output dir");
         let union = report::union_suite(m, 2..=max_bound, budget);
         for (i, (test, outcome)) in union.values().enumerate() {
-            let named = test.clone().with_name(format!("{}-{:04}", m.name().to_lowercase(), i));
+            let named = test
+                .clone()
+                .with_name(format!("{}-{:04}", m.name().to_lowercase(), i));
             let text = litsynth_litmus::format::to_text(&named, outcome);
             let path = dir.join(format!("{i:04}.litmus"));
             std::fs::write(&path, text).expect("write test file");
@@ -136,12 +225,12 @@ fn table4(budget: u64) {
             "minimal (in union)".to_string()
         } else {
             let covers = covering_subtests(&tso, &e.test, union.values());
-            let names: Vec<String> = covers
-                .iter()
-                .take(3)
-                .map(|(t, o)| o.display(t))
-                .collect();
-            format!("non-minimal; covered by {} union test(s) {}", covers.len(), names.join(" | "))
+            let names: Vec<String> = covers.iter().take(3).map(|(t, o)| o.display(t)).collect();
+            format!(
+                "non-minimal; covered by {} union test(s) {}",
+                covers.len(),
+                names.join(" | ")
+            )
         };
         rows.push((e.test.num_events(), e.test.name().to_string(), status));
     }
@@ -208,7 +297,10 @@ fn fig13(budget: u64) {
             per_axiom.push(r.len());
             union.extend(r.tests);
         }
-        let owens_n = owens_forbidden.iter().filter(|e| e.test.num_events() <= n).count();
+        let owens_n = owens_forbidden
+            .iter()
+            .filter(|e| e.test.num_events() <= n)
+            .count();
         println!(
             "| {n} | {owens_n} | {} | {} | {} | {} | {} | {:.2}{} |",
             union.len(),
@@ -250,8 +342,10 @@ fn fig14(budget: u64) {
 fn fig16(budget: u64) {
     println!("\n## Figure 16 — Power results\n");
     let power = Power::new();
-    let cambridge_forbidden: Vec<_> =
-        cambridge::suite().into_iter().filter(|e| e.forbidden).collect();
+    let cambridge_forbidden: Vec<_> = cambridge::suite()
+        .into_iter()
+        .filter(|e| e.forbidden)
+        .collect();
     let diy = DiyBaseline::generate(&power, 500);
     println!(
         "baselines: Cambridge {} forbidden tests; diy-style {} distinct forbidden tests",
@@ -273,7 +367,10 @@ fn fig16(budget: u64) {
             per_axiom.push(r.len());
             union.extend(r.tests);
         }
-        let cam = cambridge_forbidden.iter().filter(|e| e.test.num_events() <= n).count();
+        let cam = cambridge_forbidden
+            .iter()
+            .filter(|e| e.test.num_events() <= n)
+            .count();
         let d = diy.iter().filter(|(t, _)| t.num_events() <= n).count();
         println!(
             "| {n} | {cam} | {d} | {} | {} | {} | {} | {} | {:.2}{} |",
@@ -292,7 +389,10 @@ fn fig16(budget: u64) {
     for e in &cambridge_forbidden {
         let minimal = minimal_for_some_axiom(&power, &e.test, &e.outcome);
         if !minimal {
-            println!("  {}: NOT minimal as presented (cf. PPOAA, §6.2)", e.test.name());
+            println!(
+                "  {}: NOT minimal as presented (cf. PPOAA, §6.2)",
+                e.test.name()
+            );
         }
     }
 }
@@ -301,8 +401,12 @@ fn fig16(budget: u64) {
 fn fig20(budget: u64) {
     println!("\n## Figure 20 — SCC results\n");
     let scc = Scc::new();
-    println!("| bound | scc-union(≤) | sc_per_loc | no_thin_air | rmw_atom | causality | runtime(s) |");
-    println!("|-------|--------------|------------|-------------|----------|-----------|------------|");
+    println!(
+        "| bound | scc-union(≤) | sc_per_loc | no_thin_air | rmw_atom | causality | runtime(s) |"
+    );
+    println!(
+        "|-------|--------------|------------|-------------|----------|-----------|------------|"
+    );
     let mut union: BTreeMap<String, _> = BTreeMap::new();
     for n in 2..=5 {
         let mut per_axiom = Vec::new();
@@ -333,8 +437,12 @@ fn fig20(budget: u64) {
 fn c11(budget: u64) {
     println!("\n## §6.4 — C11 results (reconstructed shape)\n");
     let m = C11::new();
-    println!("| bound | c11-union(≤) | coherence | atomicity | no_thin_air | seq_cst | runtime(s) |");
-    println!("|-------|--------------|-----------|-----------|-------------|---------|------------|");
+    println!(
+        "| bound | c11-union(≤) | coherence | atomicity | no_thin_air | seq_cst | runtime(s) |"
+    );
+    println!(
+        "|-------|--------------|-----------|-----------|-------------|---------|------------|"
+    );
     let mut union: BTreeMap<String, _> = BTreeMap::new();
     for n in 2..=4 {
         let mut per_axiom = Vec::new();
@@ -370,7 +478,9 @@ fn scc_wa(budget: u64) {
         .tests
         .values()
         .filter(|(t, _)| {
-            let fences = (0..t.num_events()).filter(|&g| t.instr(g).is_fence()).count();
+            let fences = (0..t.num_events())
+                .filter(|&g| t.instr(g).is_fence())
+                .count();
             fences == 2
         })
         .count();
@@ -383,7 +493,10 @@ fn scc_wa(budget: u64) {
         if r.truncated { " [truncated]" } else { "" }
     );
     for (t, o) in r.tests.values().filter(|(t, _)| {
-        (0..t.num_events()).filter(|&g| t.instr(g).is_fence()).count() == 2
+        (0..t.num_events())
+            .filter(|&g| t.instr(g).is_fence())
+            .count()
+            == 2
     }) {
         println!("{t}  outcome: {}", o.display(t));
     }
@@ -442,9 +555,17 @@ fn orphan(budget: u64) {
         }
         println!(
             "orphan reads {:<14} → sc_per_loc suite (bounds ≤4): {} tests{}",
-            if unconstrained { "unconstrained" } else { "read-initial" },
+            if unconstrained {
+                "unconstrained"
+            } else {
+                "read-initial"
+            },
             total,
-            if unconstrained { " (paper: 10)" } else { " (CoWR-class false negatives)" },
+            if unconstrained {
+                " (paper: 10)"
+            } else {
+                " (CoWR-class false negatives)"
+            },
         );
     }
 }
@@ -490,11 +611,18 @@ fn soundness(budget: u64) {
                 // False positives are harmless (§4.3) but must still be
                 // forbidden outcomes.
                 assert!(
-                    tso.axioms().iter().any(|ax| !oracle::observable_axiom(&tso, ax, t, o)),
+                    tso.axioms()
+                        .iter()
+                        .any(|ax| !oracle::observable_axiom(&tso, ax, t, o)),
                     "a synthesized test must at least be forbidden"
                 );
             }
         }
     }
-    let _ = check_minimal(&tso, "causality", &litsynth_litmus::suites::classics::mp().0, &litsynth_litmus::suites::classics::mp().1);
+    let _ = check_minimal(
+        &tso,
+        "causality",
+        &litsynth_litmus::suites::classics::mp().0,
+        &litsynth_litmus::suites::classics::mp().1,
+    );
 }

@@ -19,8 +19,15 @@ fn main() {
                 let r = synthesize_axiom(&m, ax, &cfg);
                 println!(
                     "{} n={} axiom={}: {} tests ({} raw) in {:.2}s trunc={} cnf={}v/{}c",
-                    m.name(), n, ax, r.len(), r.raw_instances,
-                    r.elapsed.as_secs_f64(), r.truncated, r.cnf_vars, r.cnf_clauses
+                    m.name(),
+                    n,
+                    ax,
+                    r.len(),
+                    r.raw_instances,
+                    r.elapsed.as_secs_f64(),
+                    r.truncated,
+                    r.cnf_vars,
+                    r.cnf_clauses
                 );
             }
         }};

@@ -1,7 +1,9 @@
 //! # litsynth-bench
 //!
-//! The evaluation harness's shared plumbing: baselines and report helpers
-//! used by the `experiments` binary and the Criterion benches.
+//! The evaluation harness's shared plumbing: baselines, report helpers,
+//! and the in-tree timing harness used by the `experiments` binary and the
+//! benches.
 
 pub mod baselines;
 pub mod report;
+pub mod timing;

@@ -1,7 +1,7 @@
 //! Report helpers: cumulative union suites and exhaustive ground-truth
 //! enumeration for the soundness experiment.
 
-use litsynth_core::{synthesize_axiom, SymbolicTest, SynthConfig};
+use litsynth_core::{SymbolicTest, SynthConfig};
 use litsynth_litmus::{canonical_key_exact, Execution, LitmusTest, Outcome};
 use litsynth_models::{MemoryModel, SymAlg};
 use litsynth_relalg::{Bit, Finder};
@@ -9,20 +9,31 @@ use std::collections::BTreeMap;
 
 /// Synthesizes the union suite over a bound range with a per-query time
 /// budget (milliseconds).
-pub fn union_suite<M: MemoryModel>(
+pub fn union_suite<M: MemoryModel + Sync>(
     model: &M,
     bounds: std::ops::RangeInclusive<usize>,
     budget_ms: u64,
 ) -> BTreeMap<String, (LitmusTest, Outcome)> {
-    let mut union = BTreeMap::new();
-    for n in bounds {
-        for ax in model.axioms() {
-            let mut cfg = SynthConfig::new(n);
-            cfg.time_budget_ms = budget_ms;
-            union.extend(synthesize_axiom(model, ax, &cfg).tests);
-        }
-    }
-    union
+    union_suite_parallel(model, bounds, budget_ms, 1, 0)
+}
+
+/// [`union_suite`] on the parallel synthesis engine: `threads` workers
+/// (0 = all cores), each query cube-split `2^cube_bits` ways. The suite is
+/// byte-identical to the sequential one for any setting.
+pub fn union_suite_parallel<M: MemoryModel + Sync>(
+    model: &M,
+    bounds: std::ops::RangeInclusive<usize>,
+    budget_ms: u64,
+    threads: usize,
+    cube_bits: usize,
+) -> BTreeMap<String, (LitmusTest, Outcome)> {
+    litsynth_core::synthesize_union_up_to(model, bounds, |n| {
+        let mut cfg = SynthConfig::new(n);
+        cfg.time_budget_ms = budget_ms;
+        cfg.threads = threads;
+        cfg.cube_bits = cube_bits;
+        cfg
+    })
 }
 
 /// Exhaustively enumerates every well-formed canonical program of exactly
@@ -64,8 +75,10 @@ pub fn enumerate_all_tests<M: MemoryModel>(model: &M, n: usize) -> Vec<(LitmusTe
     // All candidate outcomes per program.
     let mut out = Vec::new();
     for test in programs.into_values() {
-        let mut outcomes: Vec<Outcome> =
-            Execution::enumerate(&test).iter().map(|e| e.outcome()).collect();
+        let mut outcomes: Vec<Outcome> = Execution::enumerate(&test)
+            .iter()
+            .map(|e| e.outcome())
+            .collect();
         outcomes.sort();
         outcomes.dedup();
         for o in outcomes {
@@ -125,12 +138,16 @@ mod tests {
         assert!(!all.is_empty());
         for (t, o) in &all {
             assert_eq!(t.num_events(), 2);
-            let ok = Execution::enumerate(t).iter().any(|e| o.matches(&e.outcome()));
+            let ok = Execution::enumerate(t)
+                .iter()
+                .any(|e| o.matches(&e.outcome()));
             assert!(ok);
         }
         // Distinct canonical programs only.
-        let mut keys: Vec<String> =
-            all.iter().map(|(t, _)| canonical_key_exact(t, &Outcome::empty())).collect();
+        let mut keys: Vec<String> = all
+            .iter()
+            .map(|(t, _)| canonical_key_exact(t, &Outcome::empty()))
+            .collect();
         keys.sort();
         keys.dedup();
         assert!(keys.len() >= 6, "saw {} programs", keys.len());

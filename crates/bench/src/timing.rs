@@ -1,0 +1,83 @@
+//! A minimal wall-clock benchmark harness (the workspace carries no
+//! external dependencies, so no Criterion).
+//!
+//! Each benchmark runs a warm-up pass, then `samples` timed iterations,
+//! and prints min/median/max — enough to read off the growth curves the
+//! figures reproduce. Results go to stdout; pass `--bench` (as `cargo
+//! bench` does) or nothing.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks, printed as a markdown table.
+pub struct Group {
+    name: String,
+    samples: usize,
+    header_printed: bool,
+}
+
+impl Group {
+    /// Creates a group; `samples` is the number of timed iterations per
+    /// benchmark.
+    pub fn new(name: impl Into<String>, samples: usize) -> Group {
+        Group {
+            name: name.into(),
+            samples: samples.max(1),
+            header_printed: false,
+        }
+    }
+
+    /// Times `f` and prints one table row. The closure's return value is
+    /// consumed with a black-box barrier so the work is not optimized out.
+    pub fn bench<T>(&mut self, id: impl AsRef<str>, mut f: impl FnMut() -> T) {
+        if !self.header_printed {
+            println!("\n## {}  ({} samples)\n", self.name, self.samples);
+            println!("| benchmark | min | median | max |");
+            println!("|-----------|-----|--------|-----|");
+            self.header_printed = true;
+        }
+        std::hint::black_box(f()); // warm-up
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        println!(
+            "| {} | {} | {} | {} |",
+            id.as_ref(),
+            fmt(times[0]),
+            fmt(times[times.len() / 2]),
+            fmt(times[times.len() - 1]),
+        );
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut g = Group::new("smoke", 3);
+        let mut count = 0u64;
+        g.bench("counting", || {
+            count += 1;
+            count
+        });
+        // warm-up + 3 samples.
+        assert_eq!(count, 4);
+    }
+}

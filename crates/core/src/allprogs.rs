@@ -18,7 +18,10 @@ use litsynth_models::MemoryModel;
 /// nothing.
 pub fn count_programs<M: MemoryModel>(model: &M, events: usize, max_addrs: usize) -> u128 {
     let vocab = vocabulary(model);
-    let mem_shapes = vocab.iter().filter(|s| !matches!(s, Shape::Fence(_))).count() as u128;
+    let mem_shapes = vocab
+        .iter()
+        .filter(|s| !matches!(s, Shape::Fence(_)))
+        .count() as u128;
     let fence_shapes = vocab.len() as u128 - mem_shapes;
     if events == 0 {
         return 0;

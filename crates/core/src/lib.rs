@@ -22,9 +22,12 @@ pub mod subtest;
 pub mod symbolic;
 pub mod synth;
 
+pub use allprogs::count_programs;
 pub use minimal::{check_minimal, minimal_for_some_axiom, MinimalityVerdict};
 pub use relax::{applications, apply, Application};
-pub use symbolic::{vocabulary, Shape, SymbolicTest, SynthConfig};
-pub use allprogs::count_programs;
 pub use subtest::{contains_subtest, covering_subtests, program_key};
-pub use synth::{synthesize_axiom, synthesize_union, synthesize_union_up_to, SynthResult};
+pub use symbolic::{vocabulary, Shape, SymbolicTest, SynthConfig};
+pub use synth::{
+    synthesize_axiom, synthesize_union, synthesize_union_up_to, CanonicalSuite, SynthResult,
+    WorkerStats,
+};

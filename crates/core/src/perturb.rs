@@ -42,7 +42,12 @@ fn drop_event_rel(m: &Matrix2, e: usize) -> Matrix2 {
 /// *orphans*: their value is left unconstrained rather than snapped to the
 /// initial value (the paper's §4.3 choice, which avoids false negatives
 /// like CoWR at the cost of occasional harmless false positives).
-fn exclude_event(alg: &mut SymAlg, ctx: &Ctx<SymAlg>, e: usize, orphan_unconstrained: bool) -> Ctx<SymAlg> {
+fn exclude_event(
+    alg: &mut SymAlg,
+    ctx: &Ctx<SymAlg>,
+    e: usize,
+    orphan_unconstrained: bool,
+) -> Ctx<SymAlg> {
     let mut p = ctx.clone();
     if orphan_unconstrained {
         let n = ctx.n;
@@ -147,19 +152,30 @@ pub fn symbolic_applications_opts<M: MemoryModel>(
                 if read_side {
                     let acq = matches!(to, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst);
                     let cons = matches!(to, MemOrder::Consume);
-                    ctx.acquire.set(e, if acq { Circuit::TRUE } else { Circuit::FALSE });
-                    ctx.consume.set(e, if cons { Circuit::TRUE } else { Circuit::FALSE });
+                    ctx.acquire
+                        .set(e, if acq { Circuit::TRUE } else { Circuit::FALSE });
+                    ctx.consume
+                        .set(e, if cons { Circuit::TRUE } else { Circuit::FALSE });
                     ctx.seqcst.set(
                         e,
-                        if to == MemOrder::SeqCst { Circuit::TRUE } else { Circuit::FALSE },
+                        if to == MemOrder::SeqCst {
+                            Circuit::TRUE
+                        } else {
+                            Circuit::FALSE
+                        },
                     );
                 }
                 if write_side {
                     let rel = matches!(to, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst);
-                    ctx.release.set(e, if rel { Circuit::TRUE } else { Circuit::FALSE });
+                    ctx.release
+                        .set(e, if rel { Circuit::TRUE } else { Circuit::FALSE });
                     ctx.seqcst.set(
                         e,
-                        if to == MemOrder::SeqCst { Circuit::TRUE } else { Circuit::FALSE },
+                        if to == MemOrder::SeqCst {
+                            Circuit::TRUE
+                        } else {
+                            Circuit::FALSE
+                        },
                     );
                 }
                 out.push(SymApplication {
@@ -214,7 +230,11 @@ pub fn symbolic_applications_opts<M: MemoryModel>(
                     rel.set(e, j, Circuit::FALSE);
                 }
             }
-            out.push(SymApplication { label: format!("RD@{e}"), guard, ctx });
+            out.push(SymApplication {
+                label: format!("RD@{e}"),
+                guard,
+                ctx,
+            });
         }
     }
 
@@ -226,7 +246,11 @@ pub fn symbolic_applications_opts<M: MemoryModel>(
             let mut rmw = ctx.rmw.clone();
             rmw.set(e, e + 1, Circuit::FALSE);
             ctx.rmw = rmw;
-            out.push(SymApplication { label: format!("DRMW@{e}"), guard, ctx });
+            out.push(SymApplication {
+                label: format!("DRMW@{e}"),
+                guard,
+                ctx,
+            });
         }
     }
 
@@ -278,7 +302,7 @@ pub fn minimality_asserts_opts<M: MemoryModel>(
 mod tests {
     use super::*;
     use crate::symbolic::SynthConfig;
-    use litsynth_models::{Scc, Sc, Tso};
+    use litsynth_models::{Sc, Scc, Tso};
 
     #[test]
     fn application_counts_match_vocabularies() {

@@ -203,9 +203,11 @@ fn apply_ri(test: &LitmusTest, outcome: &Outcome, gid: usize) -> (LitmusTest, Ou
         }
     }
     for p in test.rmw_pairs() {
-        if let (Some(tid), Some(load), Some(store)) =
-            (map_tid(p.tid), map_idx(p.tid, p.load), map_idx(p.tid, p.store))
-        {
+        if let (Some(tid), Some(load), Some(store)) = (
+            map_tid(p.tid),
+            map_idx(p.tid, p.load),
+            map_idx(p.tid, p.store),
+        ) {
             // The pair survives only if it is still adjacent.
             if store == load + 1 {
                 t = t.with_rmw_pair(tid, load);
@@ -251,7 +253,11 @@ fn apply_drmw(test: &LitmusTest, outcome: &Outcome, gid: usize) -> (LitmusTest, 
     let tid = test.thread_of(gid);
     let idx = test.index_of(gid);
     // Pair form: just drop the rmw edge.
-    if test.rmw_pairs().iter().any(|p| p.tid == tid && p.load == idx) {
+    if test
+        .rmw_pairs()
+        .iter()
+        .any(|p| p.tid == tid && p.load == idx)
+    {
         let mut t = LitmusTest::new(test.name().to_string(), test.threads().to_vec());
         for d in test.deps() {
             t = t.with_dep(d.tid, d.from, d.to, d.kind);
@@ -281,12 +287,28 @@ fn apply_drmw(test: &LitmusTest, outcome: &Outcome, gid: usize) -> (LitmusTest, 
         _ => MemOrder::Relaxed,
     };
     let mut threads = test.threads().to_vec();
-    threads[tid][idx] = Instr::Load { addr, order: load_order, scope };
-    threads[tid].insert(idx + 1, Instr::Store { addr, order: store_order, scope });
+    threads[tid][idx] = Instr::Load {
+        addr,
+        order: load_order,
+        scope,
+    };
+    threads[tid].insert(
+        idx + 1,
+        Instr::Store {
+            addr,
+            order: store_order,
+            scope,
+        },
+    );
     let mut t = LitmusTest::new(test.name().to_string(), threads);
     let shift_idx = |d_tid: usize, i: usize| if d_tid == tid && i > idx { i + 1 } else { i };
     for d in test.deps() {
-        t = t.with_dep(d.tid, shift_idx(d.tid, d.from), shift_idx(d.tid, d.to), d.kind);
+        t = t.with_dep(
+            d.tid,
+            shift_idx(d.tid, d.from),
+            shift_idx(d.tid, d.to),
+            d.kind,
+        );
     }
     for p in test.rmw_pairs() {
         t = t.with_rmw_pair(p.tid, shift_idx(p.tid, p.load));
@@ -352,7 +374,14 @@ mod tests {
     #[test]
     fn dmo_demotes_in_place() {
         let (t, o) = classics::mp_rel_acq();
-        let (t2, o2) = apply(&t, &o, Application::Dmo { gid: 1, to: MemOrder::Relaxed });
+        let (t2, o2) = apply(
+            &t,
+            &o,
+            Application::Dmo {
+                gid: 1,
+                to: MemOrder::Relaxed,
+            },
+        );
         assert_eq!(t2.instr(1).order(), Some(MemOrder::Relaxed));
         assert_eq!(o2, o);
         assert_eq!(t2.num_events(), t.num_events());
@@ -414,7 +443,9 @@ mod tests {
         // RI×4 + DMO on the release and the acquire.
         assert_eq!(apps.len(), 6);
         assert_eq!(
-            apps.iter().filter(|a| matches!(a, Application::Dmo { .. })).count(),
+            apps.iter()
+                .filter(|a| matches!(a, Application::Dmo { .. }))
+                .count(),
             2
         );
     }
@@ -426,7 +457,15 @@ mod tests {
         let apps = applications(&scc, &t);
         let dfs: Vec<_> = apps
             .iter()
-            .filter(|a| matches!(a, Application::Df { to: FenceKind::AcqRel, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Application::Df {
+                        to: FenceKind::AcqRel,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(dfs.len(), 2);
     }

@@ -18,11 +18,7 @@ pub fn program_key(test: &LitmusTest) -> String {
 
 /// `true` iff `inner`'s program is reachable from `outer`'s by a (possibly
 /// empty) sequence of relaxation applications admitted by `model`.
-pub fn contains_subtest<M: MemoryModel>(
-    model: &M,
-    outer: &LitmusTest,
-    inner: &LitmusTest,
-) -> bool {
+pub fn contains_subtest<M: MemoryModel>(model: &M, outer: &LitmusTest, inner: &LitmusTest) -> bool {
     let target = program_key(inner);
     let target_events = inner.num_events();
     let mut seen: HashSet<String> = HashSet::new();
@@ -106,10 +102,20 @@ mod tests {
         let n3 = litsynth_litmus::LitmusTest::new(
             "n3ish",
             vec![
-                vec![litsynth_litmus::Instr::store(0), litsynth_litmus::Instr::store(2)],
+                vec![
+                    litsynth_litmus::Instr::store(0),
+                    litsynth_litmus::Instr::store(2),
+                ],
                 vec![litsynth_litmus::Instr::store(1)],
-                vec![litsynth_litmus::Instr::load(2), litsynth_litmus::Instr::load(0), litsynth_litmus::Instr::load(1)],
-                vec![litsynth_litmus::Instr::load(1), litsynth_litmus::Instr::load(0)],
+                vec![
+                    litsynth_litmus::Instr::load(2),
+                    litsynth_litmus::Instr::load(0),
+                    litsynth_litmus::Instr::load(1),
+                ],
+                vec![
+                    litsynth_litmus::Instr::load(1),
+                    litsynth_litmus::Instr::load(0),
+                ],
             ],
         );
         assert!(contains_subtest(&Tso::new(), &n3, &iriw));

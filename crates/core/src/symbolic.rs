@@ -18,9 +18,7 @@
 // (`kind`, `thread`, `is_read`, …); iterator rewrites would obscure that.
 #![allow(clippy::needless_range_loop)]
 
-use litsynth_litmus::{
-    Addr, DepKind, FenceKind, Instr, LitmusTest, MemOrder, Outcome, Scope,
-};
+use litsynth_litmus::{Addr, DepKind, FenceKind, Instr, LitmusTest, MemOrder, Outcome, Scope};
 use litsynth_models::{Ctx, MemoryModel, SymAlg};
 use litsynth_relalg::{Bit, Circuit, Instance, Matrix1, Matrix2};
 use std::collections::BTreeMap;
@@ -39,10 +37,21 @@ pub struct SynthConfig {
     /// Leave RI-orphaned reads unconstrained (§4.3, the paper's choice).
     /// `false` snaps them to the initial value instead (ablation).
     pub orphan_unconstrained: bool,
-    /// Stop after this many raw solver instances (safety cap).
+    /// Stop after this many raw solver instances (safety cap; with cube
+    /// splitting the cap applies to each cube's enumeration).
     pub max_instances: usize,
-    /// Wall-clock budget for one query, in milliseconds (0 = unlimited).
+    /// Wall-clock budget for one enumeration worker, in milliseconds
+    /// (0 = unlimited).
     pub time_budget_ms: u64,
+    /// Worker threads for the parallel synthesis engine: `1` runs fully
+    /// sequentially (byte-identical results either way), `0` uses all
+    /// available cores.
+    pub threads: usize,
+    /// Split each (axiom, bound) query into `2^cube_bits` disjoint
+    /// subqueries by pinning the first `cube_bits` instruction-kind
+    /// selector bits (slot 0 first) as extra assumptions — intra-query
+    /// parallelism for the large bounds. `0` disables splitting.
+    pub cube_bits: usize,
 }
 
 impl SynthConfig {
@@ -56,7 +65,21 @@ impl SynthConfig {
             orphan_unconstrained: true,
             max_instances: 1_000_000,
             time_budget_ms: 0,
+            threads: 1,
+            cube_bits: 0,
         }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> SynthConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the cube-splitting width (builder style).
+    pub fn with_cube_bits(mut self, cube_bits: usize) -> SynthConfig {
+        self.cube_bits = cube_bits;
+        self
     }
 }
 
@@ -83,13 +106,20 @@ impl Shape {
     }
     fn to_instr(self, addr: Option<Addr>) -> Instr {
         match self {
-            Shape::Load(order) => {
-                Instr::Load { addr: addr.expect("load has addr"), order, scope: Scope::System }
-            }
-            Shape::Store(order) => {
-                Instr::Store { addr: addr.expect("store has addr"), order, scope: Scope::System }
-            }
-            Shape::Fence(kind) => Instr::Fence { kind, scope: Scope::System },
+            Shape::Load(order) => Instr::Load {
+                addr: addr.expect("load has addr"),
+                order,
+                scope: Scope::System,
+            },
+            Shape::Store(order) => Instr::Store {
+                addr: addr.expect("store has addr"),
+                order,
+                scope: Scope::System,
+            },
+            Shape::Fence(kind) => Instr::Fence {
+                kind,
+                scope: Scope::System,
+            },
         }
     }
 }
@@ -154,13 +184,25 @@ impl SymbolicTest {
 
         // --- Free bits ---------------------------------------------------
         let kind: Vec<Vec<Bit>> = (0..n)
-            .map(|e| (0..vocab.len()).map(|v| c.input(format!("kind[{e}][{v}]"))).collect())
+            .map(|e| {
+                (0..vocab.len())
+                    .map(|v| c.input(format!("kind[{e}][{v}]")))
+                    .collect()
+            })
             .collect();
         let thread: Vec<Vec<Bit>> = (0..n)
-            .map(|e| (0..t_max).map(|t| c.input(format!("thread[{e}][{t}]"))).collect())
+            .map(|e| {
+                (0..t_max)
+                    .map(|t| c.input(format!("thread[{e}][{t}]")))
+                    .collect()
+            })
             .collect();
         let addr: Vec<Vec<Bit>> = (0..n)
-            .map(|e| (0..a_max).map(|a| c.input(format!("addr[{e}][{a}]"))).collect())
+            .map(|e| {
+                (0..a_max)
+                    .map(|a| c.input(format!("addr[{e}][{a}]")))
+                    .collect()
+            })
             .collect();
         let mut rf = Matrix2::empty(n, n);
         let mut co = Matrix2::empty(n, n);
@@ -227,14 +269,20 @@ impl SymbolicTest {
         for e in 1..n {
             for t in 0..t_max {
                 let prev_same = thread[e - 1][t];
-                let prev_one_less = if t > 0 { thread[e - 1][t - 1] } else { Circuit::FALSE };
+                let prev_one_less = if t > 0 {
+                    thread[e - 1][t - 1]
+                } else {
+                    Circuit::FALSE
+                };
                 let ok = c.or(prev_same, prev_one_less);
                 let imp = c.implies(thread[e][t], ok);
                 wf.push(imp);
             }
         }
         let same_thread = |c: &mut Circuit, i: usize, j: usize| -> Bit {
-            let terms: Vec<Bit> = (0..t_max).map(|t| c.and(thread[i][t], thread[j][t])).collect();
+            let terms: Vec<Bit> = (0..t_max)
+                .map(|t| c.and(thread[i][t], thread[j][t]))
+                .collect();
             c.or_many(terms)
         };
 
@@ -457,12 +505,8 @@ impl SymbolicTest {
         let read_set = Matrix1::from_bits(is_read.clone());
         let write_set = Matrix1::from_bits(is_write.clone());
         let fence_of = |k: FenceKind| move |s: Shape| s == Shape::Fence(k);
-        let order_read = |os: &'static [MemOrder]| {
-            move |s: Shape| matches!(s, Shape::Load(o) if os.contains(&o))
-        };
-        let order_write = |os: &'static [MemOrder]| {
-            move |s: Shape| matches!(s, Shape::Store(o) if os.contains(&o))
-        };
+        let order_read = |os: &'static [MemOrder]| move |s: Shape| matches!(s, Shape::Load(o) if os.contains(&o));
+        let order_write = |os: &'static [MemOrder]| move |s: Shape| matches!(s, Shape::Store(o) if os.contains(&o));
         let acq_orders: &'static [MemOrder] =
             &[MemOrder::Acquire, MemOrder::AcqRel, MemOrder::SeqCst];
         let rel_orders: &'static [MemOrder] =
@@ -500,9 +544,18 @@ impl SymbolicTest {
             loc,
             rf: rf.clone(),
             co: co.clone(),
-            addr_dep: deps.get(&DepKind::Addr).cloned().unwrap_or_else(|| empty.clone()),
-            data_dep: deps.get(&DepKind::Data).cloned().unwrap_or_else(|| empty.clone()),
-            ctrl_dep: deps.get(&DepKind::Ctrl).cloned().unwrap_or_else(|| empty.clone()),
+            addr_dep: deps
+                .get(&DepKind::Addr)
+                .cloned()
+                .unwrap_or_else(|| empty.clone()),
+            data_dep: deps
+                .get(&DepKind::Data)
+                .cloned()
+                .unwrap_or_else(|| empty.clone()),
+            ctrl_dep: deps
+                .get(&DepKind::Ctrl)
+                .cloned()
+                .unwrap_or_else(|| empty.clone()),
             ctrlisync_dep: deps
                 .get(&DepKind::CtrlIsync)
                 .cloned()
@@ -578,13 +631,16 @@ impl SymbolicTest {
                 .expect("exactly-one thread");
             tids.push(t);
         }
-        let mut threads: Vec<Vec<Instr>> = vec![Vec::new(); tids.iter().max().map_or(0, |&m| m + 1)];
+        let mut threads: Vec<Vec<Instr>> =
+            vec![Vec::new(); tids.iter().max().map_or(0, |&m| m + 1)];
         for e in 0..n {
             let v = (0..self.vocab.len())
                 .find(|&v| ev(self.kind[e][v]))
                 .expect("exactly-one kind");
             let shape = self.vocab[v];
-            let a = (0..self.a_max).find(|&a| ev(self.addr[e][a])).map(|a| Addr(a as u8));
+            let a = (0..self.a_max)
+                .find(|&a| ev(self.addr[e][a]))
+                .map(|a| Addr(a as u8));
             threads[tids[e]].push(shape.to_instr(a));
         }
         let mut test = LitmusTest::new("synth", threads);
@@ -668,14 +724,21 @@ mod tests {
             let ok = litsynth_litmus::Execution::enumerate(&test)
                 .iter()
                 .any(|e| outcome.matches(&e.outcome()));
-            assert!(ok, "unrealizable extraction: {test} {}", outcome.display(&test));
+            assert!(
+                ok,
+                "unrealizable extraction: {test} {}",
+                outcome.display(&test)
+            );
             finder.block(&circuit, &inst, &st.observables);
             seen += 1;
             if seen > 200 {
                 break;
             }
         }
-        assert!(seen > 10, "the 3-event SC space is non-trivial (saw {seen})");
+        assert!(
+            seen > 10,
+            "the 3-event SC space is non-trivial (saw {seen})"
+        );
     }
 
     #[test]

@@ -1,32 +1,84 @@
 //! The synthesis loop (paper §5): enumerate every instance of the
-//! minimality criterion, canonicalize, and deduplicate.
+//! minimality criterion, canonicalize, and deduplicate — in parallel.
+//!
+//! # The parallel engine
+//!
+//! Every (axiom, bound) query is an independent SAT enumeration over its
+//! own private circuit and solver, so the drivers fan queries out across a
+//! scoped-thread worker pool ([`SynthConfig::threads`]). On top of that,
+//! one query can be *cube-split* ([`SynthConfig::cube_bits`]): the first
+//! `b` instruction-kind selector bits are pinned to each of the `2^b`
+//! boolean patterns as extra assumptions, partitioning the observable
+//! space into disjoint subqueries that enumerate concurrently and merge
+//! through the canonical-key dedup.
+//!
+//! Results are deterministic by construction — byte-identical across any
+//! `threads`/`cube_bits` choice:
+//!
+//! * tasks are merged in a fixed (bound, axiom, cube) order, never in
+//!   completion order, and
+//! * the representative stored for a canonical key is a pure function of
+//!   the key (the exact canonicalizer's normal form; for the hash-based
+//!   ablation canonicalizer, the lexicographically least serialization),
+//!   not whichever isomorphic variant a worker happened to enumerate
+//!   first.
 
 use crate::perturb::minimality_asserts_opts;
-use crate::symbolic::{SymbolicTest, SynthConfig};
-use litsynth_litmus::{canonical_key_exact, canonical_key_hash, LitmusTest, Outcome};
+use crate::symbolic::{vocabulary, SymbolicTest, SynthConfig};
+use litsynth_litmus::{canonical_key_hash, canonicalize_exact, serialize, LitmusTest, Outcome};
 use litsynth_models::{MemoryModel, SymAlg};
-use litsynth_relalg::Finder;
+use litsynth_relalg::{Bit, Finder};
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A deduplicated suite: canonical key → (test, outcome).
 pub type CanonicalSuite = BTreeMap<String, (LitmusTest, Outcome)>;
 
-/// The result of one synthesis query (one model, one axiom, one bound).
+/// Statistics for one enumeration worker — one (axiom, bound, cube) task.
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    /// The axiom this worker enumerated.
+    pub axiom: &'static str,
+    /// The event bound of the query.
+    pub bound: usize,
+    /// Which cube of `num_cubes` this worker owned (0 when unsplit).
+    pub cube: usize,
+    /// Total cubes the query was split into (1 when unsplit).
+    pub num_cubes: usize,
+    /// Raw solver instances this worker enumerated.
+    pub raw_instances: usize,
+    /// CNF variables in this worker's solver.
+    pub cnf_vars: usize,
+    /// CNF clauses in this worker's solver.
+    pub cnf_clauses: usize,
+    /// Wall-clock time this worker spent.
+    pub elapsed: Duration,
+    /// `true` if the instance cap or time budget stopped this worker.
+    pub truncated: bool,
+}
+
+/// The result of one synthesis query (one model, one axiom, one bound),
+/// possibly aggregated over several cube workers.
 #[derive(Debug)]
 pub struct SynthResult {
     /// Canonical tests, keyed by canonical form.
     pub tests: BTreeMap<String, (LitmusTest, Outcome)>,
-    /// Raw solver instances enumerated (before canonicalization).
+    /// Raw solver instances enumerated (before canonicalization), summed
+    /// over workers.
     pub raw_instances: usize,
-    /// Wall-clock time spent.
+    /// Wall-clock time for the whole query (not the sum of workers).
     pub elapsed: Duration,
-    /// `true` if the instance cap or time budget stopped the query early.
+    /// `true` if the instance cap or time budget stopped any worker early.
     pub truncated: bool,
-    /// CNF size of the query.
+    /// CNF variables, summed over workers.
     pub cnf_vars: usize,
-    /// CNF clause count of the query.
+    /// CNF clause count, summed over workers.
     pub cnf_clauses: usize,
+    /// Per-worker solver statistics, in cube order.
+    pub workers: Vec<WorkerStats>,
 }
 
 impl SynthResult {
@@ -46,18 +98,74 @@ impl SynthResult {
     }
 }
 
-/// Synthesizes the suite for one axiom of `model` at the bound in `cfg`:
-/// all canonical tests of exactly `cfg.events` instructions satisfying the
-/// minimality criterion (Figure 5c encoding).
-pub fn synthesize_axiom<M: MemoryModel>(
-    model: &M,
-    axiom: &str,
-    cfg: &SynthConfig,
-) -> SynthResult {
+/// Inserts with the deterministic representative rule: the value kept for
+/// a key never depends on enumeration order (see the module docs).
+fn insert_dedup(suite: &mut CanonicalSuite, key: String, test: LitmusTest, outcome: Outcome) {
+    match suite.entry(key) {
+        Entry::Vacant(v) => {
+            v.insert((test, outcome));
+        }
+        Entry::Occupied(mut o) => {
+            let (t0, o0) = o.get();
+            if serialize(&test, &outcome) < serialize(t0, o0) {
+                o.insert((test, outcome));
+            }
+        }
+    }
+}
+
+/// The cube pin bits for a query: the first `cube_bits` instruction-kind
+/// selectors in slot order. Pinning observable bits guarantees the cubes
+/// partition the observable space (every blocked class determines the
+/// pinned bits' values, so it falls in exactly one cube).
+fn cube_pins(st: &SymbolicTest, cube_bits: usize) -> Vec<Bit> {
+    st.kind.iter().flatten().copied().take(cube_bits).collect()
+}
+
+/// `cube_bits` clamped to the number of pinnable selector bits the query
+/// actually has.
+fn effective_cube_bits<M: MemoryModel>(model: &M, cfg: &SynthConfig) -> usize {
+    cfg.cube_bits.min(vocabulary(model).len() * cfg.events)
+}
+
+/// Resolves [`SynthConfig::threads`] (`0` = all cores).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// One enumeration task: an (axiom, bound, cube) triple with its config.
+struct Task {
+    axiom_idx: usize,
+    axiom: &'static str,
+    cfg: SynthConfig,
+    cube: usize,
+    cube_bits: usize,
+}
+
+/// The output of one worker.
+struct CubeRun {
+    tests: CanonicalSuite,
+    stats: WorkerStats,
+}
+
+/// Enumerates one cube of one (axiom, bound) query on the current thread.
+fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task) -> CubeRun {
+    let cfg = &task.cfg;
     let start = Instant::now();
     let mut alg = SymAlg::new();
     let st = SymbolicTest::build(&mut alg, model, cfg);
-    let asserts = minimality_asserts_opts(&mut alg, model, &st, axiom, cfg.orphan_unconstrained);
+    let mut asserts =
+        minimality_asserts_opts(&mut alg, model, &st, task.axiom, cfg.orphan_unconstrained);
+    let pins = cube_pins(&st, task.cube_bits);
+    for (j, &b) in pins.iter().enumerate() {
+        asserts.push(if task.cube >> j & 1 == 1 { b } else { b.not() });
+    }
     let circuit = alg.into_circuit();
     let mut finder = Finder::new(&circuit);
 
@@ -67,12 +175,17 @@ pub fn synthesize_axiom<M: MemoryModel>(
     while let Some(inst) = finder.next_instance(&circuit, &asserts) {
         raw += 1;
         let (test, outcome) = st.extract(&circuit, &inst);
-        let key = if cfg.exact_canon {
-            canonical_key_exact(&test, &outcome)
+        if cfg.exact_canon {
+            let (key, ct, co) = canonicalize_exact(&test, &outcome);
+            insert_dedup(&mut tests, key, ct, co);
         } else {
-            canonical_key_hash(&test, &outcome)
-        };
-        tests.entry(key).or_insert((test, outcome));
+            insert_dedup(
+                &mut tests,
+                canonical_key_hash(&test, &outcome),
+                test,
+                outcome,
+            );
+        }
         finder.block(&circuit, &inst, &st.observables);
         if raw >= cfg.max_instances {
             truncated = true;
@@ -83,45 +196,205 @@ pub fn synthesize_axiom<M: MemoryModel>(
             break;
         }
     }
+    CubeRun {
+        tests,
+        stats: WorkerStats {
+            axiom: task.axiom,
+            bound: cfg.events,
+            cube: task.cube,
+            num_cubes: 1 << task.cube_bits,
+            raw_instances: raw,
+            cnf_vars: finder.num_cnf_vars(),
+            cnf_clauses: finder.num_cnf_clauses(),
+            elapsed: start.elapsed(),
+            truncated,
+        },
+    }
+}
+
+/// Runs the tasks on a scoped-thread worker pool and returns their outputs
+/// in task order (never completion order).
+fn run_tasks<M: MemoryModel + Sync>(model: &M, tasks: &[Task], threads: usize) -> Vec<CubeRun> {
+    let threads = resolve_threads(threads).min(tasks.len()).max(1);
+    if threads == 1 {
+        return tasks.iter().map(|t| enumerate_cube(model, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CubeRun>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(enumerate_cube(model, &tasks[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("every task ran to completion")
+        })
+        .collect()
+}
+
+/// Merges the cube runs of one query (in cube order) into a [`SynthResult`].
+fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
+    let mut tests = BTreeMap::new();
+    let mut raw = 0;
+    let mut vars = 0;
+    let mut clauses = 0;
+    let mut truncated = false;
+    let mut workers = Vec::with_capacity(runs.len());
+    for run in runs {
+        for (k, (t, o)) in run.tests {
+            insert_dedup(&mut tests, k, t, o);
+        }
+        raw += run.stats.raw_instances;
+        vars += run.stats.cnf_vars;
+        clauses += run.stats.cnf_clauses;
+        truncated |= run.stats.truncated;
+        workers.push(run.stats);
+    }
     SynthResult {
         tests,
         raw_instances: raw,
-        elapsed: start.elapsed(),
+        elapsed,
         truncated,
-        cnf_vars: finder.num_cnf_vars(),
-        cnf_clauses: finder.num_cnf_clauses(),
+        cnf_vars: vars,
+        cnf_clauses: clauses,
+        workers,
     }
+}
+
+/// The static name of `axiom` in `model`'s axiom list.
+///
+/// # Panics
+///
+/// Panics if `axiom` is not one of the model's axioms.
+fn static_axiom<M: MemoryModel>(model: &M, axiom: &str) -> &'static str {
+    model
+        .axioms()
+        .iter()
+        .copied()
+        .find(|a| *a == axiom)
+        .unwrap_or_else(|| panic!("unknown axiom {axiom:?} for {}", model.name()))
+}
+
+/// The (axiom × cube) task list for one bound.
+fn tasks_for<M: MemoryModel>(model: &M, cfg: &SynthConfig) -> Vec<Task> {
+    let cube_bits = effective_cube_bits(model, cfg);
+    let mut tasks = Vec::new();
+    for (axiom_idx, &axiom) in model.axioms().iter().enumerate() {
+        for cube in 0..(1usize << cube_bits) {
+            tasks.push(Task {
+                axiom_idx,
+                axiom,
+                cfg: cfg.clone(),
+                cube,
+                cube_bits,
+            });
+        }
+    }
+    tasks
+}
+
+/// Synthesizes the suite for one axiom of `model` at the bound in `cfg`:
+/// all canonical tests of exactly `cfg.events` instructions satisfying the
+/// minimality criterion (Figure 5c encoding). With `cfg.cube_bits > 0` the
+/// query is cube-split and the cubes run on `cfg.threads` workers.
+pub fn synthesize_axiom<M: MemoryModel + Sync>(
+    model: &M,
+    axiom: &str,
+    cfg: &SynthConfig,
+) -> SynthResult {
+    let start = Instant::now();
+    let axiom = static_axiom(model, axiom);
+    let cube_bits = effective_cube_bits(model, cfg);
+    let tasks: Vec<Task> = (0..(1usize << cube_bits))
+        .map(|cube| Task {
+            axiom_idx: 0,
+            axiom,
+            cfg: cfg.clone(),
+            cube,
+            cube_bits,
+        })
+        .collect();
+    let runs = run_tasks(model, &tasks, cfg.threads);
+    merge_query(runs, start.elapsed())
 }
 
 /// Synthesizes the per-axiom suites *and* their union for a model at one
 /// bound. As the paper notes (§5.2), generating per-axiom suites and
-/// merging at the end is much faster than a single union query.
-pub fn synthesize_union<M: MemoryModel>(
+/// merging at the end is much faster than a single union query — and the
+/// per-axiom queries are fully independent, so they fan out across the
+/// worker pool.
+pub fn synthesize_union<M: MemoryModel + Sync>(
     model: &M,
     cfg: &SynthConfig,
 ) -> (BTreeMap<&'static str, SynthResult>, CanonicalSuite) {
+    let start = Instant::now();
+    let tasks = tasks_for(model, cfg);
+    let runs = run_tasks(model, &tasks, cfg.threads);
+    merge_union(model, tasks, runs, start)
+}
+
+/// Groups task outputs by axiom (in axiom order) and builds the union.
+fn merge_union<M: MemoryModel>(
+    model: &M,
+    tasks: Vec<Task>,
+    runs: Vec<CubeRun>,
+    start: Instant,
+) -> (BTreeMap<&'static str, SynthResult>, CanonicalSuite) {
+    let mut grouped: Vec<Vec<CubeRun>> = model.axioms().iter().map(|_| Vec::new()).collect();
+    for (task, run) in tasks.iter().zip(runs) {
+        grouped[task.axiom_idx].push(run);
+    }
     let mut per_axiom = BTreeMap::new();
     let mut union: CanonicalSuite = BTreeMap::new();
-    for ax in model.axioms() {
-        let r = synthesize_axiom(model, ax, cfg);
+    for (&ax, runs) in model.axioms().iter().zip(grouped) {
+        let r = merge_query(runs, start.elapsed());
         for (k, v) in &r.tests {
             union.entry(k.clone()).or_insert_with(|| v.clone());
         }
-        per_axiom.insert(*ax, r);
+        per_axiom.insert(ax, r);
     }
     (per_axiom, union)
 }
 
 /// Synthesizes the union suite over a range of bounds, merging canonical
-/// sets (tests of different sizes never collide).
-pub fn synthesize_union_up_to<M: MemoryModel>(
+/// sets (tests of different sizes never collide). Every (bound, axiom,
+/// cube) task across the whole range fans out over one shared worker pool.
+pub fn synthesize_union_up_to<M: MemoryModel + Sync>(
     model: &M,
     bounds: std::ops::RangeInclusive<usize>,
     mk_cfg: impl Fn(usize) -> SynthConfig,
 ) -> CanonicalSuite {
-    let mut union = BTreeMap::new();
-    for n in bounds {
-        let (_, u) = synthesize_union(model, &mk_cfg(n));
+    let cfgs: Vec<SynthConfig> = bounds.map(mk_cfg).collect();
+    let threads = cfgs.iter().map(|c| c.threads).max().unwrap_or(1);
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut spans = Vec::new(); // (start index, task count) per bound
+    for cfg in &cfgs {
+        let bound_tasks = tasks_for(model, cfg);
+        spans.push((tasks.len(), bound_tasks.len()));
+        tasks.extend(bound_tasks);
+    }
+    let runs = run_tasks(model, &tasks, threads);
+
+    // Merge in bound order, each bound in axiom order — the same shape as
+    // the sequential loop, so the result is byte-identical to it.
+    let mut union: CanonicalSuite = BTreeMap::new();
+    let mut runs = runs.into_iter();
+    for (i, cfg) in cfgs.iter().enumerate() {
+        let (_, count) = spans[i];
+        let bound_tasks = tasks_for(model, cfg);
+        let bound_runs: Vec<CubeRun> = runs.by_ref().take(count).collect();
+        let start = Instant::now();
+        let (_, u) = merge_union(model, bound_tasks, bound_runs, start);
         union.extend(u);
     }
     union
@@ -186,5 +459,116 @@ mod tests {
         for (t, o) in r.tests.values() {
             assert!(check_minimal(&m, "causality", t, o).is_minimal(), "{t}");
         }
+    }
+
+    /// Flattens a union result for byte-for-byte comparison.
+    fn fingerprint(
+        per_axiom: &BTreeMap<&'static str, SynthResult>,
+        union: &CanonicalSuite,
+    ) -> String {
+        let mut s = String::new();
+        for (ax, r) in per_axiom {
+            for (k, (t, o)) in &r.tests {
+                s.push_str(&format!("{ax}|{k}|{}\n", serialize(t, o)));
+            }
+        }
+        for (k, (t, o)) in union {
+            s.push_str(&format!("U|{k}|{}\n", serialize(t, o)));
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_union_is_byte_identical_to_sequential() {
+        // The acceptance property of the parallel engine: any combination
+        // of worker threads and cube splitting produces exactly the
+        // sequential suite.
+        for bound in 2..=4usize {
+            for model_idx in 0..2 {
+                let run = |threads: usize, cube_bits: usize| {
+                    let mut cfg = SynthConfig::new(bound);
+                    cfg.threads = threads;
+                    cfg.cube_bits = cube_bits;
+                    if model_idx == 0 {
+                        let (p, u) = synthesize_union(&Sc::new(), &cfg);
+                        (
+                            fingerprint(&p, &u),
+                            p.values().map(|r| r.raw_instances).sum::<usize>(),
+                        )
+                    } else {
+                        let (p, u) = synthesize_union(&Tso::new(), &cfg);
+                        (
+                            fingerprint(&p, &u),
+                            p.values().map(|r| r.raw_instances).sum::<usize>(),
+                        )
+                    }
+                };
+                let (seq, seq_raw) = run(1, 0);
+                for (threads, cube_bits) in [(1, 2), (2, 0), (2, 2), (4, 0), (4, 2)] {
+                    let (par, par_raw) = run(threads, cube_bits);
+                    assert_eq!(
+                        par, seq,
+                        "threads={threads} cube_bits={cube_bits} bound={bound} model={model_idx}"
+                    );
+                    // Cubes partition the enumeration exactly: same number
+                    // of raw instances in total.
+                    assert_eq!(
+                        par_raw, seq_raw,
+                        "raw count drifted: threads={threads} cube_bits={cube_bits} \
+                         bound={bound} model={model_idx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_up_to_is_byte_identical_across_thread_counts() {
+        let suites: Vec<String> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                let u = synthesize_union_up_to(&Tso::new(), 2..=3, |n| {
+                    SynthConfig::new(n).with_threads(threads).with_cube_bits(1)
+                });
+                u.iter()
+                    .map(|(k, (t, o))| format!("{k}|{}\n", serialize(t, o)))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(suites[0], suites[1]);
+        assert_eq!(suites[0], suites[2]);
+    }
+
+    #[test]
+    fn worker_stats_cover_every_cube() {
+        let cfg = SynthConfig::new(2).with_threads(2).with_cube_bits(2);
+        let r = synthesize_axiom(&Tso::new(), "sc_per_loc", &cfg);
+        assert_eq!(r.workers.len(), 4);
+        for (i, w) in r.workers.iter().enumerate() {
+            assert_eq!(w.cube, i);
+            assert_eq!(w.num_cubes, 4);
+            assert_eq!(w.axiom, "sc_per_loc");
+            assert_eq!(w.bound, 2);
+        }
+        assert_eq!(
+            r.raw_instances,
+            r.workers.iter().map(|w| w.raw_instances).sum::<usize>()
+        );
+        // Splitting never changes the canonical suite.
+        let seq = synthesize_axiom(&Tso::new(), "sc_per_loc", &SynthConfig::new(2));
+        assert_eq!(
+            seq.tests.keys().collect::<Vec<_>>(),
+            r.tests.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cube_bits_clamp_to_the_selector_count() {
+        // 2 events × 3 TSO shapes = 6 selector bits; asking for 40 must
+        // clamp, not allocate 2^40 cubes.
+        let cfg = SynthConfig::new(2).with_cube_bits(40);
+        let r = synthesize_axiom(&Tso::new(), "sc_per_loc", &cfg);
+        assert_eq!(r.workers.len(), 1 << 6);
+        assert_eq!(r.len(), 3);
     }
 }

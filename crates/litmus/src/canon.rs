@@ -59,9 +59,18 @@ pub fn apply_thread_order(
         }
     }
     // Deps and rmw pairs.
-    let old_tid_to_new: BTreeMap<usize, usize> =
-        order.iter().enumerate().map(|(new, &old)| (old, new)).collect();
-    for &Dep { tid, from, to, kind } in test.deps() {
+    let old_tid_to_new: BTreeMap<usize, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    for &Dep {
+        tid,
+        from,
+        to,
+        kind,
+    } in test.deps()
+    {
         out = out.with_dep(old_tid_to_new[&tid], from, to, kind);
     }
     for &RmwPair { tid, load, .. } in test.rmw_pairs() {
@@ -299,11 +308,12 @@ mod tests {
     #[test]
     fn deps_participate_in_keys() {
         let mk = |with_dep: bool| {
-            let t = LitmusTest::new(
-                "t",
-                vec![vec![Instr::load(0), Instr::store(1)]],
-            );
-            let t = if with_dep { t.with_dep(0, 0, 1, DepKind::Addr) } else { t };
+            let t = LitmusTest::new("t", vec![vec![Instr::load(0), Instr::store(1)]]);
+            let t = if with_dep {
+                t.with_dep(0, 0, 1, DepKind::Addr)
+            } else {
+                t
+            };
             let o = Outcome {
                 rf: BTreeMap::from([(0, None)]),
                 finals: BTreeMap::from([(Addr(1), 1)]),
@@ -317,7 +327,10 @@ mod tests {
     fn orders_participate_in_keys() {
         let mk = |ord: MemOrder| {
             let t = LitmusTest::new("t", vec![vec![Instr::load_ord(0, ord)]]);
-            let o = Outcome { rf: BTreeMap::from([(0, None)]), finals: BTreeMap::new() };
+            let o = Outcome {
+                rf: BTreeMap::from([(0, None)]),
+                finals: BTreeMap::new(),
+            };
             canonical_key_exact(&t, &o)
         };
         assert_ne!(mk(MemOrder::Relaxed), mk(MemOrder::Acquire));
@@ -325,10 +338,7 @@ mod tests {
 
     #[test]
     fn outcome_participates_in_keys() {
-        let t = LitmusTest::new(
-            "t",
-            vec![vec![Instr::store(0)], vec![Instr::load(0)]],
-        );
+        let t = LitmusTest::new("t", vec![vec![Instr::store(0)], vec![Instr::load(0)]]);
         let o1 = Outcome {
             rf: BTreeMap::from([(1, None)]),
             finals: BTreeMap::from([(Addr(0), 0)]),

@@ -45,11 +45,24 @@ pub fn to_rmw_pairs(test: &LitmusTest, outcome: &Outcome) -> (LitmusTest, Outcom
         };
         let tid = cur.thread_of(gid);
         let idx = cur.index_of(gid);
-        let Instr::Rmw { addr, order, scope } = cur.instr(gid) else { unreachable!() };
+        let Instr::Rmw { addr, order, scope } = cur.instr(gid) else {
+            unreachable!()
+        };
         let (lo, so) = split_orders(order);
         let mut threads = cur.threads().to_vec();
-        threads[tid][idx] = Instr::Load { addr, order: lo, scope };
-        threads[tid].insert(idx + 1, Instr::Store { addr, order: so, scope });
+        threads[tid][idx] = Instr::Load {
+            addr,
+            order: lo,
+            scope,
+        };
+        threads[tid].insert(
+            idx + 1,
+            Instr::Store {
+                addr,
+                order: so,
+                scope,
+            },
+        );
         let mut next = LitmusTest::new(cur.name().to_string(), threads);
         let shift = |d_tid: usize, i: usize| if d_tid == tid && i > idx { i + 1 } else { i };
         for d in cur.deps() {
@@ -64,8 +77,16 @@ pub fn to_rmw_pairs(test: &LitmusTest, outcome: &Outcome) -> (LitmusTest, Outcom
         let map_read = |g: usize| if g > gid { g + 1 } else { g };
         let map_write = |g: usize| if g >= gid { g + 1 } else { g };
         out = Outcome {
-            rf: out.rf.iter().map(|(&r, &w)| (map_read(r), w.map(map_write))).collect(),
-            finals: out.finals.iter().map(|(&a, &w)| (a, map_write(w))).collect(),
+            rf: out
+                .rf
+                .iter()
+                .map(|(&r, &w)| (map_read(r), w.map(map_write)))
+                .collect(),
+            finals: out
+                .finals
+                .iter()
+                .map(|(&a, &w)| (a, map_write(w)))
+                .collect(),
         };
         cur = next;
     }
@@ -119,11 +140,8 @@ mod tests {
 
     #[test]
     fn pair_form_is_identity() {
-        let t = LitmusTest::new(
-            "pair",
-            vec![vec![Instr::load(0), Instr::store(0)]],
-        )
-        .with_rmw_pair(0, 0);
+        let t = LitmusTest::new("pair", vec![vec![Instr::load(0), Instr::store(0)]])
+            .with_rmw_pair(0, 0);
         let o = Outcome::empty();
         let (t2, _) = to_rmw_pairs(&t, &o);
         assert_eq!(t, t2);

@@ -11,9 +11,8 @@
 //! whether the cycle is actually forbidden is the memory model's call.
 
 use crate::event::{Addr, DepKind, FenceKind, Instr};
+use crate::rng::SplitMix64;
 use crate::test::{LitmusTest, Outcome};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// A communication (inter-thread) edge of a critical cycle.
@@ -79,7 +78,7 @@ impl Default for DiyConfig {
 /// The generator. Deterministic for a given seed.
 #[derive(Debug)]
 pub struct DiyGenerator {
-    rng: StdRng,
+    rng: SplitMix64,
     config: DiyConfig,
     counter: usize,
 }
@@ -87,7 +86,11 @@ pub struct DiyGenerator {
 impl DiyGenerator {
     /// Creates a generator with the given seed and configuration.
     pub fn new(seed: u64, config: DiyConfig) -> DiyGenerator {
-        DiyGenerator { rng: StdRng::seed_from_u64(seed), config, counter: 0 }
+        DiyGenerator {
+            rng: SplitMix64::new(seed),
+            config,
+            counter: 0,
+        }
     }
 
     /// Generates `n` tests (programs + cycle-observing outcomes).
@@ -105,21 +108,18 @@ impl DiyGenerator {
 
     /// Attempts to realize one random critical cycle.
     fn try_one(&mut self) -> Option<(LitmusTest, Outcome)> {
-        let k = self.rng.gen_range(self.config.min_comm..=self.config.max_comm);
+        let k = self.rng.range(self.config.min_comm, self.config.max_comm);
         // Draw k communication edges and k local segments; thread i hosts
         // segment i (between comm edge i-1's dst and comm edge i's src).
         let comms: Vec<CommEdge> = (0..k)
-            .map(|_| match self.rng.gen_range(0..3) {
+            .map(|_| match self.rng.below(3) {
                 0 => CommEdge::Rfe,
                 1 => CommEdge::Fre,
                 _ => CommEdge::Coe,
             })
             .collect();
         let locals: Vec<LocalEdge> = (0..k)
-            .map(|_| {
-                let i = self.rng.gen_range(0..self.config.local_edges.len());
-                self.config.local_edges[i]
-            })
+            .map(|_| *self.rng.choose(&self.config.local_edges))
             .collect();
 
         // Thread i's first event is comm[i-1].dst, second is comm[i].src.
@@ -232,7 +232,9 @@ mod tests {
         let tests = DiyGenerator::new(7, DiyConfig::default()).generate(30);
         assert_eq!(tests.len(), 30);
         for (t, o) in &tests {
-            let ok = Execution::enumerate(t).iter().any(|e| o.matches(&e.outcome()));
+            let ok = Execution::enumerate(t)
+                .iter()
+                .any(|e| o.matches(&e.outcome()));
             assert!(ok, "{}: cycle outcome unrealizable\n{t}", t.name());
         }
     }
@@ -252,7 +254,11 @@ mod tests {
 
     #[test]
     fn respects_cycle_length_bounds() {
-        let cfg = DiyConfig { min_comm: 3, max_comm: 3, ..DiyConfig::default() };
+        let cfg = DiyConfig {
+            min_comm: 3,
+            max_comm: 3,
+            ..DiyConfig::default()
+        };
         for (t, _) in DiyGenerator::new(1, cfg).generate(20) {
             assert_eq!(t.num_threads(), 3);
         }

@@ -198,32 +198,55 @@ pub enum Instr {
 impl Instr {
     /// Plain relaxed load.
     pub fn load(addr: u8) -> Instr {
-        Instr::Load { addr: Addr(addr), order: MemOrder::Relaxed, scope: Scope::System }
+        Instr::Load {
+            addr: Addr(addr),
+            order: MemOrder::Relaxed,
+            scope: Scope::System,
+        }
     }
 
     /// Plain relaxed store.
     pub fn store(addr: u8) -> Instr {
-        Instr::Store { addr: Addr(addr), order: MemOrder::Relaxed, scope: Scope::System }
+        Instr::Store {
+            addr: Addr(addr),
+            order: MemOrder::Relaxed,
+            scope: Scope::System,
+        }
     }
 
     /// Load with an explicit order.
     pub fn load_ord(addr: u8, order: MemOrder) -> Instr {
-        Instr::Load { addr: Addr(addr), order, scope: Scope::System }
+        Instr::Load {
+            addr: Addr(addr),
+            order,
+            scope: Scope::System,
+        }
     }
 
     /// Store with an explicit order.
     pub fn store_ord(addr: u8, order: MemOrder) -> Instr {
-        Instr::Store { addr: Addr(addr), order, scope: Scope::System }
+        Instr::Store {
+            addr: Addr(addr),
+            order,
+            scope: Scope::System,
+        }
     }
 
     /// Atomic RMW (relaxed unless overridden).
     pub fn rmw(addr: u8) -> Instr {
-        Instr::Rmw { addr: Addr(addr), order: MemOrder::Relaxed, scope: Scope::System }
+        Instr::Rmw {
+            addr: Addr(addr),
+            order: MemOrder::Relaxed,
+            scope: Scope::System,
+        }
     }
 
     /// A fence of the given kind.
     pub fn fence(kind: FenceKind) -> Instr {
-        Instr::Fence { kind, scope: Scope::System }
+        Instr::Fence {
+            kind,
+            scope: Scope::System,
+        }
     }
 
     /// The address accessed, if this is a memory access.

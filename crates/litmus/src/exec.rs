@@ -76,7 +76,10 @@ impl Execution {
         let mut out = Vec::with_capacity(rf_choices.len() * co_choices.len());
         for rf in &rf_choices {
             for co in &co_choices {
-                out.push(Execution { rf: rf.clone(), co: co.clone() });
+                out.push(Execution {
+                    rf: rf.clone(),
+                    co: co.clone(),
+                });
             }
         }
         out
@@ -260,10 +263,7 @@ mod tests {
 
     #[test]
     fn outcome_finals_are_co_max() {
-        let _two_writes = LitmusTest::new(
-            "t",
-            vec![vec![Instr::store(0)], vec![Instr::store(0)]],
-        );
+        let _two_writes = LitmusTest::new("t", vec![vec![Instr::store(0)], vec![Instr::store(0)]]);
         let e = Execution {
             rf: BTreeMap::new(),
             co: BTreeMap::from([(Addr(0), vec![1, 0])]),

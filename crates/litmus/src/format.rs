@@ -28,7 +28,15 @@ use std::fmt::Write as _;
 /// Renders a test and its forbidden outcome in the textual format.
 pub fn to_text(test: &LitmusTest, outcome: &Outcome) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "test {}", if test.name().is_empty() { "unnamed" } else { test.name() });
+    let _ = writeln!(
+        s,
+        "test {}",
+        if test.name().is_empty() {
+            "unnamed"
+        } else {
+            test.name()
+        }
+    );
     for t in test.threads() {
         let _ = writeln!(s, "thread");
         for i in t {
@@ -76,7 +84,10 @@ impl std::fmt::Display for ParseTestError {
 impl std::error::Error for ParseTestError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseTestError {
-    ParseTestError { line, message: message.into() }
+    ParseTestError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses the textual format back into a test and outcome.
@@ -129,7 +140,8 @@ pub fn from_text(text: &str) -> Result<(LitmusTest, Outcome), ParseTestError> {
                     let src = match words.next() {
                         Some("init") => None,
                         Some(w) => Some(
-                            w.parse::<usize>().map_err(|_| err(ln, format!("bad write gid {w:?}")))?,
+                            w.parse::<usize>()
+                                .map_err(|_| err(ln, format!("bad write gid {w:?}")))?,
                         ),
                         None => return Err(err(ln, "missing rf source")),
                     };
@@ -137,7 +149,8 @@ pub fn from_text(text: &str) -> Result<(LitmusTest, Outcome), ParseTestError> {
                 }
                 Some("final") => {
                     let a = words.next().ok_or_else(|| err(ln, "missing address"))?;
-                    let addr = parse_addr(a).ok_or_else(|| err(ln, format!("bad address {a:?}")))?;
+                    let addr =
+                        parse_addr(a).ok_or_else(|| err(ln, format!("bad address {a:?}")))?;
                     if words.next() != Some("=") {
                         return Err(err(ln, "expected '='"));
                     }
@@ -218,11 +231,13 @@ fn parse_order(suffix: &str) -> Result<MemOrder, String> {
     }
 }
 
-fn parse_instr<'a>(
-    head: &str,
-    words: &mut impl Iterator<Item = &'a str>,
-) -> Result<Instr, String> {
-    let fence = |kind| Ok(Instr::Fence { kind, scope: Scope::System });
+fn parse_instr<'a>(head: &str, words: &mut impl Iterator<Item = &'a str>) -> Result<Instr, String> {
+    let fence = |kind| {
+        Ok(Instr::Fence {
+            kind,
+            scope: Scope::System,
+        })
+    };
     match head {
         "FenceSC" => return fence(FenceKind::Full),
         "lwsync" => return fence(FenceKind::Lightweight),
@@ -243,9 +258,21 @@ fn parse_instr<'a>(
     let a = words.next().ok_or("missing address")?;
     let addr = parse_addr(a).ok_or_else(|| format!("bad address {a:?}"))?;
     Ok(match mnemonic {
-        "Ld" => Instr::Load { addr, order, scope: Scope::System },
-        "St" => Instr::Store { addr, order, scope: Scope::System },
-        _ => Instr::Rmw { addr, order, scope: Scope::System },
+        "Ld" => Instr::Load {
+            addr,
+            order,
+            scope: Scope::System,
+        },
+        "St" => Instr::Store {
+            addr,
+            order,
+            scope: Scope::System,
+        },
+        _ => Instr::Rmw {
+            addr,
+            order,
+            scope: Scope::System,
+        },
     })
 }
 
@@ -296,8 +323,16 @@ mod tests {
             ("test x\nthread\n  Zap [x]\nend\n", 3, "unknown instruction"),
             ("test x\nthread\n  Ld [q9]\nend\n", 3, "bad address"),
             ("test x\nthread\n  Ld [x]\n", 3, "missing 'end'"),
-            ("test x\nthread\n  Ld [x]\nend\nmore\n", 5, "content after 'end'"),
-            ("test x\nthread\n  Ld [x]\nforbid rf 0 <- zap\nend\n", 4, "bad write gid"),
+            (
+                "test x\nthread\n  Ld [x]\nend\nmore\n",
+                5,
+                "content after 'end'",
+            ),
+            (
+                "test x\nthread\n  Ld [x]\nforbid rf 0 <- zap\nend\n",
+                4,
+                "bad write gid",
+            ),
             ("test x\nthread\n  Ld.zap [x]\nend\n", 3, "unknown order"),
         ];
         for (text, line, needle) in cases {

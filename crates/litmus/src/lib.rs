@@ -37,13 +37,15 @@ mod test;
 
 pub mod diy;
 pub mod format;
+pub mod rng;
 pub mod suites;
 
-pub use convert::to_rmw_pairs;
 pub use canon::{
     apply_thread_order, canonical_key_exact, canonical_key_hash, canonicalize_exact, serialize,
 };
+pub use convert::to_rmw_pairs;
 pub use event::{Addr, DepKind, FenceKind, Instr, MemOrder, Scope};
 pub use exec::Execution;
 pub use rel::{union_all, Rel};
+pub use rng::SplitMix64;
 pub use test::{Dep, LitmusTest, Outcome, RmwPair};

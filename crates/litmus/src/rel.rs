@@ -22,7 +22,10 @@ impl Rel {
     /// Panics if `n > 64`.
     pub fn new(n: usize) -> Rel {
         assert!(n <= 64, "Rel supports at most 64 elements");
-        Rel { n, rows: vec![0; n] }
+        Rel {
+            n,
+            rows: vec![0; n],
+        }
     }
 
     /// The identity relation.
@@ -119,7 +122,12 @@ impl Rel {
         assert_eq!(self.n, other.n);
         Rel {
             n: self.n,
-            rows: self.rows.iter().zip(&other.rows).map(|(&a, &b)| f(a, b)).collect(),
+            rows: self
+                .rows
+                .iter()
+                .zip(&other.rows)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -191,7 +199,10 @@ impl Rel {
     /// `true` if `self ⊆ other`.
     pub fn is_subset(&self, other: &Rel) -> bool {
         assert_eq!(self.n, other.n);
-        self.rows.iter().zip(&other.rows).all(|(&a, &b)| a & !b == 0)
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .all(|(&a, &b)| a & !b == 0)
     }
 }
 

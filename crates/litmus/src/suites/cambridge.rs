@@ -27,7 +27,12 @@ fn lwsync() -> Instr {
 
 /// MP with chosen per-thread strengthenings: an optional fence between the
 /// writes and an optional fence or dependency between the reads.
-fn mp_variant(name: &str, wfence: Option<Instr>, rsync: Option<Instr>, rdep: Option<DepKind>) -> SuiteEntry {
+fn mp_variant(
+    name: &str,
+    wfence: Option<Instr>,
+    rsync: Option<Instr>,
+    rdep: Option<DepKind>,
+) -> SuiteEntry {
     let mut t0 = vec![Instr::store(0)];
     if let Some(f) = wfence {
         t0.push(f);
@@ -62,14 +67,39 @@ pub fn suite() -> Vec<SuiteEntry> {
     // ---- MP family -------------------------------------------------------
     let (t, o) = classics::mp();
     v.push(SuiteEntry::new(t, o, false));
-    v.push(forbid(mp_variant("MP+syncs", Some(sync()), Some(sync()), None)));
-    v.push(forbid(mp_variant("MP+lwsyncs", Some(lwsync()), Some(lwsync()), None)));
-    v.push(forbid(mp_variant("MP+lwsync+addr", Some(lwsync()), None, Some(DepKind::Addr))));
-    v.push(forbid(mp_variant("MP+sync+addr", Some(sync()), None, Some(DepKind::Addr))));
+    v.push(forbid(mp_variant(
+        "MP+syncs",
+        Some(sync()),
+        Some(sync()),
+        None,
+    )));
+    v.push(forbid(mp_variant(
+        "MP+lwsyncs",
+        Some(lwsync()),
+        Some(lwsync()),
+        None,
+    )));
+    v.push(forbid(mp_variant(
+        "MP+lwsync+addr",
+        Some(lwsync()),
+        None,
+        Some(DepKind::Addr),
+    )));
+    v.push(forbid(mp_variant(
+        "MP+sync+addr",
+        Some(sync()),
+        None,
+        Some(DepKind::Addr),
+    )));
     v.push(mp_variant("MP+po+addr", None, None, Some(DepKind::Addr)));
     v.push(mp_variant("MP+lwsync+po", Some(lwsync()), None, None));
     // ctrl does not order read→read on Power…
-    v.push(mp_variant("MP+lwsync+ctrl", Some(lwsync()), None, Some(DepKind::Ctrl)));
+    v.push(mp_variant(
+        "MP+lwsync+ctrl",
+        Some(lwsync()),
+        None,
+        Some(DepKind::Ctrl),
+    ));
     // …but ctrl+isync does.
     v.push(forbid(mp_variant(
         "MP+lwsync+ctrlisync",
@@ -156,7 +186,11 @@ pub fn suite() -> Vec<SuiteEntry> {
         ],
     )
     .with_dep(2, 0, 1, DepKind::Addr);
-    v.push(SuiteEntry::new(t, oc([(1, Some(0)), (4, Some(3)), (5, None)], []), true));
+    v.push(SuiteEntry::new(
+        t,
+        oc([(1, Some(0)), (4, Some(3)), (5, None)], []),
+        true,
+    ));
     let t = LitmusTest::new(
         "WRC+sync+addr",
         vec![
@@ -166,7 +200,11 @@ pub fn suite() -> Vec<SuiteEntry> {
         ],
     )
     .with_dep(2, 0, 1, DepKind::Addr);
-    v.push(SuiteEntry::new(t, oc([(1, Some(0)), (4, Some(3)), (5, None)], []), true));
+    v.push(SuiteEntry::new(
+        t,
+        oc([(1, Some(0)), (4, Some(3)), (5, None)], []),
+        true,
+    ));
 
     // ---- IRIW family -----------------------------------------------------
     let (t, o) = classics::iriw();
@@ -182,7 +220,11 @@ pub fn suite() -> Vec<SuiteEntry> {
     )
     .with_dep(2, 0, 1, DepKind::Addr)
     .with_dep(3, 0, 1, DepKind::Addr);
-    v.push(SuiteEntry::new(t, oc([(2, Some(0)), (3, None), (4, Some(1)), (5, None)], []), false));
+    v.push(SuiteEntry::new(
+        t,
+        oc([(2, Some(0)), (3, None), (4, Some(1)), (5, None)], []),
+        false,
+    ));
     let t = LitmusTest::new(
         "IRIW+lwsyncs",
         vec![
@@ -193,7 +235,11 @@ pub fn suite() -> Vec<SuiteEntry> {
         ],
     );
     // The famous one: lwsync is *not* enough for IRIW on Power.
-    v.push(SuiteEntry::new(t, oc([(2, Some(0)), (4, None), (5, Some(1)), (7, None)], []), false));
+    v.push(SuiteEntry::new(
+        t,
+        oc([(2, Some(0)), (4, None), (5, Some(1)), (7, None)], []),
+        false,
+    ));
     let t = LitmusTest::new(
         "IRIW+syncs",
         vec![
@@ -203,7 +249,11 @@ pub fn suite() -> Vec<SuiteEntry> {
             vec![Instr::load(1), sync(), Instr::load(0)],
         ],
     );
-    v.push(SuiteEntry::new(t, oc([(2, Some(0)), (4, None), (5, Some(1)), (7, None)], []), true));
+    v.push(SuiteEntry::new(
+        t,
+        oc([(2, Some(0)), (4, None), (5, Some(1)), (7, None)], []),
+        true,
+    ));
 
     // ---- RWC, WWC, ISA2 --------------------------------------------------
     let (t, o) = classics::rwc();
@@ -216,7 +266,11 @@ pub fn suite() -> Vec<SuiteEntry> {
             vec![Instr::store(1), sync(), Instr::load(0)],
         ],
     );
-    v.push(SuiteEntry::new(t, oc([(1, Some(0)), (3, None), (6, None)], []), true));
+    v.push(SuiteEntry::new(
+        t,
+        oc([(1, Some(0)), (3, None), (6, None)], []),
+        true,
+    ));
     let (t, o) = classics::wwc();
     v.push(SuiteEntry::new(t, o, false));
     let (t, o) = classics::isa2();

@@ -115,8 +115,16 @@ pub fn sb_fences() -> (LitmusTest, Outcome) {
     let t = LitmusTest::new(
         "SB+fences",
         vec![
-            vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
-            vec![Instr::store(1), Instr::fence(FenceKind::Full), Instr::load(0)],
+            vec![
+                Instr::store(0),
+                Instr::fence(FenceKind::Full),
+                Instr::load(1),
+            ],
+            vec![
+                Instr::store(1),
+                Instr::fence(FenceKind::Full),
+                Instr::load(0),
+            ],
         ],
     );
     (t, oc([(2, None), (5, None)], []))
@@ -127,7 +135,11 @@ pub fn sb_one_fence() -> (LitmusTest, Outcome) {
     let t = LitmusTest::new(
         "SB+fence+po",
         vec![
-            vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
+            vec![
+                Instr::store(0),
+                Instr::fence(FenceKind::Full),
+                Instr::load(1),
+            ],
             vec![Instr::store(1), Instr::load(0)],
         ],
     );
@@ -265,7 +277,11 @@ pub fn rwc_fence() -> (LitmusTest, Outcome) {
         vec![
             vec![Instr::store(0)],
             vec![Instr::load(0), Instr::load(1)],
-            vec![Instr::store(1), Instr::fence(FenceKind::Full), Instr::load(0)],
+            vec![
+                Instr::store(1),
+                Instr::fence(FenceKind::Full),
+                Instr::load(0),
+            ],
         ],
     );
     (t, oc([(1, Some(0)), (2, None), (5, None)], []))
@@ -282,7 +298,10 @@ pub fn iriw() -> (LitmusTest, Outcome) {
             vec![Instr::load(1), Instr::load(0)],
         ],
     );
-    (t, oc([(2, Some(0)), (3, None), (4, Some(1)), (5, None)], []))
+    (
+        t,
+        oc([(2, Some(0)), (3, None), (4, Some(1)), (5, None)], []),
+    )
 }
 
 /// IRIW where all four reads target the *same* location (iwp2.6/CoIRIW):
@@ -297,7 +316,10 @@ pub fn coiriw() -> (LitmusTest, Outcome) {
             vec![Instr::load(0), Instr::load(0)],
         ],
     );
-    (t, oc([(2, Some(0)), (3, Some(1)), (4, Some(1)), (5, Some(0))], []))
+    (
+        t,
+        oc([(2, Some(0)), (3, Some(1)), (4, Some(1)), (5, Some(0))], []),
+    )
 }
 
 /// ISA2: `St x; St y ‖ Ld y; St z ‖ Ld z; Ld x`, outcome `1 ∧ 1 ∧ 0`.
@@ -318,7 +340,11 @@ pub fn isa2_sync_deps() -> (LitmusTest, Outcome) {
     let t = LitmusTest::new(
         "ISA2+sync+data+addr",
         vec![
-            vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::store(1)],
+            vec![
+                Instr::store(0),
+                Instr::fence(FenceKind::Full),
+                Instr::store(1),
+            ],
             vec![Instr::load(1), Instr::store(2)],
             vec![Instr::load(2), Instr::load(0)],
         ],
@@ -390,20 +416,14 @@ pub fn colb() -> (LitmusTest, Outcome) {
 /// Two competing single-instruction RMWs on one location: both reading the
 /// initial value is an atomicity violation.
 pub fn rmw_rmw() -> (LitmusTest, Outcome) {
-    let t = LitmusTest::new(
-        "RMW+RMW",
-        vec![vec![Instr::rmw(0)], vec![Instr::rmw(0)]],
-    );
+    let t = LitmusTest::new("RMW+RMW", vec![vec![Instr::rmw(0)], vec![Instr::rmw(0)]]);
     (t, oc([(0, None), (1, None)], []))
 }
 
 /// An RMW with a plain store slipping between its read and write:
 /// the RMW reads the initial value but the store is coherence-between.
 pub fn rmw_st() -> (LitmusTest, Outcome) {
-    let t = LitmusTest::new(
-        "RMW+St",
-        vec![vec![Instr::rmw(0)], vec![Instr::store(0)]],
-    );
+    let t = LitmusTest::new("RMW+St", vec![vec![Instr::rmw(0)], vec![Instr::store(0)]]);
     // Writes to x in gid order: 0 (the RMW, value 1), 1 (the store, value
     // 2). RMW reads init but final value is the RMW's — store in between.
     (t, oc([(0, None)], [(0, 0)]))

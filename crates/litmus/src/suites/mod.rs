@@ -32,7 +32,11 @@ pub struct SuiteEntry {
 impl SuiteEntry {
     /// Convenience constructor.
     pub fn new(test: LitmusTest, outcome: Outcome, forbidden: bool) -> SuiteEntry {
-        SuiteEntry { test, outcome, forbidden }
+        SuiteEntry {
+            test,
+            outcome,
+            forbidden,
+        }
     }
 }
 
@@ -67,9 +71,17 @@ mod tests {
     fn every_outcome_references_valid_events() {
         for e in owens::suite().iter().chain(cambridge::suite().iter()) {
             for (&r, &w) in &e.outcome.rf {
-                assert!(e.test.instr(r).is_read(), "{}: rf target is a read", e.test.name());
+                assert!(
+                    e.test.instr(r).is_read(),
+                    "{}: rf target is a read",
+                    e.test.name()
+                );
                 if let Some(w) = w {
-                    assert!(e.test.instr(w).is_write(), "{}: rf source is a write", e.test.name());
+                    assert!(
+                        e.test.instr(w).is_write(),
+                        "{}: rf source is a write",
+                        e.test.name()
+                    );
                     assert_eq!(
                         e.test.instr(r).addr(),
                         e.test.instr(w).addr(),
@@ -79,7 +91,12 @@ mod tests {
                 }
             }
             for (&a, &w) in &e.outcome.finals {
-                assert_eq!(e.test.instr(w).addr(), Some(a), "{}: final is a write to the address", e.test.name());
+                assert_eq!(
+                    e.test.instr(w).addr(),
+                    Some(a),
+                    "{}: final is a write to the address",
+                    e.test.name()
+                );
                 assert!(e.test.instr(w).is_write());
             }
         }

@@ -36,7 +36,11 @@ pub fn suite() -> Vec<SuiteEntry> {
             vec![Instr::store(1), Instr::load(1), Instr::load(0)],
         ],
     );
-    add(SuiteEntry::new(t, oc([(1, Some(0)), (2, None), (4, Some(3)), (5, None)], []), false));
+    add(SuiteEntry::new(
+        t,
+        oc([(1, Some(0)), (2, None), (4, Some(3)), (5, None)], []),
+        false,
+    ));
 
     // iwp2.5/amd8: the R shape — W→R reordering makes it observable.
     let (t, o) = classics::r();
@@ -56,7 +60,11 @@ pub fn suite() -> Vec<SuiteEntry> {
     );
     // r1 reads the own store (x's first write, gid 0), r2 misses y, and the
     // other thread's x-write wins coherence.
-    add(SuiteEntry::new(t, oc([(1, Some(0)), (2, None)], [(0, 4)]), false));
+    add(SuiteEntry::new(
+        t,
+        oc([(1, Some(0)), (2, None)], [(0, 4)]),
+        false,
+    ));
 
     // n2: an unsynchronized three-thread message miss.
     let t = LitmusTest::new(
@@ -79,7 +87,11 @@ pub fn suite() -> Vec<SuiteEntry> {
         ],
     );
     // r1=1 by forwarding, r2=0, and x finally 1 (the *local* write wins).
-    add(SuiteEntry::new(t, oc([(1, Some(0)), (2, None)], [(0, 0)]), false));
+    add(SuiteEntry::new(
+        t,
+        oc([(1, Some(0)), (2, None)], [(0, 0)]),
+        false,
+    ));
 
     // n7: a single unsynchronized reader of two independent writers.
     let t = LitmusTest::new(
@@ -134,16 +146,20 @@ pub fn suite() -> Vec<SuiteEntry> {
             vec![Instr::load(1), Instr::load(0)],
         ],
     );
-    add(
-        SuiteEntry::new(
-            t,
-            oc(
-                [(3, Some(1)), (4, Some(0)), (5, None), (6, Some(2)), (7, None)],
-                [],
-            ),
-            true,
+    add(SuiteEntry::new(
+        t,
+        oc(
+            [
+                (3, Some(1)),
+                (4, Some(0)),
+                (5, None),
+                (6, Some(2)),
+                (7, None),
+            ],
+            [],
         ),
-    );
+        true,
+    ));
 
     // n4: two writer/reader threads disagreeing about one location.
     let t = LitmusTest::new(
@@ -155,7 +171,11 @@ pub fn suite() -> Vec<SuiteEntry> {
     );
     // Each thread's read sees the *other* thread's write as newest, which
     // needs contradictory coherence orders.
-    add(SuiteEntry::new(t, oc([(1, Some(2)), (3, Some(0))], [(0, 0)]), true));
+    add(SuiteEntry::new(
+        t,
+        oc([(1, Some(2)), (3, Some(0))], [(0, 0)]),
+        true,
+    ));
 
     // n5/CoLB (Figure 10): both loads read their own thread's later store.
     let (t, o) = classics::colb();
@@ -175,7 +195,11 @@ pub fn suite() -> Vec<SuiteEntry> {
             vec![Instr::load(1), Instr::load(0)],
         ],
     );
-    add(SuiteEntry::new(t, oc([(2, Some(0)), (3, None), (4, Some(1)), (5, None)], []), true));
+    add(SuiteEntry::new(
+        t,
+        oc([(2, Some(0)), (3, None), (4, Some(1)), (5, None)], []),
+        true,
+    ));
 
     // iwp2.8.a: loads are not reordered past locked instructions (SB with
     // RMW stores).
@@ -204,11 +228,25 @@ pub fn suite() -> Vec<SuiteEntry> {
     let t = LitmusTest::new(
         "amd10",
         vec![
-            vec![Instr::store(2), Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
-            vec![Instr::store(1), Instr::fence(FenceKind::Full), Instr::load(0), Instr::load(2)],
+            vec![
+                Instr::store(2),
+                Instr::store(0),
+                Instr::fence(FenceKind::Full),
+                Instr::load(1),
+            ],
+            vec![
+                Instr::store(1),
+                Instr::fence(FenceKind::Full),
+                Instr::load(0),
+                Instr::load(2),
+            ],
         ],
     );
-    add(SuiteEntry::new(t, oc([(3, None), (6, None), (7, Some(0))], []), true));
+    add(SuiteEntry::new(
+        t,
+        oc([(3, None), (6, None), (7, Some(0))], []),
+        true,
+    ));
 
     v
 }
@@ -231,7 +269,11 @@ mod tests {
             let ok = Execution::enumerate(&e.test)
                 .iter()
                 .any(|x| e.outcome.matches(&x.outcome()));
-            assert!(ok, "{}: outcome not realizable by any candidate", e.test.name());
+            assert!(
+                ok,
+                "{}: outcome not realizable by any candidate",
+                e.test.name()
+            );
         }
     }
 }

@@ -92,8 +92,16 @@ impl LitmusTest {
     pub fn with_dep(mut self, tid: usize, from: usize, to: usize, kind: DepKind) -> LitmusTest {
         assert!(from < to, "dependencies go forward in program order");
         assert!(to < self.threads[tid].len(), "dep target out of range");
-        assert!(self.threads[tid][from].is_read(), "dependencies originate at reads");
-        self.deps.push(Dep { tid, from, to, kind });
+        assert!(
+            self.threads[tid][from].is_read(),
+            "dependencies originate at reads"
+        );
+        self.deps.push(Dep {
+            tid,
+            from,
+            to,
+            kind,
+        });
         self
     }
 
@@ -106,9 +114,19 @@ impl LitmusTest {
         let store = load + 1;
         let t = &self.threads[tid];
         assert!(store < t.len(), "rmw store out of range");
-        assert!(t[load].is_read() && !t[load].is_write(), "rmw pair starts with a load");
-        assert!(t[store].is_write() && !t[store].is_read(), "rmw pair ends with a store");
-        assert_eq!(t[load].addr(), t[store].addr(), "rmw pair must target one address");
+        assert!(
+            t[load].is_read() && !t[load].is_write(),
+            "rmw pair starts with a load"
+        );
+        assert!(
+            t[store].is_write() && !t[store].is_read(),
+            "rmw pair ends with a store"
+        );
+        assert_eq!(
+            t[load].addr(),
+            t[store].addr(),
+            "rmw pair must target one address"
+        );
         self.rmw_pairs.push(RmwPair { tid, load, store });
         self
     }
@@ -171,12 +189,16 @@ impl LitmusTest {
 
     /// Global ids of all read events (loads and RMWs).
     pub fn reads(&self) -> Vec<usize> {
-        (0..self.flat.len()).filter(|&g| self.flat[g].is_read()).collect()
+        (0..self.flat.len())
+            .filter(|&g| self.flat[g].is_read())
+            .collect()
     }
 
     /// Global ids of all write events (stores and RMWs).
     pub fn writes(&self) -> Vec<usize> {
-        (0..self.flat.len()).filter(|&g| self.flat[g].is_write()).collect()
+        (0..self.flat.len())
+            .filter(|&g| self.flat[g].is_write())
+            .collect()
     }
 
     /// Global ids of writes to `addr`, in global-id order.
@@ -203,7 +225,10 @@ impl LitmusTest {
     /// Panics if no such write exists.
     pub fn write_with_value(&self, addr: Addr, value: u32) -> usize {
         let ws = self.writes_to(addr);
-        assert!(value >= 1 && (value as usize) <= ws.len(), "no write of {value} to {addr}");
+        assert!(
+            value >= 1 && (value as usize) <= ws.len(),
+            "no write of {value} to {addr}"
+        );
         ws[value as usize - 1]
     }
 
@@ -215,7 +240,10 @@ impl LitmusTest {
     pub fn write_value(&self, gid: usize) -> u32 {
         let addr = self.flat[gid].addr().expect("write has an address");
         let ws = self.writes_to(addr);
-        ws.iter().position(|&w| w == gid).expect("gid is a write to addr") as u32 + 1
+        ws.iter()
+            .position(|&w| w == gid)
+            .expect("gid is a write to addr") as u32
+            + 1
     }
 
     // -------------------------------------------------------------------
@@ -271,7 +299,12 @@ impl LitmusTest {
 
     /// All dependency edges as a relation.
     pub fn dep_rel_all(&self) -> Rel {
-        self.dep_rel(&[DepKind::Addr, DepKind::Data, DepKind::Ctrl, DepKind::CtrlIsync])
+        self.dep_rel(&[
+            DepKind::Addr,
+            DepKind::Data,
+            DepKind::Ctrl,
+            DepKind::CtrlIsync,
+        ])
     }
 
     /// The `rmw` relation: two-instruction pairs *and* single-instruction
@@ -318,7 +351,14 @@ impl fmt::Display for LitmusTest {
             writeln!(f)?;
         }
         for d in &self.deps {
-            writeln!(f, "  dep[{}] T{} {}->{}", d.kind.mnemonic(), d.tid, d.from, d.to)?;
+            writeln!(
+                f,
+                "  dep[{}] T{} {}->{}",
+                d.kind.mnemonic(),
+                d.tid,
+                d.from,
+                d.to
+            )?;
         }
         for p in &self.rmw_pairs {
             writeln!(f, "  rmw T{} {}->{}", p.tid, p.load, p.store)?;
@@ -340,7 +380,10 @@ pub struct Outcome {
 impl Outcome {
     /// An empty (fully unconstrained) outcome.
     pub fn empty() -> Outcome {
-        Outcome { rf: BTreeMap::new(), finals: BTreeMap::new() }
+        Outcome {
+            rf: BTreeMap::new(),
+            finals: BTreeMap::new(),
+        }
     }
 
     /// Builds a (possibly partial) outcome from rf entries (read gid →
@@ -349,7 +392,10 @@ impl Outcome {
         rf: impl IntoIterator<Item = (usize, Option<usize>)>,
         finals: impl IntoIterator<Item = (Addr, usize)>,
     ) -> Outcome {
-        Outcome { rf: rf.into_iter().collect(), finals: finals.into_iter().collect() }
+        Outcome {
+            rf: rf.into_iter().collect(),
+            finals: finals.into_iter().collect(),
+        }
     }
 
     /// `true` if every constraint in this (possibly partial) outcome holds in
@@ -360,7 +406,10 @@ impl Outcome {
     /// *observable* if some allowed execution's full outcome matches it.
     pub fn matches(&self, full: &Outcome) -> bool {
         self.rf.iter().all(|(r, w)| full.rf.get(r) == Some(w))
-            && self.finals.iter().all(|(a, w)| full.finals.get(a) == Some(w))
+            && self
+                .finals
+                .iter()
+                .all(|(a, w)| full.finals.get(a) == Some(w))
     }
 
     /// Human-readable rendering like `(r0=1, r1=0, [x]=2)` against `test`.
@@ -422,7 +471,11 @@ mod tests {
     fn same_addr_ignores_fences() {
         let t = LitmusTest::new(
             "t",
-            vec![vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(0)]],
+            vec![vec![
+                Instr::store(0),
+                Instr::fence(FenceKind::Full),
+                Instr::load(0),
+            ]],
         );
         let sa = t.same_addr();
         assert!(sa.contains(0, 2));
@@ -436,7 +489,10 @@ mod tests {
     fn write_values_are_per_address_ranks() {
         let t = LitmusTest::new(
             "t",
-            vec![vec![Instr::store(0), Instr::store(1)], vec![Instr::store(0)]],
+            vec![
+                vec![Instr::store(0), Instr::store(1)],
+                vec![Instr::store(0)],
+            ],
         );
         assert_eq!(t.write_value(0), 1);
         assert_eq!(t.write_value(1), 1);
@@ -445,20 +501,18 @@ mod tests {
 
     #[test]
     fn deps_and_rmw() {
-        let t = LitmusTest::new(
-            "t",
-            vec![vec![Instr::load(0), Instr::store(1)]],
-        )
-        .with_dep(0, 0, 1, DepKind::Data);
+        let t = LitmusTest::new("t", vec![vec![Instr::load(0), Instr::store(1)]]).with_dep(
+            0,
+            0,
+            1,
+            DepKind::Data,
+        );
         assert_eq!(t.dep_rel(&[DepKind::Data]).edge_count(), 1);
         assert!(t.dep_rel(&[DepKind::Addr]).no_edges());
         assert_eq!(t.dep_rel_all().edge_count(), 1);
 
-        let t2 = LitmusTest::new(
-            "t2",
-            vec![vec![Instr::load(0), Instr::store(0)]],
-        )
-        .with_rmw_pair(0, 0);
+        let t2 =
+            LitmusTest::new("t2", vec![vec![Instr::load(0), Instr::store(0)]]).with_rmw_pair(0, 0);
         assert!(t2.rmw_rel().contains(0, 1));
 
         let t3 = LitmusTest::new("t3", vec![vec![Instr::rmw(0)]]);
@@ -469,18 +523,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "rmw pair must target one address")]
     fn rmw_pair_address_mismatch_panics() {
-        let _ = LitmusTest::new(
-            "bad",
-            vec![vec![Instr::load(0), Instr::store(1)]],
-        )
-        .with_rmw_pair(0, 0);
+        let _ =
+            LitmusTest::new("bad", vec![vec![Instr::load(0), Instr::store(1)]]).with_rmw_pair(0, 0);
     }
 
     #[test]
     #[should_panic(expected = "dependencies originate at reads")]
     fn dep_from_store_panics() {
-        let _ = LitmusTest::new("bad", vec![vec![Instr::store(0), Instr::store(1)]])
-            .with_dep(0, 0, 1, DepKind::Addr);
+        let _ = LitmusTest::new("bad", vec![vec![Instr::store(0), Instr::store(1)]]).with_dep(
+            0,
+            0,
+            1,
+            DepKind::Addr,
+        );
     }
 
     #[test]

@@ -252,7 +252,9 @@ pub struct SymAlg {
 impl SymAlg {
     /// Creates an algebra with a fresh circuit.
     pub fn new() -> SymAlg {
-        SymAlg { circuit: Circuit::new() }
+        SymAlg {
+            circuit: Circuit::new(),
+        }
     }
 
     /// Wraps an existing circuit.

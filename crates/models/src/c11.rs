@@ -134,7 +134,12 @@ impl MemoryModel for C11 {
     }
 
     fn fence_kinds(&self) -> &'static [FenceKind] {
-        &[FenceKind::Full, FenceKind::AcqRel, FenceKind::Acquire, FenceKind::Release]
+        &[
+            FenceKind::Full,
+            FenceKind::AcqRel,
+            FenceKind::Acquire,
+            FenceKind::Release,
+        ]
     }
 
     fn read_orders(&self) -> &'static [MemOrder] {
@@ -146,7 +151,13 @@ impl MemoryModel for C11 {
     }
 
     fn rmw_orders(&self) -> &'static [MemOrder] {
-        &[MemOrder::Relaxed, MemOrder::Acquire, MemOrder::Release, MemOrder::AcqRel, MemOrder::SeqCst]
+        &[
+            MemOrder::Relaxed,
+            MemOrder::Acquire,
+            MemOrder::Release,
+            MemOrder::AcqRel,
+            MemOrder::SeqCst,
+        ]
     }
 
     fn dep_kinds(&self) -> &'static [DepKind] {
@@ -173,8 +184,17 @@ mod tests {
     #[test]
     fn relaxed_atomics_allow_the_classics() {
         let m = C11::new();
-        for (t, o) in [classics::mp(), classics::sb(), classics::lb(), classics::iriw()] {
-            assert!(oracle::observable(&m, &t, &o), "{} allowed with relaxed atomics", t.name());
+        for (t, o) in [
+            classics::mp(),
+            classics::sb(),
+            classics::lb(),
+            classics::iriw(),
+        ] {
+            assert!(
+                oracle::observable(&m, &t, &o),
+                "{} allowed with relaxed atomics",
+                t.name()
+            );
         }
     }
 
@@ -184,7 +204,10 @@ mod tests {
         let (t, o) = classics::mp_rel_acq();
         assert!(!oracle::observable(&m, &t, &o));
         let (t, o) = classics::mp_rel2_acq2();
-        assert!(!oracle::observable(&m, &t, &o), "Figure 2's flavor is equally forbidden");
+        assert!(
+            !oracle::observable(&m, &t, &o),
+            "Figure 2's flavor is equally forbidden"
+        );
     }
 
     #[test]
@@ -193,8 +216,14 @@ mod tests {
         let t = LitmusTest::new(
             "SB+scs",
             vec![
-                vec![Instr::store_ord(0, MemOrder::SeqCst), Instr::load_ord(1, MemOrder::SeqCst)],
-                vec![Instr::store_ord(1, MemOrder::SeqCst), Instr::load_ord(0, MemOrder::SeqCst)],
+                vec![
+                    Instr::store_ord(0, MemOrder::SeqCst),
+                    Instr::load_ord(1, MemOrder::SeqCst),
+                ],
+                vec![
+                    Instr::store_ord(1, MemOrder::SeqCst),
+                    Instr::load_ord(0, MemOrder::SeqCst),
+                ],
             ],
         );
         let o = classics::oc([(1, None), (3, None)], []);
@@ -203,8 +232,14 @@ mod tests {
         let t2 = LitmusTest::new(
             "SB+rel+acq",
             vec![
-                vec![Instr::store_ord(0, MemOrder::Release), Instr::load_ord(1, MemOrder::Acquire)],
-                vec![Instr::store_ord(1, MemOrder::Release), Instr::load_ord(0, MemOrder::Acquire)],
+                vec![
+                    Instr::store_ord(0, MemOrder::Release),
+                    Instr::load_ord(1, MemOrder::Acquire),
+                ],
+                vec![
+                    Instr::store_ord(1, MemOrder::Release),
+                    Instr::load_ord(0, MemOrder::Acquire),
+                ],
             ],
         );
         let o2 = classics::oc([(1, None), (3, None)], []);
@@ -214,7 +249,12 @@ mod tests {
     #[test]
     fn coherence_holds_for_relaxed_atomics() {
         let m = C11::new();
-        for (t, o) in [classics::corr(), classics::coww(), classics::corw(), classics::cowr()] {
+        for (t, o) in [
+            classics::corr(),
+            classics::coww(),
+            classics::corw(),
+            classics::cowr(),
+        ] {
             assert!(!oracle::observable(&m, &t, &o), "{} forbidden", t.name());
         }
     }
@@ -226,8 +266,16 @@ mod tests {
         let t = LitmusTest::new(
             "MP+fence-rel+fence-acq",
             vec![
-                vec![Instr::store(0), Instr::fence(FenceKind::Release), Instr::store(1)],
-                vec![Instr::load(1), Instr::fence(FenceKind::Acquire), Instr::load(0)],
+                vec![
+                    Instr::store(0),
+                    Instr::fence(FenceKind::Release),
+                    Instr::store(1),
+                ],
+                vec![
+                    Instr::load(1),
+                    Instr::fence(FenceKind::Acquire),
+                    Instr::load(0),
+                ],
             ],
         );
         let o = classics::oc([(3, Some(2)), (5, None)], []);
@@ -242,8 +290,16 @@ mod tests {
         let t = LitmusTest::new(
             "SB+sc-fences",
             vec![
-                vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
-                vec![Instr::store(1), Instr::fence(FenceKind::Full), Instr::load(0)],
+                vec![
+                    Instr::store(0),
+                    Instr::fence(FenceKind::Full),
+                    Instr::load(1),
+                ],
+                vec![
+                    Instr::store(1),
+                    Instr::fence(FenceKind::Full),
+                    Instr::load(0),
+                ],
             ],
         );
         let o = classics::oc([(2, None), (5, None)], []);
@@ -252,8 +308,16 @@ mod tests {
         let t2 = LitmusTest::new(
             "SB+acqrel-fences",
             vec![
-                vec![Instr::store(0), Instr::fence(FenceKind::AcqRel), Instr::load(1)],
-                vec![Instr::store(1), Instr::fence(FenceKind::AcqRel), Instr::load(0)],
+                vec![
+                    Instr::store(0),
+                    Instr::fence(FenceKind::AcqRel),
+                    Instr::load(1),
+                ],
+                vec![
+                    Instr::store(1),
+                    Instr::fence(FenceKind::AcqRel),
+                    Instr::load(0),
+                ],
             ],
         );
         let o2 = classics::oc([(2, None), (5, None)], []);
@@ -267,7 +331,11 @@ mod tests {
         let t = LitmusTest::new(
             "SB+sc-fence+po",
             vec![
-                vec![Instr::store(0), Instr::fence(FenceKind::Full), Instr::load(1)],
+                vec![
+                    Instr::store(0),
+                    Instr::fence(FenceKind::Full),
+                    Instr::load(1),
+                ],
                 vec![Instr::store(1), Instr::load(0)],
             ],
         );
@@ -285,7 +353,13 @@ mod tests {
     #[test]
     fn relaxation_row_is_the_widest() {
         let r = C11::new().relaxations();
-        for k in [RelaxKind::Ri, RelaxKind::Drmw, RelaxKind::Df, RelaxKind::Dmo, RelaxKind::Rd] {
+        for k in [
+            RelaxKind::Ri,
+            RelaxKind::Drmw,
+            RelaxKind::Df,
+            RelaxKind::Dmo,
+            RelaxKind::Rd,
+        ] {
             assert!(r.contains(&k), "{k:?}");
         }
     }

@@ -107,7 +107,12 @@ impl<A: RelAlg> Ctx<A> {
 
     /// All dependency edges.
     pub fn dep(&self, alg: &mut A) -> A::Rel {
-        alg.union_many(&[&self.addr_dep, &self.data_dep, &self.ctrl_dep, &self.ctrlisync_dep])
+        alg.union_many(&[
+            &self.addr_dep,
+            &self.data_dep,
+            &self.ctrl_dep,
+            &self.ctrlisync_dep,
+        ])
     }
 
     /// From-reads: `fr = (R <: loc :> W) − (rf⁻¹ ; co*⁻¹) − iden`, the
@@ -317,7 +322,12 @@ mod tests {
         // On every candidate execution of several classic tests, the ctx's
         // algebraic `fr` must equal the direct enumeration `fr_rel`.
         let mut alg = ConcreteAlg;
-        for (t, _) in [classics::mp(), classics::sb(), classics::corw(), classics::colb()] {
+        for (t, _) in [
+            classics::mp(),
+            classics::sb(),
+            classics::corw(),
+            classics::colb(),
+        ] {
             for e in Execution::enumerate(&t) {
                 let ctx = concrete_ctx(&t, &e, &[]);
                 let algebraic = ctx.fr(&mut alg);

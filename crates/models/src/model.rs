@@ -67,7 +67,11 @@ pub trait MemoryModel {
 
     /// Conjunction of all axioms: the model's validity predicate.
     fn valid<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>) -> A::B {
-        let bs: Vec<A::B> = self.axioms().iter().map(|a| self.axiom(alg, ctx, a)).collect();
+        let bs: Vec<A::B> = self
+            .axioms()
+            .iter()
+            .map(|a| self.axiom(alg, ctx, a))
+            .collect();
         alg.and_many(bs)
     }
 
@@ -81,8 +85,11 @@ pub trait MemoryModel {
 
     /// Conjunction of all axioms in their synthesis form.
     fn synthesis_valid<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>) -> A::B {
-        let bs: Vec<A::B> =
-            self.axioms().iter().map(|a| self.synthesis_axiom(alg, ctx, a)).collect();
+        let bs: Vec<A::B> = self
+            .axioms()
+            .iter()
+            .map(|a| self.synthesis_axiom(alg, ctx, a))
+            .collect();
         alg.and_many(bs)
     }
 
@@ -159,7 +166,9 @@ pub trait MemoryModel {
     /// diamond, so `acq_rel` may demote to *either* `acquire` or `release`
     /// (§3.2's "multiple variants of DMO").
     fn order_demotions(&self, instr: Instr) -> Vec<MemOrder> {
-        let Some(o) = instr.order() else { return Vec::new() };
+        let Some(o) = instr.order() else {
+            return Vec::new();
+        };
         if instr.is_read() && instr.is_write() {
             // RMW: walk the demotion DAG, emitting the first orders (per
             // branch) that exist in the model's RMW vocabulary.
@@ -180,7 +189,12 @@ pub trait MemoryModel {
         } else {
             let (chain, ladder): (&[MemOrder], &[MemOrder]) = if instr.is_read() {
                 (
-                    &[MemOrder::SeqCst, MemOrder::Acquire, MemOrder::Consume, MemOrder::Relaxed],
+                    &[
+                        MemOrder::SeqCst,
+                        MemOrder::Acquire,
+                        MemOrder::Consume,
+                        MemOrder::Relaxed,
+                    ],
                     self.read_orders(),
                 )
             } else if instr.is_write() {
@@ -191,7 +205,9 @@ pub trait MemoryModel {
             } else {
                 return Vec::new();
             };
-            let Some(pos) = chain.iter().position(|&c| c == o) else { return Vec::new() };
+            let Some(pos) = chain.iter().position(|&c| c == o) else {
+                return Vec::new();
+            };
             chain[pos + 1..]
                 .iter()
                 .copied()

@@ -23,7 +23,10 @@ fn sc_orders<M: MemoryModel>(model: &M, test: &LitmusTest) -> Vec<Vec<usize>> {
         .filter(|&g| {
             matches!(
                 test.instr(g),
-                litsynth_litmus::Instr::Fence { kind: litsynth_litmus::FenceKind::Full, .. }
+                litsynth_litmus::Instr::Fence {
+                    kind: litsynth_litmus::FenceKind::Full,
+                    ..
+                }
             )
         })
         .collect();
@@ -95,7 +98,9 @@ pub fn forbidden_outcomes<M: MemoryModel>(model: &M, test: &LitmusTest) -> Vec<O
     outcomes
         .into_iter()
         .filter(|o| {
-            !execs.iter().any(|e| o.matches(&e.outcome()) && allows(model, test, e))
+            !execs
+                .iter()
+                .any(|e| o.matches(&e.outcome()) && allows(model, test, e))
         })
         .collect()
 }

@@ -214,7 +214,12 @@ impl MemoryModel for Power {
     }
 
     fn dep_kinds(&self) -> &'static [DepKind] {
-        &[DepKind::Addr, DepKind::Data, DepKind::Ctrl, DepKind::CtrlIsync]
+        &[
+            DepKind::Addr,
+            DepKind::Data,
+            DepKind::Ctrl,
+            DepKind::CtrlIsync,
+        ]
     }
 
     fn fence_demotions(&self, kind: FenceKind) -> Vec<litsynth_litmus::FenceKind> {
@@ -260,14 +265,23 @@ mod tests {
             classics::isa2(),
             classics::mp_addr(), // reader-side dep alone is not enough
         ] {
-            assert!(observable(&t, &o), "{} must be allowed under Power", t.name());
+            assert!(
+                observable(&t, &o),
+                "{} must be allowed under Power",
+                t.name()
+            );
         }
     }
 
     #[test]
     fn power_keeps_coherence() {
-        for (t, o) in [classics::corr(), classics::coww(), classics::corw(), classics::cowr(), classics::colb()]
-        {
+        for (t, o) in [
+            classics::corr(),
+            classics::coww(),
+            classics::corw(),
+            classics::cowr(),
+            classics::colb(),
+        ] {
             assert!(!observable(&t, &o), "{} must stay forbidden", t.name());
         }
     }
@@ -283,7 +297,11 @@ mod tests {
             classics::lb_datas(),
             classics::isa2_sync_deps(),
         ] {
-            assert!(!observable(&t, &o), "{} must be forbidden under Power", t.name());
+            assert!(
+                !observable(&t, &o),
+                "{} must be forbidden under Power",
+                t.name()
+            );
         }
     }
 
@@ -326,7 +344,11 @@ mod tests {
         // longer fixed-round iteration — guarding the symbolic bound.
         let m = Power::new();
         let mut alg = ConcreteAlg;
-        for (t, _) in [classics::lb_addrs(), classics::isa2_sync_deps(), classics::wrc_deps()] {
+        for (t, _) in [
+            classics::lb_addrs(),
+            classics::isa2_sync_deps(),
+            classics::wrc_deps(),
+        ] {
             for e in Execution::enumerate(&t).into_iter().take(20) {
                 let ctx = concrete_ctx(&t, &e, &[]);
                 let fast = m.ppo(&mut alg, &ctx);

@@ -57,9 +57,9 @@ mod tests {
     fn observable(test: &litsynth_litmus::LitmusTest, o: &litsynth_litmus::Outcome) -> bool {
         let sc = Sc::new();
         let mut alg = ConcreteAlg;
-        Execution::enumerate(test).iter().any(|e| {
-            o.matches(&e.outcome()) && sc.valid(&mut alg, &concrete_ctx(test, e, &[]))
-        })
+        Execution::enumerate(test)
+            .iter()
+            .any(|e| o.matches(&e.outcome()) && sc.valid(&mut alg, &concrete_ctx(test, e, &[])))
     }
 
     #[test]
@@ -78,7 +78,11 @@ mod tests {
             classics::corw(),
             classics::colb(),
         ] {
-            assert!(!observable(&t, &o), "{} must be forbidden under SC", t.name());
+            assert!(
+                !observable(&t, &o),
+                "{} must be forbidden under SC",
+                t.name()
+            );
         }
     }
 

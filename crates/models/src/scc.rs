@@ -184,7 +184,11 @@ mod tests {
             classics::iriw(),
             classics::wrc(),
         ] {
-            assert!(oracle::observable(&m, &t, &o), "{} allowed under SCC", t.name());
+            assert!(
+                oracle::observable(&m, &t, &o),
+                "{} allowed under SCC",
+                t.name()
+            );
         }
     }
 
@@ -192,7 +196,10 @@ mod tests {
     fn acquire_release_forbids_mp() {
         let m = Scc::new();
         let (t, o) = classics::mp_rel_acq();
-        assert!(!oracle::observable(&m, &t, &o), "MP+rel+acq forbidden under SCC");
+        assert!(
+            !oracle::observable(&m, &t, &o),
+            "MP+rel+acq forbidden under SCC"
+        );
         let (t, o) = classics::mp_rel2_acq2();
         assert!(!oracle::observable(&m, &t, &o), "the Figure 2 flavor too");
         // …but one-sided synchronization is not enough.
@@ -204,13 +211,24 @@ mod tests {
     fn fence_sc_forbids_sb() {
         let m = Scc::new();
         let (t, o) = classics::sb_fences();
-        assert!(!oracle::observable(&m, &t, &o), "SB+FenceSCs forbidden (Figure 18)");
+        assert!(
+            !oracle::observable(&m, &t, &o),
+            "SB+FenceSCs forbidden (Figure 18)"
+        );
         // FenceAcqRel is too weak for SB.
         let t2 = LitmusTest::new(
             "SB+acqrel-fences",
             vec![
-                vec![Instr::store(0), Instr::fence(FenceKind::AcqRel), Instr::load(1)],
-                vec![Instr::store(1), Instr::fence(FenceKind::AcqRel), Instr::load(0)],
+                vec![
+                    Instr::store(0),
+                    Instr::fence(FenceKind::AcqRel),
+                    Instr::load(1),
+                ],
+                vec![
+                    Instr::store(1),
+                    Instr::fence(FenceKind::AcqRel),
+                    Instr::load(0),
+                ],
             ],
         );
         let o2 = classics::oc([(2, None), (5, None)], []);
@@ -235,7 +253,11 @@ mod tests {
             classics::rmw_rmw(),
             classics::rmw_st(),
         ] {
-            assert!(!oracle::observable(&m, &t, &o), "{} forbidden under SCC", t.name());
+            assert!(
+                !oracle::observable(&m, &t, &o),
+                "{} forbidden under SCC",
+                t.name()
+            );
         }
     }
 
@@ -253,7 +275,13 @@ mod tests {
         let r = Scc::new().relaxations();
         assert_eq!(
             r,
-            vec![RelaxKind::Ri, RelaxKind::Drmw, RelaxKind::Df, RelaxKind::Dmo, RelaxKind::Rd]
+            vec![
+                RelaxKind::Ri,
+                RelaxKind::Drmw,
+                RelaxKind::Df,
+                RelaxKind::Dmo,
+                RelaxKind::Rd
+            ]
         );
     }
 

@@ -130,7 +130,11 @@ mod tests {
             classics::rmw_rmw(),
             classics::rmw_st(),
         ] {
-            assert!(!observable(&t, &o), "{} must be forbidden under TSO", t.name());
+            assert!(
+                !observable(&t, &o),
+                "{} must be forbidden under TSO",
+                t.name()
+            );
         }
     }
 
@@ -150,7 +154,10 @@ mod tests {
 
     #[test]
     fn relaxation_row() {
-        assert_eq!(Tso::new().relaxations(), vec![RelaxKind::Ri, RelaxKind::Drmw]);
+        assert_eq!(
+            Tso::new().relaxations(),
+            vec![RelaxKind::Ri, RelaxKind::Drmw]
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@ impl Instance {
     /// Evaluates many bits, sharing the memo table.
     pub fn eval_many(&self, c: &Circuit, bits: &[Bit]) -> Vec<bool> {
         let mut memo: Vec<Option<bool>> = vec![None; c.num_nodes()];
-        bits.iter().map(|&b| self.eval_memo(c, b, &mut memo)).collect()
+        bits.iter()
+            .map(|&b| self.eval_memo(c, b, &mut memo))
+            .collect()
     }
 
     fn eval_memo(&self, c: &Circuit, bit: Bit, memo: &mut [Option<bool>]) -> bool {
@@ -204,13 +206,18 @@ impl Finder {
     /// Permanently excludes every instance that agrees with `inst` on all of
     /// the `observed` bits.
     pub fn block(&mut self, c: &Circuit, inst: &Instance, observed: &[Bit]) {
-        let mut clause = Vec::with_capacity(observed.len());
-        for &b in observed {
-            if b == Circuit::TRUE || b == Circuit::FALSE {
-                continue; // a constant can never differ
-            }
+        let live: Vec<Bit> = observed
+            .iter()
+            .copied()
+            .filter(|&b| b != Circuit::TRUE && b != Circuit::FALSE) // a constant can never differ
+            .collect();
+        // One shared-memo evaluation pass over all observed bits — the
+        // bits share most of their cone, so per-bit eval would redo
+        // O(bits × nodes) work on every blocked instance.
+        let vals = inst.eval_many(c, &live);
+        let mut clause = Vec::with_capacity(live.len());
+        for (&b, val) in live.iter().zip(vals) {
             let lit = self.lit_of(c, b);
-            let val = inst.eval(c, b);
             clause.push(if val { !lit } else { lit });
         }
         self.solver.add_clause(clause);
@@ -328,6 +335,64 @@ mod tests {
             assert!(n <= 6);
         }
         assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn finder_and_instance_are_send() {
+        // The parallel synthesis engine moves a private Finder (and its
+        // enumerated Instances) into each worker thread.
+        fn assert_send<T: Send>() {}
+        assert_send::<Finder>();
+        assert_send::<Instance>();
+        assert_send::<Circuit>();
+    }
+
+    #[test]
+    fn cube_assumptions_partition_the_model_count() {
+        // Pinning a set of observed bits to every boolean pattern splits
+        // one enumeration into disjoint subqueries: the per-cube model
+        // counts must sum to the unpartitioned count exactly.
+        let build = || {
+            let mut c = Circuit::new();
+            let xs: Vec<Bit> = (0..5).map(|i| c.input(format!("x{i}"))).collect();
+            // x0 ∨ x1 ∨ (x2 ∧ x3): 5 free-ish bits, a non-trivial count.
+            let a = c.and(xs[2], xs[3]);
+            let b = c.or(xs[0], xs[1]);
+            let root = c.or(a, b);
+            (c, xs, root)
+        };
+        let count = |mk_pins: &dyn Fn(&[Bit]) -> Vec<Bit>| {
+            let (c, xs, root) = build();
+            let mut f = Finder::new(&c);
+            let mut asserts = vec![root];
+            asserts.extend(mk_pins(&xs));
+            let mut n = 0;
+            while let Some(inst) = f.next_instance(&c, &asserts) {
+                n += 1;
+                f.block(&c, &inst, &xs);
+                assert!(n <= 32);
+            }
+            n
+        };
+        let total = count(&|_| Vec::new());
+        assert_eq!(total, 26, "6 of 32 assignments falsify the root");
+        for bits in 1..=3usize {
+            let mut sum = 0;
+            for cube in 0..(1usize << bits) {
+                sum += count(&|xs: &[Bit]| {
+                    (0..bits)
+                        .map(|j| {
+                            if cube >> j & 1 == 1 {
+                                xs[j]
+                            } else {
+                                xs[j].not()
+                            }
+                        })
+                        .collect()
+                });
+            }
+            assert_eq!(sum, total, "cube split over {bits} bit(s)");
+        }
     }
 
     #[test]

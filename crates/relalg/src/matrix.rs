@@ -30,12 +30,16 @@ impl Matrix1 {
 
     /// The empty set over `n` atoms.
     pub fn empty(n: usize) -> Matrix1 {
-        Matrix1 { bits: vec![Circuit::FALSE; n] }
+        Matrix1 {
+            bits: vec![Circuit::FALSE; n],
+        }
     }
 
     /// The full set over `n` atoms.
     pub fn full(n: usize) -> Matrix1 {
-        Matrix1 { bits: vec![Circuit::TRUE; n] }
+        Matrix1 {
+            bits: vec![Circuit::TRUE; n],
+        }
     }
 
     /// The singleton `{atom}` over `n` atoms.
@@ -99,7 +103,9 @@ impl Matrix1 {
 
     /// Complement within the sort.
     pub fn complement(&self) -> Matrix1 {
-        Matrix1 { bits: self.bits.iter().map(|b| b.not()).collect() }
+        Matrix1 {
+            bits: self.bits.iter().map(|b| b.not()).collect(),
+        }
     }
 
     /// `self ⊆ other` as a single bit.
@@ -191,7 +197,11 @@ impl Matrix2 {
 
     /// The empty relation.
     pub fn empty(rows: usize, cols: usize) -> Matrix2 {
-        Matrix2 { rows, cols, bits: vec![Circuit::FALSE; rows * cols] }
+        Matrix2 {
+            rows,
+            cols,
+            bits: vec![Circuit::FALSE; rows * cols],
+        }
     }
 
     /// The identity relation over a sort of size `n`.
@@ -240,7 +250,11 @@ impl Matrix2 {
         mut f: impl FnMut(&mut Circuit, Bit, Bit) -> Bit,
         c: &mut Circuit,
     ) -> Matrix2 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         Matrix2 {
             rows: self.rows,
             cols: self.cols,

@@ -1,6 +1,8 @@
 //! The concurrent test executor.
 
-use crate::map::{executability, fence_ordering, load_ordering, rmw_ordering, store_ordering, Unsupported};
+use crate::map::{
+    executability, fence_ordering, load_ordering, rmw_ordering, store_ordering, Unsupported,
+};
 use litsynth_litmus::{Addr, Instr, LitmusTest, Outcome};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -18,7 +20,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { iterations: 10_000, max_prerun_spin: 64 }
+        RunConfig {
+            iterations: 10_000,
+            max_prerun_spin: 64,
+        }
     }
 }
 
@@ -171,21 +176,24 @@ pub fn run(test: &LitmusTest, cfg: &RunConfig) -> Result<RunReport, RunError> {
             }
         });
     }
-    Ok(RunReport { histogram, iterations: cfg.iterations })
+    Ok(RunReport {
+        histogram,
+        iterations: cfg.iterations,
+    })
 }
 
-fn collect_outcome(
-    test: &LitmusTest,
-    locations: &[AtomicU32],
-    logs: &[Vec<AtomicU32>],
-) -> Outcome {
+fn collect_outcome(test: &LitmusTest, locations: &[AtomicU32], logs: &[Vec<AtomicU32>]) -> Outcome {
     let mut rf = BTreeMap::new();
     for &r in &test.reads() {
         let tid = test.thread_of(r);
         let idx = test.index_of(r);
         let v = logs[tid][idx].load(Ordering::Relaxed);
         let addr = test.instr(r).addr().expect("reads have addresses");
-        let src = if v == 0 { None } else { Some(test.write_with_value(addr, v)) };
+        let src = if v == 0 {
+            None
+        } else {
+            Some(test.write_with_value(addr, v))
+        };
         rf.insert(r, src);
     }
     let mut finals = BTreeMap::new();
@@ -209,7 +217,10 @@ mod tests {
     use litsynth_models::{oracle, C11};
 
     fn quick(iterations: usize) -> RunConfig {
-        RunConfig { iterations, max_prerun_spin: 32 }
+        RunConfig {
+            iterations,
+            max_prerun_spin: 32,
+        }
     }
 
     #[test]
@@ -264,7 +275,12 @@ mod tests {
         // model-forbidden. This differentially tests the model against
         // reality.
         let m = C11::new();
-        for (t, _) in [classics::mp(), classics::sb(), classics::mp_rel_acq(), classics::iriw()] {
+        for (t, _) in [
+            classics::mp(),
+            classics::sb(),
+            classics::mp_rel_acq(),
+            classics::iriw(),
+        ] {
             let r = run(&t, &quick(5_000)).unwrap();
             for o in r.histogram.keys() {
                 assert!(

@@ -44,9 +44,10 @@ pub fn executability(test: &LitmusTest) -> Result<(), Unsupported> {
     }
     for g in 0..test.num_events() {
         match test.instr(g) {
-            Instr::Fence { kind: FenceKind::Lightweight, .. } => {
-                return Err(Unsupported::LightweightFence)
-            }
+            Instr::Fence {
+                kind: FenceKind::Lightweight,
+                ..
+            } => return Err(Unsupported::LightweightFence),
             i => {
                 if i.order() == Some(MemOrder::Consume) {
                     return Err(Unsupported::Consume);
@@ -111,8 +112,13 @@ mod tests {
 
     #[test]
     fn classics_are_executable() {
-        for (t, _) in [classics::mp(), classics::mp_rel_acq(), classics::sb_fences(), classics::iriw(), classics::rmw_rmw()]
-        {
+        for (t, _) in [
+            classics::mp(),
+            classics::mp_rel_acq(),
+            classics::sb_fences(),
+            classics::iriw(),
+            classics::rmw_rmw(),
+        ] {
             assert_eq!(executability(&t), Ok(()), "{}", t.name());
         }
     }
@@ -122,16 +128,17 @@ mod tests {
         let (t, _) = classics::lb_addrs();
         assert_eq!(executability(&t), Err(Unsupported::Dependencies));
 
-        let t = LitmusTest::new(
-            "pair",
-            vec![vec![Instr::load(0), Instr::store(0)]],
-        )
-        .with_rmw_pair(0, 0);
+        let t = LitmusTest::new("pair", vec![vec![Instr::load(0), Instr::store(0)]])
+            .with_rmw_pair(0, 0);
         assert_eq!(executability(&t), Err(Unsupported::RmwPairs));
 
         let t = LitmusTest::new(
             "lw",
-            vec![vec![Instr::store(0), Instr::fence(FenceKind::Lightweight), Instr::store(1)]],
+            vec![vec![
+                Instr::store(0),
+                Instr::fence(FenceKind::Lightweight),
+                Instr::store(1),
+            ]],
         );
         assert_eq!(executability(&t), Err(Unsupported::LightweightFence));
 

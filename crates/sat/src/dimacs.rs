@@ -73,7 +73,9 @@ impl Cnf {
                 continue;
             }
             for tok in line.split_whitespace() {
-                let n: i64 = tok.parse().map_err(|e| format!("bad literal {tok:?}: {e}"))?;
+                let n: i64 = tok
+                    .parse()
+                    .map_err(|e| format!("bad literal {tok:?}: {e}"))?;
                 if n == 0 {
                     cnf.clauses.push(std::mem::take(&mut current));
                 } else {

@@ -112,7 +112,10 @@ impl Solver {
 
     /// Number of original (non-learnt, non-deleted) clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Search statistics accumulated so far.
@@ -227,12 +230,23 @@ impl Solver {
     fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as u32;
-        self.watches[lits[0].code()].push(Watcher { cref, blocker: lits[1] });
-        self.watches[lits[1].code()].push(Watcher { cref, blocker: lits[0] });
+        self.watches[lits[0].code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
         if learnt {
             self.n_learnts += 1;
         }
-        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
         cref
     }
 
@@ -292,7 +306,10 @@ impl Solver {
                 if let Some(k) = found {
                     let q = self.clauses[cref].lits[k];
                     self.clauses[cref].lits.swap(1, k);
-                    self.watches[q.code()].push(Watcher { cref: w.cref, blocker: first });
+                    self.watches[q.code()].push(Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    });
                     ws.swap_remove(i);
                     continue;
                 }
@@ -474,8 +491,7 @@ impl Solver {
     fn is_locked(&self, cref: u32) -> bool {
         let c = &self.clauses[cref as usize];
         let first = c.lits[0];
-        self.lit_value(first) == LBool::True
-            && self.reason[first.var().index()] == Some(cref)
+        self.lit_value(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
     }
 
     /// Runs CDCL search for up to `budget` conflicts.
@@ -643,8 +659,9 @@ mod tests {
         let n = 5;
         let m = 4;
         let mut s = Solver::new();
-        let p: Vec<Vec<Var>> =
-            (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var()).collect())
+            .collect();
         for row in &p {
             s.add_clause(row.iter().map(|&v| Lit::pos(v)));
         }
@@ -688,9 +705,7 @@ mod tests {
         );
         // The assumptions must not persist.
         assert!(s.solve().is_sat());
-        assert!(s
-            .solve_with_assumptions(&[Lit::neg(x)])
-            .is_sat());
+        assert!(s.solve_with_assumptions(&[Lit::neg(x)]).is_sat());
         assert_eq!(s.value(y), Some(true));
     }
 
@@ -768,6 +783,15 @@ mod tests {
     }
 
     #[test]
+    fn solver_is_send() {
+        // The parallel synthesis engine gives each worker thread a private
+        // Solver; every field must stay Send (no Rc, no raw pointers).
+        fn assert_send<T: Send>() {}
+        assert_send::<Solver>();
+        assert_send::<SolverStats>();
+    }
+
+    #[test]
     fn stats_accumulate() {
         let mut s = Solver::new();
         let mut vars = Vec::new();
@@ -787,7 +811,9 @@ mod tests {
         // Simple deterministic LCG so the test needs no external crates here.
         let mut state = 0x243F_6A88_85A3_08D3u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for round in 0..300 {

@@ -63,8 +63,16 @@ fn main() {
     let (mp, weak) = litsynth_litmus::suites::classics::mp();
     println!(
         "MP weak outcome: TSO {}, PSO {}",
-        if oracle::forbidden(&tso, &mp, &weak) { "forbids" } else { "allows" },
-        if oracle::forbidden(&pso, &mp, &weak) { "forbids" } else { "allows" },
+        if oracle::forbidden(&tso, &mp, &weak) {
+            "forbids"
+        } else {
+            "allows"
+        },
+        if oracle::forbidden(&pso, &mp, &weak) {
+            "forbids"
+        } else {
+            "allows"
+        },
     );
 
     // Synthesize both models' 4-instruction causality suites and diff them.
@@ -83,5 +91,8 @@ fn main() {
     }
     let cfg5 = SynthConfig::new(5);
     let pso5 = synthesize_axiom(&pso, "causality", &cfg5);
-    println!("…and at 5 instructions: {} tests (MP+fence and friends).", pso5.len());
+    println!(
+        "…and at 5 instructions: {} tests (MP+fence and friends).",
+        pso5.len()
+    );
 }

@@ -25,7 +25,10 @@ fn main() {
                         litsynth_litmus::Instr::fence(FenceKind::Lightweight),
                         litsynth_litmus::Instr::store(1),
                     ],
-                    vec![litsynth_litmus::Instr::load(1), litsynth_litmus::Instr::load(0)],
+                    vec![
+                        litsynth_litmus::Instr::load(1),
+                        litsynth_litmus::Instr::load(0),
+                    ],
                 ],
             );
             let t = match dep {
@@ -37,15 +40,31 @@ fn main() {
         };
         vec![
             ("plain po", mk("MP+lwsync+po", None).0, mk("x", None).1),
-            ("addr dep", mk("MP+lwsync+addr", Some(DepKind::Addr)).0, mk("x", None).1),
-            ("ctrl dep", mk("MP+lwsync+ctrl", Some(DepKind::Ctrl)).0, mk("x", None).1),
-            ("ctrl+isync", mk("MP+lwsync+ctrlisync", Some(DepKind::CtrlIsync)).0, mk("x", None).1),
+            (
+                "addr dep",
+                mk("MP+lwsync+addr", Some(DepKind::Addr)).0,
+                mk("x", None).1,
+            ),
+            (
+                "ctrl dep",
+                mk("MP+lwsync+ctrl", Some(DepKind::Ctrl)).0,
+                mk("x", None).1,
+            ),
+            (
+                "ctrl+isync",
+                mk("MP+lwsync+ctrlisync", Some(DepKind::CtrlIsync)).0,
+                mk("x", None).1,
+            ),
         ]
     };
     for (name, t, o) in &reader_side {
         println!(
             "  {name:<11} → {}",
-            if oracle::forbidden(&power, t, o) { "forbidden (orders R→R)" } else { "ALLOWED (too weak)" }
+            if oracle::forbidden(&power, t, o) {
+                "forbidden (orders R→R)"
+            } else {
+                "ALLOWED (too weak)"
+            }
         );
     }
 
@@ -56,7 +75,11 @@ fn main() {
             println!(
                 "  {:<6} → {}",
                 e.test.name(),
-                if oracle::forbidden(&power, &e.test, &e.outcome) { "forbidden" } else { "allowed" }
+                if oracle::forbidden(&power, &e.test, &e.outcome) {
+                    "forbidden"
+                } else {
+                    "allowed"
+                }
             );
         }
     }

@@ -5,7 +5,7 @@
 
 use litsynth_core::{check_minimal, synthesize_axiom, SynthConfig};
 use litsynth_litmus::suites::classics;
-use litsynth_models::{oracle, MemoryModel, Tso};
+use litsynth_models::{oracle, Tso};
 
 fn main() {
     let tso = Tso::new();
@@ -16,7 +16,11 @@ fn main() {
     println!("outcome {}:", weak.display(&mp));
     println!(
         "  under TSO: {}",
-        if oracle::forbidden(&tso, &mp, &weak) { "forbidden" } else { "allowed" }
+        if oracle::forbidden(&tso, &mp, &weak) {
+            "forbidden"
+        } else {
+            "allowed"
+        }
     );
 
     // 2. Is MP minimally synchronized for TSO's causality axiom?
@@ -28,7 +32,11 @@ fn main() {
     println!(
         "\nSB outcome {} under TSO: {}",
         weak_sb.display(&sb),
-        if oracle::forbidden(&tso, &sb, &weak_sb) { "forbidden" } else { "allowed" }
+        if oracle::forbidden(&tso, &sb, &weak_sb) {
+            "forbidden"
+        } else {
+            "allowed"
+        }
     );
 
     // 4. Synthesize every minimal 4-instruction test for the causality

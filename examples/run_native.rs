@@ -24,14 +24,24 @@ fn main() {
                     continue; // dependency-based tests have no Rust mapping
                 }
                 executed += 1;
-                let report = run(test, &RunConfig { iterations: 20_000, ..RunConfig::default() })
-                    .expect("executable test runs");
+                let report = run(
+                    test,
+                    &RunConfig {
+                        iterations: 20_000,
+                        ..RunConfig::default()
+                    },
+                )
+                .expect("executable test runs");
                 let bad = report.count_matching(outcome);
                 println!(
                     "{:<30} [{}@{}] outcomes={:<3} forbidden-hits={}",
                     test.threads()
                         .iter()
-                        .map(|t| t.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("; "))
+                        .map(|t| t
+                            .iter()
+                            .map(|i| i.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; "))
                         .collect::<Vec<_>>()
                         .join(" ‖ "),
                     ax,

@@ -14,23 +14,33 @@ use litsynth_models::{oracle, Tso};
 
 fn main() {
     let tso = Tso::new();
-    println!("Auditing the Owens x86-TSO suite ({} tests)…\n", owens::suite().len());
+    println!(
+        "Auditing the Owens x86-TSO suite ({} tests)…\n",
+        owens::suite().len()
+    );
 
     // Synthesized comparison suite (bounds 2–5 keeps this example quick).
     let union = report::union_suite(&tso, 2..=5, 60_000);
-    println!("synthesized TSO-union at bounds 2–5: {} tests\n", union.len());
+    println!(
+        "synthesized TSO-union at bounds 2–5: {} tests\n",
+        union.len()
+    );
 
     let mut minimal_count = 0;
     let mut covered_count = 0;
     for entry in owens::suite() {
         let verdict = oracle::forbidden(&tso, &entry.test, &entry.outcome);
         assert_eq!(
-            verdict, entry.forbidden,
+            verdict,
+            entry.forbidden,
             "suite claim mismatch on {}",
             entry.test.name()
         );
         if !entry.forbidden {
-            println!("{:<22} allowed (documents a TSO relaxation)", entry.test.name());
+            println!(
+                "{:<22} allowed (documents a TSO relaxation)",
+                entry.test.name()
+            );
             continue;
         }
         if minimal_for_some_axiom(&tso, &entry.test, &entry.outcome) {

@@ -25,7 +25,7 @@ fn co_is_ambiguous(t: &litsynth_litmus::LitmusTest) -> bool {
     t.addresses().iter().any(|&a| t.writes_to(a).len() >= 3)
 }
 
-fn synthesized_is_oracle_minimal<M: MemoryModel>(model: &M, bounds: &[usize]) {
+fn synthesized_is_oracle_minimal<M: MemoryModel + Sync>(model: &M, bounds: &[usize]) {
     for &n in bounds {
         let cfg = SynthConfig::new(n);
         for ax in model.axioms() {

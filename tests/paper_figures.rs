@@ -15,7 +15,10 @@ fn figure_1_mp_outcomes() {
     // The three legal outcomes: (0,0), (0,1), (1,1).
     for (ry, rx) in [(None, None), (None, Some(0)), (Some(1), Some(0))] {
         let o = classics::oc([(2, ry), (3, rx)], []);
-        assert!(oracle::observable(&scc, &t, &o), "({ry:?},{rx:?}) must be legal");
+        assert!(
+            oracle::observable(&scc, &t, &o),
+            "({ry:?},{rx:?}) must be legal"
+        );
     }
 }
 
@@ -136,7 +139,12 @@ fn ppoaa_needs_only_lwsync() {
             "PPOAA",
             vec![
                 vec![Instr::store(2), Instr::fence(fence), Instr::store(1)],
-                vec![Instr::load(1), Instr::store(0), Instr::load(0), Instr::load(2)],
+                vec![
+                    Instr::load(1),
+                    Instr::store(0),
+                    Instr::load(0),
+                    Instr::load(2),
+                ],
             ],
         )
         .with_dep(1, 0, 1, DepKind::Addr)

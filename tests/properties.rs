@@ -1,83 +1,90 @@
 //! Property-based tests over randomly generated litmus tests, relations,
 //! and CNF formulas.
+//!
+//! The cases are driven by the in-tree [`SplitMix64`] PRNG with fixed
+//! seeds, so every run checks the identical case set (no external
+//! property-testing dependency, no flaky shrink phase).
 
 use litsynth_core::{applications, apply};
 use litsynth_litmus::{
-    apply_thread_order, canonical_key_exact, Execution, Instr, LitmusTest, Outcome, Rel,
+    apply_thread_order, canonical_key_exact, Execution, Instr, LitmusTest, Outcome, Rel, SplitMix64,
 };
 use litsynth_models::{oracle, Power, Sc, Tso};
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
-// Strategies
+// Generators
 // ---------------------------------------------------------------------
 
 /// A random relaxed instruction (load/store over ≤3 addresses, or a full
 /// fence).
-fn instr_strategy(allow_fence: bool) -> impl Strategy<Value = Instr> {
+fn gen_instr(rng: &mut SplitMix64, allow_fence: bool) -> Instr {
     let upper = if allow_fence { 7 } else { 5 };
-    (0u8..=upper).prop_map(|k| match k {
-        0..=2 => Instr::load(k),
-        3..=5 => Instr::store(k - 3),
+    match rng.range(0, upper) as u8 {
+        k @ 0..=2 => Instr::load(k),
+        k @ 3..=5 => Instr::store(k - 3),
         _ => Instr::fence(litsynth_litmus::FenceKind::Full),
-    })
+    }
 }
 
-/// A random multi-threaded program of ≤7 events.
-fn test_strategy(allow_fence: bool) -> impl Strategy<Value = LitmusTest> {
-    proptest::collection::vec(
-        proptest::collection::vec(instr_strategy(allow_fence), 1..=3),
-        1..=3,
-    )
-    .prop_map(|threads| LitmusTest::new("prop", threads))
+/// A random multi-threaded program: 1–3 threads of 1–3 events each.
+fn gen_test(rng: &mut SplitMix64, allow_fence: bool) -> LitmusTest {
+    let threads: Vec<Vec<Instr>> = (0..rng.range(1, 3))
+        .map(|_| {
+            (0..rng.range(1, 3))
+                .map(|_| gen_instr(rng, allow_fence))
+                .collect()
+        })
+        .collect();
+    LitmusTest::new("prop", threads)
 }
 
 /// A random (program, complete outcome) pair: the outcome of a random
 /// candidate execution.
-fn test_outcome_strategy(allow_fence: bool) -> impl Strategy<Value = (LitmusTest, Outcome)> {
-    (test_strategy(allow_fence), any::<prop::sample::Index>()).prop_map(|(t, idx)| {
-        let execs = Execution::enumerate(&t);
-        let e = &execs[idx.index(execs.len())];
-        let o = e.outcome();
-        (t, o)
-    })
+fn gen_test_outcome(rng: &mut SplitMix64, allow_fence: bool) -> (LitmusTest, Outcome) {
+    let t = gen_test(rng, allow_fence);
+    let execs = Execution::enumerate(&t);
+    let o = execs[rng.below(execs.len())].outcome();
+    (t, o)
+}
+
+/// A random relation on `n` atoms with up to `2n` pairs.
+fn gen_rel(rng: &mut SplitMix64, n: usize) -> Rel {
+    let pairs: Vec<(usize, usize)> = (0..rng.below(n * 2 + 1))
+        .map(|_| (rng.below(n), rng.below(n)))
+        .collect();
+    Rel::from_pairs(n, pairs)
 }
 
 // ---------------------------------------------------------------------
 // Canonicalization properties
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The exact canonical key is invariant under thread permutation.
-    #[test]
-    fn exact_canonical_key_thread_invariant(
-        (t, o) in test_outcome_strategy(true),
-        seed in any::<u64>(),
-    ) {
+/// The exact canonical key is invariant under thread permutation.
+#[test]
+fn exact_canonical_key_thread_invariant() {
+    let mut rng = SplitMix64::new(0x7001);
+    for _ in 0..64 {
+        let (t, o) = gen_test_outcome(&mut rng, true);
         let base = canonical_key_exact(&t, &o);
-        // Derive a permutation from the seed deterministically.
-        let n = t.num_threads();
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut s = seed;
-        for i in (1..n).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            order.swap(i, (s >> 33) as usize % (i + 1));
-        }
+        let mut order: Vec<usize> = (0..t.num_threads()).collect();
+        rng.shuffle(&mut order);
         let (t2, o2) = apply_thread_order(&t, &o, &order);
-        prop_assert_eq!(canonical_key_exact(&t2, &o2), base);
+        assert_eq!(canonical_key_exact(&t2, &o2), base, "{t} under {order:?}");
     }
+}
 
-    /// Canonicalization never changes legality: a model's verdict on the
-    /// canonical form equals its verdict on the original.
-    #[test]
-    fn canonicalization_preserves_legality((t, o) in test_outcome_strategy(true)) {
-        let tso = Tso::new();
+/// Canonicalization never changes legality: a model's verdict on the
+/// canonical form equals its verdict on the original.
+#[test]
+fn canonicalization_preserves_legality() {
+    let mut rng = SplitMix64::new(0x7002);
+    let tso = Tso::new();
+    for _ in 0..64 {
+        let (t, o) = gen_test_outcome(&mut rng, true);
         let before = oracle::observable(&tso, &t, &o);
         let (_, ct, co) = litsynth_litmus::canonicalize_exact(&t, &o);
         let after = oracle::observable(&tso, &ct, &co);
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "{t}");
     }
 }
 
@@ -85,18 +92,18 @@ proptest! {
 // Relaxation properties
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Weakening monotonicity: relaxing a test never *un*-observes an
-    /// outcome — every relaxation application preserves observability.
-    #[test]
-    fn relaxations_preserve_observability((t, o) in test_outcome_strategy(true)) {
-        let tso = Tso::new();
+/// Weakening monotonicity: relaxing a test never *un*-observes an
+/// outcome — every relaxation application preserves observability.
+#[test]
+fn relaxations_preserve_observability() {
+    let mut rng = SplitMix64::new(0x7003);
+    let tso = Tso::new();
+    for _ in 0..48 {
+        let (t, o) = gen_test_outcome(&mut rng, true);
         if oracle::observable(&tso, &t, &o) {
             for app in applications(&tso, &t) {
                 let (t2, o2) = apply(&t, &o, app);
-                prop_assert!(
+                assert!(
                     oracle::observable(&tso, &t2, &o2),
                     "{} un-observed by {}",
                     t,
@@ -105,30 +112,39 @@ proptest! {
             }
         }
     }
+}
 
-    /// Model strength chain on the common vocabulary (no deps, no RMWs):
-    /// SC-observable ⊆ TSO-observable ⊆ Power-observable.
-    #[test]
-    fn model_strength_chain((t, o) in test_outcome_strategy(true)) {
-        let sc = Sc::new();
-        let tso = Tso::new();
-        let power = Power::new();
+/// Model strength chain on the common vocabulary (no deps, no RMWs):
+/// SC-observable ⊆ TSO-observable ⊆ Power-observable.
+#[test]
+fn model_strength_chain() {
+    let mut rng = SplitMix64::new(0x7004);
+    let sc = Sc::new();
+    let tso = Tso::new();
+    let power = Power::new();
+    for _ in 0..48 {
+        let (t, o) = gen_test_outcome(&mut rng, true);
         if oracle::observable(&sc, &t, &o) {
-            prop_assert!(oracle::observable(&tso, &t, &o), "SC ⊆ TSO on {}", t);
+            assert!(oracle::observable(&tso, &t, &o), "SC ⊆ TSO on {}", t);
         }
         if oracle::observable(&tso, &t, &o) {
-            prop_assert!(oracle::observable(&power, &t, &o), "TSO ⊆ Power on {}", t);
+            assert!(oracle::observable(&power, &t, &o), "TSO ⊆ Power on {}", t);
         }
     }
+}
 
-    /// Every candidate execution's outcome is either observable or
-    /// forbidden — and `forbidden` is the exact complement.
-    #[test]
-    fn forbidden_is_complement_of_observable((t, o) in test_outcome_strategy(true)) {
-        let tso = Tso::new();
-        prop_assert_eq!(
+/// Every candidate execution's outcome is either observable or
+/// forbidden — and `forbidden` is the exact complement.
+#[test]
+fn forbidden_is_complement_of_observable() {
+    let mut rng = SplitMix64::new(0x7005);
+    let tso = Tso::new();
+    for _ in 0..48 {
+        let (t, o) = gen_test_outcome(&mut rng, true);
+        assert_eq!(
             oracle::forbidden(&tso, &t, &o),
-            !oracle::observable(&tso, &t, &o)
+            !oracle::observable(&tso, &t, &o),
+            "{t}"
         );
     }
 }
@@ -137,59 +153,81 @@ proptest! {
 // Concrete relation algebra properties
 // ---------------------------------------------------------------------
 
-fn rel_strategy(n: usize) -> impl Strategy<Value = Rel> {
-    proptest::collection::vec((0..n, 0..n), 0..=n * 2)
-        .prop_map(move |pairs| Rel::from_pairs(n, pairs))
+#[test]
+fn compose_is_associative() {
+    let mut rng = SplitMix64::new(0x7006);
+    for _ in 0..128 {
+        let a = gen_rel(&mut rng, 5);
+        let b = gen_rel(&mut rng, 5);
+        let c = gen_rel(&mut rng, 5);
+        assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn compose_is_associative(a in rel_strategy(5), b in rel_strategy(5), c in rel_strategy(5)) {
-        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
-    }
-
-    #[test]
-    fn closure_is_idempotent(a in rel_strategy(6)) {
+#[test]
+fn closure_is_idempotent() {
+    let mut rng = SplitMix64::new(0x7007);
+    for _ in 0..128 {
+        let a = gen_rel(&mut rng, 6);
         let tc = a.transitive_closure();
-        prop_assert_eq!(tc.transitive_closure(), tc.clone());
+        assert_eq!(tc.transitive_closure(), tc.clone());
         // And the closure is transitive by definition.
-        prop_assert!(tc.compose(&tc).is_subset(&tc));
+        assert!(tc.compose(&tc).is_subset(&tc));
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(a in rel_strategy(6)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = SplitMix64::new(0x7008);
+    for _ in 0..128 {
+        let a = gen_rel(&mut rng, 6);
+        assert_eq!(a.transpose().transpose(), a);
     }
+}
 
-    #[test]
-    fn de_morgan_for_union_intersection(a in rel_strategy(5), b in rel_strategy(5)) {
+#[test]
+fn de_morgan_for_union_intersection() {
+    let mut rng = SplitMix64::new(0x7009);
+    for _ in 0..128 {
+        let a = gen_rel(&mut rng, 5);
+        let b = gen_rel(&mut rng, 5);
         // (a ∪ b)ᵀ = aᵀ ∪ bᵀ and (a ∩ b)ᵀ = aᵀ ∩ bᵀ.
-        prop_assert_eq!(a.union(&b).transpose(), a.transpose().union(&b.transpose()));
-        prop_assert_eq!(
+        assert_eq!(a.union(&b).transpose(), a.transpose().union(&b.transpose()));
+        assert_eq!(
             a.intersect(&b).transpose(),
             a.transpose().intersect(&b.transpose())
         );
     }
+}
 
-    #[test]
-    fn acyclic_iff_no_self_reachability(a in rel_strategy(6)) {
+#[test]
+fn acyclic_iff_no_self_reachability() {
+    let mut rng = SplitMix64::new(0x700A);
+    for _ in 0..128 {
+        let a = gen_rel(&mut rng, 6);
         let tc = a.transitive_closure();
         let has_loop = (0..6).any(|i| tc.contains(i, i));
-        prop_assert_eq!(a.is_acyclic(), !has_loop);
+        assert_eq!(a.is_acyclic(), !has_loop);
     }
+}
 
-    #[test]
-    fn permutation_preserves_execution_count(threads in proptest::collection::vec(
-        proptest::collection::vec(instr_strategy(false), 1..=2), 1..=3))
-    {
+#[test]
+fn permutation_preserves_execution_count() {
+    let mut rng = SplitMix64::new(0x700B);
+    for _ in 0..128 {
         // The candidate-execution count is invariant under thread renaming.
+        let threads: Vec<Vec<Instr>> = (0..rng.range(1, 3))
+            .map(|_| {
+                (0..rng.range(1, 2))
+                    .map(|_| gen_instr(&mut rng, false))
+                    .collect()
+            })
+            .collect();
         let t = LitmusTest::new("p", threads);
         let count = Execution::enumerate(&t).len();
         let order: Vec<usize> = (0..t.num_threads()).rev().collect();
         let (t2, _) = apply_thread_order(&t, &Outcome::empty(), &order);
-        prop_assert_eq!(Execution::enumerate(&t2).len(), count);
+        assert_eq!(Execution::enumerate(&t2).len(), count);
     }
 }
 
@@ -197,41 +235,46 @@ proptest! {
 // SAT solver properties (via the DIMACS layer)
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// A random CNF: `max_clauses` clauses of 1–3 literals over `vars` vars.
+fn gen_cnf(rng: &mut SplitMix64, vars: usize, max_clauses: usize) -> Vec<Vec<(usize, bool)>> {
+    (0..rng.range(1, max_clauses))
+        .map(|_| {
+            (0..rng.range(1, 3))
+                .map(|_| (rng.below(vars), rng.bool()))
+                .collect()
+        })
+        .collect()
+}
 
-    /// CDCL agrees with brute force on random small CNFs.
-    #[test]
-    fn solver_matches_brute_force(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((0usize..6, any::<bool>()), 1..=3),
-            1..=24,
-        )
-    ) {
-        use litsynth_sat::{Lit, Solver, Var};
+/// CDCL agrees with brute force on random small CNFs.
+#[test]
+fn solver_matches_brute_force() {
+    use litsynth_sat::{Lit, Solver, Var};
+    let mut rng = SplitMix64::new(0x700C);
+    for _ in 0..96 {
+        let clauses = gen_cnf(&mut rng, 6, 24);
         let brute = (0u32..64).any(|m| {
-            clauses.iter().all(|c| {
-                c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
-            })
+            clauses
+                .iter()
+                .all(|c| c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos))
         });
         let mut s = Solver::new();
         let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
         for c in &clauses {
             s.add_clause(c.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
         }
-        prop_assert_eq!(s.solve().is_sat(), brute);
+        assert_eq!(s.solve().is_sat(), brute, "{clauses:?}");
     }
+}
 
-    /// DIMACS round-trips preserve satisfiability.
-    #[test]
-    fn dimacs_roundtrip_preserves_sat(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((0usize..5, any::<bool>()), 1..=3),
-            1..=16,
-        )
-    ) {
-        use litsynth_sat::dimacs::Cnf;
-        use litsynth_sat::{Lit, Var};
+/// DIMACS round-trips preserve satisfiability.
+#[test]
+fn dimacs_roundtrip_preserves_sat() {
+    use litsynth_sat::dimacs::Cnf;
+    use litsynth_sat::{Lit, Var};
+    let mut rng = SplitMix64::new(0x700D);
+    for _ in 0..96 {
+        let clauses = gen_cnf(&mut rng, 5, 16);
         let mut cnf = Cnf::new();
         for c in &clauses {
             cnf.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
@@ -240,7 +283,7 @@ proptest! {
         let back = Cnf::parse_dimacs(&text).unwrap();
         let a = cnf.into_solver().solve().is_sat();
         let b = back.into_solver().solve().is_sat();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "{clauses:?}");
     }
 }
 
@@ -265,7 +308,13 @@ fn symbolic_equals_concrete<M: litsynth_models::MemoryModel>(
     let lift_set = |s: &litsynth_models::CSet| {
         Matrix1::from_bits(
             (0..n)
-                .map(|i| if s.mask >> i & 1 == 1 { Circuit::TRUE } else { Circuit::FALSE })
+                .map(|i| {
+                    if s.mask >> i & 1 == 1 {
+                        Circuit::TRUE
+                    } else {
+                        Circuit::FALSE
+                    }
+                })
                 .collect(),
         )
     };
@@ -314,22 +363,28 @@ fn symbolic_equals_concrete<M: litsynth_models::MemoryModel>(
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// For random tests and executions, every model's axioms evaluate the
-    /// same through both algebra instantiations.
-    #[test]
-    fn models_agree_symbolically_and_concretely(
-        (t, _) in test_outcome_strategy(true),
-        idx in any::<prop::sample::Index>(),
-    ) {
+/// For random tests and executions, every model's axioms evaluate the
+/// same through both algebra instantiations.
+#[test]
+fn models_agree_symbolically_and_concretely() {
+    let mut rng = SplitMix64::new(0x700E);
+    for _ in 0..32 {
+        let t = gen_test(&mut rng, true);
         let execs = Execution::enumerate(&t);
-        let e = &execs[idx.index(execs.len())];
-        prop_assert!(symbolic_equals_concrete(&Sc::new(), &t, e));
-        prop_assert!(symbolic_equals_concrete(&Tso::new(), &t, e));
-        prop_assert!(symbolic_equals_concrete(&Power::new(), &t, e));
-        prop_assert!(symbolic_equals_concrete(&litsynth_models::Power::armv7(), &t, e));
-        prop_assert!(symbolic_equals_concrete(&litsynth_models::C11::new(), &t, e));
+        let e = &execs[rng.below(execs.len())];
+        assert!(symbolic_equals_concrete(&Sc::new(), &t, e), "SC on {t}");
+        assert!(symbolic_equals_concrete(&Tso::new(), &t, e), "TSO on {t}");
+        assert!(
+            symbolic_equals_concrete(&Power::new(), &t, e),
+            "Power on {t}"
+        );
+        assert!(
+            symbolic_equals_concrete(&litsynth_models::Power::armv7(), &t, e),
+            "ARMv7 on {t}"
+        );
+        assert!(
+            symbolic_equals_concrete(&litsynth_models::C11::new(), &t, e),
+            "C11 on {t}"
+        );
     }
 }

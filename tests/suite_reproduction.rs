@@ -62,12 +62,21 @@ fn owens_suite_subsumed_by_synthesis() {
 fn tso_bound_4_reproduces_the_classics() {
     let tso = Tso::new();
     let union = union_suite(&tso, 4..=4, 120_000);
-    for (t, o) in [classics::mp(), classics::lb(), classics::s(), classics::two_plus_two_w()] {
+    for (t, o) in [
+        classics::mp(),
+        classics::lb(),
+        classics::s(),
+        classics::two_plus_two_w(),
+    ] {
         assert!(in_union(&union, &t, &o), "{} missing at bound 4", t.name());
     }
     // SB and R are *allowed* — they must NOT appear.
     for (t, o) in [classics::sb(), classics::r()] {
-        assert!(!in_union(&union, &t, &o), "{} must not be synthesized", t.name());
+        assert!(
+            !in_union(&union, &t, &o),
+            "{} must not be synthesized",
+            t.name()
+        );
     }
 }
 
