@@ -7,16 +7,25 @@
 //! write the synthesized union suite to `suites_out/<model>/` in the
 //! textual litmus format.
 //!
-//! The parallel synthesis engine is controlled by two environment
-//! variables picked up by every experiment:
+//! The parallel synthesis engine is controlled by environment variables
+//! picked up by every experiment:
 //!
-//! * `LITSYNTH_THREADS` — worker threads (`0` = all cores; default `1`,
-//!   fully sequential).
+//! * `LITSYNTH_THREADS` — worker threads per query (`0` = all cores;
+//!   default `1`, fully sequential).
 //! * `LITSYNTH_CUBE_BITS` — split each query into `2^bits` cubes
 //!   (default `0`, unsplit).
+//! * `LITSYNTH_SHARD_THREADS` — `experiments all` shards the whole
+//!   experiment list (≈ one shard per model/figure) over the same
+//!   deterministic worker pool the synthesis engine uses (`0` = all
+//!   cores, the default). Each experiment renders into its own buffer
+//!   and the buffers are printed in the fixed experiment order, so
+//!   sharding never interleaves or reorders output (only the wall-clock
+//!   columns vary, as they do run to run anyway).
 //!
 //! `experiments speedup` measures the threads=1 vs threads=N wall-clock
-//! ratio directly (the acceptance experiment for the parallel engine).
+//! ratio directly (the acceptance experiment for the parallel engine) and
+//! audits the portfolio invariants: exactly one circuit→CNF compilation
+//! per query, and exchange/probe counters surfaced per worker.
 
 use litsynth_bench::baselines::DiyBaseline;
 use litsynth_bench::report;
@@ -27,26 +36,52 @@ use litsynth_core::{
 use litsynth_litmus::canonical_key_exact;
 use litsynth_litmus::suites::{cambridge, owens};
 use litsynth_models::{oracle, MemoryModel, Power, RelaxKind, Sc, Scc, Tso, C11};
+use litsynth_portfolio::{resolve_threads, run_ordered};
 use std::collections::BTreeMap;
+
+/// `writeln!` into an experiment's output buffer, ignoring the (infallible
+/// for `String`) result.
+macro_rules! outln {
+    ($out:expr) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($out);
+    }};
+    ($out:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($out, $($arg)*);
+    }};
+}
+
+/// One shardable experiment: a stable name and a renderer that writes the
+/// full report into `out` given the per-query time budget.
+type Experiment = (&'static str, fn(&mut String, u64));
+
+/// Every experiment `all` runs, in the order their output is printed.
+/// Sharding granularity is the experiment, which is per-model for the
+/// result figures (fig13/fig16/fig20/c11 are the TSO/Power/SCC/C11 runs).
+fn experiments() -> Vec<Experiment> {
+    vec![
+        ("table2", |out, _| table2(out)),
+        ("table4", table4),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig16", fig16),
+        ("fig20", fig20),
+        ("c11", c11),
+        ("scc_wa", scc_wa),
+        ("soundness", soundness),
+        ("orphan", orphan),
+        ("armv7", armv7),
+    ]
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
     let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120_000);
     match which {
-        "table2" => table2(),
-        "table4" => table4(budget),
-        "fig11" => fig11(budget),
-        "fig12" => fig12(budget),
-        "fig13" => fig13(budget),
-        "fig14" => fig14(budget),
-        "fig16" => fig16(budget),
-        "fig20" => fig20(budget),
-        "c11" => c11(budget),
-        "scc_wa" => scc_wa(budget),
-        "soundness" => soundness(budget),
-        "orphan" => orphan(budget),
-        "armv7" => armv7(budget),
         "speedup" => speedup(
             args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4),
             args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0),
@@ -56,22 +91,30 @@ fn main() {
             args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5),
             args.get(4).and_then(|s| s.parse().ok()).unwrap_or(120_000),
         ),
-        "all" => {
-            table2();
-            table4(budget);
-            fig11(budget);
-            fig12(budget);
-            fig13(budget);
-            fig14(budget);
-            fig16(budget);
-            fig20(budget);
-            c11(budget);
-            scc_wa(budget);
-            soundness(budget);
-            orphan(budget);
-            armv7(budget);
-        }
-        other => eprintln!("unknown experiment {other:?}"),
+        "all" => all(budget),
+        other => match experiments().into_iter().find(|(name, _)| *name == other) {
+            Some((_, run)) => {
+                let mut out = String::new();
+                run(&mut out, budget);
+                print!("{out}");
+            }
+            None => eprintln!("unknown experiment {other:?}"),
+        },
+    }
+}
+
+/// Shards the experiment list over the portfolio worker pool and prints
+/// the buffers in experiment order, whatever the shard count.
+fn all(budget: u64) {
+    let shards = resolve_threads(env_usize("LITSYNTH_SHARD_THREADS", 0));
+    let exps = experiments();
+    let outputs = run_ordered(&exps, shards, |_, (_, run)| {
+        let mut out = String::new();
+        run(&mut out, budget);
+        out
+    });
+    for out in outputs {
+        print!("{out}");
     }
 }
 
@@ -91,61 +134,94 @@ fn cfg(n: usize, budget: u64) -> SynthConfig {
 }
 
 /// The parallel-engine acceptance experiment: the TSO union at `bound`,
-/// sequential vs parallel, checking the suites are byte-identical and
-/// reporting the wall-clock speedup and per-worker solver statistics.
+/// sequential vs portfolio, checking the suites are byte-identical and
+/// reporting the wall-clock speedup, the compile-once invariant, and the
+/// per-worker solver/exchange statistics.
 fn speedup(bound: usize, threads: usize) {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    let threads = resolve_threads(threads);
     let cube_bits = env_usize("LITSYNTH_CUBE_BITS", 2);
     println!("\n## Parallel speedup — TSO union, bound {bound}, {threads} threads\n");
     let tso = Tso::new();
 
     let mut seq_cfg = SynthConfig::new(bound);
     seq_cfg.threads = 1;
+    let c0 = litsynth_relalg::compilations();
     let t0 = std::time::Instant::now();
     let (seq_axioms, seq_union) = synthesize_union(&tso, &seq_cfg);
     let seq_time = t0.elapsed();
+    let seq_compiles = (litsynth_relalg::compilations() - c0) as usize;
 
     let mut par_cfg = SynthConfig::new(bound);
     par_cfg.threads = threads;
     par_cfg.cube_bits = cube_bits;
+    let c0 = litsynth_relalg::compilations();
     let t0 = std::time::Instant::now();
     let (par_axioms, par_union) = synthesize_union(&tso, &par_cfg);
     let par_time = t0.elapsed();
+    let par_compiles = (litsynth_relalg::compilations() - c0) as usize;
 
     assert_eq!(
         seq_union.keys().collect::<Vec<_>>(),
         par_union.keys().collect::<Vec<_>>(),
         "parallel suite diverged from sequential"
     );
+    // The compile-once invariant: one circuit→CNF compilation per query,
+    // no matter how many cube workers attached to it.
+    let num_queries = par_axioms.len();
+    assert_eq!(
+        par_compiles, num_queries,
+        "portfolio path must compile each query exactly once"
+    );
+    for (ax, r) in &par_axioms {
+        assert_eq!(r.compilations, 1, "query {ax} compiled more than once");
+    }
     println!(
         "suite: {} tests (byte-identical in both modes)",
         seq_union.len()
     );
     println!(
-        "sequential: {:.2}s   parallel ({} threads, {} cubes/query): {:.2}s   speedup: {:.2}x",
+        "sequential: {:.2}s   portfolio ({} threads, {} cubes/query): {:.2}s   speedup: {:.2}x",
         seq_time.as_secs_f64(),
         threads,
         1usize << cube_bits,
         par_time.as_secs_f64(),
         seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9),
     );
-    println!("\n| axiom | cube | instances | CNF vars | CNF clauses | time(s) |");
-    println!("|-------|------|-----------|----------|-------------|---------|");
+    println!(
+        "compile-once: {num_queries} queries → {seq_compiles} sequential / {par_compiles} \
+         portfolio CNF compilations (exactly one per query)"
+    );
+    let (exported, imported, filtered) = par_axioms.values().fold((0, 0, 0), |acc, r| {
+        (
+            acc.0 + r.exchange.0,
+            acc.1 + r.exchange.1,
+            acc.2 + r.exchange.2,
+        )
+    });
+    let probe: f64 = par_axioms.values().map(|r| r.probe.as_secs_f64()).sum();
+    println!(
+        "exchange: {exported} clauses exported, {imported} imported, {filtered} filtered; \
+         cube-selection probes {probe:.3}s total"
+    );
+    println!(
+        "\n| axiom | cube | instances | CNF vars | CNF clauses | exp | imp | filt | probe(s) | time(s) |"
+    );
+    println!(
+        "|-------|------|-----------|----------|-------------|-----|-----|------|----------|---------|"
+    );
     for (ax, r) in &par_axioms {
         for w in &r.workers {
             println!(
-                "| {ax} | {}/{} | {} | {} | {} | {:.3} |",
+                "| {ax} | {}/{} | {} | {} | {} | {} | {} | {} | {:.3} | {:.3} |",
                 w.cube,
                 w.num_cubes,
                 w.raw_instances,
                 w.cnf_vars,
                 w.cnf_clauses,
+                w.exported,
+                w.imported,
+                w.filtered,
+                w.probe.as_secs_f64(),
                 w.elapsed.as_secs_f64()
             );
         }
@@ -181,14 +257,15 @@ fn emit(model: &str, max_bound: usize, budget: u64) {
 }
 
 /// Table 2: which instruction relaxations apply to which model.
-fn table2() {
-    println!("\n## Table 2 — relaxation applicability\n");
-    println!("| model | RI | DRMW | DF | DMO | RD | DS |");
-    println!("|-------|----|------|----|-----|----|----|");
-    fn row<M: MemoryModel>(m: &M) {
+fn table2(out: &mut String) {
+    outln!(out, "\n## Table 2 — relaxation applicability\n");
+    outln!(out, "| model | RI | DRMW | DF | DMO | RD | DS |");
+    outln!(out, "|-------|----|------|----|-----|----|----|");
+    fn row<M: MemoryModel>(out: &mut String, m: &M) {
         let r = m.relaxations();
         let mark = |k: RelaxKind| if r.contains(&k) { "x" } else { " " };
-        println!(
+        outln!(
+            out,
             "| {} | {} | {} | {} | {} | {} | {} |",
             m.name(),
             mark(RelaxKind::Ri),
@@ -199,21 +276,28 @@ fn table2() {
             mark(RelaxKind::Ds),
         );
     }
-    row(&Sc::new());
-    row(&Tso::new());
-    row(&Power::new());
-    row(&Power::armv7());
-    row(&Scc::new());
-    row(&C11::new());
+    row(out, &Sc::new());
+    row(out, &Tso::new());
+    row(out, &Power::new());
+    row(out, &Power::armv7());
+    row(out, &Scc::new());
+    row(out, &C11::new());
 }
 
 /// Table 4: the Owens suite vs the synthesized TSO union, with subtest
 /// coverage for the non-minimal entries.
-fn table4(budget: u64) {
-    println!("\n## Table 4 — Owens suite vs synthesized TSO suites (bounds 2–6)\n");
+fn table4(out: &mut String, budget: u64) {
+    outln!(
+        out,
+        "\n## Table 4 — Owens suite vs synthesized TSO suites (bounds 2–6)\n"
+    );
     let tso = Tso::new();
     let union = report::union_suite(&tso, 2..=6, budget);
-    println!("synthesized TSO-union (≤6 insts): {} tests", union.len());
+    outln!(
+        out,
+        "synthesized TSO-union (≤6 insts): {} tests",
+        union.len()
+    );
 
     let mut rows: Vec<(usize, String, String)> = Vec::new();
     for e in owens::suite() {
@@ -235,16 +319,16 @@ fn table4(budget: u64) {
         rows.push((e.test.num_events(), e.test.name().to_string(), status));
     }
     rows.sort();
-    println!("\n| #insts | Owens test | verdict |");
-    println!("|--------|------------|---------|");
+    outln!(out, "\n| #insts | Owens test | verdict |");
+    outln!(out, "|--------|------------|---------|");
     for (n, name, status) in rows {
-        println!("| {n} | {name} | {status} |");
+        outln!(out, "| {n} | {name} | {status} |");
     }
 }
 
 /// Figure 11: the sc_per_loc tests that are in neither causality nor Owens.
-fn fig11(budget: u64) {
-    println!("\n## Figure 11 — sc_per_loc-only TSO tests\n");
+fn fig11(out: &mut String, budget: u64) {
+    outln!(out, "\n## Figure 11 — sc_per_loc-only TSO tests\n");
     let tso = Tso::new();
     let mut scl: BTreeMap<String, _> = BTreeMap::new();
     let mut caus: BTreeMap<String, _> = BTreeMap::new();
@@ -254,37 +338,37 @@ fn fig11(budget: u64) {
         let r = synthesize_axiom(&tso, "causality", &cfg(n, budget));
         caus.extend(r.tests);
     }
-    println!("sc_per_loc total: {} (paper: 10)", scl.len());
+    outln!(out, "sc_per_loc total: {} (paper: 10)", scl.len());
     let only: Vec<_> = scl.iter().filter(|(k, _)| !caus.contains_key(*k)).collect();
-    println!("sc_per_loc ∖ causality: {} tests:", only.len());
+    outln!(out, "sc_per_loc ∖ causality: {} tests:", only.len());
     for (_, (t, o)) in only {
-        println!("{t}  outcome: {}\n", o.display(t));
+        outln!(out, "{t}  outcome: {}\n", o.display(t));
     }
 }
 
 /// Figure 12: the rmw_atomicity tests.
-fn fig12(budget: u64) {
-    println!("\n## Figure 12 — TSO rmw_atomicity tests\n");
+fn fig12(out: &mut String, budget: u64) {
+    outln!(out, "\n## Figure 12 — TSO rmw_atomicity tests\n");
     let tso = Tso::new();
     let mut all: BTreeMap<String, _> = BTreeMap::new();
     for n in 2..=5 {
         let r = synthesize_axiom(&tso, "rmw_atomicity", &cfg(n, budget));
         all.extend(r.tests);
     }
-    println!("rmw_atomicity total: {} (paper: 4)", all.len());
+    outln!(out, "rmw_atomicity total: {} (paper: 4)", all.len());
     for (t, o) in all.values() {
-        println!("{t}  outcome: {}\n", o.display(t));
+        outln!(out, "{t}  outcome: {}\n", o.display(t));
     }
 }
 
 /// Figure 13: TSO counts and runtimes per bound.
-fn fig13(budget: u64) {
-    println!("\n## Figure 13 — TSO results\n");
+fn fig13(out: &mut String, budget: u64) {
+    outln!(out, "\n## Figure 13 — TSO results\n");
     let tso = Tso::new();
     let owens_forbidden: Vec<_> = owens::suite().into_iter().filter(|e| e.forbidden).collect();
 
-    println!("| bound | Owens(≤) | tso-union(≤) | all-progs(=) | sc_per_loc | rmw_atom | causality | runtime(s) |");
-    println!("|-------|----------|--------------|--------------|------------|----------|-----------|------------|");
+    outln!(out, "| bound | Owens(≤) | tso-union(≤) | all-progs(=) | sc_per_loc | rmw_atom | causality | runtime(s) |");
+    outln!(out, "|-------|----------|--------------|--------------|------------|----------|-----------|------------|");
     let mut union: BTreeMap<String, _> = BTreeMap::new();
     for n in 2..=6 {
         let mut per_axiom = Vec::new();
@@ -301,7 +385,8 @@ fn fig13(budget: u64) {
             .iter()
             .filter(|e| e.test.num_events() <= n)
             .count();
-        println!(
+        outln!(
+            out,
             "| {n} | {owens_n} | {} | {} | {} | {} | {} | {:.2}{} |",
             union.len(),
             count_programs(&tso, n, 3),
@@ -315,8 +400,11 @@ fn fig13(budget: u64) {
 }
 
 /// Figure 14: the WWC symmetry the hash canonicalizer misses.
-fn fig14(budget: u64) {
-    println!("\n## Figure 14 — canonicalizer ablation (hash vs exact)\n");
+fn fig14(out: &mut String, budget: u64) {
+    outln!(
+        out,
+        "\n## Figure 14 — canonicalizer ablation (hash vs exact)\n"
+    );
     let tso = Tso::new();
     for n in 4..=5 {
         let mut exact_cfg = cfg(n, budget);
@@ -329,7 +417,8 @@ fn fig14(budget: u64) {
             exact += synthesize_axiom(&tso, ax, &exact_cfg).len();
             hash += synthesize_axiom(&tso, ax, &hash_cfg).len();
         }
-        println!(
+        outln!(
+            out,
             "bound {n}: exact canonicalizer {exact} tests, paper's hash scheme {hash} \
              ({} redundant duplicates, the WWC effect)",
             hash - exact
@@ -339,22 +428,23 @@ fn fig14(budget: u64) {
 
 /// Figure 16: Power results vs the Cambridge suite and a diy-style
 /// baseline (the cats-suite stand-in; DESIGN.md substitution 2).
-fn fig16(budget: u64) {
-    println!("\n## Figure 16 — Power results\n");
+fn fig16(out: &mut String, budget: u64) {
+    outln!(out, "\n## Figure 16 — Power results\n");
     let power = Power::new();
     let cambridge_forbidden: Vec<_> = cambridge::suite()
         .into_iter()
         .filter(|e| e.forbidden)
         .collect();
     let diy = DiyBaseline::generate(&power, 500);
-    println!(
+    outln!(
+        out,
         "baselines: Cambridge {} forbidden tests; diy-style {} distinct forbidden tests",
         cambridge_forbidden.len(),
         diy.len()
     );
 
-    println!("\n| bound | Cambridge(≤) | diy(≤) | power-union(≤) | sc_per_loc | no_thin_air | observation | propagation | runtime(s) |");
-    println!("|-------|--------------|--------|----------------|------------|-------------|-------------|-------------|------------|");
+    outln!(out, "\n| bound | Cambridge(≤) | diy(≤) | power-union(≤) | sc_per_loc | no_thin_air | observation | propagation | runtime(s) |");
+    outln!(out, "|-------|--------------|--------|----------------|------------|-------------|-------------|-------------|------------|");
     let mut union: BTreeMap<String, _> = BTreeMap::new();
     for n in 2..=5 {
         let mut per_axiom = Vec::new();
@@ -372,7 +462,8 @@ fn fig16(budget: u64) {
             .filter(|e| e.test.num_events() <= n)
             .count();
         let d = diy.iter().filter(|(t, _)| t.num_events() <= n).count();
-        println!(
+        outln!(
+            out,
             "| {n} | {cam} | {d} | {} | {} | {} | {} | {} | {:.2}{} |",
             union.len(),
             per_axiom[0],
@@ -385,11 +476,12 @@ fn fig16(budget: u64) {
     }
 
     // Cambridge coverage check (the PPOAA remark in §6.2).
-    println!("\nCambridge forbidden tests vs minimality:");
+    outln!(out, "\nCambridge forbidden tests vs minimality:");
     for e in &cambridge_forbidden {
         let minimal = minimal_for_some_axiom(&power, &e.test, &e.outcome);
         if !minimal {
-            println!(
+            outln!(
+                out,
                 "  {}: NOT minimal as presented (cf. PPOAA, §6.2)",
                 e.test.name()
             );
@@ -398,13 +490,15 @@ fn fig16(budget: u64) {
 }
 
 /// Figure 20: SCC results.
-fn fig20(budget: u64) {
-    println!("\n## Figure 20 — SCC results\n");
+fn fig20(out: &mut String, budget: u64) {
+    outln!(out, "\n## Figure 20 — SCC results\n");
     let scc = Scc::new();
-    println!(
+    outln!(
+        out,
         "| bound | scc-union(≤) | sc_per_loc | no_thin_air | rmw_atom | causality | runtime(s) |"
     );
-    println!(
+    outln!(
+        out,
         "|-------|--------------|------------|-------------|----------|-----------|------------|"
     );
     let mut union: BTreeMap<String, _> = BTreeMap::new();
@@ -419,7 +513,8 @@ fn fig20(budget: u64) {
             per_axiom.push(r.len());
             union.extend(r.tests);
         }
-        println!(
+        outln!(
+            out,
             "| {n} | {} | {} | {} | {} | {} | {:.2}{} |",
             union.len(),
             per_axiom[0],
@@ -434,13 +529,15 @@ fn fig20(budget: u64) {
 
 /// §6.4: C11 per-axiom counts (the paper's text truncates mid-section; the
 /// same per-axiom/per-bound shape is reported).
-fn c11(budget: u64) {
-    println!("\n## §6.4 — C11 results (reconstructed shape)\n");
+fn c11(out: &mut String, budget: u64) {
+    outln!(out, "\n## §6.4 — C11 results (reconstructed shape)\n");
     let m = C11::new();
-    println!(
+    outln!(
+        out,
         "| bound | c11-union(≤) | coherence | atomicity | no_thin_air | seq_cst | runtime(s) |"
     );
-    println!(
+    outln!(
+        out,
         "|-------|--------------|-----------|-----------|-------------|---------|------------|"
     );
     let mut union: BTreeMap<String, _> = BTreeMap::new();
@@ -455,7 +552,8 @@ fn c11(budget: u64) {
             per_axiom.push(r.len());
             union.extend(r.tests);
         }
-        println!(
+        outln!(
+            out,
             "| {n} | {} | {} | {} | {} | {} | {:.2}{} |",
             union.len(),
             per_axiom[0],
@@ -469,8 +567,8 @@ fn c11(budget: u64) {
 }
 
 /// Figures 18/19: the SB false negative and its workaround.
-fn scc_wa(budget: u64) {
-    println!("\n## Figures 18/19 — SCC sc workaround\n");
+fn scc_wa(out: &mut String, budget: u64) {
+    outln!(out, "\n## Figures 18/19 — SCC sc workaround\n");
     let scc = Scc::new();
     // SB with two FenceSC instructions is 6 events.
     let r = synthesize_axiom(&scc, "causality", &cfg(6, budget));
@@ -484,7 +582,8 @@ fn scc_wa(budget: u64) {
             fences == 2
         })
         .count();
-    println!(
+    outln!(
+        out,
         "SCC causality bound 6: {} tests, {} with two FenceSC instructions \
          (SB+FenceSCs present ⇒ the Figure 19 workaround recovered the \
          Figure 18 false negative){}",
@@ -498,18 +597,24 @@ fn scc_wa(budget: u64) {
             .count()
             == 2
     }) {
-        println!("{t}  outcome: {}", o.display(t));
+        outln!(out, "{t}  outcome: {}", o.display(t));
     }
 }
 
 /// §6.2's ARMv7 remark: "broadly similar to Power, but … no equivalent of
 /// the Power lwsync" — compare the two unions directly.
-fn armv7(budget: u64) {
-    println!("\n## §6.2 — Power vs ARMv7 (no lwsync)\n");
+fn armv7(out: &mut String, budget: u64) {
+    outln!(out, "\n## §6.2 — Power vs ARMv7 (no lwsync)\n");
     let power = Power::new();
     let armv7 = Power::armv7();
-    println!("| bound | power-union | armv7-union | lwsync tests (power only) |");
-    println!("|-------|-------------|-------------|---------------------------|");
+    outln!(
+        out,
+        "| bound | power-union | armv7-union | lwsync tests (power only) |"
+    );
+    outln!(
+        out,
+        "|-------|-------------|-------------|---------------------------|"
+    );
     let mut pu: BTreeMap<String, _> = BTreeMap::new();
     let mut au: BTreeMap<String, _> = BTreeMap::new();
     for n in 2..=5 {
@@ -531,20 +636,26 @@ fn armv7(budget: u64) {
                 })
             })
             .count();
-        println!("| {n} | {} | {} | {lw} |", pu.len(), au.len());
+        outln!(out, "| {n} | {} | {} | {lw} |", pu.len(), au.len());
     }
     // Every ARMv7 test is (canonically) a Power test: the models agree on
     // the lwsync-free fragment at these bounds.
     let only_armv7 = au.keys().filter(|k| !pu.contains_key(*k)).count();
-    println!("\ntests in armv7-union but not power-union: {only_armv7}");
+    outln!(
+        out,
+        "\ntests in armv7-union but not power-union: {only_armv7}"
+    );
 }
 
 /// §4.3 ablation: what the orphaned-read policy is worth. With
 /// `orphan_unconstrained = false`, a read whose rf source was removed by RI
 /// snaps to the initial value — reintroducing exactly the class of false
 /// negatives §4.3's "leave it unconstrained" choice avoids.
-fn orphan(budget: u64) {
-    println!("\n## §4.3 ablation — orphaned-read policy (TSO sc_per_loc)\n");
+fn orphan(out: &mut String, budget: u64) {
+    outln!(
+        out,
+        "\n## §4.3 ablation — orphaned-read policy (TSO sc_per_loc)\n"
+    );
     let tso = Tso::new();
     for unconstrained in [true, false] {
         let mut total = 0;
@@ -553,7 +664,8 @@ fn orphan(budget: u64) {
             c.orphan_unconstrained = unconstrained;
             total += synthesize_axiom(&tso, "sc_per_loc", &c).len();
         }
-        println!(
+        outln!(
+            out,
             "orphan reads {:<14} → sc_per_loc suite (bounds ≤4): {} tests{}",
             if unconstrained {
                 "unconstrained"
@@ -572,8 +684,11 @@ fn orphan(budget: u64) {
 
 /// §4.2/§6.3: quantifying the Figure 5c approximation against the exact
 /// exists-forall oracle, by exhaustive program enumeration at small bounds.
-fn soundness(budget: u64) {
-    println!("\n## Soundness — Figure 5c vs the exact oracle (TSO)\n");
+fn soundness(out: &mut String, budget: u64) {
+    outln!(
+        out,
+        "\n## Soundness — Figure 5c vs the exact oracle (TSO)\n"
+    );
     let tso = Tso::new();
     for n in 2..=3 {
         let mut synth: BTreeMap<String, _> = BTreeMap::new();
@@ -591,7 +706,8 @@ fn soundness(budget: u64) {
         let both = synth.keys().filter(|k| truth.contains_key(*k)).count();
         let only_synth = synth.len() - both;
         let only_truth = truth.len() - both;
-        println!(
+        outln!(
+            out,
             "bound {n}: exact-minimal {} | Fig5c-synthesized {} | both {} | \
              false positives {} | false negatives {}",
             truth.len(),
@@ -602,12 +718,12 @@ fn soundness(budget: u64) {
         );
         for (k, (t, o)) in &truth {
             if !synth.contains_key(k) {
-                println!("  missed (false negative): {t}  {}", o.display(t));
+                outln!(out, "  missed (false negative): {t}  {}", o.display(t));
             }
         }
         for (k, (t, o)) in &synth {
             if !truth.contains_key(k) {
-                println!("  extra (false positive): {t}  {}", o.display(t));
+                outln!(out, "  extra (false positive): {t}  {}", o.display(t));
                 // False positives are harmless (§4.3) but must still be
                 // forbidden outcomes.
                 assert!(

@@ -48,10 +48,24 @@ pub struct SynthConfig {
     /// available cores.
     pub threads: usize,
     /// Split each (axiom, bound) query into `2^cube_bits` disjoint
-    /// subqueries by pinning the first `cube_bits` instruction-kind
-    /// selector bits (slot 0 first) as extra assumptions — intra-query
-    /// parallelism for the large bounds. `0` disables splitting.
+    /// subqueries by pinning `cube_bits` instruction-kind selector bits as
+    /// extra assumptions — intra-query parallelism for the large bounds.
+    /// `0` disables splitting. Which bits are pinned is decided by
+    /// [`SynthConfig::adaptive_cubes`].
     pub cube_bits: usize,
+    /// Trade learnt clauses between the cube workers of a query through
+    /// the portfolio exchange bus. Sharing only prunes search — suites are
+    /// byte-identical either way.
+    pub exchange: bool,
+    /// Only learnt clauses with LBD ≤ this are published on the bus.
+    pub exchange_max_lbd: u32,
+    /// Only learnt clauses with ≤ this many literals are published.
+    pub exchange_max_len: usize,
+    /// Choose cube pin bits by VSIDS activity from a probing run instead
+    /// of the first `cube_bits` selector slots.
+    pub adaptive_cubes: bool,
+    /// Conflict budget for the adaptive-cube probing run.
+    pub probe_conflicts: u64,
 }
 
 impl SynthConfig {
@@ -67,6 +81,11 @@ impl SynthConfig {
             time_budget_ms: 0,
             threads: 1,
             cube_bits: 0,
+            exchange: true,
+            exchange_max_lbd: 6,
+            exchange_max_len: 30,
+            adaptive_cubes: true,
+            probe_conflicts: 500,
         }
     }
 
@@ -79,6 +98,18 @@ impl SynthConfig {
     /// Sets the cube-splitting width (builder style).
     pub fn with_cube_bits(mut self, cube_bits: usize) -> SynthConfig {
         self.cube_bits = cube_bits;
+        self
+    }
+
+    /// Enables or disables the learnt-clause exchange (builder style).
+    pub fn with_exchange(mut self, exchange: bool) -> SynthConfig {
+        self.exchange = exchange;
+        self
+    }
+
+    /// Enables or disables adaptive cube selection (builder style).
+    pub fn with_adaptive_cubes(mut self, adaptive: bool) -> SynthConfig {
+        self.adaptive_cubes = adaptive;
         self
     }
 }

@@ -3,35 +3,51 @@
 //!
 //! # The parallel engine
 //!
-//! Every (axiom, bound) query is an independent SAT enumeration over its
-//! own private circuit and solver, so the drivers fan queries out across a
-//! scoped-thread worker pool ([`SynthConfig::threads`]). On top of that,
-//! one query can be *cube-split* ([`SynthConfig::cube_bits`]): the first
-//! `b` instruction-kind selector bits are pinned to each of the `2^b`
-//! boolean patterns as extra assumptions, partitioning the observable
-//! space into disjoint subqueries that enumerate concurrently and merge
-//! through the canonical-key dedup.
+//! Every (axiom, bound) query is an independent SAT enumeration, so the
+//! drivers fan queries out across a scoped-thread worker pool
+//! ([`SynthConfig::threads`]). On top of that, one query can be
+//! *cube-split* ([`SynthConfig::cube_bits`]): `b` instruction-kind
+//! selector bits are pinned to each of the `2^b` boolean patterns as extra
+//! assumptions, partitioning the observable space into disjoint subqueries
+//! that enumerate concurrently and merge through the canonical-key dedup.
+//!
+//! Since the portfolio subsystem (`litsynth-portfolio`), a query's cube
+//! workers cooperate instead of running blind:
+//!
+//! * the circuit is Tseitin-compiled **once** per query into a shared
+//!   clause arena (whichever worker arrives first pays, through a
+//!   `OnceLock`); every worker attaches a private solver to it,
+//! * workers trade learnt clauses over a bounded **exchange bus**
+//!   ([`SynthConfig::exchange`]), which prunes search but provably never
+//!   changes the enumerated class set, and
+//! * the pinned bits are chosen **adaptively** from a probing run's VSIDS
+//!   activity ([`SynthConfig::adaptive_cubes`]) rather than slot order.
 //!
 //! Results are deterministic by construction — byte-identical across any
-//! `threads`/`cube_bits` choice:
+//! `threads`/`cube_bits`/`exchange` choice:
 //!
 //! * tasks are merged in a fixed (bound, axiom, cube) order, never in
-//!   completion order, and
+//!   completion order,
 //! * the representative stored for a canonical key is a pure function of
 //!   the key (the exact canonicalizer's normal form; for the hash-based
 //!   ablation canonicalizer, the lexicographically least serialization),
 //!   not whichever isomorphic variant a worker happened to enumerate
-//!   first.
+//!   first,
+//! * cube pins are a pure function of the compiled query (the probe is
+//!   deterministic), so the partition never depends on thread timing, and
+//! * imported clauses are implied for every model a worker has yet to
+//!   enumerate (see `litsynth_portfolio::exchange`), so exchange traffic
+//!   affects solver effort only, never the per-cube class sets.
 
 use crate::perturb::minimality_asserts_opts;
 use crate::symbolic::{vocabulary, SymbolicTest, SynthConfig};
 use litsynth_litmus::{canonical_key_hash, canonicalize_exact, serialize, LitmusTest, Outcome};
 use litsynth_models::{MemoryModel, SymAlg};
-use litsynth_relalg::{Bit, Finder};
+use litsynth_portfolio::{run_ordered, CompiledQuery, CubeConfig, ExchangeBus, ExchangeConfig};
+use litsynth_relalg::Bit;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A deduplicated suite: canonical key → (test, outcome).
@@ -58,6 +74,15 @@ pub struct WorkerStats {
     pub elapsed: Duration,
     /// `true` if the instance cap or time budget stopped this worker.
     pub truncated: bool,
+    /// Learnt clauses this worker published on the exchange bus.
+    pub exported: u64,
+    /// Peer clauses this worker imported from the bus.
+    pub imported: u64,
+    /// Clauses the bus filter (LBD/size/pool cap) dropped for this worker.
+    pub filtered: u64,
+    /// Wall-clock time of the query's cube-selection probe (a per-query
+    /// cost, reported on every worker of the query).
+    pub probe: Duration,
 }
 
 /// The result of one synthesis query (one model, one axiom, one bound),
@@ -77,6 +102,14 @@ pub struct SynthResult {
     pub cnf_vars: usize,
     /// CNF clause count, summed over workers.
     pub cnf_clauses: usize,
+    /// Circuit→CNF compilations performed (exactly one per query on the
+    /// portfolio path, however many cube workers attach).
+    pub compilations: usize,
+    /// Exchange-bus totals over all workers: (exported, imported,
+    /// filtered).
+    pub exchange: (u64, u64, u64),
+    /// Total cube-selection probe time, summed over queries.
+    pub probe: Duration,
     /// Per-worker solver statistics, in cube order.
     pub workers: Vec<WorkerStats>,
 }
@@ -114,67 +147,120 @@ fn insert_dedup(suite: &mut CanonicalSuite, key: String, test: LitmusTest, outco
     }
 }
 
-/// The cube pin bits for a query: the first `cube_bits` instruction-kind
-/// selectors in slot order. Pinning observable bits guarantees the cubes
-/// partition the observable space (every blocked class determines the
-/// pinned bits' values, so it falls in exactly one cube).
-fn cube_pins(st: &SymbolicTest, cube_bits: usize) -> Vec<Bit> {
-    st.kind.iter().flatten().copied().take(cube_bits).collect()
-}
-
 /// `cube_bits` clamped to the number of pinnable selector bits the query
-/// actually has.
+/// actually has. The pin *candidates* are the instruction-kind selector
+/// bits — distinct circuit inputs, and observables, so pinning them
+/// partitions the observable space (every blocked class determines the
+/// pinned bits' values and falls in exactly one cube).
 fn effective_cube_bits<M: MemoryModel>(model: &M, cfg: &SynthConfig) -> usize {
     cfg.cube_bits.min(vocabulary(model).len() * cfg.events)
 }
 
-/// Resolves [`SynthConfig::threads`] (`0` = all cores).
-fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
+/// One (axiom, bound) query, compiled once and shared by its cube workers.
+struct Query {
+    st: SymbolicTest,
+    /// The minimality asserts, without cube pins.
+    asserts: Vec<Bit>,
+    query: CompiledQuery,
+    /// Circuit→CNF compilations this query performed (always 1 — the
+    /// counter exists so the observability path reports measured fact, not
+    /// assumption; `experiments speedup` cross-checks it against the
+    /// process-wide `litsynth_relalg::compilations()` counter). Measured
+    /// with the thread-local counter: the whole build runs on one thread,
+    /// so sibling queries compiling concurrently cannot inflate it.
+    compilations: usize,
+}
+
+/// Builds (symbolic test + minimality asserts + shared compilation + cube
+/// pins) for one query. Runs inside a `OnceLock`, so exactly one worker
+/// per query pays this cost; the result is a pure function of
+/// (model, cfg, axiom) regardless of which worker that is.
+fn build_query<M: MemoryModel>(model: &M, cfg: &SynthConfig, axiom: &'static str) -> Query {
+    let before = litsynth_relalg::thread_compilations();
+    let mut alg = SymAlg::new();
+    let st = SymbolicTest::build(&mut alg, model, cfg);
+    let asserts = minimality_asserts_opts(&mut alg, model, &st, axiom, cfg.orphan_unconstrained);
+    let candidates: Vec<Bit> = st.kind.iter().flatten().copied().collect();
+    let circuit = alg.into_circuit();
+    let query = CompiledQuery::build(
+        circuit,
+        &asserts,
+        &st.observables,
+        &candidates,
+        &CubeConfig {
+            adaptive: cfg.adaptive_cubes,
+            probe_conflicts: cfg.probe_conflicts,
+        },
+    );
+    let compilations = (litsynth_relalg::thread_compilations() - before) as usize;
+    Query {
+        st,
+        asserts,
+        query,
+        compilations,
     }
 }
 
-/// One enumeration task: an (axiom, bound, cube) triple with its config.
+/// One enumeration task: an (axiom, bound, cube) triple plus the shared
+/// per-query state (compilation slot and exchange bus) it cooperates
+/// through.
 struct Task {
     axiom_idx: usize,
     axiom: &'static str,
     cfg: SynthConfig,
     cube: usize,
     cube_bits: usize,
+    shared: Arc<OnceLock<Query>>,
+    bus: Arc<ExchangeBus>,
+}
+
+/// The shared state for one query's worker group.
+fn query_group(cfg: &SynthConfig, cube_bits: usize) -> (Arc<OnceLock<Query>>, Arc<ExchangeBus>) {
+    let bus = ExchangeBus::new(ExchangeConfig {
+        // With a single cube there are no peers to trade with.
+        enabled: cfg.exchange && cube_bits > 0,
+        max_lbd: cfg.exchange_max_lbd,
+        max_len: cfg.exchange_max_len,
+        ..ExchangeConfig::default()
+    });
+    (Arc::new(OnceLock::new()), bus)
 }
 
 /// The output of one worker.
 struct CubeRun {
     tests: CanonicalSuite,
     stats: WorkerStats,
+    /// Compilations charged to this worker (the query's one compilation is
+    /// charged to cube 0).
+    compilations: usize,
+    /// Probe time charged to this worker (cube 0 only, like above).
+    probe: Duration,
 }
 
 /// Enumerates one cube of one (axiom, bound) query on the current thread.
+///
+/// The first worker of a query to arrive compiles it (once) into the
+/// shared `OnceLock`; everyone attaches a private solver to the shared
+/// clause arena and trades learnt clauses over the query's exchange bus.
 fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task) -> CubeRun {
     let cfg = &task.cfg;
     let start = Instant::now();
-    let mut alg = SymAlg::new();
-    let st = SymbolicTest::build(&mut alg, model, cfg);
-    let mut asserts =
-        minimality_asserts_opts(&mut alg, model, &st, task.axiom, cfg.orphan_unconstrained);
-    let pins = cube_pins(&st, task.cube_bits);
-    for (j, &b) in pins.iter().enumerate() {
-        asserts.push(if task.cube >> j & 1 == 1 { b } else { b.not() });
-    }
-    let circuit = alg.into_circuit();
-    let mut finder = Finder::new(&circuit);
+    let query = task
+        .shared
+        .get_or_init(|| build_query(model, cfg, task.axiom));
+    let st = &query.st;
+    let circuit = query.query.circuit();
+    let mut asserts = query.asserts.clone();
+    asserts.extend(query.query.cube_pins(task.cube, task.cube_bits));
+    let mut finder = query.query.attach();
+    let mut exchange = task.bus.endpoint(task.cube);
 
     let mut tests = BTreeMap::new();
     let mut raw = 0usize;
     let mut truncated = false;
-    while let Some(inst) = finder.next_instance(&circuit, &asserts) {
+    while let Some(inst) = finder.next_instance_exchanging(circuit, &asserts, &mut exchange) {
         raw += 1;
-        let (test, outcome) = st.extract(&circuit, &inst);
+        let (test, outcome) = st.extract(circuit, &inst);
         if cfg.exact_canon {
             let (key, ct, co) = canonicalize_exact(&test, &outcome);
             insert_dedup(&mut tests, key, ct, co);
@@ -186,7 +272,7 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task) -> CubeRun {
                 outcome,
             );
         }
-        finder.block(&circuit, &inst, &st.observables);
+        finder.block(circuit, &inst, &st.observables);
         if raw >= cfg.max_instances {
             truncated = true;
             break;
@@ -196,8 +282,22 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task) -> CubeRun {
             break;
         }
     }
+    let xs = exchange.stats();
     CubeRun {
         tests,
+        // The query-level costs (the one compilation, the probe) are
+        // attributed to cube 0 so that summing workers counts each query
+        // exactly once.
+        compilations: if task.cube == 0 {
+            query.compilations
+        } else {
+            0
+        },
+        probe: if task.cube == 0 {
+            query.query.probe_time()
+        } else {
+            Duration::ZERO
+        },
         stats: WorkerStats {
             axiom: task.axiom,
             bound: cfg.events,
@@ -208,38 +308,18 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task) -> CubeRun {
             cnf_clauses: finder.num_cnf_clauses(),
             elapsed: start.elapsed(),
             truncated,
+            exported: xs.exported,
+            imported: xs.imported,
+            filtered: xs.filtered,
+            probe: query.query.probe_time(),
         },
     }
 }
 
-/// Runs the tasks on a scoped-thread worker pool and returns their outputs
-/// in task order (never completion order).
+/// Runs the tasks on the portfolio's scoped-thread worker pool and returns
+/// their outputs in task order (never completion order).
 fn run_tasks<M: MemoryModel + Sync>(model: &M, tasks: &[Task], threads: usize) -> Vec<CubeRun> {
-    let threads = resolve_threads(threads).min(tasks.len()).max(1);
-    if threads == 1 {
-        return tasks.iter().map(|t| enumerate_cube(model, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CubeRun>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks.len() {
-                    break;
-                }
-                *slots[i].lock().unwrap() = Some(enumerate_cube(model, &tasks[i]));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .unwrap()
-                .expect("every task ran to completion")
-        })
-        .collect()
+    run_ordered(tasks, threads, |_, t| enumerate_cube(model, t))
 }
 
 /// Merges the cube runs of one query (in cube order) into a [`SynthResult`].
@@ -248,6 +328,9 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
     let mut raw = 0;
     let mut vars = 0;
     let mut clauses = 0;
+    let mut compilations = 0;
+    let mut exchange = (0u64, 0u64, 0u64);
+    let mut probe = Duration::ZERO;
     let mut truncated = false;
     let mut workers = Vec::with_capacity(runs.len());
     for run in runs {
@@ -257,6 +340,11 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
         raw += run.stats.raw_instances;
         vars += run.stats.cnf_vars;
         clauses += run.stats.cnf_clauses;
+        compilations += run.compilations;
+        exchange.0 += run.stats.exported;
+        exchange.1 += run.stats.imported;
+        exchange.2 += run.stats.filtered;
+        probe += run.probe;
         truncated |= run.stats.truncated;
         workers.push(run.stats);
     }
@@ -267,6 +355,9 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
         truncated,
         cnf_vars: vars,
         cnf_clauses: clauses,
+        compilations,
+        exchange,
+        probe,
         workers,
     }
 }
@@ -290,6 +381,7 @@ fn tasks_for<M: MemoryModel>(model: &M, cfg: &SynthConfig) -> Vec<Task> {
     let cube_bits = effective_cube_bits(model, cfg);
     let mut tasks = Vec::new();
     for (axiom_idx, &axiom) in model.axioms().iter().enumerate() {
+        let (shared, bus) = query_group(cfg, cube_bits);
         for cube in 0..(1usize << cube_bits) {
             tasks.push(Task {
                 axiom_idx,
@@ -297,6 +389,8 @@ fn tasks_for<M: MemoryModel>(model: &M, cfg: &SynthConfig) -> Vec<Task> {
                 cfg: cfg.clone(),
                 cube,
                 cube_bits,
+                shared: shared.clone(),
+                bus: bus.clone(),
             });
         }
     }
@@ -315,6 +409,7 @@ pub fn synthesize_axiom<M: MemoryModel + Sync>(
     let start = Instant::now();
     let axiom = static_axiom(model, axiom);
     let cube_bits = effective_cube_bits(model, cfg);
+    let (shared, bus) = query_group(cfg, cube_bits);
     let tasks: Vec<Task> = (0..(1usize << cube_bits))
         .map(|cube| Task {
             axiom_idx: 0,
@@ -322,6 +417,8 @@ pub fn synthesize_axiom<M: MemoryModel + Sync>(
             cfg: cfg.clone(),
             cube,
             cube_bits,
+            shared: shared.clone(),
+            bus: bus.clone(),
         })
         .collect();
     let runs = run_tasks(model, &tasks, cfg.threads);
@@ -560,6 +657,86 @@ mod tests {
             seq.tests.keys().collect::<Vec<_>>(),
             r.tests.keys().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn exchange_matrix_is_byte_identical() {
+        // The acceptance matrix of the portfolio subsystem: every
+        // combination of worker threads, cube splitting, and clause
+        // exchange produces exactly the sequential suite — the exchange may
+        // prune search, never change the enumerated set. Raw instance
+        // counts are compared too: imports must not swallow classes.
+        let m = Tso::new();
+        let run = |threads: usize, cube_bits: usize, exchange: bool| {
+            let cfg = SynthConfig::new(3)
+                .with_threads(threads)
+                .with_cube_bits(cube_bits)
+                .with_exchange(exchange);
+            let (p, u) = synthesize_union(&m, &cfg);
+            (
+                fingerprint(&p, &u),
+                p.values().map(|r| r.raw_instances).sum::<usize>(),
+            )
+        };
+        let (seq, seq_raw) = run(1, 0, false);
+        for threads in [1usize, 4] {
+            for cube_bits in [0usize, 2] {
+                for exchange in [false, true] {
+                    let (got, got_raw) = run(threads, cube_bits, exchange);
+                    assert_eq!(
+                        got, seq,
+                        "threads={threads} cube_bits={cube_bits} exchange={exchange}"
+                    );
+                    assert_eq!(
+                        got_raw, seq_raw,
+                        "raw drift: threads={threads} cube_bits={cube_bits} exchange={exchange}"
+                    );
+                }
+            }
+        }
+        // Adaptive cube selection may repartition the cubes, but the union
+        // and the total class count are invariant as well.
+        let cfg = SynthConfig::new(3)
+            .with_threads(4)
+            .with_cube_bits(2)
+            .with_adaptive_cubes(false);
+        let (p, u) = synthesize_union(&m, &cfg);
+        assert_eq!(fingerprint(&p, &u), seq);
+        assert_eq!(
+            p.values().map(|r| r.raw_instances).sum::<usize>(),
+            seq_raw,
+            "slot-order pins must partition too"
+        );
+    }
+
+    #[test]
+    fn one_compilation_per_query_and_counters_surface() {
+        let m = Tso::new();
+        let before = litsynth_relalg::compilations();
+        let cfg = SynthConfig::new(2).with_threads(4).with_cube_bits(2);
+        let (p, _) = synthesize_union(&m, &cfg);
+        let compiled = litsynth_relalg::compilations() - before;
+        // The union must have compiled at least one CNF per query. The
+        // process-wide counter can also tick from *other* tests running
+        // concurrently in this binary, so exactness is asserted on the
+        // race-free per-query counters below, not on the global delta.
+        assert!(compiled as usize >= m.axioms().len());
+        for (ax, r) in &p {
+            // Exactly one circuit→CNF compilation per (axiom, bound)
+            // query, no matter how many cube workers attached.
+            assert_eq!(r.compilations, 1, "{ax}");
+            assert_eq!(r.workers.len(), 4, "{ax}");
+            // Worker counters roll up into the query-level totals.
+            assert_eq!(
+                r.exchange,
+                (
+                    r.workers.iter().map(|w| w.exported).sum::<u64>(),
+                    r.workers.iter().map(|w| w.imported).sum::<u64>(),
+                    r.workers.iter().map(|w| w.filtered).sum::<u64>(),
+                ),
+                "{ax}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! # litsynth-portfolio
+//!
+//! Solver orchestration for parallel suite synthesis: compile-once CNF
+//! sharing, a bounded learnt-clause exchange bus, and adaptive cube
+//! selection.
+//!
+//! The synthesis engine partitions each (axiom, bound) enumeration into
+//! `2^b` cubes by pinning observed selector bits, and fans the cubes over a
+//! worker pool. Before this crate, every worker re-ran the same Tseitin
+//! transform and solved cold. The portfolio fixes all three costs:
+//!
+//! * **Compile once** — [`CompiledQuery`] translates the query circuit to
+//!   an immutable shared clause arena exactly once; workers attach in
+//!   O(vars + clauses) via [`CompiledQuery::attach`] and share the arena by
+//!   reference ([`litsynth_relalg::CompiledCircuit`] /
+//!   [`litsynth_sat::Solver::attach_shared`] underneath).
+//! * **Exchange learnt clauses** — cube workers publish learnt clauses
+//!   under an LBD/size filter to an [`ExchangeBus`] and import peers'
+//!   clauses at restart boundaries. Sharing across cubes is sound because
+//!   pins are assumptions and blocking clauses from one cube are satisfied
+//!   by every model remaining in the others (see [`exchange`] for the full
+//!   argument) — so the exchange prunes search but can never change the
+//!   enumerated model set, keeping suites byte-identical to the sequential
+//!   path.
+//! * **Pick cubes adaptively** — a short probing run samples VSIDS
+//!   activity and [`cube::rank_pins`] splits on the bits the solver
+//!   actually branches on, instead of the first `b` slots.
+//!
+//! The deterministic scoped-thread pool the callers fan out on lives in
+//! [`pool`]; it returns results in item order so merged output is
+//! byte-identical at any thread count.
+
+pub mod cube;
+pub mod exchange;
+pub mod pool;
+pub mod query;
+
+pub use exchange::{ExchangeBus, ExchangeConfig, ExchangeEndpoint, ExchangeStats};
+pub use pool::{resolve_threads, run_ordered};
+pub use query::{CompiledQuery, CubeConfig};

@@ -1,0 +1,190 @@
+//! Compile-once circuit → CNF translation for portfolio solving.
+//!
+//! [`Finder`](crate::Finder) translates on demand into a private solver, so
+//! every enumeration worker of a cube-split query used to redo the same
+//! Tseitin transform. A [`CompiledCircuit`] performs that transform exactly
+//! once, into an immutable [`SharedCnf`] arena plus the node→variable map,
+//! and any number of finders then attach to it via
+//! [`Finder::attach`](crate::Finder::attach) — sharing the clause arena by
+//! reference and cloning only the (small) variable maps.
+
+use crate::circuit::{Bit, Circuit, Node};
+use litsynth_sat::{CnfBuilder, Lit, SharedCnf, Var};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of [`CompiledCircuit::compile`] runs. The benchmark
+/// harness asserts "exactly one compilation per query" against this.
+static COMPILATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread count of [`CompiledCircuit::compile`] runs, for callers
+    /// that need a race-free delta around a compilation they perform
+    /// themselves (the process-wide counter can tick concurrently from
+    /// other threads' compilations).
+    static THREAD_COMPILATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total number of circuit→CNF compilations performed by this process so
+/// far (demand-driven [`Finder::new`](crate::Finder::new) translation is
+/// not counted — only whole-circuit [`CompiledCircuit::compile`] runs).
+pub fn compilations() -> u64 {
+    COMPILATIONS.load(Ordering::Relaxed)
+}
+
+/// Number of circuit→CNF compilations performed by the **calling thread**.
+/// A delta of this value around a code region counts exactly the region's
+/// own compilations, immune to concurrent compilation elsewhere.
+pub fn thread_compilations() -> u64 {
+    THREAD_COMPILATIONS.with(|c| c.get())
+}
+
+/// The frozen result of Tseitin-translating a circuit once.
+///
+/// Holds the shared clause arena and the maps a [`Finder`](crate::Finder)
+/// needs to resume translation incrementally (e.g. for blocking clauses
+/// over bits that were not compiled as roots).
+#[derive(Debug)]
+pub struct CompiledCircuit {
+    cnf: Arc<SharedCnf>,
+    node_var: Vec<Option<Var>>,
+    const_true: Option<Var>,
+    input_of_var: Vec<Option<usize>>,
+}
+
+impl CompiledCircuit {
+    /// Translates the cones of all `roots` to CNF, in one pass.
+    ///
+    /// The roots should cover every bit the attached finders will touch —
+    /// assertions, observables, and candidate cube pins — so that workers
+    /// never have to extend the CNF beyond their own blocking clauses. Bits
+    /// outside the compiled cone still work after attach; they are simply
+    /// translated locally, per finder.
+    pub fn compile<I: IntoIterator<Item = Bit>>(c: &Circuit, roots: I) -> CompiledCircuit {
+        COMPILATIONS.fetch_add(1, Ordering::Relaxed);
+        THREAD_COMPILATIONS.with(|c| c.set(c.get() + 1));
+        let mut b = CnfBuilder::new();
+        let mut node_var: Vec<Option<Var>> = vec![None; c.num_nodes()];
+        let mut const_true = None;
+        let mut input_of_var: Vec<Option<usize>> = Vec::new();
+        // The same iterative post-order walk as `Finder::lit_of`, emitting
+        // into the builder instead of a live solver.
+        for root in roots {
+            let mut stack = vec![root.node()];
+            while let Some(&n) = stack.last() {
+                if node_var[n].is_some() {
+                    stack.pop();
+                    continue;
+                }
+                match c.node(n) {
+                    Node::ConstTrue => {
+                        let v = *const_true.get_or_insert_with(|| {
+                            let v = b.new_var();
+                            input_of_var.push(None);
+                            b.add_clause([Lit::pos(v)]);
+                            v
+                        });
+                        node_var[n] = Some(v);
+                        stack.pop();
+                    }
+                    Node::Input(i) => {
+                        let v = b.new_var();
+                        input_of_var.push(Some(i as usize));
+                        node_var[n] = Some(v);
+                        stack.pop();
+                    }
+                    Node::And(x, y) => {
+                        let (nx, ny) = (x.node(), y.node());
+                        if node_var[nx].is_none() {
+                            stack.push(nx);
+                            continue;
+                        }
+                        if node_var[ny].is_none() {
+                            stack.push(ny);
+                            continue;
+                        }
+                        let lx = Lit::new(node_var[nx].unwrap(), !x.is_negated());
+                        let ly = Lit::new(node_var[ny].unwrap(), !y.is_negated());
+                        let v = b.new_var();
+                        input_of_var.push(None);
+                        // v ↔ lx ∧ ly
+                        b.add_clause([Lit::neg(v), lx]);
+                        b.add_clause([Lit::neg(v), ly]);
+                        b.add_clause([Lit::pos(v), !lx, !ly]);
+                        node_var[n] = Some(v);
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        CompiledCircuit {
+            cnf: Arc::new(b.build()),
+            node_var,
+            const_true,
+            input_of_var,
+        }
+    }
+
+    /// The shared clause arena.
+    pub fn cnf(&self) -> &Arc<SharedCnf> {
+        &self.cnf
+    }
+
+    /// Number of CNF variables in the compiled formula.
+    pub fn num_vars(&self) -> usize {
+        self.cnf.num_vars()
+    }
+
+    /// Number of CNF clauses (including units) in the compiled formula.
+    pub fn num_clauses(&self) -> usize {
+        self.cnf.num_clauses() + self.cnf.units().len()
+    }
+
+    pub(crate) fn node_var(&self) -> &[Option<Var>] {
+        &self.node_var
+    }
+
+    pub(crate) fn const_true(&self) -> Option<Var> {
+        self.const_true
+    }
+
+    pub(crate) fn input_of_var(&self) -> &[Option<usize>] {
+        &self.input_of_var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finder;
+
+    #[test]
+    fn compile_covers_shared_cones_once() {
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let y = c.input("y");
+        let z = c.input("z");
+        let xy = c.and(x, y);
+        let root1 = c.or(xy, z);
+        let root2 = c.and(xy, z); // shares the x∧y cone
+        let compiled = CompiledCircuit::compile(&c, [root1, root2]);
+        // 3 inputs + xy + ¬(¬xy ∧ ¬z) gate + root2 gate = 6 vars.
+        assert_eq!(compiled.num_vars(), 6);
+        let mut f = Finder::attach(&compiled);
+        assert!(f.next_instance(&c, &[root1]).is_some());
+        assert!(f.next_instance(&c, &[root2]).is_some());
+    }
+
+    #[test]
+    fn compilation_counters_tick() {
+        let before = compilations();
+        let thread_before = thread_compilations();
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let _ = CompiledCircuit::compile(&c, [x]);
+        assert!(compilations() > before);
+        // The thread-local counter is exact: no other thread can tick it.
+        assert_eq!(thread_compilations(), thread_before + 1);
+    }
+}

@@ -1,7 +1,8 @@
 //! CNF compilation (Tseitin) and instance enumeration.
 
 use crate::circuit::{Bit, Circuit, Node};
-use litsynth_sat::{Lit, SolveResult, Solver, Var};
+use crate::compiled::CompiledCircuit;
+use litsynth_sat::{ClauseExchange, Lit, NoExchange, SolveResult, Solver, Var};
 
 /// A satisfying assignment to the circuit inputs.
 ///
@@ -101,6 +102,24 @@ impl Finder {
         }
     }
 
+    /// Creates a finder attached to a pre-compiled circuit.
+    ///
+    /// The CNF clauses stay in the compiled circuit's shared arena — only
+    /// the node→variable maps are cloned — so a portfolio of workers pays
+    /// the Tseitin transform once (see [`CompiledCircuit::compile`]) and
+    /// each attach is cheap. The finder behaves exactly like one built with
+    /// [`Finder::new`] afterwards: blocking clauses, incremental
+    /// translation of uncompiled bits, and assumptions all work, privately
+    /// per finder.
+    pub fn attach(compiled: &CompiledCircuit) -> Finder {
+        Finder {
+            solver: Solver::attach_shared(compiled.cnf().clone()),
+            node_var: compiled.node_var().to_vec(),
+            const_true: compiled.const_true(),
+            input_of_var: compiled.input_of_var().to_vec(),
+        }
+    }
+
     /// Statistics from the underlying SAT solver.
     pub fn solver_stats(&self) -> litsynth_sat::SolverStats {
         self.solver.stats()
@@ -177,17 +196,23 @@ impl Finder {
     /// The assertions are passed as solver assumptions, so they constrain
     /// only this call; blocking clauses added via [`Finder::block`] persist.
     pub fn next_instance(&mut self, c: &Circuit, asserts: &[Bit]) -> Option<Instance> {
-        let mut assumptions = Vec::with_capacity(asserts.len());
-        for &a in asserts {
-            if a == Circuit::FALSE {
-                return None;
-            }
-            if a == Circuit::TRUE {
-                continue;
-            }
-            assumptions.push(self.lit_of(c, a));
-        }
-        match self.solver.solve_with_assumptions(&assumptions) {
+        self.next_instance_exchanging(c, asserts, &mut NoExchange)
+    }
+
+    /// [`Finder::next_instance`] with learnt-clause exchange: the solver
+    /// trades learnt clauses with portfolio peers through `exchange` at its
+    /// restart boundaries. Imported clauses may only prune the search — the
+    /// set of enumerated instances is unchanged as long as the exchange
+    /// endpoint honors the soundness contract in
+    /// [`litsynth_sat::ClauseExchange`].
+    pub fn next_instance_exchanging(
+        &mut self,
+        c: &Circuit,
+        asserts: &[Bit],
+        exchange: &mut dyn ClauseExchange,
+    ) -> Option<Instance> {
+        let assumptions = self.assumptions_for(c, asserts)?;
+        match self.solver.solve_exchanging(&assumptions, exchange) {
             SolveResult::Unsat => None,
             SolveResult::Sat => {
                 let mut inputs = vec![false; c.num_inputs()];
@@ -201,6 +226,48 @@ impl Finder {
                 Some(Instance { inputs })
             }
         }
+    }
+
+    /// Translates `asserts` to assumption literals; `None` if one of them
+    /// is the constant false.
+    fn assumptions_for(&mut self, c: &Circuit, asserts: &[Bit]) -> Option<Vec<Lit>> {
+        let mut assumptions = Vec::with_capacity(asserts.len());
+        for &a in asserts {
+            if a == Circuit::FALSE {
+                return None;
+            }
+            if a == Circuit::TRUE {
+                continue;
+            }
+            assumptions.push(self.lit_of(c, a));
+        }
+        Some(assumptions)
+    }
+
+    /// Runs a short, conflict-bounded probing solve under `asserts`.
+    ///
+    /// Returns `Some(sat)` on a definitive answer, `None` when the budget
+    /// ran out first. Either way the solver is left warm: its VSIDS
+    /// activities ([`Finder::activity_of`]) reflect which variables drove
+    /// the search, which is what adaptive cube selection ranks pin
+    /// candidates by.
+    pub fn probe(&mut self, c: &Circuit, asserts: &[Bit], max_conflicts: u64) -> Option<bool> {
+        let Some(assumptions) = self.assumptions_for(c, asserts) else {
+            return Some(false);
+        };
+        self.solver
+            .solve_limited(&assumptions, max_conflicts)
+            .map(SolveResult::is_sat)
+    }
+
+    /// The VSIDS activity of the CNF variable behind `bit` (0.0 for
+    /// constants and for bits whose cone never conflicted).
+    pub fn activity_of(&mut self, c: &Circuit, bit: Bit) -> f64 {
+        if bit == Circuit::TRUE || bit == Circuit::FALSE {
+            return 0.0;
+        }
+        let l = self.lit_of(c, bit);
+        self.solver.activity(l.var())
     }
 
     /// Permanently excludes every instance that agrees with `inst` on all of
@@ -393,6 +460,107 @@ mod tests {
             }
             assert_eq!(sum, total, "cube split over {bits} bit(s)");
         }
+    }
+
+    #[test]
+    fn attached_finder_enumerates_like_a_fresh_one() {
+        // The compile-once path must reproduce the demand-driven path
+        // class for class, including blocking on derived (non-input) bits.
+        let mut c = Circuit::new();
+        let xs: Vec<Bit> = (0..5).map(|i| c.input(format!("x{i}"))).collect();
+        let a = c.and(xs[2], xs[3]);
+        let b = c.or(xs[0], xs[1]);
+        let root = c.or(a, b);
+        let obs = vec![xs[0], xs[1], a];
+        let enumerate = |mut f: Finder| {
+            let mut seen = Vec::new();
+            while let Some(inst) = f.next_instance(&c, &[root]) {
+                seen.push(inst.eval_many(&c, &obs));
+                f.block(&c, &inst, &obs);
+                assert!(seen.len() <= 8);
+            }
+            seen.sort();
+            seen
+        };
+        let fresh = enumerate(Finder::new(&c));
+        let compiled = CompiledCircuit::compile(&c, [root].into_iter().chain(obs.clone()));
+        let attached = enumerate(Finder::attach(&compiled));
+        // A second attach is independent of the first one's blocking.
+        let attached2 = enumerate(Finder::attach(&compiled));
+        assert_eq!(fresh, attached);
+        assert_eq!(fresh, attached2);
+    }
+
+    #[test]
+    fn attached_cubes_partition_like_fresh_cubes() {
+        let mut c = Circuit::new();
+        let xs: Vec<Bit> = (0..5).map(|i| c.input(format!("x{i}"))).collect();
+        let a = c.and(xs[2], xs[3]);
+        let b = c.or(xs[0], xs[1]);
+        let root = c.or(a, b);
+        let compiled = CompiledCircuit::compile(&c, [root].into_iter().chain(xs.iter().copied()));
+        let count = |pins: &[Bit]| {
+            let mut f = Finder::attach(&compiled);
+            let mut asserts = vec![root];
+            asserts.extend_from_slice(pins);
+            let mut n = 0;
+            while let Some(inst) = f.next_instance(&c, &asserts) {
+                n += 1;
+                f.block(&c, &inst, &xs);
+                assert!(n <= 32);
+            }
+            n
+        };
+        let total = count(&[]);
+        assert_eq!(total, 26);
+        let split: usize = (0..4usize)
+            .map(|cube| {
+                let pins: Vec<Bit> = (0..2)
+                    .map(|j| {
+                        if cube >> j & 1 == 1 {
+                            xs[j]
+                        } else {
+                            xs[j].not()
+                        }
+                    })
+                    .collect();
+                count(&pins)
+            })
+            .sum();
+        assert_eq!(split, total);
+    }
+
+    #[test]
+    fn probe_warms_activities_deterministically() {
+        let mut c = Circuit::new();
+        let r = Matrix2::free(&mut c, 4, 4, "r");
+        let func = r.is_function(&mut c);
+        let inj = r.is_injective(&mut c);
+        let obs: Vec<Bit> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .map(|(i, j)| r.get(i, j))
+            .collect();
+        let roots: Vec<Bit> = [func, inj].into_iter().chain(obs.iter().copied()).collect();
+        let compiled = CompiledCircuit::compile(&c, roots);
+        let rank = |_: ()| {
+            let mut f = Finder::attach(&compiled);
+            let _ = f.probe(&c, &[func, inj], 50);
+            let mut scored: Vec<(usize, f64)> = obs
+                .iter()
+                .enumerate()
+                .map(|(i, &bit)| (i, f.activity_of(&c, bit)))
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            scored.into_iter().map(|(i, _)| i).collect::<Vec<_>>()
+        };
+        // Probing is a pure function of the compiled query: two runs agree.
+        assert_eq!(rank(()), rank(()));
+    }
+
+    #[test]
+    fn compiled_circuit_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<CompiledCircuit>();
     }
 
     #[test]

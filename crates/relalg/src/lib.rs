@@ -45,9 +45,11 @@
 //! ```
 
 mod circuit;
+mod compiled;
 mod finder;
 mod matrix;
 
 pub use circuit::{Bit, Circuit};
+pub use compiled::{compilations, thread_compilations, CompiledCircuit};
 pub use finder::{Finder, Instance};
 pub use matrix::{Matrix1, Matrix2};

@@ -19,6 +19,14 @@
 //! * incremental clause addition between `solve` calls (used for
 //!   blocking-clause model enumeration).
 //!
+//! For portfolio solving, a formula can be compiled once into an immutable
+//! [`SharedCnf`] arena (via [`CnfBuilder`]) and attached to any number of
+//! solvers with [`Solver::attach_shared`]; cooperating solvers can trade
+//! learnt clauses through a [`ClauseExchange`] endpoint via
+//! [`Solver::solve_exchanging`], and [`Solver::solve_limited`] supports
+//! short probing runs whose VSIDS activities ([`Solver::activity`]) drive
+//! adaptive cube selection in `litsynth-portfolio`.
+//!
 //! # Example
 //!
 //! ```
@@ -34,12 +42,16 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+mod exchange;
 mod heap;
+mod shared;
 mod solver;
 mod types;
 
 pub mod dimacs;
 
+pub use exchange::{ClauseExchange, NoExchange};
+pub use shared::{CnfBuilder, SharedCnf};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};
 

@@ -1,0 +1,167 @@
+//! Compile-once CNF sharing.
+//!
+//! A [`SharedCnf`] is an immutable CNF formula stored as a flat literal
+//! arena. It is built once with a [`CnfBuilder`] and then attached to any
+//! number of solvers via [`crate::Solver::attach_shared`]; the attached
+//! solvers read clause literals straight out of the (`Arc`'d) arena and
+//! keep only their tiny per-clause watch metadata private. This is what
+//! lets a portfolio of cube workers solve the same compiled query without
+//! each re-translating — or even copying — the clause database.
+
+use crate::types::{Lit, Var};
+
+/// An immutable CNF formula: a flat literal arena plus clause ranges.
+///
+/// Unit clauses are kept separately (they are enqueued, not watched), and
+/// every stored clause has at least two distinct, non-complementary
+/// literals — [`CnfBuilder`] establishes these invariants.
+#[derive(Debug)]
+pub struct SharedCnf {
+    num_vars: usize,
+    lits: Vec<Lit>,
+    ranges: Vec<(u32, u32)>,
+    units: Vec<Lit>,
+    ok: bool,
+}
+
+impl SharedCnf {
+    /// Number of variables the formula was built over.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of non-unit clauses in the arena.
+    pub fn num_clauses(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The unit clauses, as literals.
+    pub fn units(&self) -> &[Lit] {
+        &self.units
+    }
+
+    /// `false` if an empty clause was added: the formula is trivially
+    /// unsatisfiable.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// The literals of clause `i`.
+    #[inline]
+    pub fn clause(&self, i: usize) -> &[Lit] {
+        let (start, len) = self.ranges[i];
+        &self.lits[start as usize..(start + len) as usize]
+    }
+
+    /// Total literal count across all arena clauses.
+    pub fn num_lits(&self) -> usize {
+        self.lits.len()
+    }
+}
+
+/// Builds a [`SharedCnf`], mirroring the clause normalization that
+/// [`crate::Solver::add_clause`] performs (sorting, duplicate removal,
+/// tautology elimination) minus the assignment-dependent simplification a
+/// live solver would also apply.
+#[derive(Debug, Default)]
+pub struct CnfBuilder {
+    num_vars: usize,
+    lits: Vec<Lit>,
+    ranges: Vec<(u32, u32)>,
+    units: Vec<Lit>,
+    ok: bool,
+}
+
+impl CnfBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> CnfBuilder {
+        CnfBuilder {
+            ok: true,
+            ..CnfBuilder::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of non-unit clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Adds a clause. Returns `false` if the clause was empty (the formula
+    /// is now trivially unsatisfiable).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        let mut ls: Vec<Lit> = lits.into_iter().collect();
+        ls.sort();
+        ls.dedup();
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: l and ¬l both present
+            }
+        }
+        match ls.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.units.push(ls[0]);
+                true
+            }
+            _ => {
+                self.ranges.push((self.lits.len() as u32, ls.len() as u32));
+                self.lits.extend(ls);
+                true
+            }
+        }
+    }
+
+    /// Finalizes the formula.
+    pub fn build(self) -> SharedCnf {
+        SharedCnf {
+            num_vars: self.num_vars,
+            lits: self.lits,
+            ranges: self.ranges,
+            units: self.units,
+            ok: self.ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_normalizes_clauses() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        assert!(b.add_clause([Lit::pos(x), Lit::neg(x)])); // tautology dropped
+        assert!(b.add_clause([Lit::pos(y), Lit::pos(y)])); // dedups to a unit
+        assert!(b.add_clause([Lit::pos(x), Lit::pos(y)]));
+        let cnf = b.build();
+        assert!(cnf.is_ok());
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.units(), &[Lit::pos(y)]);
+        assert_eq!(cnf.clause(0), &[Lit::pos(x), Lit::pos(y)]);
+    }
+
+    #[test]
+    fn empty_clause_marks_unsat() {
+        let mut b = CnfBuilder::new();
+        let _ = b.new_var();
+        assert!(!b.add_clause([]));
+        assert!(!b.build().is_ok());
+    }
+}

@@ -1,7 +1,10 @@
 //! The CDCL solver proper.
 
+use crate::exchange::{ClauseExchange, NoExchange};
 use crate::heap::ActivityHeap;
+use crate::shared::SharedCnf;
 use crate::types::{LBool, Lit, Var};
+use std::sync::Arc;
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,6 +43,11 @@ struct Clause {
     learnt: bool,
     activity: f64,
     deleted: bool,
+    /// Literal-block distance at learn time (0 for original clauses).
+    lbd: u32,
+    /// `true` for clauses received over a [`ClauseExchange`]; they are
+    /// never re-exported.
+    imported: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -53,8 +61,20 @@ const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_BASE: u64 = 100;
 
+/// High bit of a clause reference: set for clauses living in the shared
+/// arena ([`SharedCnf`]), clear for clauses in this solver's local database.
+const SHARED_BIT: u32 = 1 << 31;
+
 /// A CDCL SAT solver. See the crate-level documentation for an overview and
 /// example.
+///
+/// A solver owns its clause database — unless it was created with
+/// [`Solver::attach_shared`], in which case the original clauses live in an
+/// immutable, reference-counted [`SharedCnf`] arena that any number of
+/// sibling solvers read concurrently. Only the per-clause watch positions
+/// (two `u32`s each) are private to the attached solver; learnt clauses and
+/// incrementally added clauses (e.g. enumeration blocking clauses) stay
+/// local as usual.
 #[derive(Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
@@ -76,6 +96,21 @@ pub struct Solver {
     stats: SolverStats,
     n_learnts: usize,
     max_learnts: f64,
+    /// The shared clause arena, if attached.
+    shared: Option<Arc<SharedCnf>>,
+    /// Per-shared-clause watched positions (indices into the clause's
+    /// literal slice). The arena is immutable, so the usual MiniSAT trick
+    /// of swapping watched literals to the front is replaced by this tiny
+    /// per-solver table.
+    shared_watch: Vec<[u32; 2]>,
+    /// Local crefs of clauses learnt since the last exchange point.
+    fresh_learnts: Vec<u32>,
+    /// Unit clauses learnt since the last exchange point (units never get
+    /// a cref; they are enqueued directly).
+    fresh_units: Vec<Lit>,
+    /// Scratch for LBD computation (level → generation stamp).
+    lbd_seen: Vec<u64>,
+    lbd_gen: u64,
 }
 
 impl Solver {
@@ -88,6 +123,53 @@ impl Solver {
             max_learnts: 1000.0,
             ..Solver::default()
         }
+    }
+
+    /// Creates a solver attached to a pre-compiled shared formula.
+    ///
+    /// The arena's variables are allocated, its clauses are watched in
+    /// place (no literals are copied), and its unit clauses are enqueued
+    /// and propagated. The attach cost is O(vars + clauses), independent of
+    /// the total literal count — cheap enough to hand every portfolio
+    /// worker its own solver over one compilation.
+    pub fn attach_shared(shared: Arc<SharedCnf>) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..shared.num_vars() {
+            s.new_var();
+        }
+        s.shared_watch = vec![[0, 1]; shared.num_clauses()];
+        for i in 0..shared.num_clauses() {
+            let cl = shared.clause(i);
+            debug_assert!(cl.len() >= 2, "arena clauses are never unit");
+            let cref = SHARED_BIT | i as u32;
+            s.watches[cl[0].code()].push(Watcher {
+                cref,
+                blocker: cl[1],
+            });
+            s.watches[cl[1].code()].push(Watcher {
+                cref,
+                blocker: cl[0],
+            });
+        }
+        s.ok = shared.is_ok();
+        let units: Vec<Lit> = shared.units().to_vec();
+        s.shared = Some(shared);
+        if s.ok {
+            for u in units {
+                match s.lit_value(u) {
+                    LBool::True => {}
+                    LBool::False => {
+                        s.ok = false;
+                        break;
+                    }
+                    LBool::Undef => s.unchecked_enqueue(u, None),
+                }
+            }
+            if s.ok && s.propagate().is_some() {
+                s.ok = false;
+            }
+        }
+        s
     }
 
     /// Allocates a fresh variable.
@@ -110,12 +192,19 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of original (non-learnt, non-deleted) clauses.
+    /// Number of original (non-learnt, non-deleted) clauses, including the
+    /// shared arena's clauses and units when attached.
     pub fn num_clauses(&self) -> usize {
-        self.clauses
+        let local = self
+            .clauses
             .iter()
             .filter(|c| !c.learnt && !c.deleted)
-            .count()
+            .count();
+        let shared = self
+            .shared
+            .as_ref()
+            .map_or(0, |s| s.num_clauses() + s.units().len());
+        local + shared
     }
 
     /// Search statistics accumulated so far.
@@ -125,17 +214,34 @@ impl Solver {
         s
     }
 
+    /// The VSIDS activity of `v` (0.0 for unknown variables). Activities
+    /// are what the portfolio's adaptive cube selection samples from a
+    /// probing run.
+    pub fn activity(&self, v: Var) -> f64 {
+        self.activity.get(v.index()).copied().unwrap_or(0.0)
+    }
+
     /// Adds a clause (a disjunction of literals).
     ///
     /// May be called at any time, including between `solve` calls; this is how
     /// blocking clauses are added during model enumeration. Returns `false` if
     /// the formula has become trivially unsatisfiable.
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        self.add_clause_inner(lits.into_iter().collect(), false)
+    }
+
+    /// [`Solver::add_clause`], but the clause enters the database as a
+    /// learnt import: eligible for database reduction and never re-exported
+    /// over an exchange.
+    fn import_clause(&mut self, lits: Vec<Lit>) -> bool {
+        self.add_clause_inner(lits, true)
+    }
+
+    fn add_clause_inner(&mut self, mut ls: Vec<Lit>, import: bool) -> bool {
         if !self.ok {
             return false;
         }
         self.cancel_until(0);
-        let mut ls: Vec<Lit> = lits.into_iter().collect();
         ls.sort();
         ls.dedup();
         // Detect tautologies and drop literals already false at level 0.
@@ -163,7 +269,13 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_new_clause(filtered, false);
+                let lbd = if import { filtered.len() as u32 } else { 0 };
+                let cref = self.attach_new_clause(filtered, import);
+                if import {
+                    let c = &mut self.clauses[cref as usize];
+                    c.imported = true;
+                    c.lbd = lbd;
+                }
                 true
             }
         }
@@ -177,7 +289,24 @@ impl Solver {
     /// Solves under the given assumption literals. The assumptions hold only
     /// for this call; subsequent calls start fresh.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_exchanging(assumptions, &mut NoExchange)
+    }
+
+    /// [`Solver::solve_with_assumptions`] with learnt-clause exchange: at
+    /// every restart boundary (and on entry/exit) the solver exports the
+    /// clauses learnt since the last exchange point and imports whatever
+    /// peers published. See [`ClauseExchange`] for the soundness contract.
+    pub fn solve_exchanging(
+        &mut self,
+        assumptions: &[Lit],
+        exchange: &mut dyn ClauseExchange,
+    ) -> SolveResult {
         self.model.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.export_fresh(exchange);
+        self.import_pending(exchange);
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -187,7 +316,52 @@ impl Solver {
             match self.search(budget, assumptions) {
                 Some(r) => {
                     self.cancel_until(0);
+                    self.export_fresh(exchange);
                     return r;
+                }
+                None => {
+                    self.stats.restarts += 1;
+                    restart += 1;
+                    self.cancel_until(0);
+                    self.export_fresh(exchange);
+                    self.import_pending(exchange);
+                    if !self.ok {
+                        return SolveResult::Unsat;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs CDCL search under a total conflict budget. Returns `None` when
+    /// the budget ran out before a definitive answer.
+    ///
+    /// The solver state (learnt clauses, VSIDS activities, phases) is left
+    /// warm, which is the point: the portfolio's adaptive cube selection
+    /// probes a query with a small budget and reads the resulting
+    /// activities via [`Solver::activity`].
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<SolveResult> {
+        self.model.clear();
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        let start_conflicts = self.stats.conflicts;
+        let mut restart = 0u64;
+        loop {
+            let spent = self.stats.conflicts - start_conflicts;
+            if spent >= max_conflicts {
+                self.cancel_until(0);
+                return None;
+            }
+            let budget = (RESTART_BASE * luby(restart)).min(max_conflicts - spent);
+            match self.search(budget, assumptions) {
+                Some(r) => {
+                    self.cancel_until(0);
+                    return Some(r);
                 }
                 None => {
                     self.stats.restarts += 1;
@@ -227,9 +401,37 @@ impl Solver {
         self.trail_lim.len()
     }
 
+    /// Number of literals in the clause behind `cref` (shared or local).
+    #[inline]
+    fn clause_len(&self, cref: u32) -> usize {
+        if cref & SHARED_BIT != 0 {
+            self.shared
+                .as_ref()
+                .expect("shared cref implies attached arena")
+                .clause((cref & !SHARED_BIT) as usize)
+                .len()
+        } else {
+            self.clauses[cref as usize].lits.len()
+        }
+    }
+
+    /// Literal `j` of the clause behind `cref` (shared or local).
+    #[inline]
+    fn clause_lit(&self, cref: u32, j: usize) -> Lit {
+        if cref & SHARED_BIT != 0 {
+            self.shared
+                .as_ref()
+                .expect("shared cref implies attached arena")
+                .clause((cref & !SHARED_BIT) as usize)[j]
+        } else {
+            self.clauses[cref as usize].lits[j]
+        }
+    }
+
     fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as u32;
+        debug_assert_eq!(cref & SHARED_BIT, 0, "local clause database overflow");
         self.watches[lits[0].code()].push(Watcher {
             cref,
             blocker: lits[1],
@@ -246,6 +448,8 @@ impl Solver {
             learnt,
             activity: 0.0,
             deleted: false,
+            lbd: 0,
+            imported: false,
         });
         cref
     }
@@ -261,6 +465,7 @@ impl Solver {
 
     /// Unit propagation. Returns the conflicting clause reference, if any.
     fn propagate(&mut self) -> Option<u32> {
+        let shared = self.shared.clone();
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -272,6 +477,58 @@ impl Solver {
             while i < ws.len() {
                 let w = ws[i];
                 if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                if w.cref & SHARED_BIT != 0 {
+                    // Shared clause: the literals are immutable, so instead
+                    // of swapping watched literals to the front we track the
+                    // two watched positions in `shared_watch`.
+                    let idx = (w.cref & !SHARED_BIT) as usize;
+                    let cl = shared
+                        .as_ref()
+                        .expect("shared watcher implies attached arena")
+                        .clause(idx);
+                    let mut wp = self.shared_watch[idx];
+                    // Normalize so position 1 watches the false literal.
+                    if cl[wp[0] as usize] == false_lit {
+                        wp.swap(0, 1);
+                        self.shared_watch[idx] = wp;
+                    }
+                    debug_assert_eq!(cl[wp[1] as usize], false_lit);
+                    let first = cl[wp[0] as usize];
+                    if first != w.blocker && self.lit_value(first) == LBool::True {
+                        ws[i].blocker = first;
+                        i += 1;
+                        continue;
+                    }
+                    // Look for a replacement watch.
+                    let mut found = None;
+                    for (k, &q) in cl.iter().enumerate() {
+                        if k != wp[0] as usize
+                            && k != wp[1] as usize
+                            && self.lit_value(q) != LBool::False
+                        {
+                            found = Some(k);
+                            break;
+                        }
+                    }
+                    if let Some(k) = found {
+                        self.shared_watch[idx] = [wp[0], k as u32];
+                        self.watches[cl[k].code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue;
+                    }
+                    // No replacement: clause is unit or conflicting.
+                    if self.lit_value(first) == LBool::False {
+                        self.qhead = self.trail.len();
+                        self.watches[false_lit.code()] = ws;
+                        return Some(w.cref);
+                    }
+                    self.unchecked_enqueue(first, Some(w.cref));
                     i += 1;
                     continue;
                 }
@@ -370,8 +627,8 @@ impl Solver {
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize) {
+    /// literal first), the backtrack level, and the clause's LBD.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting lit
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
@@ -381,12 +638,14 @@ impl Solver {
         let dl = self.decision_level() as u32;
 
         loop {
-            if self.clauses[confl as usize].learnt {
+            if confl & SHARED_BIT == 0 && self.clauses[confl as usize].learnt {
                 self.clause_bump(confl);
             }
-            let start = if p.is_none() { 0 } else { 1 };
-            for j in start..self.clauses[confl as usize].lits.len() {
-                let q = self.clauses[confl as usize].lits[j];
+            for j in 0..self.clause_len(confl) {
+                let q = self.clause_lit(confl, j);
+                if p == Some(q) {
+                    continue; // the literal this clause propagated
+                }
                 let v = q.var().index();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -423,12 +682,10 @@ impl Solver {
             let l = learnt[i];
             let keep = match self.reason[l.var().index()] {
                 None => true,
-                Some(r) => {
-                    let c = &self.clauses[r as usize];
-                    c.lits.iter().any(|&q| {
-                        q != !l && !self.seen[q.var().index()] && self.level[q.var().index()] > 0
-                    })
-                }
+                Some(r) => (0..self.clause_len(r)).any(|k| {
+                    let q = self.clause_lit(r, k);
+                    q != !l && !self.seen[q.var().index()] && self.level[q.var().index()] > 0
+                }),
             };
             if keep {
                 learnt[j] = l;
@@ -451,10 +708,24 @@ impl Solver {
             self.level[learnt[1].var().index()] as usize
         };
 
+        // LBD: distinct decision levels among the learnt literals.
+        self.lbd_gen += 1;
+        let mut lbd = 0u32;
+        for &l in &learnt {
+            let lev = self.level[l.var().index()] as usize;
+            if lev >= self.lbd_seen.len() {
+                self.lbd_seen.resize(lev + 1, 0);
+            }
+            if self.lbd_seen[lev] != self.lbd_gen {
+                self.lbd_seen[lev] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
+
         for v in to_clear {
             self.seen[v] = false;
         }
-        (learnt, bt)
+        (learnt, bt, lbd)
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -494,6 +765,33 @@ impl Solver {
         self.lit_value(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
     }
 
+    /// Exports the clauses learnt since the last exchange point.
+    fn export_fresh(&mut self, exchange: &mut dyn ClauseExchange) {
+        for l in std::mem::take(&mut self.fresh_units) {
+            exchange.export(&[l], 1);
+        }
+        for cref in std::mem::take(&mut self.fresh_learnts) {
+            let c = &self.clauses[cref as usize];
+            if c.deleted || c.imported {
+                continue;
+            }
+            exchange.export(&c.lits, c.lbd);
+        }
+    }
+
+    /// Imports pending peer clauses. Must be called at decision level 0.
+    fn import_pending(&mut self, exchange: &mut dyn ClauseExchange) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut buf = Vec::new();
+        exchange.fetch(&mut buf);
+        for lits in buf {
+            if !self.ok {
+                break;
+            }
+            self.import_clause(lits);
+        }
+    }
+
     /// Runs CDCL search for up to `budget` conflicts.
     ///
     /// Returns `Some(result)` on a definitive answer, `None` when the conflict
@@ -512,12 +810,15 @@ impl Solver {
                     // Conflict among the assumptions themselves.
                     return Some(SolveResult::Unsat);
                 }
-                let (learnt, bt) = self.analyze(confl);
+                let (learnt, bt, lbd) = self.analyze(confl);
                 // Never backtrack past the assumption levels.
                 let bt = bt.max(self.trail_lim.len().min(assumptions.len()).min(bt));
                 self.cancel_until(bt);
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
+                    // A learnt unit is a resolvent of database clauses, so
+                    // it is exportable like any other learnt clause.
+                    self.fresh_units.push(asserting);
                     if self.decision_level() == 0 {
                         if self.lit_value(asserting) == LBool::False {
                             self.ok = false;
@@ -537,6 +838,8 @@ impl Solver {
                     }
                 } else {
                     let cref = self.attach_new_clause(learnt, true);
+                    self.clauses[cref as usize].lbd = lbd;
+                    self.fresh_learnts.push(cref);
                     self.unchecked_enqueue(self.clauses[cref as usize].lits[0], Some(cref));
                 }
                 self.var_inc /= VAR_DECAY;
@@ -596,7 +899,6 @@ fn luby(mut x: u64) -> u64 {
     }
     1u64 << seq
 }
-
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)]
 mod tests {
@@ -857,5 +1159,287 @@ mod tests {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+    use crate::shared::CnfBuilder;
+
+    /// A toy exchange endpoint: an unbounded in-memory pool with a read
+    /// cursor, no filtering. The real bounded/filtered bus lives in
+    /// `crates/portfolio`.
+    #[derive(Default)]
+    struct BufferExchange {
+        pool: Vec<Vec<Lit>>,
+        cursor: usize,
+    }
+
+    impl ClauseExchange for BufferExchange {
+        fn export(&mut self, lits: &[Lit], _lbd: u32) {
+            self.pool.push(lits.to_vec());
+        }
+        fn fetch(&mut self, out: &mut Vec<Vec<Lit>>) {
+            out.extend(self.pool[self.cursor..].iter().cloned());
+            self.cursor = self.pool.len();
+        }
+    }
+
+    fn exactly_one(n: usize) -> (std::sync::Arc<SharedCnf>, Vec<Var>) {
+        let mut b = CnfBuilder::new();
+        let vs: Vec<Var> = (0..n).map(|_| b.new_var()).collect();
+        b.add_clause(vs.iter().map(|&v| Lit::pos(v)));
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_clause([Lit::neg(vs[i]), Lit::neg(vs[j])]);
+            }
+        }
+        (std::sync::Arc::new(b.build()), vs)
+    }
+
+    /// Enumerates all models over `vs` (blocking each found model), using
+    /// `exchange` for clause traffic. Returns the sorted model set.
+    fn enumerate(
+        s: &mut Solver,
+        vs: &[Var],
+        assumptions: &[Lit],
+        exchange: &mut dyn ClauseExchange,
+    ) -> Vec<Vec<bool>> {
+        let mut models = Vec::new();
+        while s.solve_exchanging(assumptions, exchange).is_sat() {
+            let m: Vec<bool> = vs.iter().map(|&v| s.value(v).unwrap()).collect();
+            let block: Vec<Lit> = vs.iter().zip(&m).map(|(&v, &b)| Lit::new(v, !b)).collect();
+            models.push(m);
+            s.add_clause(block);
+        }
+        models.sort();
+        models
+    }
+
+    #[test]
+    fn attached_solver_matches_brute_force() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..200 {
+            let n_vars = 3 + (next() % 6) as usize;
+            let n_clauses = 2 + (next() % 20) as usize;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..n_clauses {
+                let len = 1 + (next() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(((next() as usize) % n_vars, next() % 2 == 0));
+                }
+                clauses.push(c);
+            }
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << n_vars) {
+                for c in &clauses {
+                    if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let mut b = CnfBuilder::new();
+            let vs: Vec<Var> = (0..n_vars).map(|_| b.new_var()).collect();
+            for c in &clauses {
+                b.add_clause(c.iter().map(|&(v, pos)| Lit::new(vs[v], pos)));
+            }
+            let mut s = Solver::attach_shared(std::sync::Arc::new(b.build()));
+            let got = s.solve().is_sat();
+            assert_eq!(got, brute_sat, "round {round}: clauses {clauses:?}");
+            if got {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&(v, pos)| s.value(vs[v]).unwrap() == pos),
+                        "model does not satisfy {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_attached_solvers_enumerate_independently() {
+        let (cnf, vs) = exactly_one(8);
+        let mut a = Solver::attach_shared(cnf.clone());
+        let mut bvr = Solver::attach_shared(cnf.clone());
+        assert_eq!(a.num_clauses(), bvr.num_clauses());
+        // Interleave the two enumerations: blocking clauses in one solver
+        // must not leak into the other through the shared arena.
+        let mut count_a = 0;
+        let mut count_b = 0;
+        loop {
+            let sa = a.solve().is_sat();
+            let sb = bvr.solve().is_sat();
+            assert_eq!(sa, sb);
+            if !sa {
+                break;
+            }
+            count_a += 1;
+            count_b += 1;
+            for s in [&mut a, &mut bvr] {
+                let block: Vec<Lit> = vs
+                    .iter()
+                    .map(|&v| Lit::new(v, !s.value(v).unwrap()))
+                    .collect();
+                s.add_clause(block);
+            }
+        }
+        assert_eq!(count_a, 8);
+        assert_eq!(count_b, 8);
+    }
+
+    /// The satellite unit test: blocking-clause enumeration counts are
+    /// unchanged when clause import is enabled. This mirrors the portfolio
+    /// setup exactly: two workers attached to one compiled formula, cubes
+    /// pinned on an observed variable, and the peer's traffic — learnt
+    /// clauses *and* its blocking clauses — imported mid-enumeration.
+    #[test]
+    fn enumeration_count_unchanged_with_clause_import() {
+        let (cnf, vs) = exactly_one(8);
+        let pin = Lit::pos(vs[0]);
+
+        // Cube A (v0 = true): enumerate, exporting learnt clauses and its
+        // blocking clauses into the pool.
+        let mut bus = BufferExchange::default();
+        let mut a = Solver::attach_shared(cnf.clone());
+        let mut a_models = Vec::new();
+        while a.solve_exchanging(&[pin], &mut bus).is_sat() {
+            let m: Vec<bool> = vs.iter().map(|&v| a.value(v).unwrap()).collect();
+            let block: Vec<Lit> = vs.iter().zip(&m).map(|(&v, &b)| Lit::new(v, !b)).collect();
+            // Every model in the other cube differs on the pinned observed
+            // variable, so A's blocking clauses are satisfied there — the
+            // worst-case import traffic for cube B.
+            bus.export(&block, block.len() as u32);
+            a_models.push(m);
+            a.add_clause(block);
+        }
+        assert_eq!(a_models.len(), 1);
+
+        // Cube B (v0 = false) with imports vs. a clean reference run.
+        let mut b = Solver::attach_shared(cnf.clone());
+        let with_import = enumerate(&mut b, &vs, &[!pin], &mut bus);
+        let mut b_ref = Solver::attach_shared(cnf);
+        let without_import = enumerate(&mut b_ref, &vs, &[!pin], &mut NoExchange);
+        assert_eq!(with_import.len(), 7);
+        assert_eq!(with_import, without_import);
+    }
+
+    #[test]
+    fn exchange_roundtrip_between_attached_solvers() {
+        // An UNSAT core in the shared part: pigeonhole 4→3 plus extra vars.
+        let mut bld = CnfBuilder::new();
+        let p: Vec<Vec<Var>> = (0..4)
+            .map(|_| (0..3).map(|_| bld.new_var()).collect())
+            .collect();
+        for row in &p {
+            bld.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&v1, &v2) in row1.iter().zip(row2) {
+                    bld.add_clause([Lit::neg(v1), Lit::neg(v2)]);
+                }
+            }
+        }
+        let cnf = std::sync::Arc::new(bld.build());
+        let mut bus = BufferExchange::default();
+        let mut a = Solver::attach_shared(cnf.clone());
+        assert_eq!(a.solve_exchanging(&[], &mut bus), SolveResult::Unsat);
+        assert!(!bus.pool.is_empty(), "UNSAT proof should learn clauses");
+        // A second solver importing A's clauses must agree.
+        let mut b = Solver::attach_shared(cnf);
+        assert_eq!(b.solve_exchanging(&[], &mut bus), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn solve_limited_respects_budget_and_warms_activity() {
+        let mut bld = CnfBuilder::new();
+        let n = 7;
+        let m = 6;
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| bld.new_var()).collect())
+            .collect();
+        for row in &p {
+            bld.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&v1, &v2) in row1.iter().zip(row2) {
+                    bld.add_clause([Lit::neg(v1), Lit::neg(v2)]);
+                }
+            }
+        }
+        let cnf = std::sync::Arc::new(bld.build());
+        let mut s = Solver::attach_shared(cnf.clone());
+        assert_eq!(s.solve_limited(&[], 3), None, "budget too small to finish");
+        assert!(s.stats().conflicts >= 3);
+        let warmed = p.iter().flatten().any(|&v| s.activity(v) > 0.0);
+        assert!(warmed, "probing must leave VSIDS activity behind");
+        // With an ample budget the limited solve is definitive.
+        let mut s2 = Solver::attach_shared(cnf);
+        assert_eq!(s2.solve_limited(&[], u64::MAX), Some(SolveResult::Unsat));
+    }
+
+    #[test]
+    fn attach_propagates_shared_units() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let z = b.new_var();
+        b.add_clause([Lit::pos(x)]);
+        b.add_clause([Lit::neg(x), Lit::pos(y)]);
+        b.add_clause([Lit::neg(y), Lit::pos(z)]);
+        let mut s = Solver::attach_shared(std::sync::Arc::new(b.build()));
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(x), Some(true));
+        assert_eq!(s.value(y), Some(true));
+        assert_eq!(s.value(z), Some(true));
+    }
+
+    #[test]
+    fn attach_detects_contradictory_units() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        b.add_clause([Lit::pos(x)]);
+        b.add_clause([Lit::neg(x)]);
+        let mut s = Solver::attach_shared(std::sync::Arc::new(b.build()));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn local_vars_and_clauses_extend_an_attached_solver() {
+        let (cnf, vs) = exactly_one(4);
+        let mut s = Solver::attach_shared(cnf);
+        // A local variable defined on top of shared ones: w ↔ v0 ∨ v1.
+        let w = s.new_var();
+        s.add_clause([Lit::neg(vs[0]), Lit::pos(w)]);
+        s.add_clause([Lit::neg(vs[1]), Lit::pos(w)]);
+        s.add_clause([Lit::pos(vs[0]), Lit::pos(vs[1]), Lit::neg(w)]);
+        let mut with_w = 0;
+        let mut total = 0;
+        let all: Vec<Var> = vs.iter().copied().chain([w]).collect();
+        while s.solve().is_sat() {
+            total += 1;
+            if s.value(w) == Some(true) {
+                with_w += 1;
+            }
+            let block: Vec<Lit> = all
+                .iter()
+                .map(|&v| Lit::new(v, !s.value(v).unwrap()))
+                .collect();
+            s.add_clause(block);
+        }
+        assert_eq!(total, 4);
+        assert_eq!(with_w, 2);
     }
 }
