@@ -5,7 +5,13 @@
 //! `table2 table4 fig11 fig12 fig13 fig14 fig16 fig20 c11 scc_wa soundness
 //! speedup all`, or `experiments emit <model> <max_bound> [budget_ms]` to
 //! write the synthesized union suite to `suites_out/<model>/` in the
-//! textual litmus format.
+//! textual litmus format. Suite files are written atomically
+//! (temp + rename), so a killed `emit` never leaves a half-written test.
+//!
+//! Passing `--resume` (any position) turns on the checkpoint journal:
+//! every completed (axiom, bound) query is recorded under
+//! `suites_out/journal/`, and a re-run skips the recorded queries,
+//! reproducing byte-identical suites after a crash or kill at any point.
 //!
 //! The parallel synthesis engine is controlled by environment variables
 //! picked up by every experiment:
@@ -21,11 +27,21 @@
 //!   and the buffers are printed in the fixed experiment order, so
 //!   sharding never interleaves or reorders output (only the wall-clock
 //!   columns vary, as they do run to run anyway).
+//! * `LITSYNTH_RESUME` / `LITSYNTH_JOURNAL` — what `--resume` sets:
+//!   truthy `LITSYNTH_RESUME` enables the journal, `LITSYNTH_JOURNAL`
+//!   overrides its directory (default `suites_out/journal`).
+//! * `LITSYNTH_FAULT_PLAN` — deterministic fault injection for the
+//!   resilience harness: a `;`-separated list of
+//!   `query@cube@attempt@restart@action` sites (`*` wildcards; actions
+//!   `panic`, `interrupt`, `slow:<ms>`), e.g.
+//!   `tso/sc_per_loc/4@0@0@2@panic`. Injected faults exercise the
+//!   retry/degrade ladder; `experiments speedup` reports the counters.
 //!
 //! `experiments speedup` measures the threads=1 vs threads=N wall-clock
 //! ratio directly (the acceptance experiment for the parallel engine) and
 //! audits the portfolio invariants: exactly one circuit→CNF compilation
-//! per query, and exchange/probe counters surfaced per worker.
+//! per query, exchange/probe counters surfaced per worker, and — on a
+//! fault-free run — zero degraded workers.
 
 use litsynth_bench::baselines::DiyBaseline;
 use litsynth_bench::report;
@@ -78,7 +94,15 @@ fn experiments() -> Vec<Experiment> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    // `--resume` is positional-argument-agnostic sugar for
+    // LITSYNTH_RESUME=1: the journal is picked up through the environment
+    // so that every config constructed anywhere (including inside sharded
+    // experiment closures) sees it.
+    if let Some(pos) = args.iter().position(|a| a == "--resume") {
+        args.remove(pos);
+        std::env::set_var("LITSYNTH_RESUME", "1");
+    }
     let which = args.get(1).map(String::as_str).unwrap_or("all");
     let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120_000);
     match which {
@@ -130,6 +154,7 @@ fn cfg(n: usize, budget: u64) -> SynthConfig {
     c.time_budget_ms = budget;
     c.threads = env_usize("LITSYNTH_THREADS", 1);
     c.cube_bits = env_usize("LITSYNTH_CUBE_BITS", 0);
+    c.journal = litsynth_core::env_journal();
     c
 }
 
@@ -203,6 +228,30 @@ fn speedup(bound: usize, threads: usize) {
         "exchange: {exported} clauses exported, {imported} imported, {filtered} filtered; \
          cube-selection probes {probe:.3}s total"
     );
+    // Resilience counters: retried attempts and degraded workers over both
+    // runs, plus faults injected via LITSYNTH_FAULT_PLAN (if any).
+    let retries: u64 = seq_axioms
+        .values()
+        .chain(par_axioms.values())
+        .map(|r| r.retries)
+        .sum();
+    let degraded: usize = seq_axioms
+        .values()
+        .chain(par_axioms.values())
+        .map(|r| r.degraded)
+        .sum();
+    let plan = litsynth_sat::FaultPlan::global();
+    let injections = plan.as_ref().map(|p| p.injections()).unwrap_or(0);
+    println!(
+        "resilience: {retries} retried attempts, {degraded} degraded workers, \
+         {injections} injected faults"
+    );
+    if plan.is_none() {
+        assert_eq!(
+            degraded, 0,
+            "a fault-free run must not produce degraded workers"
+        );
+    }
     println!(
         "\n| axiom | cube | instances | CNF vars | CNF clauses | exp | imp | filt | probe(s) | time(s) |"
     );
@@ -226,14 +275,14 @@ fn speedup(bound: usize, threads: usize) {
             );
         }
     }
-    let _ = seq_axioms;
 }
 
 /// Writes the synthesized union suite to `suites_out/<model>/NNN.litmus`.
 fn emit(model: &str, max_bound: usize, budget: u64) {
     fn go<M: MemoryModel + Sync>(m: &M, max_bound: usize, budget: u64) {
         let dir = std::path::PathBuf::from("suites_out").join(m.name().to_lowercase());
-        std::fs::create_dir_all(&dir).expect("create output dir");
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("create output dir {}: {e}", dir.display()));
         let union = report::union_suite(m, 2..=max_bound, budget);
         for (i, (test, outcome)) in union.values().enumerate() {
             let named = test
@@ -241,7 +290,10 @@ fn emit(model: &str, max_bound: usize, budget: u64) {
                 .with_name(format!("{}-{:04}", m.name().to_lowercase(), i));
             let text = litsynth_litmus::format::to_text(&named, outcome);
             let path = dir.join(format!("{i:04}.litmus"));
-            std::fs::write(&path, text).expect("write test file");
+            // Atomic (temp + rename): a kill mid-emit leaves complete
+            // files only, never a torn .litmus.
+            litsynth_core::atomic_write(&path, text.as_bytes())
+                .unwrap_or_else(|e| panic!("write test file {}: {e}", path.display()));
         }
         println!("wrote {} tests to {}", union.len(), dir.display());
     }

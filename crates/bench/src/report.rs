@@ -20,6 +20,11 @@ pub fn union_suite<M: MemoryModel + Sync>(
 /// [`union_suite`] on the parallel synthesis engine: `threads` workers
 /// (0 = all cores), each query cube-split `2^cube_bits` ways. The suite is
 /// byte-identical to the sequential one for any setting.
+///
+/// When `LITSYNTH_RESUME` is set (see [`litsynth_core::env_journal`]),
+/// completed queries checkpoint to the journal and a re-run replays them
+/// instead of re-solving — still byte-identical, because only exact
+/// (non-truncated, non-degraded) queries are ever recorded.
 pub fn union_suite_parallel<M: MemoryModel + Sync>(
     model: &M,
     bounds: std::ops::RangeInclusive<usize>,
@@ -32,6 +37,7 @@ pub fn union_suite_parallel<M: MemoryModel + Sync>(
         cfg.time_budget_ms = budget_ms;
         cfg.threads = threads;
         cfg.cube_bits = cube_bits;
+        cfg.journal = litsynth_core::env_journal();
         cfg
     })
 }

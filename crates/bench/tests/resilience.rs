@@ -1,0 +1,233 @@
+//! Process-level resilience tests for the `experiments` binary: checkpoint
+//! journaling survives a hard kill (byte-identical suites on resume), and
+//! injected faults surface as retried or degraded work instead of crashes.
+//!
+//! These complement the in-process tests in `litsynth-core::synth` (journal
+//! replay, retry ladders) and `litsynth-sat` (budget interrupts): here the
+//! whole binary is killed and restarted, so the atomic-write and
+//! journal-recovery paths are exercised across real process boundaries.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn exe() -> &'static str {
+    env!("CARGO_BIN_EXE_experiments")
+}
+
+/// A fresh scratch directory for one test (removed on entry, not exit, so
+/// failures leave evidence behind).
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("litsynth-resilience-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs `experiments` to completion in `cwd` with a scrubbed environment
+/// (no fault plan or resume flag leaks in from the outer test run).
+fn run_experiments(args: &[&str], cwd: &Path, envs: &[(&str, &str)]) -> std::process::Output {
+    let mut cmd = Command::new(exe());
+    cmd.args(args)
+        .current_dir(cwd)
+        .env_remove("LITSYNTH_FAULT_PLAN")
+        .env_remove("LITSYNTH_RESUME")
+        .env_remove("LITSYNTH_JOURNAL")
+        .env_remove("LITSYNTH_THREADS")
+        .env_remove("LITSYNTH_CUBE_BITS");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn experiments")
+}
+
+/// Every `.litmus` file under `cwd/suites_out/<model>/`, as
+/// name → exact bytes.
+fn suite_bytes(cwd: &Path, model: &str) -> BTreeMap<String, Vec<u8>> {
+    let dir = cwd.join("suites_out").join(model);
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(&dir).expect("read suite dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".litmus") {
+            out.insert(name, std::fs::read(entry.path()).expect("read suite file"));
+        }
+    }
+    out
+}
+
+fn journal_entries(cwd: &Path) -> usize {
+    let dir = cwd.join("suites_out").join("journal");
+    match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".journal"))
+            .count(),
+        Err(_) => 0,
+    }
+}
+
+#[test]
+fn killed_emit_resumes_to_byte_identical_suites() {
+    // Reference: a clean, journal-free run.
+    let clean = scratch("emit-clean");
+    let out = run_experiments(&["emit", "tso", "3"], &clean, &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = suite_bytes(&clean, "tso");
+    assert!(!reference.is_empty());
+    assert_eq!(journal_entries(&clean), 0, "no journal without --resume");
+    // Atomic writes leave no temp litter.
+    let litter: Vec<_> = std::fs::read_dir(clean.join("suites_out").join("tso"))
+        .expect("read suite dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(litter.is_empty(), "{litter:?}");
+
+    // Victim: start the same emit with --resume, kill it as soon as the
+    // first query checkpoints (or let it finish, if it wins the race —
+    // resume must be byte-identical either way).
+    let victim = scratch("emit-killed");
+    let mut child = Command::new(exe())
+        .args(["emit", "tso", "3", "--resume"])
+        .current_dir(&victim)
+        .env_remove("LITSYNTH_FAULT_PLAN")
+        .env_remove("LITSYNTH_THREADS")
+        .env_remove("LITSYNTH_CUBE_BITS")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut killed = false;
+    loop {
+        if child.try_wait().expect("poll victim").is_some() {
+            break;
+        }
+        if journal_entries(&victim) > 0 {
+            child.kill().expect("kill victim");
+            let _ = child.wait();
+            killed = true;
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim neither journaled nor exited"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Resume to completion: recorded queries are replayed, the rest are
+    // re-synthesized, and the final suite is byte-for-byte the reference.
+    let out = run_experiments(&["emit", "tso", "3"], &victim, &[("LITSYNTH_RESUME", "1")]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        suite_bytes(&victim, "tso"),
+        reference,
+        "resumed suite diverged from the clean run (killed mid-run: {killed})"
+    );
+    // Every (axiom, bound) query of the 2..=3 emit is now journaled:
+    // 3 TSO axioms × 2 bounds.
+    assert_eq!(journal_entries(&victim), 6);
+
+    // A third run replays everything from the journal — still identical.
+    let out = run_experiments(&["emit", "tso", "3", "--resume"], &victim, &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(suite_bytes(&victim, "tso"), reference);
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&victim);
+}
+
+/// Extracts `(retried attempts, degraded workers, injected faults)` from
+/// the `resilience:` line `experiments speedup` prints.
+fn resilience_counters(stdout: &str) -> (u64, u64, u64) {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("resilience:"))
+        .unwrap_or_else(|| panic!("no resilience line in:\n{stdout}"));
+    let nums: Vec<u64> = line
+        .split_whitespace()
+        .filter_map(|w| w.parse().ok())
+        .collect();
+    assert_eq!(nums.len(), 3, "unexpected resilience line: {line}");
+    (nums[0], nums[1], nums[2])
+}
+
+#[test]
+fn injected_panic_is_retried_across_the_process_boundary() {
+    // Panic every cube's first attempt of the sc_per_loc query: all work
+    // is retried, nothing degrades, and the binary's own byte-identity
+    // assertion (seq vs portfolio) still holds.
+    let dir = scratch("speedup-panic");
+    let out = run_experiments(
+        &["speedup", "2", "2"],
+        &dir,
+        &[("LITSYNTH_FAULT_PLAN", "tso/sc_per_loc/2@*@0@0@panic")],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let (retries, degraded, injections) = resilience_counters(&stdout);
+    assert!(retries > 0, "panicked attempts must be retried:\n{stdout}");
+    assert_eq!(degraded, 0, "recovered faults must not degrade:\n{stdout}");
+    assert!(injections > 0, "the plan must actually fire:\n{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_interrupts_degrade_without_crashing() {
+    // Interrupt every attempt of sc_per_loc: the query ends degraded (its
+    // partial enumeration), the other queries are untouched, and the run
+    // still completes with matching seq/portfolio suites.
+    let dir = scratch("speedup-degraded");
+    let out = run_experiments(
+        &["speedup", "2", "2"],
+        &dir,
+        &[("LITSYNTH_FAULT_PLAN", "tso/sc_per_loc/2@*@*@*@interrupt")],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let (_, degraded, injections) = resilience_counters(&stdout);
+    assert!(degraded > 0, "persistent faults must surface:\n{stdout}");
+    assert!(injections > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_free_run_reports_zero_degraded_workers() {
+    // The CI gate: without a fault plan there must be zero degraded
+    // workers (the binary also asserts this itself).
+    let dir = scratch("speedup-clean");
+    let out = run_experiments(&["speedup", "2", "2"], &dir, &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let (retries, degraded, injections) = resilience_counters(&stdout);
+    assert_eq!((retries, degraded, injections), (0, 0, 0), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,329 @@
+//! Crash-safe checkpointing of completed synthesis queries.
+//!
+//! Every completed (model, axiom, bound) query can be journaled: its
+//! canonical suite is serialized to one file under the journal directory
+//! via write-to-temp + atomic rename, so a kill at any instant leaves
+//! either the complete entry or nothing — never a truncated file. A
+//! resumed run ([`Journal::lookup`]) replays journaled queries without
+//! re-running them and reproduces byte-identical final suites, because the
+//! journal stores the exact canonical keys and the litmus text round-trip
+//! preserves every field the canonical serialization reads.
+//!
+//! Entries are validated on load: a version/config-fingerprint mismatch, a
+//! bad content checksum, or a parse failure makes the entry count as
+//! absent (the query simply re-runs). Only complete queries are recorded —
+//! truncated or degraded results are never journaled, so resume can only
+//! substitute answers that a clean run would also have produced.
+
+use crate::symbolic::SynthConfig;
+use crate::synth::CanonicalSuite;
+use litsynth_litmus::format::{from_text, to_text};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The journal-entry format version; bump on any layout change.
+const VERSION: &str = "litsynth-journal v1";
+
+/// FNV-1a, the same dependency-free content hash used elsewhere in the
+/// repo; good enough to detect torn or hand-edited entries.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical (model, axiom, bound) query key, e.g. `tso/sc_per_loc/2`.
+/// Used both as the journal entry name and as the fault-plan coordinate.
+pub fn query_key(model: &str, axiom: &str, bound: usize) -> String {
+    format!("{}/{}/{}", model.to_lowercase(), axiom, bound)
+}
+
+/// Fingerprint of the suite-relevant configuration. Two configs with the
+/// same fingerprint provably enumerate the same canonical suite, so a
+/// journal entry recorded under one is valid for the other. Parallelism
+/// knobs (threads, cube bits, exchange, adaptive cubes) are deliberately
+/// excluded: suites are byte-identical across them by construction.
+pub fn config_fingerprint(model: &str, axiom: &str, cfg: &SynthConfig) -> u64 {
+    let desc = format!(
+        "{model}|{axiom}|events={}|max_threads={}|max_addrs={}|exact_canon={}|\
+         orphan_unconstrained={}|max_instances={}|time_budget_ms={}",
+        cfg.events,
+        cfg.max_threads,
+        cfg.max_addrs,
+        cfg.exact_canon,
+        cfg.orphan_unconstrained,
+        cfg.max_instances,
+        cfg.time_budget_ms,
+    );
+    fnv1a(desc.as_bytes())
+}
+
+/// Writes `contents` to `path` atomically: a unique temp file in the same
+/// directory is written, flushed, and renamed over the target, so readers
+/// (and a kill at any point) see either the old file or the complete new
+/// one — never a truncated mix.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    // A per-process, per-call unique temp name: two processes (or threads)
+    // journaling the same query must not clobber each other's temp file.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        stem,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// A directory of journaled query suites.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating if needed) a journal at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Arc<Journal>> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Arc::new(Journal { dir }))
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        // Keys are `model/axiom/bound`; flatten to one file per query.
+        self.dir.join(format!("{}.journal", key.replace('/', "-")))
+    }
+
+    /// Number of entries currently journaled (any `.journal` file counts,
+    /// valid or not).
+    pub fn entries(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "journal"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// The journaled suite for `key`, if a complete, checksum-valid entry
+    /// recorded under the same config fingerprint exists. Any corruption
+    /// or mismatch reads as "not journaled".
+    pub fn lookup(&self, key: &str, fingerprint: u64) -> Option<CanonicalSuite> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let mut lines = text.splitn(5, '\n');
+        if lines.next()? != VERSION {
+            return None;
+        }
+        let config = lines.next()?.strip_prefix("config ")?;
+        if u64::from_str_radix(config, 16).ok()? != fingerprint {
+            return None;
+        }
+        let checksum = lines.next()?.strip_prefix("checksum ")?;
+        let checksum = u64::from_str_radix(checksum, 16).ok()?;
+        let count: usize = lines.next()?.strip_prefix("tests ")?.parse().ok()?;
+        let body = lines.next()?;
+        if fnv1a(body.as_bytes()) != checksum {
+            return None;
+        }
+        let mut suite = CanonicalSuite::new();
+        for block in body.split("\n%%\n") {
+            let block = block.trim_end_matches('\n');
+            if block.is_empty() {
+                continue;
+            }
+            let (key_line, test_text) = block.split_once('\n')?;
+            let key = key_line.strip_prefix("#key ")?;
+            let (test, outcome) = from_text(test_text).ok()?;
+            suite.insert(key.to_string(), (test, outcome));
+        }
+        if suite.len() != count {
+            return None;
+        }
+        Some(suite)
+    }
+
+    /// Journals the complete suite for `key` atomically. Errors are
+    /// returned (the caller logs and continues — a failed checkpoint only
+    /// costs re-running the query on resume, never correctness).
+    pub fn record(
+        &self,
+        key: &str,
+        fingerprint: u64,
+        suite: &CanonicalSuite,
+    ) -> std::io::Result<()> {
+        let mut body = String::new();
+        for (k, (test, outcome)) in suite {
+            body.push_str("#key ");
+            body.push_str(k);
+            body.push('\n');
+            let text = to_text(test, outcome);
+            body.push_str(&text);
+            if !text.ends_with('\n') {
+                body.push('\n');
+            }
+            body.push_str("%%\n");
+        }
+        let entry = format!(
+            "{VERSION}\nconfig {fingerprint:016x}\nchecksum {:016x}\ntests {}\n{body}",
+            fnv1a(body.as_bytes()),
+            suite.len(),
+        );
+        atomic_write(&self.entry_path(key), entry.as_bytes())
+    }
+}
+
+/// The journal configured by the environment: active when
+/// `LITSYNTH_RESUME` is set to a truthy value (`1`, `true`, `yes`, `on`),
+/// rooted at `LITSYNTH_JOURNAL` (default `suites_out/journal`). Returns
+/// `None` when resume is off or the directory cannot be created.
+pub fn env_journal() -> Option<Arc<Journal>> {
+    let resume = std::env::var("LITSYNTH_RESUME").ok()?;
+    if !matches!(resume.trim(), "1" | "true" | "yes" | "on") {
+        return None;
+    }
+    let dir =
+        std::env::var("LITSYNTH_JOURNAL").unwrap_or_else(|_| "suites_out/journal".to_string());
+    match Journal::open(&dir) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("warning: cannot open journal at {dir}: {e}; resume disabled");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litsynth_litmus::serialize;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "litsynth-journal-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A real synthesized suite, so the round-trip covers deps, rmw pairs,
+    /// rf edges, and final values as they actually occur.
+    fn sample_suite() -> CanonicalSuite {
+        use crate::synth::synthesize_axiom;
+        use litsynth_models::Tso;
+        let cfg = SynthConfig::new(3);
+        synthesize_axiom(&Tso::new(), "sc_per_loc", &cfg).tests
+    }
+
+    #[test]
+    fn record_then_lookup_roundtrips_byte_identically() {
+        let dir = temp_dir("roundtrip");
+        let j = Journal::open(&dir).expect("journal opens");
+        let suite = sample_suite();
+        assert!(!suite.is_empty());
+        j.record("tso/sc_per_loc/3", 42, &suite).expect("record");
+        assert_eq!(j.entries(), 1);
+        let back = j.lookup("tso/sc_per_loc/3", 42).expect("entry exists");
+        assert_eq!(
+            suite.keys().collect::<Vec<_>>(),
+            back.keys().collect::<Vec<_>>()
+        );
+        for (k, (t, o)) in &suite {
+            let (bt, bo) = &back[k];
+            assert_eq!(serialize(t, o), serialize(bt, bo), "{k}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_reads_as_absent() {
+        let dir = temp_dir("fp");
+        let j = Journal::open(&dir).expect("journal opens");
+        j.record("tso/sc_per_loc/3", 42, &sample_suite())
+            .expect("record");
+        assert!(j.lookup("tso/sc_per_loc/3", 43).is_none());
+        assert!(j.lookup("tso/causality/3", 42).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_reads_as_absent() {
+        let dir = temp_dir("corrupt");
+        let j = Journal::open(&dir).expect("journal opens");
+        j.record("tso/sc_per_loc/3", 42, &sample_suite())
+            .expect("record");
+        let path = j.entry_path("tso/sc_per_loc/3");
+        // Truncate mid-body: the checksum must catch it.
+        let text = std::fs::read_to_string(&path).expect("read entry");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+        assert!(j.lookup("tso/sc_per_loc/3", 42).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = temp_dir("atomic");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"first version").expect("write 1");
+        atomic_write(&path, b"second").expect("write 2");
+        assert_eq!(std::fs::read(&path).expect("read"), b"second");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_suite_relevant_fields_only() {
+        let m = "TSO";
+        let base = SynthConfig::new(3);
+        let fp = config_fingerprint(m, "causality", &base);
+        // Parallelism knobs don't change the fingerprint.
+        let mut par = base.clone();
+        par.threads = 8;
+        par.cube_bits = 3;
+        par.exchange = false;
+        assert_eq!(config_fingerprint(m, "causality", &par), fp);
+        // Suite-relevant bounds do.
+        let mut wider = base.clone();
+        wider.max_addrs += 1;
+        assert_ne!(config_fingerprint(m, "causality", &wider), fp);
+        assert_ne!(config_fingerprint(m, "sc_per_loc", &base), fp);
+        assert_ne!(config_fingerprint("SC", "causality", &base), fp);
+    }
+
+    #[test]
+    fn query_key_is_lowercased_and_slash_joined() {
+        assert_eq!(query_key("TSO", "sc_per_loc", 2), "tso/sc_per_loc/2");
+    }
+}

@@ -13,8 +13,12 @@
 //! * [`subtest`] — subtest containment via relaxation reachability
 //!   (Table 4).
 //! * [`allprogs`] — all-programs counting (Figure 13a's upper line).
+//! * [`journal`] — the crash-safe checkpoint journal behind
+//!   `--resume`: completed (axiom, bound) queries are recorded with
+//!   atomic writes and replayed byte-identically on the next run.
 
 pub mod allprogs;
+pub mod journal;
 pub mod minimal;
 pub mod perturb;
 pub mod relax;
@@ -23,6 +27,7 @@ pub mod symbolic;
 pub mod synth;
 
 pub use allprogs::count_programs;
+pub use journal::{atomic_write, env_journal, Journal};
 pub use minimal::{check_minimal, minimal_for_some_axiom, MinimalityVerdict};
 pub use relax::{applications, apply, Application};
 pub use subtest::{contains_subtest, covering_subtests, program_key};

@@ -66,6 +66,31 @@ pub struct SynthConfig {
     pub adaptive_cubes: bool,
     /// Conflict budget for the adaptive-cube probing run.
     pub probe_conflicts: u64,
+    /// Total attempts per cube worker (including the first) before the
+    /// query is marked degraded instead of aborting the run.
+    pub max_attempts: usize,
+    /// Backoff before retry `k` of a cube is `retry_backoff_ms << (k-1)`
+    /// milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Conflict budget per SAT solve during enumeration (`0` = unlimited).
+    /// Escalates ×4 per retry attempt, so a deterministic budget
+    /// exhaustion is not retried into the identical wall.
+    pub solve_conflicts: u64,
+    /// Propagation budget per SAT solve (`0` = unlimited); escalates like
+    /// [`SynthConfig::solve_conflicts`].
+    pub solve_propagations: u64,
+    /// Wall-clock budget for one cube attempt, in milliseconds
+    /// (`0` = unlimited). Unlike [`SynthConfig::time_budget_ms`] — which
+    /// *truncates* the suite at a clean instance boundary — exceeding this
+    /// budget interrupts the solve and triggers the retry/degrade ladder.
+    pub solve_wall_ms: u64,
+    /// Deterministic fault-injection plan (testing only). Defaults to the
+    /// process-wide plan armed via `LITSYNTH_FAULT_PLAN`, if any.
+    pub fault_plan: Option<std::sync::Arc<litsynth_sat::FaultPlan>>,
+    /// Checkpoint journal for crash-safe resume; `None` disables
+    /// journaling. Completed (axiom, bound) queries are recorded here and
+    /// replayed byte-identically on the next run.
+    pub journal: Option<std::sync::Arc<crate::journal::Journal>>,
 }
 
 impl SynthConfig {
@@ -86,6 +111,13 @@ impl SynthConfig {
             exchange_max_len: 30,
             adaptive_cubes: true,
             probe_conflicts: 500,
+            max_attempts: 3,
+            retry_backoff_ms: 10,
+            solve_conflicts: 0,
+            solve_propagations: 0,
+            solve_wall_ms: 0,
+            fault_plan: litsynth_sat::FaultPlan::global(),
+            journal: None,
         }
     }
 
@@ -110,6 +142,24 @@ impl SynthConfig {
     /// Enables or disables adaptive cube selection (builder style).
     pub fn with_adaptive_cubes(mut self, adaptive: bool) -> SynthConfig {
         self.adaptive_cubes = adaptive;
+        self
+    }
+
+    /// Sets the checkpoint journal (builder style).
+    pub fn with_journal(
+        mut self,
+        journal: Option<std::sync::Arc<crate::journal::Journal>>,
+    ) -> SynthConfig {
+        self.journal = journal;
+        self
+    }
+
+    /// Sets the fault-injection plan (builder style, testing only).
+    pub fn with_fault_plan(
+        mut self,
+        plan: Option<std::sync::Arc<litsynth_sat::FaultPlan>>,
+    ) -> SynthConfig {
+        self.fault_plan = plan;
         self
     }
 }

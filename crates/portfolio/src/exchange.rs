@@ -24,7 +24,15 @@
 //! models.)
 
 use litsynth_sat::{ClauseExchange, Lit};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks ignoring poison: a worker that panicked mid-export must not take
+/// the whole bus down with it — the pool isolates the panic and retries,
+/// and the clause pool itself is always in a consistent state (pushes are
+/// atomic).
+fn lock_pool(m: &Mutex<Vec<PooledClause>>) -> MutexGuard<'_, Vec<PooledClause>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Tuning knobs for the exchange bus.
 #[derive(Clone, Copy, Debug)]
@@ -88,13 +96,14 @@ impl ExchangeBus {
             bus: Arc::clone(self),
             worker,
             cursor: 0,
+            imports_enabled: true,
             stats: ExchangeStats::default(),
         }
     }
 
     /// Number of clauses currently pooled.
     pub fn pooled(&self) -> usize {
-        self.pool.lock().unwrap().len()
+        lock_pool(&self.pool).len()
     }
 }
 
@@ -105,6 +114,7 @@ pub struct ExchangeEndpoint {
     bus: Arc<ExchangeBus>,
     worker: usize,
     cursor: usize,
+    imports_enabled: bool,
     stats: ExchangeStats,
 }
 
@@ -112,6 +122,14 @@ impl ExchangeEndpoint {
     /// The counters accumulated by this endpoint.
     pub fn stats(&self) -> ExchangeStats {
         self.stats
+    }
+
+    /// Stops this endpoint from importing peer clauses; exports still
+    /// flow. The retry ladder uses this on a cube's last attempt, making
+    /// the final try independent of peer timing while peers keep
+    /// benefiting from its learnt clauses.
+    pub fn disable_imports(&mut self) {
+        self.imports_enabled = false;
     }
 }
 
@@ -125,7 +143,7 @@ impl ClauseExchange for ExchangeEndpoint {
             self.stats.filtered += 1;
             return;
         }
-        let mut pool = self.bus.pool.lock().unwrap();
+        let mut pool = lock_pool(&self.bus.pool);
         if pool.len() >= cfg.max_pool {
             self.stats.filtered += 1;
             return;
@@ -135,10 +153,10 @@ impl ClauseExchange for ExchangeEndpoint {
     }
 
     fn fetch(&mut self, out: &mut Vec<Vec<Lit>>) {
-        if !self.bus.cfg.enabled {
+        if !self.bus.cfg.enabled || !self.imports_enabled {
             return;
         }
-        let pool = self.bus.pool.lock().unwrap();
+        let pool = lock_pool(&self.bus.pool);
         for (owner, clause) in &pool[self.cursor..] {
             if *owner != self.worker {
                 out.push(clause.to_vec());
@@ -210,6 +228,23 @@ mod tests {
         assert_eq!(bus.pooled(), 2);
         assert_eq!(a.stats().exported, 2);
         assert_eq!(a.stats().filtered, 3);
+    }
+
+    #[test]
+    fn disabled_imports_still_export() {
+        let bus = ExchangeBus::new(ExchangeConfig::default());
+        let mut a = bus.endpoint(0);
+        let mut b = bus.endpoint(1);
+        b.disable_imports();
+        a.export(&[lit(0), lit(1)], 1);
+        b.export(&[lit(2), lit(3)], 1);
+        let mut got = Vec::new();
+        b.fetch(&mut got);
+        assert!(got.is_empty(), "imports disabled");
+        assert_eq!(b.stats().imported, 0);
+        got.clear();
+        a.fetch(&mut got);
+        assert_eq!(got, vec![vec![lit(2), lit(3)]], "exports still flow");
     }
 
     #[test]

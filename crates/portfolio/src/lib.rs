@@ -28,13 +28,19 @@
 //!
 //! The deterministic scoped-thread pool the callers fan out on lives in
 //! [`pool`]; it returns results in item order so merged output is
-//! byte-identical at any thread count.
+//! byte-identical at any thread count. [`resilient`] wraps that pool in a
+//! supervisor: each attempt runs under `catch_unwind`, panicked or
+//! interrupted items are retried with exponential backoff (fresh solver
+//! per attempt, imports off on the last), and items that still fail come
+//! back as [`TaskReport::degraded`] instead of poisoning the pool.
 
 pub mod cube;
 pub mod exchange;
 pub mod pool;
 pub mod query;
+pub mod resilient;
 
 pub use exchange::{ExchangeBus, ExchangeConfig, ExchangeEndpoint, ExchangeStats};
 pub use pool::{resolve_threads, run_ordered};
 pub use query::{CompiledQuery, CubeConfig};
+pub use resilient::{run_resilient, Attempt, RetryConfig, TaskReport};

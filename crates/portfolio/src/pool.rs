@@ -40,7 +40,10 @@ where
                 if i >= items.len() {
                     break;
                 }
-                *slots[i].lock().unwrap() = Some(f(i, &items[i]));
+                let r = f(i, &items[i]);
+                // Lock ignoring poison: a panic in `f` on a sibling thread
+                // must not discard this worker's finished results.
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
             });
         }
     });
@@ -48,7 +51,7 @@ where
         .into_iter()
         .map(|s| {
             s.into_inner()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every item ran to completion")
         })
         .collect()

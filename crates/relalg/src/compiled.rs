@@ -104,8 +104,14 @@ impl CompiledCircuit {
                             stack.push(ny);
                             continue;
                         }
-                        let lx = Lit::new(node_var[nx].unwrap(), !x.is_negated());
-                        let ly = Lit::new(node_var[ny].unwrap(), !y.is_negated());
+                        let lx = Lit::new(
+                            node_var[nx].expect("operand compiled before its AND node"),
+                            !x.is_negated(),
+                        );
+                        let ly = Lit::new(
+                            node_var[ny].expect("operand compiled before its AND node"),
+                            !y.is_negated(),
+                        );
                         let v = b.new_var();
                         input_of_var.push(None);
                         // v ↔ lx ∧ ly

@@ -2,7 +2,10 @@
 
 use crate::circuit::{Bit, Circuit, Node};
 use crate::compiled::CompiledCircuit;
-use litsynth_sat::{ClauseExchange, Lit, NoExchange, SolveResult, Solver, Var};
+use litsynth_sat::{
+    BudgetedResult, ClauseExchange, Interrupt, Lit, NoExchange, SolveBudget, SolveResult, Solver,
+    Var,
+};
 
 /// A satisfying assignment to the circuit inputs.
 ///
@@ -175,8 +178,14 @@ impl Finder {
                         stack.push(nb);
                         continue;
                     }
-                    let la = Lit::new(self.node_var[na].unwrap(), !a.is_negated());
-                    let lb = Lit::new(self.node_var[nb].unwrap(), !b.is_negated());
+                    let la = Lit::new(
+                        self.node_var[na].expect("operand translated before its AND node"),
+                        !a.is_negated(),
+                    );
+                    let lb = Lit::new(
+                        self.node_var[nb].expect("operand translated before its AND node"),
+                        !b.is_negated(),
+                    );
                     let v = self.solver.new_var();
                     self.input_of_var.push(None);
                     // v ↔ la ∧ lb
@@ -188,7 +197,10 @@ impl Finder {
                 }
             }
         }
-        Lit::new(self.node_var[bit.node()].unwrap(), !bit.is_negated())
+        Lit::new(
+            self.node_var[bit.node()].expect("root node translated by the post-order walk"),
+            !bit.is_negated(),
+        )
     }
 
     /// Finds the next instance satisfying all `asserts`, or `None`.
@@ -211,10 +223,33 @@ impl Finder {
         asserts: &[Bit],
         exchange: &mut dyn ClauseExchange,
     ) -> Option<Instance> {
-        let assumptions = self.assumptions_for(c, asserts)?;
-        match self.solver.solve_exchanging(&assumptions, exchange) {
-            SolveResult::Unsat => None,
-            SolveResult::Sat => {
+        match self.next_instance_budgeted(c, asserts, exchange, &SolveBudget::unlimited()) {
+            Ok(r) => r,
+            Err(i) => unreachable!("unlimited budget cannot interrupt, got {i:?}"),
+        }
+    }
+
+    /// [`Finder::next_instance_exchanging`] under a [`SolveBudget`].
+    ///
+    /// `Ok(Some(inst))` is the next instance, `Ok(None)` means the query is
+    /// exhausted, and `Err(interrupt)` means a budget, deadline,
+    /// cancellation, or injected fault stopped the solve first. On `Err`
+    /// the finder stays warm (blocking clauses and learnt clauses are
+    /// kept), so the call can be retried with a larger budget.
+    pub fn next_instance_budgeted(
+        &mut self,
+        c: &Circuit,
+        asserts: &[Bit],
+        exchange: &mut dyn ClauseExchange,
+        budget: &SolveBudget,
+    ) -> Result<Option<Instance>, Interrupt> {
+        let Some(assumptions) = self.assumptions_for(c, asserts) else {
+            return Ok(None);
+        };
+        match self.solver.solve_budgeted(&assumptions, exchange, budget) {
+            BudgetedResult::Interrupted(i) => Err(i),
+            BudgetedResult::Done(SolveResult::Unsat) => Ok(None),
+            BudgetedResult::Done(SolveResult::Sat) => {
                 let mut inputs = vec![false; c.num_inputs()];
                 for (vi, &input) in self.input_of_var.iter().enumerate() {
                     if let Some(i) = input {
@@ -223,7 +258,7 @@ impl Finder {
                         }
                     }
                 }
-                Some(Instance { inputs })
+                Ok(Some(Instance { inputs }))
             }
         }
     }
@@ -402,6 +437,41 @@ mod tests {
             assert!(n <= 6);
         }
         assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn interrupted_enumeration_resumes_without_losing_instances() {
+        // An expired deadline interrupts before any search; retrying with
+        // no budget must then enumerate exactly the clean-run instances.
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let y = c.input("y");
+        let root = c.or(x, y);
+        let expired = SolveBudget {
+            deadline: Some(std::time::Instant::now()),
+            ..SolveBudget::default()
+        };
+        let mut f = Finder::new(&c);
+        let mut n = 0;
+        let mut interrupts = 0;
+        loop {
+            // First try under the expired deadline: always interrupted.
+            match f.next_instance_budgeted(&c, &[root], &mut NoExchange, &expired) {
+                Err(Interrupt::Deadline) => interrupts += 1,
+                other => panic!("expected deadline interrupt, got {other:?}"),
+            }
+            // Retry without a budget: the finder stayed warm.
+            match f.next_instance(&c, &[root]) {
+                None => break,
+                Some(inst) => {
+                    n += 1;
+                    f.block(&c, &inst, &[x, y]);
+                    assert!(n <= 3);
+                }
+            }
+        }
+        assert_eq!(n, 3, "interrupts must not lose or duplicate instances");
+        assert_eq!(interrupts, 4);
     }
 
     #[test]

@@ -169,7 +169,14 @@ pub fn run(test: &LitmusTest, cfg: &RunConfig) -> Result<RunReport, RunError> {
                         let fin = done.wait();
                         if fin.is_leader() {
                             let outcome = collect_outcome(test, locations, logs);
-                            *hist.lock().unwrap().entry(outcome).or_insert(0) += 1;
+                            // Lock ignoring poison: a panicking sibling
+                            // must not discard the iterations already
+                            // recorded while this scope unwinds.
+                            *hist
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .entry(outcome)
+                                .or_insert(0) += 1;
                         }
                     }
                 });

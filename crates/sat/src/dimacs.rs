@@ -7,6 +7,35 @@
 use crate::{Lit, Solver, Var};
 use std::fmt::Write as _;
 
+/// A DIMACS parse failure, carrying the 1-based line number and the
+/// offending text so the error is actionable without re-opening the file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number of the failure (0 for whole-file errors such as
+    /// a missing header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DimacsError {
+    fn at(line: usize, message: String) -> DimacsError {
+        DimacsError { line, message }
+    }
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "dimacs: {}", self.message)
+        } else {
+            write!(f, "dimacs: line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
 /// A plain CNF formula: a clause list over `num_vars` variables.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Cnf {
@@ -49,14 +78,15 @@ impl Cnf {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first malformed token or a missing
-    /// header.
-    pub fn parse_dimacs(text: &str) -> Result<Cnf, String> {
+    /// Returns a [`DimacsError`] locating the first malformed token or a
+    /// missing header.
+    pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
         let mut cnf = Cnf::new();
         let mut declared_vars = 0usize;
         let mut current: Vec<Lit> = Vec::new();
         let mut saw_header = false;
-        for line in text.lines() {
+        for (lineno, line) in text.lines().enumerate() {
+            let lineno = lineno + 1;
             let line = line.trim();
             if line.is_empty() || line.starts_with('c') {
                 continue;
@@ -64,18 +94,21 @@ impl Cnf {
             if let Some(rest) = line.strip_prefix('p') {
                 let parts: Vec<&str> = rest.split_whitespace().collect();
                 if parts.len() != 3 || parts[0] != "cnf" {
-                    return Err(format!("malformed problem line: {line}"));
+                    return Err(DimacsError::at(
+                        lineno,
+                        format!("malformed problem line: {line:?}"),
+                    ));
                 }
-                declared_vars = parts[1]
-                    .parse()
-                    .map_err(|e| format!("bad variable count: {e}"))?;
+                declared_vars = parts[1].parse().map_err(|e| {
+                    DimacsError::at(lineno, format!("bad variable count {:?}: {e}", parts[1]))
+                })?;
                 saw_header = true;
                 continue;
             }
             for tok in line.split_whitespace() {
                 let n: i64 = tok
                     .parse()
-                    .map_err(|e| format!("bad literal {tok:?}: {e}"))?;
+                    .map_err(|e| DimacsError::at(lineno, format!("bad literal {tok:?}: {e}")))?;
                 if n == 0 {
                     cnf.clauses.push(std::mem::take(&mut current));
                 } else {
@@ -85,7 +118,7 @@ impl Cnf {
             }
         }
         if !saw_header {
-            return Err("missing 'p cnf' header".to_string());
+            return Err(DimacsError::at(0, "missing 'p cnf' header".to_string()));
         }
         if !current.is_empty() {
             cnf.clauses.push(current);
@@ -141,12 +174,22 @@ mod tests {
 
     #[test]
     fn missing_header_is_error() {
-        assert!(Cnf::parse_dimacs("1 2 0\n").is_err());
+        let err = Cnf::parse_dimacs("1 2 0\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.to_string().contains("missing 'p cnf' header"), "{err}");
     }
 
     #[test]
-    fn bad_literal_is_error() {
-        assert!(Cnf::parse_dimacs("p cnf 1 1\nxyz 0\n").is_err());
+    fn bad_literal_is_error_with_line_number() {
+        let err = Cnf::parse_dimacs("p cnf 1 1\nc fine\nxyz 0\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("bad literal \"xyz\""), "{err}");
+    }
+
+    #[test]
+    fn malformed_header_reports_its_line() {
+        let err = Cnf::parse_dimacs("c intro\np cnf oops\n").unwrap_err();
+        assert_eq!(err.line, 2);
     }
 
     #[test]

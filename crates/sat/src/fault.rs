@@ -1,0 +1,292 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A [`FaultPlan`] names exact coordinates — (query, cube, attempt,
+//! restart) — at which the solver or the portfolio pool should misbehave:
+//! panic, return an injected interrupt, or sleep to simulate a slow query.
+//! Because the coordinates are deterministic (they follow the solver's own
+//! deterministic restart schedule), every recovery path can be exercised
+//! reproducibly in tests instead of waiting for a real crash.
+//!
+//! Plans are normally installed through the `LITSYNTH_FAULT_PLAN`
+//! environment variable. The format is a `;`-separated list of sites:
+//!
+//! ```text
+//! <query>@<cube>@<attempt>@<restart>@<action>
+//! ```
+//!
+//! where `query` is the journal-style query key (e.g. `tso/sc_per_loc/2`),
+//! `cube`/`attempt`/`restart` are integers or `*` (any), and `action` is
+//! `panic`, `interrupt`, or `slow:<ms>`. Example:
+//!
+//! ```text
+//! LITSYNTH_FAULT_PLAN='tso/sc_per_loc/2@*@0@0@panic;tso/causality/2@1@*@3@slow:50'
+//! ```
+//!
+//! injects one panic into every cube's first attempt on the
+//! `tso/sc_per_loc/2` query (the retry then succeeds), and a 50 ms stall
+//! at restart 3 of cube 1 on `tso/causality/2`, on every attempt.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// What an armed fault site does when hit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultAction {
+    /// Panic in the worker (exercises `catch_unwind` + retry).
+    Panic,
+    /// Force the solve to return an injected interrupt.
+    Interrupt,
+    /// Sleep this long, then continue normally (simulates a slow query).
+    Slow(Duration),
+}
+
+/// One armed coordinate in a [`FaultPlan`].
+#[derive(Clone, Debug)]
+pub struct FaultSite {
+    /// Query key to match, or `*` for any (journal-style, e.g.
+    /// `tso/sc_per_loc/2`).
+    pub query: String,
+    /// Cube index to match (`None` = any).
+    pub cube: Option<usize>,
+    /// Retry attempt to match (`None` = any; `0` is the first try).
+    pub attempt: Option<usize>,
+    /// Restart boundary to match (`None` = any; `0` fires before the first
+    /// search iteration).
+    pub restart: Option<u64>,
+    /// What to do when the coordinates match.
+    pub action: FaultAction,
+}
+
+impl FaultSite {
+    fn matches(&self, query: &str, cube: usize, attempt: usize, restart: u64) -> bool {
+        (self.query == "*" || self.query == query)
+            && self.cube.is_none_or(|c| c == cube)
+            && self.attempt.is_none_or(|a| a == attempt)
+            && self.restart.is_none_or(|r| r == restart)
+    }
+}
+
+/// A set of armed fault sites plus a counter of injections actually fired.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    sites: Vec<FaultSite>,
+    hits: AtomicU64,
+}
+
+/// Error describing why a fault-plan string failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlanError {
+    /// The site that failed to parse (after `;`-splitting).
+    pub site: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault site {:?}: {}", self.site, self.message)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+fn parse_coord<T: std::str::FromStr>(
+    field: &str,
+    what: &str,
+    site: &str,
+) -> Result<Option<T>, FaultPlanError> {
+    if field == "*" {
+        return Ok(None);
+    }
+    field.parse::<T>().map(Some).map_err(|_| FaultPlanError {
+        site: site.to_string(),
+        message: format!("{what} must be an integer or '*', got {field:?}"),
+    })
+}
+
+impl FaultPlan {
+    /// Parses the `LITSYNTH_FAULT_PLAN` syntax documented at module level.
+    pub fn parse(text: &str) -> Result<FaultPlan, FaultPlanError> {
+        let mut sites = Vec::new();
+        for raw in text.split(';') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = raw.split('@').collect();
+            if fields.len() != 5 {
+                return Err(FaultPlanError {
+                    site: raw.to_string(),
+                    message: format!(
+                        "expected 5 '@'-separated fields (query@cube@attempt@restart@action), got {}",
+                        fields.len()
+                    ),
+                });
+            }
+            let action = match fields[4] {
+                "panic" => FaultAction::Panic,
+                "interrupt" => FaultAction::Interrupt,
+                a => match a.strip_prefix("slow:") {
+                    Some(ms) => {
+                        let ms: u64 = ms.parse().map_err(|_| FaultPlanError {
+                            site: raw.to_string(),
+                            message: format!("slow action needs integer milliseconds, got {ms:?}"),
+                        })?;
+                        FaultAction::Slow(Duration::from_millis(ms))
+                    }
+                    None => {
+                        return Err(FaultPlanError {
+                            site: raw.to_string(),
+                            message: format!(
+                                "unknown action {a:?} (expected panic, interrupt, or slow:<ms>)"
+                            ),
+                        })
+                    }
+                },
+            };
+            sites.push(FaultSite {
+                query: fields[0].to_string(),
+                cube: parse_coord(fields[1], "cube", raw)?,
+                attempt: parse_coord(fields[2], "attempt", raw)?,
+                restart: parse_coord(fields[3], "restart", raw)?,
+                action,
+            });
+        }
+        Ok(FaultPlan {
+            sites,
+            hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The process-wide plan from `LITSYNTH_FAULT_PLAN`, read once.
+    /// `None` when the variable is unset or empty; a malformed plan aborts
+    /// loudly rather than silently running fault-free.
+    pub fn global() -> Option<Arc<FaultPlan>> {
+        static GLOBAL: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| {
+                let text = std::env::var("LITSYNTH_FAULT_PLAN").ok()?;
+                if text.trim().is_empty() {
+                    return None;
+                }
+                match FaultPlan::parse(&text) {
+                    Ok(plan) => Some(Arc::new(plan)),
+                    Err(e) => panic!("LITSYNTH_FAULT_PLAN: {e}"),
+                }
+            })
+            .clone()
+    }
+
+    /// `true` if the plan has no armed sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// How many injections have fired so far, process-wide for this plan.
+    pub fn injections(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The action armed at these coordinates, if any, counting the hit.
+    pub fn action_at(
+        &self,
+        query: &str,
+        cube: usize,
+        attempt: usize,
+        restart: u64,
+    ) -> Option<FaultAction> {
+        let action = self
+            .sites
+            .iter()
+            .find(|s| s.matches(query, cube, attempt, restart))
+            .map(|s| s.action)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(action)
+    }
+}
+
+/// Per-solve fault coordinates: a plan plus the (query, cube, attempt) the
+/// current solve runs under. The solver supplies the restart number.
+#[derive(Clone, Debug)]
+pub struct FaultCtx {
+    /// The armed plan.
+    pub plan: Arc<FaultPlan>,
+    /// Journal-style query key (e.g. `tso/sc_per_loc/2`).
+    pub query: Arc<str>,
+    /// Cube index within the query.
+    pub cube: usize,
+    /// Retry attempt (`0` is the first try).
+    pub attempt: usize,
+}
+
+impl FaultCtx {
+    /// The action armed at this solve's coordinates for `restart`, if any.
+    pub fn action_at(&self, restart: u64) -> Option<FaultAction> {
+        self.plan
+            .action_at(&self.query, self.cube, self.attempt, restart)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_wildcards_and_actions() {
+        let plan =
+            FaultPlan::parse("tso/sc_per_loc/2@*@0@0@panic; q@1@*@3@slow:50 ;*@*@*@*@interrupt")
+                .expect("plan parses");
+        assert_eq!(plan.sites.len(), 3);
+        assert_eq!(plan.sites[0].cube, None);
+        assert_eq!(plan.sites[0].attempt, Some(0));
+        assert_eq!(plan.sites[0].action, FaultAction::Panic);
+        assert_eq!(plan.sites[1].restart, Some(3));
+        assert_eq!(
+            plan.sites[1].action,
+            FaultAction::Slow(Duration::from_millis(50))
+        );
+        assert_eq!(plan.sites[2].query, "*");
+        assert_eq!(plan.sites[2].action, FaultAction::Interrupt);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::parse("  ").expect("empty plan parses");
+        assert!(plan.is_empty());
+        assert_eq!(plan.action_at("anything", 0, 0, 0), None);
+    }
+
+    #[test]
+    fn rejects_malformed_sites() {
+        assert!(FaultPlan::parse("too@few@fields").is_err());
+        assert!(FaultPlan::parse("q@x@0@0@panic").is_err());
+        assert!(FaultPlan::parse("q@0@0@0@explode").is_err());
+        assert!(FaultPlan::parse("q@0@0@0@slow:abc").is_err());
+    }
+
+    #[test]
+    fn matching_respects_coordinates_and_counts_hits() {
+        let plan = FaultPlan::parse("q/a/2@1@0@5@panic").expect("plan parses");
+        assert_eq!(plan.action_at("q/a/2", 1, 0, 5), Some(FaultAction::Panic));
+        assert_eq!(plan.action_at("q/a/2", 1, 0, 4), None);
+        assert_eq!(plan.action_at("q/a/2", 1, 1, 5), None);
+        assert_eq!(plan.action_at("q/a/2", 2, 0, 5), None);
+        assert_eq!(plan.action_at("q/b/2", 1, 0, 5), None);
+        assert_eq!(plan.injections(), 1);
+    }
+
+    #[test]
+    fn ctx_supplies_fixed_coordinates() {
+        let plan = Arc::new(FaultPlan::parse("q@0@*@2@interrupt").expect("plan parses"));
+        let ctx = FaultCtx {
+            plan: plan.clone(),
+            query: Arc::from("q"),
+            cube: 0,
+            attempt: 7,
+        };
+        assert_eq!(ctx.action_at(1), None);
+        assert_eq!(ctx.action_at(2), Some(FaultAction::Interrupt));
+        assert_eq!(plan.injections(), 1);
+    }
+}

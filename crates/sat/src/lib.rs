@@ -27,6 +27,14 @@
 //! short probing runs whose VSIDS activities ([`Solver::activity`]) drive
 //! adaptive cube selection in `litsynth-portfolio`.
 //!
+//! For resilience, [`Solver::solve_budgeted`] bounds a solve by conflicts,
+//! propagations, and wall clock under a [`SolveBudget`], honors a shared
+//! [`CancelToken`], and returns [`BudgetedResult::Interrupted`] instead of
+//! looping forever; a [`FaultPlan`] (normally armed via the
+//! `LITSYNTH_FAULT_PLAN` environment variable) injects panics, interrupts,
+//! and stalls at deterministic (query, cube, attempt, restart) coordinates
+//! so every recovery path can be exercised in tests.
+//!
 //! # Example
 //!
 //! ```
@@ -42,7 +50,9 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+mod budget;
 mod exchange;
+mod fault;
 mod heap;
 mod shared;
 mod solver;
@@ -50,7 +60,9 @@ mod types;
 
 pub mod dimacs;
 
+pub use budget::{BudgetedResult, CancelToken, Interrupt, SolveBudget};
 pub use exchange::{ClauseExchange, NoExchange};
+pub use fault::{FaultAction, FaultCtx, FaultPlan, FaultPlanError, FaultSite};
 pub use shared::{CnfBuilder, SharedCnf};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};

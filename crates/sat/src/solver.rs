@@ -1,6 +1,8 @@
 //! The CDCL solver proper.
 
+use crate::budget::{BudgetedResult, Interrupt, SolveBudget};
 use crate::exchange::{ClauseExchange, NoExchange};
+use crate::fault::FaultAction;
 use crate::heap::ActivityHeap;
 use crate::shared::SharedCnf;
 use crate::types::{LBool, Lit, Var};
@@ -301,23 +303,73 @@ impl Solver {
         assumptions: &[Lit],
         exchange: &mut dyn ClauseExchange,
     ) -> SolveResult {
+        match self.solve_budgeted(assumptions, exchange, &SolveBudget::unlimited()) {
+            BudgetedResult::Done(r) => r,
+            BudgetedResult::Interrupted(i) => {
+                unreachable!("unlimited budget cannot interrupt, got {i:?}")
+            }
+        }
+    }
+
+    /// [`Solver::solve_exchanging`] under a [`SolveBudget`]: conflict and
+    /// propagation limits, a wall-clock deadline, and a cooperative
+    /// [`CancelToken`](crate::CancelToken) are all checked at restart
+    /// boundaries, so a budgeted solve costs nothing extra per propagation
+    /// and stops within one restart of its deadline. Returns
+    /// [`BudgetedResult::Interrupted`] instead of looping forever.
+    ///
+    /// The conflict limit is honored exactly (restart budgets are clamped
+    /// to the remainder); the other limits can overshoot by at most one
+    /// restart's worth of work. On interrupt the solver state stays warm
+    /// and clauses learnt so far are still exported, so the call can be
+    /// repeated with a larger budget to resume the search.
+    pub fn solve_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        exchange: &mut dyn ClauseExchange,
+        budget: &SolveBudget,
+    ) -> BudgetedResult {
         self.model.clear();
         if !self.ok {
-            return SolveResult::Unsat;
+            return BudgetedResult::Done(SolveResult::Unsat);
         }
+        let start_conflicts = self.stats.conflicts;
+        let start_propagations = self.stats.propagations;
         self.export_fresh(exchange);
         self.import_pending(exchange);
         if !self.ok {
-            return SolveResult::Unsat;
+            return BudgetedResult::Done(SolveResult::Unsat);
         }
         let mut restart = 0u64;
         loop {
-            let budget = RESTART_BASE * luby(restart);
-            match self.search(budget, assumptions) {
+            let spent_conflicts = self.stats.conflicts - start_conflicts;
+            let spent_propagations = self.stats.propagations - start_propagations;
+            if let Some(i) = budget.exceeded(spent_conflicts, spent_propagations) {
+                self.cancel_until(0);
+                self.export_fresh(exchange);
+                return BudgetedResult::Interrupted(i);
+            }
+            if let Some(fault) = &budget.fault {
+                match fault.action_at(restart) {
+                    Some(FaultAction::Panic) => {
+                        panic!("injected fault: panic at restart {restart}")
+                    }
+                    Some(FaultAction::Interrupt) => {
+                        self.cancel_until(0);
+                        self.export_fresh(exchange);
+                        return BudgetedResult::Interrupted(Interrupt::Injected);
+                    }
+                    Some(FaultAction::Slow(d)) => std::thread::sleep(d),
+                    None => {}
+                }
+            }
+            let search_budget =
+                (RESTART_BASE * luby(restart)).min(budget.conflicts_left(spent_conflicts));
+            match self.search(search_budget, assumptions) {
                 Some(r) => {
                     self.cancel_until(0);
                     self.export_fresh(exchange);
-                    return r;
+                    return BudgetedResult::Done(r);
                 }
                 None => {
                     self.stats.restarts += 1;
@@ -326,7 +378,7 @@ impl Solver {
                     self.export_fresh(exchange);
                     self.import_pending(exchange);
                     if !self.ok {
-                        return SolveResult::Unsat;
+                        return BudgetedResult::Done(SolveResult::Unsat);
                     }
                 }
             }
@@ -1388,6 +1440,124 @@ mod shared_tests {
         // With an ample budget the limited solve is definitive.
         let mut s2 = Solver::attach_shared(cnf);
         assert_eq!(s2.solve_limited(&[], u64::MAX), Some(SolveResult::Unsat));
+    }
+
+    /// Pigeonhole 7→6: hard enough that an unbudgeted solve needs many
+    /// restarts, so budget checks at restart boundaries actually fire.
+    fn hard_pigeonhole() -> std::sync::Arc<SharedCnf> {
+        let mut bld = CnfBuilder::new();
+        let n = 7;
+        let m = 6;
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| bld.new_var()).collect())
+            .collect();
+        for row in &p {
+            bld.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&v1, &v2) in row1.iter().zip(row2) {
+                    bld.add_clause([Lit::neg(v1), Lit::neg(v2)]);
+                }
+            }
+        }
+        std::sync::Arc::new(bld.build())
+    }
+
+    #[test]
+    fn conflict_budget_is_honored_exactly() {
+        use crate::budget::{BudgetedResult, Interrupt, SolveBudget};
+        let mut s = Solver::attach_shared(hard_pigeonhole());
+        let r = s.solve_budgeted(&[], &mut NoExchange, &SolveBudget::conflicts(50));
+        assert_eq!(r, BudgetedResult::Interrupted(Interrupt::Conflicts));
+        // The conflict limit clamps each restart's budget, so it is exact.
+        assert_eq!(s.stats().conflicts, 50);
+        // The solver state stays warm: resuming with no limit finishes.
+        let resumed = s.solve_budgeted(&[], &mut NoExchange, &SolveBudget::unlimited());
+        assert_eq!(resumed, BudgetedResult::Done(SolveResult::Unsat));
+    }
+
+    #[test]
+    fn deadline_stops_within_one_restart() {
+        use crate::budget::{BudgetedResult, Interrupt, SolveBudget};
+        let mut s = Solver::attach_shared(hard_pigeonhole());
+        let budget = SolveBudget {
+            deadline: Some(std::time::Instant::now()),
+            ..SolveBudget::default()
+        };
+        let r = s.solve_budgeted(&[], &mut NoExchange, &budget);
+        assert_eq!(r, BudgetedResult::Interrupted(Interrupt::Deadline));
+        // An already-expired deadline trips at the first restart boundary,
+        // before any search: zero conflicts spent.
+        assert_eq!(s.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn cancel_token_interrupts_from_outside() {
+        use crate::budget::{BudgetedResult, CancelToken, Interrupt, SolveBudget};
+        let token = CancelToken::new();
+        token.cancel();
+        let mut s = Solver::attach_shared(hard_pigeonhole());
+        let budget = SolveBudget {
+            cancel: Some(token),
+            ..SolveBudget::default()
+        };
+        let r = s.solve_budgeted(&[], &mut NoExchange, &budget);
+        assert_eq!(r, BudgetedResult::Interrupted(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn propagation_budget_interrupts() {
+        use crate::budget::{BudgetedResult, Interrupt, SolveBudget};
+        let mut s = Solver::attach_shared(hard_pigeonhole());
+        let budget = SolveBudget {
+            max_propagations: 1,
+            ..SolveBudget::default()
+        };
+        let r = s.solve_budgeted(&[], &mut NoExchange, &budget);
+        assert_eq!(r, BudgetedResult::Interrupted(Interrupt::Propagations));
+    }
+
+    #[test]
+    fn injected_faults_fire_at_restart_coordinates() {
+        use crate::budget::{BudgetedResult, Interrupt, SolveBudget};
+        use crate::fault::{FaultCtx, FaultPlan};
+        let cnf = hard_pigeonhole();
+        let plan = std::sync::Arc::new(FaultPlan::parse("q@0@0@1@interrupt").expect("plan parses"));
+        let ctx = FaultCtx {
+            plan: plan.clone(),
+            query: std::sync::Arc::from("q"),
+            cube: 0,
+            attempt: 0,
+        };
+        let budget = SolveBudget {
+            fault: Some(ctx),
+            ..SolveBudget::default()
+        };
+        let mut s = Solver::attach_shared(cnf.clone());
+        let r = s.solve_budgeted(&[], &mut NoExchange, &budget);
+        assert_eq!(r, BudgetedResult::Interrupted(Interrupt::Injected));
+        // The site armed restart 1, so exactly one restart ran first.
+        assert_eq!(s.stats().restarts, 1);
+        assert_eq!(plan.injections(), 1);
+
+        // A panic site actually panics (the pool's catch_unwind recovers).
+        let panic_plan =
+            std::sync::Arc::new(FaultPlan::parse("q@*@*@0@panic").expect("plan parses"));
+        let panic_budget = SolveBudget {
+            fault: Some(FaultCtx {
+                plan: panic_plan,
+                query: std::sync::Arc::from("q"),
+                cube: 0,
+                attempt: 0,
+            }),
+            ..SolveBudget::default()
+        };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s = Solver::attach_shared(cnf);
+            s.solve_budgeted(&[], &mut NoExchange, &panic_budget)
+        }));
+        assert!(caught.is_err(), "armed panic site must panic");
     }
 
     #[test]
