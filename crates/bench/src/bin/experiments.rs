@@ -37,17 +37,19 @@
 //!   `tso/sc_per_loc/4@0@0@2@panic`. Injected faults exercise the
 //!   retry/degrade ladder; `experiments speedup` reports the counters.
 //!
-//! `experiments speedup` measures the threads=1 vs threads=N wall-clock
-//! ratio directly (the acceptance experiment for the parallel engine) and
-//! audits the portfolio invariants: exactly one circuit→CNF compilation
-//! per query, exchange/probe counters surfaced per worker, and — on a
-//! fault-free run — zero degraded workers.
+//! `experiments speedup` runs the TSO bound sweep three ways — a
+//! per-query-recompile baseline, the incremental layered-arena + clause-vault
+//! engine at one thread, and the full portfolio — asserting all three suites
+//! are byte-identical and auditing the perf invariants: exactly one full
+//! circuit→CNF compilation per incremental sweep, nonzero reuse counters,
+//! and — on a fault-free run — zero degraded workers. Results are also
+//! written to `BENCH_synth.json` for machine consumption (CI's perf-smoke).
 
 use litsynth_bench::baselines::DiyBaseline;
 use litsynth_bench::report;
 use litsynth_core::{
     check_minimal, count_programs, covering_subtests, minimal_for_some_axiom, synthesize_axiom,
-    synthesize_union, SynthConfig,
+    SynthConfig,
 };
 use litsynth_litmus::canonical_key_exact;
 use litsynth_litmus::suites::{cambridge, owens};
@@ -158,88 +160,170 @@ fn cfg(n: usize, budget: u64) -> SynthConfig {
     c
 }
 
-/// The parallel-engine acceptance experiment: the TSO union at `bound`,
-/// sequential vs portfolio, checking the suites are byte-identical and
-/// reporting the wall-clock speedup, the compile-once invariant, and the
-/// per-worker solver/exchange statistics.
+/// One phase of the `speedup` experiment: a full `2..=bound` sweep plus
+/// the sweep's statistics and wall-clock.
+struct Phase {
+    name: &'static str,
+    union: litsynth_core::CanonicalSuite,
+    stats: litsynth_core::SweepStats,
+    wall: std::time::Duration,
+}
+
+/// Serializes a suite for byte-for-byte comparison across phases.
+fn suite_digest(union: &litsynth_core::CanonicalSuite) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (k, (t, o)) in union {
+        let _ = writeln!(s, "{k}|{}", litsynth_litmus::serialize(t, o));
+    }
+    s
+}
+
+/// One phase's JSON object for `BENCH_synth.json` (hand-rolled — the tree
+/// has no JSON dependency; every value is a number, so no escaping).
+fn phase_json(p: &Phase) -> String {
+    let s = &p.stats;
+    format!(
+        "{{\"wall_s\": {:.6}, \"compilations\": {}, \"extensions\": {}, \
+         \"reused_clauses\": {}, \"vault_published\": {}, \"vault_imported\": {}, \
+         \"vault_filtered\": {}, \"raw_instances\": {}, \"exchange_exported\": {}, \
+         \"exchange_imported\": {}, \"retries\": {}, \"degraded\": {}}}",
+        p.wall.as_secs_f64(),
+        s.compilations,
+        s.extensions,
+        s.reused_clauses,
+        s.vault.published,
+        s.vault.imported,
+        s.vault.filtered,
+        s.raw_instances,
+        s.exchange.0,
+        s.exchange.1,
+        s.retries,
+        s.degraded,
+    )
+}
+
+/// The perf acceptance experiment: the TSO union over bounds `2..=bound`,
+/// three ways —
+///
+/// 1. **baseline** — monolithic per-query compilation, vault off, 1 thread
+///    (every query re-runs the Tseitin transform from scratch);
+/// 2. **incremental** — layered sweep compilation plus the cross-query
+///    clause vault, still 1 thread (isolates the compile/vault win);
+/// 3. **portfolio** — incremental + vault at `threads` threads with cube
+///    splitting (the full engine).
+///
+/// All three suites must be byte-identical; the incremental phases must
+/// compile in full exactly once per sweep and show nonzero reuse counters.
+/// Results also go to `BENCH_synth.json` (written atomically) for machines.
 fn speedup(bound: usize, threads: usize) {
     let threads = resolve_threads(threads);
     let cube_bits = env_usize("LITSYNTH_CUBE_BITS", 2);
-    println!("\n## Parallel speedup — TSO union, bound {bound}, {threads} threads\n");
+    println!(
+        "\n## Incremental + parallel speedup — TSO union, bounds 2..={bound}, {threads} threads\n"
+    );
     let tso = Tso::new();
 
-    let mut seq_cfg = SynthConfig::new(bound);
-    seq_cfg.threads = 1;
-    let c0 = litsynth_relalg::compilations();
-    let t0 = std::time::Instant::now();
-    let (seq_axioms, seq_union) = synthesize_union(&tso, &seq_cfg);
-    let seq_time = t0.elapsed();
-    let seq_compiles = (litsynth_relalg::compilations() - c0) as usize;
+    let run = |name, incremental, vault, threads: usize, cube_bits: usize| {
+        let t0 = std::time::Instant::now();
+        let (union, stats) =
+            litsynth_core::synthesize_union_up_to_with_stats(&tso, 2..=bound, |n| {
+                let mut c = SynthConfig::new(n);
+                c.threads = threads;
+                c.cube_bits = cube_bits;
+                c.incremental = incremental;
+                c.vault = vault;
+                c.journal = litsynth_core::env_journal();
+                c
+            });
+        Phase {
+            name,
+            union,
+            stats,
+            wall: t0.elapsed(),
+        }
+    };
+    let baseline = run("baseline", false, false, 1, 0);
+    let incremental = run("incremental", true, true, 1, 0);
+    let portfolio = run("portfolio", true, true, threads, cube_bits);
+    let phases = [&baseline, &incremental, &portfolio];
 
-    let mut par_cfg = SynthConfig::new(bound);
-    par_cfg.threads = threads;
-    par_cfg.cube_bits = cube_bits;
-    let c0 = litsynth_relalg::compilations();
-    let t0 = std::time::Instant::now();
-    let (par_axioms, par_union) = synthesize_union(&tso, &par_cfg);
-    let par_time = t0.elapsed();
-    let par_compiles = (litsynth_relalg::compilations() - c0) as usize;
-
-    assert_eq!(
-        seq_union.keys().collect::<Vec<_>>(),
-        par_union.keys().collect::<Vec<_>>(),
-        "parallel suite diverged from sequential"
-    );
-    // The compile-once invariant: one circuit→CNF compilation per query,
-    // no matter how many cube workers attached to it.
-    let num_queries = par_axioms.len();
-    assert_eq!(
-        par_compiles, num_queries,
-        "portfolio path must compile each query exactly once"
-    );
-    for (ax, r) in &par_axioms {
-        assert_eq!(r.compilations, 1, "query {ax} compiled more than once");
+    // Byte-identical output is the precondition for comparing the modes at
+    // all — the layered arenas and the vault must only change speed.
+    let digest = suite_digest(&baseline.union);
+    for p in &phases[1..] {
+        assert_eq!(
+            suite_digest(&p.union),
+            digest,
+            "{} suite diverged from baseline",
+            p.name
+        );
     }
-    println!(
-        "suite: {} tests (byte-identical in both modes)",
-        seq_union.len()
+    // The exactly-once-per-sweep invariant: the whole incremental sweep
+    // performs one full circuit→CNF compilation (the shared skeleton's);
+    // everything else — later bounds, per-axiom queries — extends it.
+    let num_queries = (bound - 1) * tso.axioms().len();
+    assert_eq!(
+        baseline.stats.compilations as usize, num_queries,
+        "baseline must compile once per query"
     );
+    // Per participating bound the chain grows by a skeleton link and a
+    // definitions link; the very first link is the sweep's one full
+    // compilation, everything after extends.
+    let num_extensions = (2 * (bound - 1) - 1) as u64;
+    for p in &phases[1..] {
+        assert_eq!(
+            p.stats.compilations, 1,
+            "{}: an incremental sweep must compile in full exactly once",
+            p.name
+        );
+        assert!(
+            p.stats.extensions >= num_extensions && p.stats.reused_clauses > 0,
+            "{}: incremental reuse counters must be nonzero \
+             (extensions {}, reused {})",
+            p.name,
+            p.stats.extensions,
+            p.stats.reused_clauses
+        );
+    }
+
     println!(
-        "sequential: {:.2}s   portfolio ({} threads, {} cubes/query): {:.2}s   speedup: {:.2}x",
-        seq_time.as_secs_f64(),
+        "suite: {} tests (byte-identical in all modes)",
+        baseline.union.len()
+    );
+    for p in &phases {
+        println!(
+            "{:<12} {:>8.2}s  compiles {:<3} extensions {:<4} reused clauses {:<8} \
+             vault {}/{} published/imported",
+            p.name,
+            p.wall.as_secs_f64(),
+            p.stats.compilations,
+            p.stats.extensions,
+            p.stats.reused_clauses,
+            p.stats.vault.published,
+            p.stats.vault.imported,
+        );
+    }
+    let ratio = |p: &Phase| baseline.wall.as_secs_f64() / p.wall.as_secs_f64().max(1e-9);
+    println!(
+        "speedup: incremental {:.2}x, portfolio ({} threads, {} cubes/query) {:.2}x \
+         over the per-query-recompile baseline",
+        ratio(&incremental),
         threads,
         1usize << cube_bits,
-        par_time.as_secs_f64(),
-        seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9),
+        ratio(&portfolio),
     );
     println!(
-        "compile-once: {num_queries} queries → {seq_compiles} sequential / {par_compiles} \
-         portfolio CNF compilations (exactly one per query)"
+        "compile-once: {num_queries} queries → {} baseline / {} incremental full \
+         CNF compilations",
+        baseline.stats.compilations, incremental.stats.compilations
     );
-    let (exported, imported, filtered) = par_axioms.values().fold((0, 0, 0), |acc, r| {
-        (
-            acc.0 + r.exchange.0,
-            acc.1 + r.exchange.1,
-            acc.2 + r.exchange.2,
-        )
-    });
-    let probe: f64 = par_axioms.values().map(|r| r.probe.as_secs_f64()).sum();
-    println!(
-        "exchange: {exported} clauses exported, {imported} imported, {filtered} filtered; \
-         cube-selection probes {probe:.3}s total"
-    );
-    // Resilience counters: retried attempts and degraded workers over both
-    // runs, plus faults injected via LITSYNTH_FAULT_PLAN (if any).
-    let retries: u64 = seq_axioms
-        .values()
-        .chain(par_axioms.values())
-        .map(|r| r.retries)
-        .sum();
-    let degraded: usize = seq_axioms
-        .values()
-        .chain(par_axioms.values())
-        .map(|r| r.degraded)
-        .sum();
+    let (exported, imported, filtered) = portfolio.stats.exchange;
+    println!("exchange: {exported} clauses exported, {imported} imported, {filtered} filtered");
+    // Resilience counters: retried attempts and degraded workers over all
+    // phases, plus faults injected via LITSYNTH_FAULT_PLAN (if any).
+    let retries: u64 = phases.iter().map(|p| p.stats.retries).sum();
+    let degraded: u64 = phases.iter().map(|p| p.stats.degraded).sum();
     let plan = litsynth_sat::FaultPlan::global();
     let injections = plan.as_ref().map(|p| p.injections()).unwrap_or(0);
     println!(
@@ -252,28 +336,28 @@ fn speedup(bound: usize, threads: usize) {
             "a fault-free run must not produce degraded workers"
         );
     }
-    println!(
-        "\n| axiom | cube | instances | CNF vars | CNF clauses | exp | imp | filt | probe(s) | time(s) |"
+
+    // Machine-readable results, written atomically next to the suites.
+    let json = format!(
+        "{{\n  \"experiment\": \"speedup\",\n  \"model\": \"tso\",\n  \
+         \"bounds\": [2, {bound}],\n  \"threads\": {threads},\n  \
+         \"cube_bits\": {cube_bits},\n  \"suite_tests\": {},\n  \
+         \"byte_identical\": true,\n  \"phases\": {{\n    \"baseline\": {},\n    \
+         \"incremental\": {},\n    \"portfolio\": {}\n  }},\n  \
+         \"speedup_incremental\": {:.4},\n  \"speedup_portfolio\": {:.4},\n  \
+         \"resilience\": {{\"retries\": {retries}, \"degraded\": {degraded}, \
+         \"injected_faults\": {injections}}}\n}}\n",
+        baseline.union.len(),
+        phase_json(&baseline),
+        phase_json(&incremental),
+        phase_json(&portfolio),
+        ratio(&incremental),
+        ratio(&portfolio),
     );
-    println!(
-        "|-------|------|-----------|----------|-------------|-----|-----|------|----------|---------|"
-    );
-    for (ax, r) in &par_axioms {
-        for w in &r.workers {
-            println!(
-                "| {ax} | {}/{} | {} | {} | {} | {} | {} | {} | {:.3} | {:.3} |",
-                w.cube,
-                w.num_cubes,
-                w.raw_instances,
-                w.cnf_vars,
-                w.cnf_clauses,
-                w.exported,
-                w.imported,
-                w.filtered,
-                w.probe.as_secs_f64(),
-                w.elapsed.as_secs_f64()
-            );
-        }
+    let path = std::path::Path::new("BENCH_synth.json");
+    match litsynth_core::atomic_write(path, json.as_bytes()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
 

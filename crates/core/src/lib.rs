@@ -33,6 +33,6 @@ pub use relax::{applications, apply, Application};
 pub use subtest::{contains_subtest, covering_subtests, program_key};
 pub use symbolic::{vocabulary, Shape, SymbolicTest, SynthConfig};
 pub use synth::{
-    synthesize_axiom, synthesize_union, synthesize_union_up_to, CanonicalSuite, SynthResult,
-    WorkerStats,
+    synthesize_axiom, synthesize_union, synthesize_union_up_to, synthesize_union_up_to_with_stats,
+    CanonicalSuite, SweepStats, SynthResult, WorkerStats,
 };

@@ -66,6 +66,17 @@ pub struct SynthConfig {
     pub adaptive_cubes: bool,
     /// Conflict budget for the adaptive-cube probing run.
     pub probe_conflicts: u64,
+    /// Compile sweeps incrementally: one circuit arena per sweep, the
+    /// axiom-independent skeleton Tseitin-encoded exactly once per bound as
+    /// a chain of shared CNF layers, and each (axiom, bound) query derived
+    /// as a one-layer extension. Off, every query recompiles from scratch.
+    /// Suites are byte-identical either way.
+    pub incremental: bool,
+    /// Reuse skeleton-pure learnt clauses across the queries of a sweep
+    /// through the portfolio clause vault (requires [`SynthConfig::incremental`]
+    /// to have any effect — the vault keys on skeleton-layer fingerprints).
+    /// Imports only prune search; suites are byte-identical either way.
+    pub vault: bool,
     /// Total attempts per cube worker (including the first) before the
     /// query is marked degraded instead of aborting the run.
     pub max_attempts: usize,
@@ -111,6 +122,8 @@ impl SynthConfig {
             exchange_max_len: 30,
             adaptive_cubes: true,
             probe_conflicts: 500,
+            incremental: true,
+            vault: true,
             max_attempts: 3,
             retry_backoff_ms: 10,
             solve_conflicts: 0,
@@ -142,6 +155,18 @@ impl SynthConfig {
     /// Enables or disables adaptive cube selection (builder style).
     pub fn with_adaptive_cubes(mut self, adaptive: bool) -> SynthConfig {
         self.adaptive_cubes = adaptive;
+        self
+    }
+
+    /// Enables or disables incremental sweep compilation (builder style).
+    pub fn with_incremental(mut self, incremental: bool) -> SynthConfig {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Enables or disables the cross-query clause vault (builder style).
+    pub fn with_vault(mut self, vault: bool) -> SynthConfig {
+        self.vault = vault;
         self
     }
 

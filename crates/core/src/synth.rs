@@ -23,6 +23,27 @@
 //! * the pinned bits are chosen **adaptively** from a probing run's VSIDS
 //!   activity ([`SynthConfig::adaptive_cubes`]) rather than slot order.
 //!
+//! Since incremental sweep compilation, whole sweeps cooperate too
+//! ([`SynthConfig::incremental`], [`SynthConfig::vault`]):
+//!
+//! * all queries of a sweep share one hash-consed circuit arena and one
+//!   **shared layer chain**: per bound, the axiom-independent skeleton (the
+//!   wellformedness constraints, observables, and pin candidates) and then
+//!   every axiom's minimality-circuit *definitions* are Tseitin-encoded
+//!   exactly once per sweep, bound n+1 extending bound n's immutable
+//!   layers. Definition layers never constrain anything by themselves — a
+//!   Tseitin layer only names gates — so all of a bound's queries run over
+//!   the *identical* formula and differ purely in which roots they assume,
+//! * **chain-pure** learnt clauses (derived from the shared layers alone —
+//!   never from a worker's private blocking clauses — tracked through
+//!   every 1UIP resolution) are harvested into a cross-query **clause
+//!   vault** keyed by chain fingerprints, seeding every later query whose
+//!   chain shares the prefix — sound for the same reason bus imports are,
+//!   see `litsynth_portfolio::vault`, and
+//! * each worker **warms** its solver's branching order with its own
+//!   query's cone ([`litsynth_relalg::Finder::warm`]), so sharing one big
+//!   formula does not degrade search focus.
+//!
 //! Results are deterministic by construction — byte-identical across any
 //! `threads`/`cube_bits`/`exchange` choice:
 //!
@@ -37,21 +58,27 @@
 //!   deterministic), so the partition never depends on thread timing, and
 //! * imported clauses are implied for every model a worker has yet to
 //!   enumerate (see `litsynth_portfolio::exchange`), so exchange traffic
-//!   affects solver effort only, never the per-cube class sets.
+//!   affects solver effort only, never the per-cube class sets, and
+//! * incremental compilation and the vault only change how the query's CNF
+//!   is factored into layers and which redundant clauses pre-seed the
+//!   solver — the encoded formula, and hence the enumerated class set, is
+//!   the same, so suites stay byte-identical with either switch flipped.
 
 use crate::journal::{config_fingerprint, query_key};
 use crate::perturb::minimality_asserts_opts;
 use crate::symbolic::{vocabulary, SymbolicTest, SynthConfig};
-use litsynth_litmus::{canonical_key_hash, canonicalize_exact, serialize, LitmusTest, Outcome};
+use litsynth_litmus::{canonical_key_hash, serialize, LitmusTest, Outcome, TwoTierCanon};
 use litsynth_models::{MemoryModel, SymAlg};
 use litsynth_portfolio::{
-    run_resilient, Attempt, CompiledQuery, CubeConfig, ExchangeBus, ExchangeConfig, RetryConfig,
+    run_resilient, Attempt, ClauseVault, CompiledQuery, CubeConfig, ExchangeBus, ExchangeConfig,
+    ExchangeEndpoint, ExchangeStats, RetryConfig, VaultConfig, VaultStats, VaultedExchange,
 };
-use litsynth_relalg::Bit;
-use litsynth_sat::{FaultCtx, Interrupt, SolveBudget};
+use litsynth_relalg::{Bit, Circuit, CompiledCircuit, Finder};
+use litsynth_sat::{ClauseExchange, FaultCtx, Interrupt, Lit, SolveBudget};
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A deduplicated suite: canonical key → (test, outcome).
@@ -181,17 +208,29 @@ fn effective_cube_bits<M: MemoryModel>(model: &M, cfg: &SynthConfig) -> usize {
 
 /// One (axiom, bound) query, compiled once and shared by its cube workers.
 struct Query {
-    st: SymbolicTest,
+    st: Arc<SymbolicTest>,
     /// The minimality asserts, without cube pins.
     asserts: Vec<Bit>,
     query: CompiledQuery,
-    /// Circuit→CNF compilations this query performed (always 1 — the
-    /// counter exists so the observability path reports measured fact, not
-    /// assumption; `experiments speedup` cross-checks it against the
-    /// process-wide `litsynth_relalg::compilations()` counter). Measured
-    /// with the thread-local counter: the whole build runs on one thread,
-    /// so sibling queries compiling concurrently cannot inflate it.
+    /// Full circuit→CNF compilations charged to this query. On the
+    /// monolithic path this is always 1, measured with the thread-local
+    /// counter (the whole build runs on one thread, so sibling queries
+    /// compiling concurrently cannot inflate it). On the incremental path
+    /// the sweep's one full compilation is claimed by whichever query
+    /// arrives first and everyone else charges 0 — so the per-query *sum*
+    /// is exactly 1 per sweep, which `experiments speedup` asserts.
     compilations: usize,
+}
+
+/// The pin-selection config for one query. A query that will never be
+/// cube-split (`cube_bits == 0`) skips the adaptive probing run outright —
+/// its pins are unused, so the probe would be pure overhead on both the
+/// monolithic and the incremental path.
+fn cube_config(cfg: &SynthConfig) -> CubeConfig {
+    CubeConfig {
+        adaptive: cfg.adaptive_cubes && cfg.cube_bits > 0,
+        probe_conflicts: cfg.probe_conflicts,
+    }
 }
 
 /// Builds (symbolic test + minimality asserts + shared compilation + cube
@@ -210,17 +249,158 @@ fn build_query<M: MemoryModel>(model: &M, cfg: &SynthConfig, axiom: &'static str
         &asserts,
         &st.observables,
         &candidates,
-        &CubeConfig {
-            adaptive: cfg.adaptive_cubes,
-            probe_conflicts: cfg.probe_conflicts,
-        },
+        &cube_config(cfg),
     );
     let compilations = (litsynth_relalg::thread_compilations() - before) as usize;
     Query {
-        st,
+        st: Arc::new(st),
         asserts,
         query,
         compilations,
+    }
+}
+
+/// The shared, sequentially prebuilt state for every query of one bound in
+/// an incremental sweep: the sweep-wide circuit arena, the bound's symbolic
+/// test, its skeleton compilation (one link of the sweep's layer chain),
+/// and the per-axiom minimality asserts each query extends the skeleton
+/// with.
+struct BoundShare {
+    circuit: Arc<Circuit>,
+    st: Arc<SymbolicTest>,
+    /// The shared layer chain up to and including this bound: per
+    /// participating bound so far, a skeleton layer (wellformedness,
+    /// observables, pin candidates) followed by a definitions layer (every
+    /// axiom's minimality-circuit Tseitin cone), all encoded exactly once
+    /// per sweep. Every layer is tagged shared ("skeleton") — definition
+    /// layers only *name* gates, they assert nothing, so learnt clauses
+    /// derived from the chain alone are sound to share between all queries
+    /// whose chain has them as a prefix (see `litsynth_portfolio::vault`).
+    /// A bound's queries all run over this identical formula and differ
+    /// only in their assumption roots.
+    compiled: Arc<CompiledCircuit>,
+    /// Minimality asserts per axiom index (cube pins excluded).
+    asserts: Vec<Vec<Bit>>,
+    candidates: Vec<Bit>,
+    /// `true` until a query claims the sweep's one full compilation for its
+    /// `compilations` counter; extension layers are charged nowhere, which
+    /// keeps the per-query sum at exactly 1 per sweep.
+    charge: AtomicBool,
+    /// Live solvers parked between tasks. Because every query of the bound
+    /// runs over the *identical* compiled chain, a solver that finished one
+    /// task can serve the next — of a different cube, axiom, or attempt —
+    /// keeping its entire learnt-clause database warm (incremental SAT
+    /// across queries, the pool form). Soundness: each task encloses its
+    /// blocking clauses under a fresh activation guard
+    /// ([`Finder::new_guard`]), so nothing task-specific survives into the
+    /// next task's search, and guard-tainted derivations never leave the
+    /// solver (the exchange export filter). The enumerated class sets are
+    /// therefore exactly those of cold solvers; which task gets which
+    /// pooled solver affects effort only.
+    pool: Mutex<Vec<Finder>>,
+}
+
+/// Prebuilds the [`BoundShare`]s of an incremental sweep, sequentially, on
+/// the caller's thread. `specs` pairs each bound's config with whether the
+/// bound participates (it asked for incremental compilation and has tasks
+/// left after journal planning); non-participants get `None` and their
+/// tasks fall back to the monolithic per-query [`build_query`] path.
+///
+/// All participating bounds share **one** hash-consed circuit arena (so a
+/// sub-structure two bounds have in common is one node, encoded once) and
+/// one skeleton layer chain: the first participant's skeleton is compiled
+/// in full ([`CompiledCircuit::compile_tagged`]), every later participant
+/// only extends it ([`CompiledCircuit::extend`]). The arena is frozen into
+/// an `Arc` once, after all bounds are built — node indices are append-only
+/// and stable, so mid-build compilations stay valid.
+fn sweep_shares<M: MemoryModel>(
+    model: &M,
+    specs: &[(&SynthConfig, bool)],
+) -> Vec<Option<Arc<BoundShare>>> {
+    let mut alg = SymAlg::new();
+    let mut chain: Option<Arc<CompiledCircuit>> = None;
+    let mut built = Vec::with_capacity(specs.len());
+    for &(cfg, participates) in specs {
+        if !participates {
+            built.push(None);
+            continue;
+        }
+        let st = SymbolicTest::build(&mut alg, model, cfg);
+        let asserts: Vec<Vec<Bit>> = model
+            .axioms()
+            .iter()
+            .map(|&ax| minimality_asserts_opts(&mut alg, model, &st, ax, cfg.orphan_unconstrained))
+            .collect();
+        let candidates: Vec<Bit> = st.kind.iter().flatten().copied().collect();
+        let roots: Vec<Bit> = st
+            .wellformed
+            .iter()
+            .chain(&st.observables)
+            .chain(&candidates)
+            .copied()
+            .collect();
+        let skeleton = match &chain {
+            None => CompiledCircuit::compile_tagged(&alg.circuit, roots, true),
+            Some(prev) => CompiledCircuit::extend(prev, &alg.circuit, roots, true),
+        };
+        // Fuse every axiom's minimality-circuit *definitions* into the
+        // shared chain, tagged shared like the skeleton. A Tseitin layer
+        // never constrains — it only names gates — so the bound's queries
+        // all solve this one formula under different assumptions, and any
+        // clause a solver learns from the chain alone is valid for every
+        // sibling (and every later bound): that is what makes the vault's
+        // cross-query seeding productive instead of marginal.
+        let full = Arc::new(CompiledCircuit::extend(
+            &skeleton,
+            &alg.circuit,
+            asserts.iter().flatten().copied(),
+            true,
+        ));
+        chain = Some(full.clone());
+        built.push(Some((Arc::new(st), full, asserts, candidates)));
+    }
+    let circuit = Arc::new(alg.into_circuit());
+    let mut first = true;
+    built
+        .into_iter()
+        .map(|slot| {
+            slot.map(|(st, compiled, asserts, candidates)| {
+                let share = Arc::new(BoundShare {
+                    circuit: circuit.clone(),
+                    st,
+                    compiled,
+                    asserts,
+                    candidates,
+                    charge: AtomicBool::new(first),
+                    pool: Mutex::new(Vec::new()),
+                });
+                first = false;
+                share
+            })
+        })
+        .collect()
+}
+
+/// Derives one query from its bound's prebuilt share. The bound's one
+/// compiled chain already encodes everything the query touches — skeleton
+/// *and* its axiom's minimality definitions — so no per-query Tseitin work
+/// happens at all: the query borrows the chain by `Arc` and contributes
+/// only its assumption roots (plus the pin-ranking probe). Runs inside the
+/// query's `OnceLock`, exactly like [`build_query`].
+fn build_query_from_share(share: &BoundShare, axiom_idx: usize, cfg: &SynthConfig) -> Query {
+    let asserts = share.asserts[axiom_idx].clone();
+    let query = CompiledQuery::from_compiled(
+        share.circuit.clone(),
+        share.compiled.clone(),
+        &asserts,
+        &share.candidates,
+        &cube_config(cfg),
+    );
+    Query {
+        st: share.st.clone(),
+        asserts,
+        query,
+        compilations: usize::from(share.charge.swap(false, Ordering::Relaxed)),
     }
 }
 
@@ -237,6 +417,60 @@ struct Task {
     cube_bits: usize,
     shared: Arc<OnceLock<Query>>,
     bus: Arc<ExchangeBus>,
+    /// The bound's prebuilt share when the sweep compiles incrementally;
+    /// `None` makes the query compile monolithically on first touch.
+    prebuilt: Option<Arc<BoundShare>>,
+    /// The sweep-wide cross-query clause vault, when enabled.
+    vault: Option<Arc<ClauseVault>>,
+}
+
+/// Attaches a bound's prebuilt share — and the sweep vault, for the tasks
+/// whose config asks for it — to the bound's planned tasks.
+fn attach_share(
+    tasks: &mut [Task],
+    share: &Option<Arc<BoundShare>>,
+    vault: &Option<Arc<ClauseVault>>,
+) {
+    for t in tasks {
+        t.prebuilt = share.clone();
+        if t.cfg.vault {
+            t.vault = vault.clone();
+        }
+    }
+}
+
+/// A cube worker's exchange stack: its bus endpoint, wrapped with
+/// cross-query vault traffic when the query sits on a skeleton layer chain
+/// (monolithic queries have a single untagged layer, no chain fingerprints,
+/// and skip the wrapper).
+enum CubeExchange {
+    Plain(ExchangeEndpoint),
+    Vaulted(VaultedExchange<ExchangeEndpoint>),
+}
+
+impl CubeExchange {
+    fn stats(&self) -> ExchangeStats {
+        match self {
+            CubeExchange::Plain(e) => e.stats(),
+            CubeExchange::Vaulted(v) => v.inner().stats(),
+        }
+    }
+}
+
+impl ClauseExchange for CubeExchange {
+    fn export(&mut self, lits: &[Lit], lbd: u32, skeleton: bool) {
+        match self {
+            CubeExchange::Plain(e) => e.export(lits, lbd, skeleton),
+            CubeExchange::Vaulted(v) => v.export(lits, lbd, skeleton),
+        }
+    }
+
+    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, bool)>) {
+        match self {
+            CubeExchange::Plain(e) => e.fetch(out),
+            CubeExchange::Vaulted(v) => v.fetch(out),
+        }
+    }
 }
 
 /// The shared state for one query's worker group.
@@ -289,42 +523,94 @@ fn attempt_budget(task: &Task, attempt: usize, start: Instant) -> SolveBudget {
 /// shared `OnceLock`; everyone attaches a private solver to the shared
 /// clause arena and trades learnt clauses over the query's exchange bus.
 ///
-/// Every call starts from a fresh solver attached to the (immutable)
-/// shared arena, so a retried attempt re-enumerates the cube from scratch
-/// and deterministically: nothing from a failed attempt leaks into the
-/// next one. On the final attempt exchange imports are disabled for
-/// maximal independence from peer timing (exports still flow; see
-/// `litsynth_portfolio::exchange` for why imports can't change the
-/// enumerated set either way).
+/// On the monolithic path every call starts from a fresh solver attached
+/// to the (immutable) shared arena. On an incremental bound the call may
+/// instead draw a live solver from the bound's pool (see
+/// [`BoundShare::pool`]); either way each attempt runs under its own fresh
+/// activation guard, so a retried attempt re-enumerates the cube from
+/// scratch and deterministically: no *constraint* from a failed attempt
+/// leaks into the next one — only formula-implied learnt clauses, which
+/// prune without changing the enumerated set. On the final attempt
+/// exchange imports are disabled for maximal independence from peer timing
+/// (exports still flow; see `litsynth_portfolio::exchange` for why imports
+/// can't change the enumerated set either way).
 fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Attempt<CubeRun> {
     let cfg = &task.cfg;
     let start = Instant::now();
-    let query = task
-        .shared
-        .get_or_init(|| build_query(model, cfg, task.axiom));
+    let query = task.shared.get_or_init(|| match &task.prebuilt {
+        Some(share) => build_query_from_share(share, task.axiom_idx, cfg),
+        None => build_query(model, cfg, task.axiom),
+    });
     let st = &query.st;
     let circuit = query.query.circuit();
     let mut asserts = query.asserts.clone();
     asserts.extend(query.query.cube_pins(task.cube, task.cube_bits));
-    let mut finder = query.query.attach();
-    let mut exchange = task.bus.endpoint(task.cube);
+    // On a prebuilt (incremental) bound, reuse a live solver from the
+    // bound's pool when one is parked: every task of the bound solves the
+    // identical compiled chain, so the solver arrives with its learnt
+    // clauses — and everything the chain's earlier tasks proved — intact.
+    // The price of soundness is one activation guard per task enclosing
+    // its blocking clauses; a fresh attach pays the same guard so that it,
+    // too, can be parked and reused when it finishes.
+    let pooled = task.prebuilt.as_ref().map(|share| &share.pool);
+    let mut finder = pooled
+        .and_then(|pool| pool.lock().unwrap_or_else(|e| e.into_inner()).pop())
+        .unwrap_or_else(|| query.query.attach());
+    let guard = pooled.map(|_| finder.new_guard());
+    // Focus branching on this query's own cone. On the monolithic path the
+    // warmed cone covers (essentially) the whole formula, so this changes
+    // nothing; on a sweep-shared chain it keeps the solver out of the other
+    // bounds' and axioms' layers until propagation actually drags it there.
+    finder.warm(
+        circuit,
+        asserts
+            .iter()
+            .chain(&st.observables)
+            .chain(st.kind.iter().flatten())
+            .copied(),
+    );
     let max_attempts = cfg.max_attempts.max(1);
-    if max_attempts > 1 && attempt + 1 >= max_attempts {
-        exchange.disable_imports();
+    let last_attempt = max_attempts > 1 && attempt + 1 >= max_attempts;
+    let mut endpoint = task.bus.endpoint(task.cube);
+    if last_attempt {
+        endpoint.disable_imports();
     }
+    let fingerprints = query.query.compiled().cnf().skeleton_fingerprints();
+    let mut exchange = match (&task.vault, fingerprints.last().copied()) {
+        (Some(vault), Some(publish_fp)) => {
+            let mut v = VaultedExchange::new(endpoint, vault.clone(), publish_fp, fingerprints);
+            if last_attempt {
+                v.suppress_imports();
+            }
+            CubeExchange::Vaulted(v)
+        }
+        _ => CubeExchange::Plain(endpoint),
+    };
     let budget = attempt_budget(task, attempt, start);
 
     let mut tests = BTreeMap::new();
+    // Exact canonicalization runs through the two-tier cache: the
+    // permutation search happens once per distinct hash class this worker
+    // sees, repeat members cost one hash key. Per-worker state, so output
+    // stays a pure function of the enumerated set.
+    let mut canon = TwoTierCanon::new();
     let mut raw = 0usize;
     let mut truncated = false;
     let mut interrupted: Option<Interrupt> = None;
+    let extra: Vec<Lit> = guard.into_iter().collect();
     loop {
-        match finder.next_instance_budgeted(circuit, &asserts, &mut exchange, &budget) {
+        match finder.next_instance_budgeted_assuming(
+            circuit,
+            &asserts,
+            &extra,
+            &mut exchange,
+            &budget,
+        ) {
             Ok(Some(inst)) => {
                 raw += 1;
                 let (test, outcome) = st.extract(circuit, &inst);
                 if cfg.exact_canon {
-                    let (key, ct, co) = canonicalize_exact(&test, &outcome);
+                    let (key, ct, co) = canon.canonicalize(&test, &outcome);
                     insert_dedup(&mut tests, key, ct, co);
                 } else {
                     insert_dedup(
@@ -334,7 +620,7 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
                         outcome,
                     );
                 }
-                finder.block(circuit, &inst, &st.observables);
+                finder.block_guarded(circuit, &inst, &st.observables, guard);
                 if raw >= cfg.max_instances {
                     truncated = true;
                     break;
@@ -353,6 +639,28 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
         }
     }
     let xs = exchange.stats();
+    let (cnf_vars, cnf_clauses) = (finder.num_cnf_vars(), finder.num_cnf_clauses());
+    if std::env::var_os("LITSYNTH_TRACE").is_some() {
+        eprintln!(
+            "trace {} cube {} attempt {}: wall {:?} probe {:?} raw {} conflicts {}",
+            task.query_key,
+            task.cube,
+            attempt,
+            start.elapsed(),
+            query.query.probe_time(),
+            raw,
+            finder.solver_stats().conflicts,
+        );
+    }
+    // Park the solver for the bound's next task, warm. Interrupted attempts
+    // park too — the retry draws a pooled solver and a *fresh* guard, so
+    // the failed pass's guarded blocking clauses are inert and the retry
+    // re-enumerates its cube from scratch, exactly like a cold solver
+    // would. A task that panics instead (injected fault) simply drops its
+    // solver; the pool refills from `attach` on demand.
+    if let Some(pool) = pooled {
+        pool.lock().unwrap_or_else(|e| e.into_inner()).push(finder);
+    }
     let run = CubeRun {
         tests,
         // The query-level costs (the one compilation, the probe) are
@@ -374,8 +682,8 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             cube: task.cube,
             num_cubes: 1 << task.cube_bits,
             raw_instances: raw,
-            cnf_vars: finder.num_cnf_vars(),
-            cnf_clauses: finder.num_cnf_clauses(),
+            cnf_vars,
+            cnf_clauses,
             elapsed: start.elapsed(),
             truncated,
             exported: xs.exported,
@@ -599,6 +907,8 @@ fn plan_with_journal<M: MemoryModel>(
                 cube_bits,
                 shared: shared.clone(),
                 bus: bus.clone(),
+                prebuilt: None,
+                vault: None,
             });
         }
     }
@@ -632,6 +942,8 @@ pub fn synthesize_axiom<M: MemoryModel + Sync>(
             cube_bits,
             shared: shared.clone(),
             bus: bus.clone(),
+            prebuilt: None,
+            vault: None,
         })
         .collect();
     let runs = run_tasks(model, &tasks, cfg.threads);
@@ -650,7 +962,12 @@ pub fn synthesize_union<M: MemoryModel + Sync>(
     cfg: &SynthConfig,
 ) -> (BTreeMap<&'static str, SynthResult>, CanonicalSuite) {
     let start = Instant::now();
-    let (hits, tasks) = plan_with_journal(model, cfg);
+    let (hits, mut tasks) = plan_with_journal(model, cfg);
+    if cfg.incremental && !tasks.is_empty() {
+        let share = sweep_shares(model, &[(cfg, true)]).pop().flatten();
+        let vault = cfg.vault.then(|| ClauseVault::new(VaultConfig::default()));
+        attach_share(&mut tasks, &share, &vault);
+    }
     let runs = run_tasks(model, &tasks, cfg.threads);
     let (per_axiom, union) = merge_union(model, tasks, runs, start, hits);
     for (&ax, r) in &per_axiom {
@@ -688,6 +1005,37 @@ fn merge_union<M: MemoryModel>(
     (per_axiom, union)
 }
 
+/// Aggregate compile-reuse and clause-vault statistics for one sweep of
+/// [`synthesize_union_up_to_with_stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepStats {
+    /// Full circuit→CNF compilations charged to the sweep's queries — the
+    /// race-free per-query sum. Exactly 1 for a fully incremental sweep
+    /// (the shared skeleton's compile, claimed by whichever query arrives
+    /// first), one per query monolithically; journal hits charge 0.
+    pub compilations: u64,
+    /// Incremental layer extensions performed while the sweep ran: the
+    /// skeleton-chain links after the first, plus one per derived query.
+    /// A process-global delta of [`litsynth_relalg::incremental_extensions`]
+    /// — exact when no other synthesis runs concurrently in the process.
+    pub extensions: u64,
+    /// Already-encoded clauses reused by those extensions instead of being
+    /// re-encoded (delta of [`litsynth_relalg::reused_clauses`], same
+    /// caveat).
+    pub reused_clauses: u64,
+    /// Cross-query clause-vault counters (all zero with the vault off).
+    pub vault: VaultStats,
+    /// Raw solver instances enumerated, summed over the sweep's queries.
+    pub raw_instances: u64,
+    /// Retry attempts beyond each worker's first, summed over the sweep.
+    pub retries: u64,
+    /// Workers whose every attempt failed, summed over the sweep.
+    pub degraded: u64,
+    /// Exchange-bus totals over all workers: (exported, imported,
+    /// filtered).
+    pub exchange: (u64, u64, u64),
+}
+
 /// Synthesizes the union suite over a range of bounds, merging canonical
 /// sets (tests of different sizes never collide). Every (bound, axiom,
 /// cube) task across the whole range fans out over one shared worker pool.
@@ -696,22 +1044,53 @@ pub fn synthesize_union_up_to<M: MemoryModel + Sync>(
     bounds: std::ops::RangeInclusive<usize>,
     mk_cfg: impl Fn(usize) -> SynthConfig,
 ) -> CanonicalSuite {
+    synthesize_union_up_to_with_stats(model, bounds, mk_cfg).0
+}
+
+/// Like [`synthesize_union_up_to`], also reporting the sweep's
+/// [`SweepStats`].
+pub fn synthesize_union_up_to_with_stats<M: MemoryModel + Sync>(
+    model: &M,
+    bounds: std::ops::RangeInclusive<usize>,
+    mk_cfg: impl Fn(usize) -> SynthConfig,
+) -> (CanonicalSuite, SweepStats) {
     let cfgs: Vec<SynthConfig> = bounds.map(mk_cfg).collect();
     let threads = cfgs.iter().map(|c| c.threads).max().unwrap_or(1);
-    let mut tasks: Vec<Task> = Vec::new();
+    let extensions0 = litsynth_relalg::incremental_extensions();
+    let reused0 = litsynth_relalg::reused_clauses();
     // (journal hits, task count) per bound. The journal is consulted once,
     // up front — entries recorded while the pool runs must not change
     // which tasks this invocation planned.
     let mut plans = Vec::new();
+    let mut per_bound: Vec<Vec<Task>> = Vec::new();
     for cfg in &cfgs {
         let (hits, bound_tasks) = plan_with_journal(model, cfg);
         plans.push((hits, bound_tasks.len()));
-        tasks.extend(bound_tasks);
+        per_bound.push(bound_tasks);
     }
+    // Prebuild one shared arena and skeleton layer chain for the bounds
+    // that asked for incremental compilation and still have work, plus one
+    // sweep-wide vault — later bounds' chains contain the earlier bounds'
+    // chains as prefixes, so clauses vaulted at bound n seed bound n+1 too.
+    let specs: Vec<(&SynthConfig, bool)> = cfgs
+        .iter()
+        .zip(&per_bound)
+        .map(|(cfg, tasks)| (cfg, cfg.incremental && !tasks.is_empty()))
+        .collect();
+    let shares = sweep_shares(model, &specs);
+    let vault = cfgs
+        .iter()
+        .any(|c| c.vault)
+        .then(|| ClauseVault::new(VaultConfig::default()));
+    for (tasks, share) in per_bound.iter_mut().zip(&shares) {
+        attach_share(tasks, share, &vault);
+    }
+    let tasks: Vec<Task> = per_bound.into_iter().flatten().collect();
     let runs = run_tasks(model, &tasks, threads);
 
     // Merge in bound order, each bound in axiom order — the same shape as
     // the sequential loop, so the result is byte-identical to it.
+    let mut stats = SweepStats::default();
     let mut union: CanonicalSuite = BTreeMap::new();
     let mut tasks = tasks.into_iter();
     let mut runs = runs.into_iter();
@@ -721,11 +1100,23 @@ pub fn synthesize_union_up_to<M: MemoryModel + Sync>(
         let start = Instant::now();
         let (per_axiom, u) = merge_union(model, bound_tasks, bound_runs, start, hits);
         for (&ax, r) in &per_axiom {
+            stats.compilations += r.compilations as u64;
+            stats.raw_instances += r.raw_instances as u64;
+            stats.retries += r.retries;
+            stats.degraded += r.degraded as u64;
+            stats.exchange.0 += r.exchange.0;
+            stats.exchange.1 += r.exchange.1;
+            stats.exchange.2 += r.exchange.2;
             record_if_clean(model.name(), ax, cfg, r);
         }
         union.extend(u);
     }
-    union
+    stats.extensions = litsynth_relalg::incremental_extensions() - extensions0;
+    stats.reused_clauses = litsynth_relalg::reused_clauses() - reused0;
+    if let Some(v) = &vault {
+        stats.vault = v.stats();
+    }
+    (union, stats)
 }
 
 #[cfg(test)]
@@ -944,7 +1335,10 @@ mod tests {
     fn one_compilation_per_query_and_counters_surface() {
         let m = Tso::new();
         let before = litsynth_relalg::compilations();
-        let cfg = SynthConfig::new(2).with_threads(4).with_cube_bits(2);
+        let cfg = SynthConfig::new(2)
+            .with_threads(4)
+            .with_cube_bits(2)
+            .with_incremental(false);
         let (p, _) = synthesize_union(&m, &cfg);
         let compiled = litsynth_relalg::compilations() - before;
         // The union must have compiled at least one CNF per query. The
@@ -953,8 +1347,9 @@ mod tests {
         // race-free per-query counters below, not on the global delta.
         assert!(compiled as usize >= m.axioms().len());
         for (ax, r) in &p {
-            // Exactly one circuit→CNF compilation per (axiom, bound)
-            // query, no matter how many cube workers attached.
+            // Monolithic mode: exactly one circuit→CNF compilation per
+            // (axiom, bound) query, no matter how many cube workers
+            // attached.
             assert_eq!(r.compilations, 1, "{ax}");
             assert_eq!(r.workers.len(), 4, "{ax}");
             // Worker counters roll up into the query-level totals.
@@ -968,6 +1363,136 @@ mod tests {
                 "{ax}"
             );
         }
+        // Incremental mode (the default): one full compilation for the
+        // whole union — the shared skeleton's — claimed by exactly one
+        // query; the bound's definition layers extend that chain and all
+        // queries share the result, contributing only assumption roots.
+        let extensions_before = litsynth_relalg::incremental_extensions();
+        let cfg = SynthConfig::new(2).with_threads(4).with_cube_bits(2);
+        let (p, _) = synthesize_union(&m, &cfg);
+        assert_eq!(
+            p.values().map(|r| r.compilations).sum::<usize>(),
+            1,
+            "an incremental sweep compiles in full exactly once"
+        );
+        assert!(
+            litsynth_relalg::incremental_extensions() > extensions_before,
+            "the definition layers must extend the skeleton chain"
+        );
+    }
+
+    #[test]
+    fn incremental_chain_cnf_matches_from_scratch_modulo_renaming() {
+        // The tentpole soundness property, for bounds 2..=4: the shared
+        // layer chain — each bound's skeleton link followed by its
+        // definitions link — contains exactly the clauses a from-scratch
+        // compilation of the same cumulative roots produces, modulo
+        // variable renaming. Every cone is Tseitin-encoded exactly once
+        // per sweep, nothing more and nothing less.
+        let m = Tso::new();
+        let mut alg = litsynth_models::SymAlg::new();
+        let mut chain: Option<CompiledCircuit> = None;
+        let mut cumulative_roots: Vec<Bit> = Vec::new();
+        for bound in 2..=4usize {
+            let cfg = SynthConfig::new(bound);
+            let st = SymbolicTest::build(&mut alg, &m, &cfg);
+            let candidates: Vec<Bit> = st.kind.iter().flatten().copied().collect();
+            let roots: Vec<Bit> = st
+                .wellformed
+                .iter()
+                .chain(&st.observables)
+                .chain(&candidates)
+                .copied()
+                .collect();
+            let skeleton = match &chain {
+                None => CompiledCircuit::compile_tagged(&alg.circuit, roots.iter().copied(), true),
+                Some(prev) => {
+                    CompiledCircuit::extend(prev, &alg.circuit, roots.iter().copied(), true)
+                }
+            };
+            cumulative_roots.extend(&roots);
+            let scratch = CompiledCircuit::compile(&alg.circuit, cumulative_roots.iter().copied());
+            assert!(
+                skeleton.same_cnf_modulo_renaming(&scratch),
+                "skeleton chain diverged from scratch at bound {bound}"
+            );
+            let asserts: Vec<Vec<Bit>> = m
+                .axioms()
+                .iter()
+                .map(|&ax| minimality_asserts_opts(&mut alg, &m, &st, ax, cfg.orphan_unconstrained))
+                .collect();
+            let full = CompiledCircuit::extend(
+                &skeleton,
+                &alg.circuit,
+                asserts.iter().flatten().copied(),
+                true,
+            );
+            cumulative_roots.extend(asserts.iter().flatten());
+            let scratch = CompiledCircuit::compile(&alg.circuit, cumulative_roots.iter().copied());
+            assert!(
+                full.same_cnf_modulo_renaming(&scratch),
+                "definitions link diverged from scratch at bound {bound}"
+            );
+            chain = Some(full);
+        }
+    }
+
+    #[test]
+    fn union_up_to_is_byte_identical_across_incremental_and_vault_modes() {
+        // Tentpole acceptance: layered sweep compilation and the
+        // cross-query clause vault may only change how fast the suite is
+        // found, never the suite itself, at any thread count or cube split.
+        let m = Tso::new();
+        let run = |incremental: bool, vault: bool, threads: usize, cube_bits: usize| {
+            let u = synthesize_union_up_to(&m, 2..=3, |n| {
+                SynthConfig::new(n)
+                    .with_threads(threads)
+                    .with_cube_bits(cube_bits)
+                    .with_incremental(incremental)
+                    .with_vault(vault)
+            });
+            suite_bytes(&u)
+        };
+        let baseline = run(false, false, 1, 0);
+        for (incremental, vault, threads, cube_bits) in [
+            (true, false, 1, 0),
+            (true, true, 1, 0),
+            (false, true, 1, 0),
+            (true, true, 2, 1),
+            (true, true, 4, 2),
+        ] {
+            assert_eq!(
+                run(incremental, vault, threads, cube_bits),
+                baseline,
+                "incremental={incremental} vault={vault} \
+                 threads={threads} cube_bits={cube_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_compiles_once_and_reuses_the_skeleton() {
+        let m = Tso::new();
+        let (u_inc, s_inc) = synthesize_union_up_to_with_stats(&m, 2..=3, SynthConfig::new);
+        let (u_mono, s_mono) = synthesize_union_up_to_with_stats(&m, 2..=3, |n| {
+            SynthConfig::new(n)
+                .with_incremental(false)
+                .with_vault(false)
+        });
+        assert_eq!(suite_bytes(&u_inc), suite_bytes(&u_mono));
+        assert_eq!(s_inc.compilations, 1, "one full compile per sweep");
+        // Two participating bounds → one definitions link on the first and
+        // a skeleton + definitions link on the second, i.e. 3 extensions
+        // (the global counter may only over-count, from tests running
+        // concurrently in this binary).
+        assert!(s_inc.extensions >= 3);
+        assert!(s_inc.reused_clauses > 0, "extensions must reuse clauses");
+        assert_eq!(
+            s_mono.compilations as usize,
+            2 * m.axioms().len(),
+            "monolithic mode compiles once per query"
+        );
+        assert_eq!(s_mono.vault, VaultStats::default());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod suites;
 
 pub use canon::{
     apply_thread_order, canonical_key_exact, canonical_key_hash, canonicalize_exact, serialize,
+    TwoTierCanon,
 };
 pub use convert::to_rmw_pairs;
 pub use event::{Addr, DepKind, FenceKind, Instr, MemOrder, Scope};

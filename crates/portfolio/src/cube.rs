@@ -48,6 +48,12 @@ pub fn rank_pins(
     if probe_conflicts == 0 || uniq.len() <= 1 {
         return uniq;
     }
+    // Focus the probe on this query's cone. On a sweep-shared layer chain
+    // the compiled formula also carries other bounds' and axioms' layers;
+    // an unwarmed probe would burn its conflict budget deciding those dead
+    // variables in index order. Warming is a pure function of the query,
+    // so the ranking stays deterministic.
+    f.warm(c, asserts.iter().chain(&uniq).copied());
     let _ = f.probe(c, asserts, probe_conflicts);
     let mut scored: Vec<(usize, Bit, f64)> = uniq
         .into_iter()

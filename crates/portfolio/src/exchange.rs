@@ -69,8 +69,12 @@ pub struct ExchangeStats {
     pub filtered: u64,
 }
 
-/// One clause on the bus: who published it, and its literals.
-type PooledClause = (usize, Arc<[Lit]>);
+/// One clause on the bus: who published it, its literals, and whether it
+/// is skeleton-pure (derived from skeleton-tagged layers alone — see
+/// [`litsynth_sat::ClauseExchange`]). Purity travels with the clause so
+/// importing solvers keep propagating it and the cross-query vault can
+/// harvest pure clauses downstream.
+type PooledClause = (usize, Arc<[Lit]>, bool);
 
 /// The shared clause pool for one query's cube workers.
 #[derive(Debug, Default)]
@@ -134,7 +138,7 @@ impl ExchangeEndpoint {
 }
 
 impl ClauseExchange for ExchangeEndpoint {
-    fn export(&mut self, lits: &[Lit], lbd: u32) {
+    fn export(&mut self, lits: &[Lit], lbd: u32, skeleton: bool) {
         let cfg = &self.bus.cfg;
         if !cfg.enabled {
             return;
@@ -148,18 +152,18 @@ impl ClauseExchange for ExchangeEndpoint {
             self.stats.filtered += 1;
             return;
         }
-        pool.push((self.worker, lits.into()));
+        pool.push((self.worker, lits.into(), skeleton));
         self.stats.exported += 1;
     }
 
-    fn fetch(&mut self, out: &mut Vec<Vec<Lit>>) {
+    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, bool)>) {
         if !self.bus.cfg.enabled || !self.imports_enabled {
             return;
         }
         let pool = lock_pool(&self.bus.pool);
-        for (owner, clause) in &pool[self.cursor..] {
+        for (owner, clause, pure) in &pool[self.cursor..] {
             if *owner != self.worker {
-                out.push(clause.to_vec());
+                out.push((clause.to_vec(), *pure));
                 self.stats.imported += 1;
             }
         }
@@ -181,17 +185,21 @@ mod tests {
         let bus = ExchangeBus::new(ExchangeConfig::default());
         let mut a = bus.endpoint(0);
         let mut b = bus.endpoint(1);
-        a.export(&[lit(0), lit(1)], 2);
-        b.export(&[lit(2), lit(3)], 2);
+        a.export(&[lit(0), lit(1)], 2, true);
+        b.export(&[lit(2), lit(3)], 2, false);
         let mut got = Vec::new();
         a.fetch(&mut got);
-        assert_eq!(got, vec![vec![lit(2), lit(3)]]);
+        assert_eq!(got, vec![(vec![lit(2), lit(3)], false)]);
         got.clear();
         a.fetch(&mut got);
         assert!(got.is_empty(), "cursor must advance past seen clauses");
         got.clear();
         b.fetch(&mut got);
-        assert_eq!(got, vec![vec![lit(0), lit(1)]]);
+        assert_eq!(
+            got,
+            vec![(vec![lit(0), lit(1)], true)],
+            "purity travels with the clause"
+        );
         assert_eq!(a.stats().exported, 1);
         assert_eq!(a.stats().imported, 1);
         assert_eq!(b.stats().imported, 1);
@@ -206,9 +214,9 @@ mod tests {
         };
         let bus = ExchangeBus::new(cfg);
         let mut a = bus.endpoint(0);
-        a.export(&[lit(0), lit(1)], 5); // LBD too high
-        a.export(&[lit(0), lit(1), lit(2), lit(3)], 1); // too long
-        a.export(&[lit(0), lit(1)], 2); // admitted
+        a.export(&[lit(0), lit(1)], 5, false); // LBD too high
+        a.export(&[lit(0), lit(1), lit(2), lit(3)], 1, false); // too long
+        a.export(&[lit(0), lit(1)], 2, false); // admitted
         assert_eq!(a.stats().exported, 1);
         assert_eq!(a.stats().filtered, 2);
         assert_eq!(bus.pooled(), 1);
@@ -223,7 +231,7 @@ mod tests {
         let bus = ExchangeBus::new(cfg);
         let mut a = bus.endpoint(0);
         for i in 0..5 {
-            a.export(&[lit(i), lit(i + 1)], 1);
+            a.export(&[lit(i), lit(i + 1)], 1, false);
         }
         assert_eq!(bus.pooled(), 2);
         assert_eq!(a.stats().exported, 2);
@@ -236,15 +244,19 @@ mod tests {
         let mut a = bus.endpoint(0);
         let mut b = bus.endpoint(1);
         b.disable_imports();
-        a.export(&[lit(0), lit(1)], 1);
-        b.export(&[lit(2), lit(3)], 1);
+        a.export(&[lit(0), lit(1)], 1, false);
+        b.export(&[lit(2), lit(3)], 1, false);
         let mut got = Vec::new();
         b.fetch(&mut got);
         assert!(got.is_empty(), "imports disabled");
         assert_eq!(b.stats().imported, 0);
         got.clear();
         a.fetch(&mut got);
-        assert_eq!(got, vec![vec![lit(2), lit(3)]], "exports still flow");
+        assert_eq!(
+            got,
+            vec![(vec![lit(2), lit(3)], false)],
+            "exports still flow"
+        );
     }
 
     #[test]
@@ -256,7 +268,7 @@ mod tests {
         let bus = ExchangeBus::new(cfg);
         let mut a = bus.endpoint(0);
         let mut b = bus.endpoint(1);
-        a.export(&[lit(0), lit(1)], 1);
+        a.export(&[lit(0), lit(1)], 1, false);
         let mut got = Vec::new();
         b.fetch(&mut got);
         assert!(got.is_empty());

@@ -2,6 +2,7 @@
 
 use crate::cube::rank_pins;
 use litsynth_relalg::{Bit, Circuit, CompiledCircuit, Finder};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How cube pins are chosen for a [`CompiledQuery`].
@@ -32,8 +33,8 @@ impl Default for CubeConfig {
 /// solver over the shared clause arena.
 #[derive(Debug)]
 pub struct CompiledQuery {
-    circuit: Circuit,
-    compiled: CompiledCircuit,
+    circuit: Arc<Circuit>,
+    compiled: Arc<CompiledCircuit>,
     pins: Vec<Bit>,
     probe: Duration,
 }
@@ -59,7 +60,27 @@ impl CompiledQuery {
             .chain(candidates)
             .copied()
             .collect();
-        let compiled = CompiledCircuit::compile(&circuit, roots);
+        let compiled = Arc::new(CompiledCircuit::compile(&circuit, roots));
+        CompiledQuery::from_compiled(Arc::new(circuit), compiled, asserts, candidates, cube)
+    }
+
+    /// Builds a query around an existing compilation — the incremental
+    /// path: `compiled` is typically a link of a sweep-shared layer chain
+    /// ([`litsynth_relalg::CompiledCircuit::extend`]), `Arc`-shared across
+    /// every query that runs over the same formula (queries then differ
+    /// only in their assumption literals), and the circuit arena is shared
+    /// by `Arc` across every query of the sweep.
+    ///
+    /// `compiled`'s roots must cover `asserts`, the observables, and
+    /// `candidates`, exactly as [`CompiledQuery::build`] would compile
+    /// them; only pin ranking (the probing run) happens here.
+    pub fn from_compiled(
+        circuit: Arc<Circuit>,
+        compiled: Arc<CompiledCircuit>,
+        asserts: &[Bit],
+        candidates: &[Bit],
+        cube: &CubeConfig,
+    ) -> CompiledQuery {
         let probe_conflicts = if cube.adaptive {
             cube.probe_conflicts
         } else {

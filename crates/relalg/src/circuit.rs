@@ -247,6 +247,47 @@ mod tests {
         assert_eq!(c.or_many([]), Circuit::FALSE);
     }
 
+    /// Depth of the cone under `bit`, in AND gates.
+    fn gate_depth(c: &Circuit, bit: Bit) -> usize {
+        match c.node(bit.node()) {
+            Node::ConstTrue | Node::Input(_) => 0,
+            Node::And(a, b) => 1 + gate_depth(c, a).max(gate_depth(c, b)),
+        }
+    }
+
+    /// Regression guard for the balanced `and_many`/`or_many` reductions:
+    /// a left-fold over n fresh inputs would build a depth-(n-1) chain,
+    /// while the balanced tree must stay at ⌈log₂ n⌉ depth with exactly
+    /// n-1 gates. Tseitin depth and hash-consing hit rate both depend on
+    /// this shape, so a silent revert to folding should fail loudly here.
+    #[test]
+    fn and_many_builds_balanced_trees_without_extra_nodes() {
+        for n in [2usize, 3, 5, 8, 13, 32, 57] {
+            let mut c = Circuit::new();
+            let xs: Vec<Bit> = (0..n).map(|i| c.input(format!("x{i}"))).collect();
+            let before = c.num_nodes();
+            let root = c.and_many(xs.iter().copied());
+            assert_eq!(c.num_nodes() - before, n - 1, "n={n}: n-1 AND gates");
+            let want_depth = (usize::BITS - (n - 1).leading_zeros()) as usize; // ⌈log₂ n⌉
+            assert_eq!(gate_depth(&c, root), want_depth, "n={n}: logarithmic depth");
+            // or_many shares the shape (De Morgan over the same reduction).
+            let mut c2 = Circuit::new();
+            let ys: Vec<Bit> = (0..n).map(|i| c2.input(format!("y{i}"))).collect();
+            let before = c2.num_nodes();
+            let oroot = c2.or_many(ys.iter().copied());
+            assert_eq!(c2.num_nodes() - before, n - 1, "n={n}: or gate count");
+            assert_eq!(gate_depth(&c2, oroot), want_depth, "n={n}: or depth");
+        }
+        // Balanced halving also exposes shared subtrees to the hash-conser:
+        // reducing the same prefix twice must reuse every gate.
+        let mut c = Circuit::new();
+        let xs: Vec<Bit> = (0..8).map(|i| c.input(format!("x{i}"))).collect();
+        let _ = c.and_many(xs.iter().copied());
+        let n = c.num_nodes();
+        let _ = c.and_many(xs.iter().copied());
+        assert_eq!(c.num_nodes(), n, "identical reduction is fully hash-consed");
+    }
+
     #[test]
     fn exactly_one_semantics_exhaustive() {
         // Check exactly_one against all assignments of 3 inputs by evaluation.

@@ -128,6 +128,38 @@ impl Finder {
         self.solver.stats()
     }
 
+    /// Seeds the solver's branching order with the cones of `roots`: every
+    /// already-compiled variable reachable from them gets one initial
+    /// activity bump. On a formula attached from a shared multi-query
+    /// compilation this steers the first decisions into the cone *this*
+    /// finder's query constrains instead of plain variable-index order
+    /// (which would start in whatever layer was compiled first). Purely a
+    /// search-order hint: the set of satisfying instances is untouched.
+    pub fn warm<I: IntoIterator<Item = Bit>>(&mut self, c: &Circuit, roots: I) {
+        let mut seen = vec![false; c.num_nodes().min(self.node_var.len())];
+        let mut stack: Vec<usize> = roots
+            .into_iter()
+            .map(|b| b.node())
+            .filter(|&n| n < seen.len())
+            .collect();
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            if let Some(v) = self.node_var[n] {
+                self.solver.warm_var(v);
+            }
+            if let Node::And(a, b) = c.node(n) {
+                for m in [a.node(), b.node()] {
+                    if m < seen.len() && !seen[m] {
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+    }
+
     /// Number of CNF variables allocated so far.
     pub fn num_cnf_vars(&self) -> usize {
         self.solver.num_vars()
@@ -211,6 +243,43 @@ impl Finder {
         self.next_instance_exchanging(c, asserts, &mut NoExchange)
     }
 
+    /// Allocates a fresh activation guard for one enumeration pass.
+    ///
+    /// A guard is a solver literal with no circuit meaning. Blocking
+    /// clauses added under it ([`Finder::block_guarded`]) take the form
+    /// `¬guard ∨ block`, so they constrain the search only while the guard
+    /// is assumed — which the enumeration loop does by passing the guard in
+    /// `extra` to [`Finder::next_instance_budgeted_assuming`]. Once a pass
+    /// is over and its guard is never assumed again, its blocking clauses
+    /// (and everything the solver derived from them, which necessarily
+    /// carries `¬guard`) become inert, so the *same live solver* can serve
+    /// a different query of the identical formula and still enumerate that
+    /// query's full instance set — while keeping every clause it learnt
+    /// from the formula alone. That is the whole point: incremental SAT
+    /// across queries instead of a cold solver per query.
+    pub fn new_guard(&mut self) -> Lit {
+        let v = self.solver.new_var();
+        self.input_of_var.push(None);
+        Lit::pos(v)
+    }
+
+    /// [`Finder::next_instance_budgeted`] with extra assumption literals —
+    /// typically one activation guard from [`Finder::new_guard`].
+    pub fn next_instance_budgeted_assuming(
+        &mut self,
+        c: &Circuit,
+        asserts: &[Bit],
+        extra: &[Lit],
+        exchange: &mut dyn ClauseExchange,
+        budget: &SolveBudget,
+    ) -> Result<Option<Instance>, Interrupt> {
+        let Some(mut assumptions) = self.assumptions_for(c, asserts) else {
+            return Ok(None);
+        };
+        assumptions.extend_from_slice(extra);
+        self.solve_assuming(c, &assumptions, exchange, budget)
+    }
+
     /// [`Finder::next_instance`] with learnt-clause exchange: the solver
     /// trades learnt clauses with portfolio peers through `exchange` at its
     /// restart boundaries. Imported clauses may only prune the search — the
@@ -246,7 +315,17 @@ impl Finder {
         let Some(assumptions) = self.assumptions_for(c, asserts) else {
             return Ok(None);
         };
-        match self.solver.solve_budgeted(&assumptions, exchange, budget) {
+        self.solve_assuming(c, &assumptions, exchange, budget)
+    }
+
+    fn solve_assuming(
+        &mut self,
+        c: &Circuit,
+        assumptions: &[Lit],
+        exchange: &mut dyn ClauseExchange,
+        budget: &SolveBudget,
+    ) -> Result<Option<Instance>, Interrupt> {
+        match self.solver.solve_budgeted(assumptions, exchange, budget) {
             BudgetedResult::Interrupted(i) => Err(i),
             BudgetedResult::Done(SolveResult::Unsat) => Ok(None),
             BudgetedResult::Done(SolveResult::Sat) => {
@@ -308,6 +387,19 @@ impl Finder {
     /// Permanently excludes every instance that agrees with `inst` on all of
     /// the `observed` bits.
     pub fn block(&mut self, c: &Circuit, inst: &Instance, observed: &[Bit]) {
+        self.block_guarded(c, inst, observed, None);
+    }
+
+    /// [`Finder::block`] under an activation guard: the blocking clause is
+    /// `¬guard ∨ block`, active only while `guard` is assumed (see
+    /// [`Finder::new_guard`]). `None` blocks unconditionally.
+    pub fn block_guarded(
+        &mut self,
+        c: &Circuit,
+        inst: &Instance,
+        observed: &[Bit],
+        guard: Option<Lit>,
+    ) {
         let live: Vec<Bit> = observed
             .iter()
             .copied()
@@ -317,7 +409,8 @@ impl Finder {
         // bits share most of their cone, so per-bit eval would redo
         // O(bits × nodes) work on every blocked instance.
         let vals = inst.eval_many(c, &live);
-        let mut clause = Vec::with_capacity(live.len());
+        let mut clause = Vec::with_capacity(live.len() + 1);
+        clause.extend(guard.map(|g| !g));
         for (&b, val) in live.iter().zip(vals) {
             let lit = self.lit_of(c, b);
             clause.push(if val { !lit } else { lit });
@@ -598,6 +691,52 @@ mod tests {
             })
             .sum();
         assert_eq!(split, total);
+    }
+
+    #[test]
+    fn one_live_solver_serves_consecutive_guarded_enumerations() {
+        // The solver-pool contract: one finder, attached once, runs many
+        // enumeration passes in sequence — same query or different queries
+        // over the same formula — each pass under its own activation
+        // guard. Every pass must see the full class set, because earlier
+        // passes' blocking clauses are guarded and inert once their guard
+        // is no longer assumed. Learnt clauses survive between passes;
+        // they are formula-implied, so they may only prune.
+        let mut c = Circuit::new();
+        let xs: Vec<Bit> = (0..5).map(|i| c.input(format!("x{i}"))).collect();
+        let a = c.and(xs[2], xs[3]);
+        let b = c.or(xs[0], xs[1]);
+        let root = c.or(a, b);
+        let roots: Vec<Bit> = [root, a, b].into_iter().chain(xs.iter().copied()).collect();
+        let compiled = CompiledCircuit::compile(&c, roots);
+        let mut f = Finder::attach(&compiled);
+        let queries: [(&[Bit], usize); 4] = [
+            (&[root], 26),   // 6 of 32 assignments falsify the root
+            (&[a], 8),       // x2 ∧ x3 pinned
+            (&[root], 26),   // the first query again: nothing leaked
+            (&[b.not()], 8), // ¬(x0 ∨ x1)
+        ];
+        for (pass, &(asserts, expected)) in queries.iter().enumerate() {
+            let guard = f.new_guard();
+            f.warm(&c, asserts.iter().copied());
+            let mut n = 0;
+            loop {
+                let got = f
+                    .next_instance_budgeted_assuming(
+                        &c,
+                        asserts,
+                        &[guard],
+                        &mut NoExchange,
+                        &SolveBudget::unlimited(),
+                    )
+                    .expect("unlimited budget never interrupts");
+                let Some(inst) = got else { break };
+                n += 1;
+                f.block_guarded(&c, &inst, &xs, Some(guard));
+                assert!(n <= 32);
+            }
+            assert_eq!(n, expected, "pass {pass} must enumerate its full set");
+        }
     }
 
     #[test]

@@ -1,26 +1,99 @@
-//! Compile-once CNF sharing.
+//! Layered compile-once CNF sharing.
 //!
-//! A [`SharedCnf`] is an immutable CNF formula stored as a flat literal
-//! arena. It is built once with a [`CnfBuilder`] and then attached to any
-//! number of solvers via [`crate::Solver::attach_shared`]; the attached
-//! solvers read clause literals straight out of the (`Arc`'d) arena and
-//! keep only their tiny per-clause watch metadata private. This is what
-//! lets a portfolio of cube workers solve the same compiled query without
-//! each re-translating — or even copying — the clause database.
+//! A [`SharedCnf`] is an immutable CNF formula stored as a chain of
+//! reference-counted [`CnfLayer`]s. It is built once with a [`CnfBuilder`]
+//! and then attached to any number of solvers via
+//! [`crate::Solver::attach_shared`]; the attached solvers read clause
+//! literals straight out of the (`Arc`'d) layer arenas and keep only their
+//! tiny per-clause watch metadata private. This is what lets a portfolio
+//! of cube workers solve the same compiled query without each
+//! re-translating — or even copying — the clause database.
+//!
+//! The layering is what makes compilation incremental: a builder created
+//! with [`CnfBuilder::extending`] continues variable numbering where the
+//! base formula left off and records only the *new* clauses, so the built
+//! [`SharedCnf`] shares every base layer by `Arc` with the formula it
+//! extends. A synthesis sweep compiles the structural skeleton once and
+//! derives each (bound, axiom) query's formula as a one-layer extension.
+//!
+//! Each layer carries a provenance tag ([`CnfLayer::is_skeleton`]): `true`
+//! for layers encoding the axiom-independent structural skeleton, `false`
+//! for axiom-specific (or monolithic) layers. Solvers propagate the tag
+//! through conflict analysis so that learnt clauses implied by the
+//! skeleton alone can be reused across queries sharing the same skeleton
+//! chain — see [`SharedCnf::skeleton_fingerprints`] and the clause vault
+//! in the portfolio crate.
 
 use crate::types::{Lit, Var};
+use std::sync::Arc;
 
-/// An immutable CNF formula: a flat literal arena plus clause ranges.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold_u64(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One immutable layer of clauses in a [`SharedCnf`] chain.
 ///
-/// Unit clauses are kept separately (they are enqueued, not watched), and
-/// every stored clause has at least two distinct, non-complementary
-/// literals — [`CnfBuilder`] establishes these invariants.
+/// Invariants (established by [`CnfBuilder`]): every stored non-unit
+/// clause has at least two distinct, non-complementary literals.
 #[derive(Debug)]
-pub struct SharedCnf {
+pub struct CnfLayer {
+    /// Total variables allocated up to and including this layer.
     num_vars: usize,
+    /// Flat literal arena for this layer's non-unit clauses.
     lits: Vec<Lit>,
+    /// `(start, len)` of each clause inside this layer's `lits`.
     ranges: Vec<(u32, u32)>,
+    /// Unit clauses contributed by this layer.
     units: Vec<Lit>,
+    /// `true` when this layer encodes shared structural skeleton.
+    skeleton: bool,
+    /// Content fingerprint of the whole chain ending at this layer.
+    fingerprint: u64,
+}
+
+impl CnfLayer {
+    /// Non-unit clauses contributed by this layer alone.
+    pub fn num_clauses(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// `true` when this layer encodes shared structural skeleton.
+    pub fn is_skeleton(&self) -> bool {
+        self.skeleton
+    }
+
+    /// The cumulative chain fingerprint ending at this layer. Equal
+    /// fingerprints imply literally identical clause sets over identical
+    /// variable indices, which is what makes cross-query clause reuse
+    /// keyed on it sound.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// An immutable shared CNF formula: a chain of [`CnfLayer`]s plus the
+/// flattened indexing a solver needs to address clauses by a single dense
+/// index. Cloning is cheap for the clause data (layers are shared by
+/// `Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct SharedCnf {
+    layers: Vec<Arc<CnfLayer>>,
+    /// `clause_start[i]` = number of non-unit clauses in layers `0..i`.
+    clause_start: Vec<usize>,
+    num_vars: usize,
+    num_clauses: usize,
+    num_lits: usize,
+    /// All unit clauses of the chain, in layer order.
+    units: Vec<Lit>,
+    /// Per-unit provenance, aligned with `units`.
+    unit_skeleton: Vec<bool>,
     ok: bool,
 }
 
@@ -32,12 +105,18 @@ impl SharedCnf {
 
     /// Number of non-unit clauses in the arena.
     pub fn num_clauses(&self) -> usize {
-        self.ranges.len()
+        self.num_clauses
     }
 
     /// The unit clauses, as literals.
     pub fn units(&self) -> &[Lit] {
         &self.units
+    }
+
+    /// Whether unit `i` (indexing [`SharedCnf::units`]) comes from a
+    /// skeleton layer.
+    pub fn unit_is_skeleton(&self, i: usize) -> bool {
+        self.unit_skeleton[i]
     }
 
     /// `false` if an empty clause was added: the formula is trivially
@@ -49,13 +128,56 @@ impl SharedCnf {
     /// The literals of clause `i`.
     #[inline]
     pub fn clause(&self, i: usize) -> &[Lit] {
-        let (start, len) = self.ranges[i];
-        &self.lits[start as usize..(start + len) as usize]
+        let li = self.layer_of(i);
+        let layer = &self.layers[li];
+        let (start, len) = layer.ranges[i - self.clause_start[li]];
+        &layer.lits[start as usize..(start + len) as usize]
+    }
+
+    /// Whether clause `i` comes from a skeleton layer.
+    pub fn clause_is_skeleton(&self, i: usize) -> bool {
+        self.layers[self.layer_of(i)].skeleton
+    }
+
+    #[inline]
+    fn layer_of(&self, clause: usize) -> usize {
+        debug_assert!(clause < self.num_clauses);
+        self.clause_start.partition_point(|&s| s <= clause) - 1
     }
 
     /// Total literal count across all arena clauses.
     pub fn num_lits(&self) -> usize {
-        self.lits.len()
+        self.num_lits
+    }
+
+    /// Number of layers in the chain.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers, oldest first.
+    pub fn layers(&self) -> &[Arc<CnfLayer>] {
+        &self.layers
+    }
+
+    /// Content fingerprint of the whole chain (see
+    /// [`CnfLayer::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.layers.last().map_or(FNV_OFFSET, |l| l.fingerprint)
+    }
+
+    /// Cumulative fingerprints of every prefix of the maximal skeleton
+    /// prefix of the chain: `[fp(L0), fp(L0·L1), …]` over the leading run
+    /// of skeleton-tagged layers. Two formulas sharing a fingerprint in
+    /// this list agree clause-for-clause and variable-for-variable on that
+    /// prefix, so skeleton-pure learnt clauses published under it are
+    /// sound imports for both.
+    pub fn skeleton_fingerprints(&self) -> Vec<u64> {
+        self.layers
+            .iter()
+            .take_while(|l| l.skeleton)
+            .map(|l| l.fingerprint)
+            .collect()
     }
 }
 
@@ -65,6 +187,7 @@ impl SharedCnf {
 /// live solver would also apply.
 #[derive(Debug, Default)]
 pub struct CnfBuilder {
+    base: Vec<Arc<CnfLayer>>,
     num_vars: usize,
     lits: Vec<Lit>,
     ranges: Vec<(u32, u32)>,
@@ -73,10 +196,23 @@ pub struct CnfBuilder {
 }
 
 impl CnfBuilder {
-    /// Creates an empty builder.
+    /// Creates an empty builder (fresh chain).
     pub fn new() -> CnfBuilder {
         CnfBuilder {
             ok: true,
+            ..CnfBuilder::default()
+        }
+    }
+
+    /// A builder that extends `base`: variable numbering continues where
+    /// `base` left off, and the built formula shares every one of `base`'s
+    /// layers by `Arc`, adding exactly one new layer holding the clauses
+    /// added here.
+    pub fn extending(base: &SharedCnf) -> CnfBuilder {
+        CnfBuilder {
+            base: base.layers.clone(),
+            num_vars: base.num_vars,
+            ok: base.ok,
             ..CnfBuilder::default()
         }
     }
@@ -88,12 +224,12 @@ impl CnfBuilder {
         v
     }
 
-    /// Number of variables allocated so far.
+    /// Number of variables allocated so far (including any base chain).
     pub fn num_vars(&self) -> usize {
         self.num_vars
     }
 
-    /// Number of non-unit clauses added so far.
+    /// Number of non-unit clauses added to this builder's own layer.
     pub fn num_clauses(&self) -> usize {
         self.ranges.len()
     }
@@ -126,13 +262,58 @@ impl CnfBuilder {
         }
     }
 
-    /// Finalizes the formula.
+    /// Finalizes the formula, tagging the new layer non-skeleton.
     pub fn build(self) -> SharedCnf {
-        SharedCnf {
+        self.build_tagged(false)
+    }
+
+    /// Finalizes the formula, tagging the newly built layer's provenance:
+    /// `skeleton == true` marks it as axiom-independent structural
+    /// skeleton, eligible to anchor cross-query clause reuse.
+    pub fn build_tagged(self, skeleton: bool) -> SharedCnf {
+        let mut fp = self.base.last().map_or(FNV_OFFSET, |l| l.fingerprint);
+        fp = fnv_fold_u64(fp, self.num_vars as u64);
+        fp = fnv_fold_u64(fp, skeleton as u64);
+        for &u in &self.units {
+            fp = fnv_fold_u64(fp, 1 + u.code() as u64);
+        }
+        fp = fnv_fold_u64(fp, u64::MAX); // separator: units vs clauses
+        for &(start, len) in &self.ranges {
+            fp = fnv_fold_u64(fp, len as u64);
+            for &l in &self.lits[start as usize..(start + len) as usize] {
+                fp = fnv_fold_u64(fp, 1 + l.code() as u64);
+            }
+        }
+        let layer = Arc::new(CnfLayer {
             num_vars: self.num_vars,
             lits: self.lits,
             ranges: self.ranges,
             units: self.units,
+            skeleton,
+            fingerprint: fp,
+        });
+        let mut layers = self.base;
+        layers.push(layer);
+        let mut clause_start = Vec::with_capacity(layers.len());
+        let mut num_clauses = 0usize;
+        let mut num_lits = 0usize;
+        let mut units = Vec::new();
+        let mut unit_skeleton = Vec::new();
+        for l in &layers {
+            clause_start.push(num_clauses);
+            num_clauses += l.ranges.len();
+            num_lits += l.lits.len();
+            units.extend_from_slice(&l.units);
+            unit_skeleton.extend(l.units.iter().map(|_| l.skeleton));
+        }
+        SharedCnf {
+            num_vars: layers.last().map_or(0, |l| l.num_vars),
+            layers,
+            clause_start,
+            num_clauses,
+            num_lits,
+            units,
+            unit_skeleton,
             ok: self.ok,
         }
     }
@@ -163,5 +344,92 @@ mod tests {
         let _ = b.new_var();
         assert!(!b.add_clause([]));
         assert!(!b.build().is_ok());
+    }
+
+    #[test]
+    fn extending_shares_base_layers_and_continues_var_numbering() {
+        let mut b = CnfBuilder::new();
+        let v0 = b.new_var();
+        let v1 = b.new_var();
+        b.add_clause([Lit::pos(v0), Lit::pos(v1)]);
+        b.add_clause([Lit::neg(v0)]);
+        let base = b.build_tagged(true);
+        assert_eq!(base.num_layers(), 1);
+        assert!(base.clause_is_skeleton(0));
+
+        let mut e = CnfBuilder::extending(&base);
+        let v2 = e.new_var();
+        assert_eq!(v2.index(), 2, "numbering continues past the base");
+        e.add_clause([Lit::neg(v1), Lit::pos(v2)]);
+        e.add_clause([Lit::pos(v2)]);
+        let ext = e.build();
+
+        assert_eq!(ext.num_layers(), 2);
+        assert_eq!(ext.num_vars(), 3);
+        assert_eq!(ext.num_clauses(), 2);
+        // Clause indexing is flat across layers, base first.
+        assert_eq!(ext.clause(0), &[Lit::pos(v0), Lit::pos(v1)]);
+        assert_eq!(ext.clause(1), &[Lit::neg(v1), Lit::pos(v2)]);
+        assert!(ext.clause_is_skeleton(0));
+        assert!(!ext.clause_is_skeleton(1));
+        // Units concatenate in layer order with provenance.
+        assert_eq!(ext.units(), &[Lit::neg(v0), Lit::pos(v2)]);
+        assert!(ext.unit_is_skeleton(0));
+        assert!(!ext.unit_is_skeleton(1));
+        // The base layer is literally shared, not copied.
+        assert!(Arc::ptr_eq(&base.layers()[0], &ext.layers()[0]));
+        // The base view is untouched.
+        assert_eq!(base.num_vars(), 2);
+        assert_eq!(base.num_clauses(), 1);
+    }
+
+    #[test]
+    fn fingerprints_identify_identical_prefixes() {
+        let build_base = || {
+            let mut b = CnfBuilder::new();
+            let v0 = b.new_var();
+            let v1 = b.new_var();
+            b.add_clause([Lit::pos(v0), Lit::pos(v1)]);
+            b.build_tagged(true)
+        };
+        let base1 = build_base();
+        let base2 = build_base();
+        assert_eq!(base1.fingerprint(), base2.fingerprint());
+
+        let mut e1 = CnfBuilder::extending(&base1);
+        let v2 = e1.new_var();
+        e1.add_clause([Lit::pos(v2)]);
+        let ext1 = e1.build();
+        // The extension changes the chain fingerprint but keeps the
+        // skeleton prefix fingerprint visible.
+        assert_ne!(ext1.fingerprint(), base1.fingerprint());
+        assert_eq!(ext1.skeleton_fingerprints(), vec![base1.fingerprint()]);
+        // A full-skeleton chain exposes every prefix fingerprint.
+        let mut e2 = CnfBuilder::extending(&base1);
+        let v2 = e2.new_var();
+        e2.add_clause([Lit::pos(v2)]);
+        let ext2 = e2.build_tagged(true);
+        assert_eq!(
+            ext2.skeleton_fingerprints(),
+            vec![base1.fingerprint(), ext2.fingerprint()]
+        );
+        // Different content ⇒ different fingerprint.
+        let mut d = CnfBuilder::new();
+        let v0 = d.new_var();
+        let v1 = d.new_var();
+        d.add_clause([Lit::pos(v0), Lit::neg(v1)]);
+        assert_ne!(d.build_tagged(true).fingerprint(), base1.fingerprint());
+    }
+
+    #[test]
+    fn extending_an_unsat_base_stays_unsat() {
+        let mut b = CnfBuilder::new();
+        let _ = b.new_var();
+        b.add_clause([]);
+        let base = b.build();
+        let mut e = CnfBuilder::extending(&base);
+        let v = e.new_var();
+        e.add_clause([Lit::pos(v)]);
+        assert!(!e.build().is_ok());
     }
 }

@@ -50,6 +50,12 @@ struct Clause {
     /// `true` for clauses received over a [`ClauseExchange`]; they are
     /// never re-exported.
     imported: bool,
+    /// Skeleton purity: `true` iff this clause is implied by the shared
+    /// arena's skeleton layers alone. Original local clauses (blocking
+    /// clauses, demand-translated extensions) are never pure; learnt
+    /// clauses inherit purity iff every antecedent of their derivation
+    /// was pure (see [`Solver::analyze`]).
+    skeleton: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -105,11 +111,20 @@ pub struct Solver {
     /// of swapping watched literals to the front is replaced by this tiny
     /// per-solver table.
     shared_watch: Vec<[u32; 2]>,
+    /// Per-shared-clause skeleton flags, precomputed at attach so the hot
+    /// purity lookups never walk the layer chain.
+    shared_skel: Vec<bool>,
     /// Local crefs of clauses learnt since the last exchange point.
     fresh_learnts: Vec<u32>,
     /// Unit clauses learnt since the last exchange point (units never get
-    /// a cref; they are enqueued directly).
-    fresh_units: Vec<Lit>,
+    /// a cref; they are enqueued directly), with their skeleton purity.
+    fresh_units: Vec<(Lit, bool)>,
+    /// Skeleton purity of each variable's level-0 assignment (meaningful
+    /// only while the variable is assigned at level 0): `true` iff the
+    /// assignment is derivable from skeleton clauses alone. Conflict
+    /// analysis silently drops level-0 literals from learnt clauses, so
+    /// their derivations must flow into learnt-clause purity here.
+    zero_pure: Vec<bool>,
     /// Scratch for LBD computation (level → generation stamp).
     lbd_seen: Vec<u64>,
     lbd_gen: u64,
@@ -140,6 +155,7 @@ impl Solver {
             s.new_var();
         }
         s.shared_watch = vec![[0, 1]; shared.num_clauses()];
+        s.shared_skel = Vec::with_capacity(shared.num_clauses());
         for i in 0..shared.num_clauses() {
             let cl = shared.clause(i);
             debug_assert!(cl.len() >= 2, "arena clauses are never unit");
@@ -152,19 +168,35 @@ impl Solver {
                 cref,
                 blocker: cl[0],
             });
+            s.shared_skel.push(shared.clause_is_skeleton(i));
         }
         s.ok = shared.is_ok();
-        let units: Vec<Lit> = shared.units().to_vec();
+        let units: Vec<(Lit, bool)> = shared
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, shared.unit_is_skeleton(i)))
+            .collect();
         s.shared = Some(shared);
         if s.ok {
-            for u in units {
+            for (u, pure) in units {
                 match s.lit_value(u) {
-                    LBool::True => {}
+                    LBool::True => {
+                        // Already true: keep the stronger (pure) provenance
+                        // if this unit provides it.
+                        if pure {
+                            let v = u.var().index();
+                            s.zero_pure[v] = true;
+                        }
+                    }
                     LBool::False => {
                         s.ok = false;
                         break;
                     }
-                    LBool::Undef => s.unchecked_enqueue(u, None),
+                    LBool::Undef => {
+                        s.zero_pure[u.var().index()] = pure;
+                        s.unchecked_enqueue(u, None);
+                    }
                 }
             }
             if s.ok && s.propagate().is_some() {
@@ -183,6 +215,7 @@ impl Solver {
         self.reason.push(None);
         self.level.push(0);
         self.seen.push(false);
+        self.zero_pure.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap.insert(v.index(), &self.activity);
@@ -223,23 +256,38 @@ impl Solver {
         self.activity.get(v.index()).copied().unwrap_or(0.0)
     }
 
+    /// Gives `v` one initial VSIDS activity bump, so the first decisions
+    /// favor it over never-bumped variables. Callers attached to a large
+    /// shared formula use this to steer branching into the cone their query
+    /// actually constrains — on a formula compiled in shared layers, plain
+    /// variable-index order would branch into the (unconstrained) layers of
+    /// other queries first. A no-op once real conflict bumps have pushed
+    /// `v` past the seed value; idempotent before that.
+    pub fn warm_var(&mut self, v: Var) {
+        let i = v.index();
+        if i < self.activity.len() && self.activity[i] < self.var_inc {
+            self.activity[i] = self.var_inc;
+            self.heap.increased(i, &self.activity);
+        }
+    }
+
     /// Adds a clause (a disjunction of literals).
     ///
     /// May be called at any time, including between `solve` calls; this is how
     /// blocking clauses are added during model enumeration. Returns `false` if
     /// the formula has become trivially unsatisfiable.
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
-        self.add_clause_inner(lits.into_iter().collect(), false)
+        self.add_clause_inner(lits.into_iter().collect(), false, false)
     }
 
     /// [`Solver::add_clause`], but the clause enters the database as a
     /// learnt import: eligible for database reduction and never re-exported
-    /// over an exchange.
-    fn import_clause(&mut self, lits: Vec<Lit>) -> bool {
-        self.add_clause_inner(lits, true)
+    /// over an exchange. `pure` is the sender's skeleton-purity claim.
+    fn import_clause(&mut self, lits: Vec<Lit>, pure: bool) -> bool {
+        self.add_clause_inner(lits, true, pure)
     }
 
-    fn add_clause_inner(&mut self, mut ls: Vec<Lit>, import: bool) -> bool {
+    fn add_clause_inner(&mut self, mut ls: Vec<Lit>, import: bool, pure: bool) -> bool {
         if !self.ok {
             return false;
         }
@@ -247,6 +295,10 @@ impl Solver {
         ls.sort();
         ls.dedup();
         // Detect tautologies and drop literals already false at level 0.
+        // Each dropped literal strengthens the clause using that literal's
+        // level-0 derivation, so purity is demoted unless the derivation
+        // itself was skeleton-pure.
+        let mut pure = pure;
         let mut filtered = Vec::with_capacity(ls.len());
         for (i, &l) in ls.iter().enumerate() {
             if i + 1 < ls.len() && ls[i + 1] == !l {
@@ -254,7 +306,7 @@ impl Solver {
             }
             match self.lit_value(l) {
                 LBool::True => return true, // already satisfied at level 0
-                LBool::False => {}
+                LBool::False => pure &= self.zero_pure[l.var().index()],
                 LBool::Undef => filtered.push(l),
             }
         }
@@ -264,6 +316,7 @@ impl Solver {
                 false
             }
             1 => {
+                self.zero_pure[filtered[0].var().index()] = pure;
                 self.unchecked_enqueue(filtered[0], None);
                 if self.propagate().is_some() {
                     self.ok = false;
@@ -273,8 +326,9 @@ impl Solver {
             _ => {
                 let lbd = if import { filtered.len() as u32 } else { 0 };
                 let cref = self.attach_new_clause(filtered, import);
+                let c = &mut self.clauses[cref as usize];
+                c.skeleton = pure;
                 if import {
-                    let c = &mut self.clauses[cref as usize];
                     c.imported = true;
                     c.lbd = lbd;
                 }
@@ -502,13 +556,43 @@ impl Solver {
             deleted: false,
             lbd: 0,
             imported: false,
+            skeleton: false,
         });
         cref
+    }
+
+    /// Skeleton purity of the clause behind `cref` (shared or local).
+    #[inline]
+    fn clause_pure(&self, cref: u32) -> bool {
+        if cref & SHARED_BIT != 0 {
+            self.shared_skel[(cref & !SHARED_BIT) as usize]
+        } else {
+            self.clauses[cref as usize].skeleton
+        }
     }
 
     fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
         debug_assert_eq!(self.lit_value(l), LBool::Undef);
         let v = l.var().index();
+        if self.trail_lim.is_empty() {
+            // A level-0 assignment: record whether it is derivable from
+            // skeleton clauses alone. Propagations inherit purity from
+            // their reason clause and its (level-0, already assigned)
+            // other literals; reasonless level-0 enqueues have their
+            // purity pre-set by the caller in `zero_pure`.
+            if let Some(cr) = reason {
+                let mut pure = self.clause_pure(cr);
+                if pure {
+                    for j in 0..self.clause_len(cr) {
+                        let q = self.clause_lit(cr, j);
+                        if q != l {
+                            pure &= self.zero_pure[q.var().index()];
+                        }
+                    }
+                }
+                self.zero_pure[v] = pure;
+            }
+        }
         self.assigns[v] = LBool::from_bool(l.is_positive());
         self.level[v] = self.decision_level() as u32;
         self.reason[v] = reason;
@@ -679,8 +763,16 @@ impl Solver {
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first), the backtrack level, and the clause's LBD.
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize, u32) {
+    /// literal first), the backtrack level, the clause's LBD, and its
+    /// skeleton purity.
+    ///
+    /// The learnt clause is a resolvent of the conflict clause and the
+    /// reason clauses expanded along the way (including those used to
+    /// minimize it), strengthened by dropping literals false at level 0.
+    /// It is therefore skeleton-pure iff every one of those antecedent
+    /// clauses is pure *and* every dropped level-0 literal's assignment
+    /// was itself derived purely ([`Solver::zero_pure`]).
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize, u32, bool) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting lit
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
@@ -688,8 +780,10 @@ impl Solver {
         let mut confl = confl;
         let mut to_clear: Vec<usize> = Vec::new();
         let dl = self.decision_level() as u32;
+        let mut pure = true;
 
         loop {
+            pure &= self.clause_pure(confl);
             if confl & SHARED_BIT == 0 && self.clauses[confl as usize].learnt {
                 self.clause_bump(confl);
             }
@@ -708,6 +802,11 @@ impl Solver {
                     } else {
                         learnt.push(q);
                     }
+                } else if self.level[v] == 0 {
+                    // Level-0 literals are silently dropped from the learnt
+                    // clause; that strengthening resolves against their
+                    // level-0 derivations.
+                    pure &= self.zero_pure[v];
                 }
             }
             // Select the next implication-graph node to expand.
@@ -729,6 +828,8 @@ impl Solver {
         learnt[0] = !p.expect("1UIP exists");
 
         // Basic clause minimization: drop literals implied by the rest.
+        // Each drop is one more resolution step (against the literal's
+        // reason clause), so purity flows through it like any antecedent.
         let mut j = 1;
         for i in 1..learnt.len() {
             let l = learnt[i];
@@ -742,6 +843,17 @@ impl Solver {
             if keep {
                 learnt[j] = l;
                 j += 1;
+            } else {
+                let r = self.reason[l.var().index()].expect("dropped literal has a reason");
+                pure &= self.clause_pure(r);
+                if pure {
+                    for k in 0..self.clause_len(r) {
+                        let q = self.clause_lit(r, k);
+                        if self.level[q.var().index()] == 0 {
+                            pure &= self.zero_pure[q.var().index()];
+                        }
+                    }
+                }
             }
         }
         learnt.truncate(j);
@@ -777,7 +889,7 @@ impl Solver {
         for v in to_clear {
             self.seen[v] = false;
         }
-        (learnt, bt, lbd)
+        (learnt, bt, lbd, pure)
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -818,16 +930,26 @@ impl Solver {
     }
 
     /// Exports the clauses learnt since the last exchange point.
+    ///
+    /// When a shared arena is attached, clauses mentioning any solver-local
+    /// variable (one allocated after the arena's, e.g. an activation guard
+    /// or a demand-translated Tseitin gate) are withheld: local indices are
+    /// private to this solver and would alias unrelated variables at a
+    /// peer. This is also what keeps guarded-blocking derivations — valid
+    /// only under this solver's own guard assumption — from ever leaving.
     fn export_fresh(&mut self, exchange: &mut dyn ClauseExchange) {
-        for l in std::mem::take(&mut self.fresh_units) {
-            exchange.export(&[l], 1);
+        let exportable = self.shared.as_ref().map_or(usize::MAX, |s| s.num_vars());
+        for (l, pure) in std::mem::take(&mut self.fresh_units) {
+            if l.var().index() < exportable {
+                exchange.export(&[l], 1, pure);
+            }
         }
         for cref in std::mem::take(&mut self.fresh_learnts) {
             let c = &self.clauses[cref as usize];
-            if c.deleted || c.imported {
+            if c.deleted || c.imported || c.lits.iter().any(|l| l.var().index() >= exportable) {
                 continue;
             }
-            exchange.export(&c.lits, c.lbd);
+            exchange.export(&c.lits, c.lbd, c.skeleton);
         }
     }
 
@@ -836,11 +958,11 @@ impl Solver {
         debug_assert_eq!(self.decision_level(), 0);
         let mut buf = Vec::new();
         exchange.fetch(&mut buf);
-        for lits in buf {
+        for (lits, pure) in buf {
             if !self.ok {
                 break;
             }
-            self.import_clause(lits);
+            self.import_clause(lits, pure);
         }
     }
 
@@ -862,7 +984,7 @@ impl Solver {
                     // Conflict among the assumptions themselves.
                     return Some(SolveResult::Unsat);
                 }
-                let (learnt, bt, lbd) = self.analyze(confl);
+                let (learnt, bt, lbd, pure) = self.analyze(confl);
                 // Never backtrack past the assumption levels.
                 let bt = bt.max(self.trail_lim.len().min(assumptions.len()).min(bt));
                 self.cancel_until(bt);
@@ -870,13 +992,14 @@ impl Solver {
                 if learnt.len() == 1 {
                     // A learnt unit is a resolvent of database clauses, so
                     // it is exportable like any other learnt clause.
-                    self.fresh_units.push(asserting);
+                    self.fresh_units.push((asserting, pure));
                     if self.decision_level() == 0 {
                         if self.lit_value(asserting) == LBool::False {
                             self.ok = false;
                             return Some(SolveResult::Unsat);
                         }
                         if self.lit_value(asserting) == LBool::Undef {
+                            self.zero_pure[asserting.var().index()] = pure;
                             self.unchecked_enqueue(asserting, None);
                         }
                     } else {
@@ -891,6 +1014,7 @@ impl Solver {
                 } else {
                     let cref = self.attach_new_clause(learnt, true);
                     self.clauses[cref as usize].lbd = lbd;
+                    self.clauses[cref as usize].skeleton = pure;
                     self.fresh_learnts.push(cref);
                     self.unchecked_enqueue(self.clauses[cref as usize].lits[0], Some(cref));
                 }
@@ -1224,15 +1348,15 @@ mod shared_tests {
     /// `crates/portfolio`.
     #[derive(Default)]
     struct BufferExchange {
-        pool: Vec<Vec<Lit>>,
+        pool: Vec<(Vec<Lit>, bool)>,
         cursor: usize,
     }
 
     impl ClauseExchange for BufferExchange {
-        fn export(&mut self, lits: &[Lit], _lbd: u32) {
-            self.pool.push(lits.to_vec());
+        fn export(&mut self, lits: &[Lit], _lbd: u32, skeleton: bool) {
+            self.pool.push((lits.to_vec(), skeleton));
         }
-        fn fetch(&mut self, out: &mut Vec<Vec<Lit>>) {
+        fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, bool)>) {
             out.extend(self.pool[self.cursor..].iter().cloned());
             self.cursor = self.pool.len();
         }
@@ -1371,7 +1495,7 @@ mod shared_tests {
             // Every model in the other cube differs on the pinned observed
             // variable, so A's blocking clauses are satisfied there — the
             // worst-case import traffic for cube B.
-            bus.export(&block, block.len() as u32);
+            bus.export(&block, block.len() as u32, false);
             a_models.push(m);
             a.add_clause(block);
         }
@@ -1584,6 +1708,72 @@ mod shared_tests {
         b.add_clause([Lit::neg(x)]);
         let mut s = Solver::attach_shared(std::sync::Arc::new(b.build()));
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    fn add_pigeonhole(bld: &mut CnfBuilder) {
+        let p: Vec<Vec<Var>> = (0..4)
+            .map(|_| (0..3).map(|_| bld.new_var()).collect())
+            .collect();
+        for row in &p {
+            bld.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&v1, &v2) in row1.iter().zip(row2) {
+                    bld.add_clause([Lit::neg(v1), Lit::neg(v2)]);
+                }
+            }
+        }
+    }
+
+    /// Provenance propagation: learnt clauses derived exclusively from
+    /// skeleton-tagged shared clauses export as skeleton-pure, and the
+    /// very same derivations export impure when the identical clauses sit
+    /// in a non-skeleton layer.
+    #[test]
+    fn learnt_purity_follows_layer_provenance() {
+        // Pigeonhole 4→3 is UNSAT, so the solver must learn clauses — and
+        // every antecedent lives in the single tagged layer.
+        for (skeleton, what) in [(true, "pure"), (false, "impure")] {
+            let mut bld = CnfBuilder::new();
+            add_pigeonhole(&mut bld);
+            let cnf = std::sync::Arc::new(bld.build_tagged(skeleton));
+            let mut bus = BufferExchange::default();
+            let mut s = Solver::attach_shared(cnf);
+            assert_eq!(s.solve_exchanging(&[], &mut bus), SolveResult::Unsat);
+            assert!(!bus.pool.is_empty(), "UNSAT proof should learn clauses");
+            assert!(
+                bus.pool.iter().all(|(_, pure)| *pure == skeleton),
+                "clauses derived only from a skeleton={skeleton} layer must export {what}"
+            );
+        }
+    }
+
+    /// Purity is preserved across layer chains: an axiom-style extension
+    /// layer whose clauses never join a conflict leaves skeleton-derived
+    /// learnt clauses pure.
+    #[test]
+    fn purity_survives_inert_extension_layers() {
+        let mut bld = CnfBuilder::new();
+        add_pigeonhole(&mut bld);
+        let base = bld.build_tagged(true);
+        let mut e = CnfBuilder::extending(&base);
+        let w = e.new_var();
+        let u = e.new_var();
+        // Extension units fix fresh variables at level 0; they cannot be
+        // antecedents of any conflict over the pigeonhole core.
+        e.add_clause([Lit::pos(w)]);
+        e.add_clause([Lit::neg(w), Lit::pos(u)]);
+        let chain = std::sync::Arc::new(e.build());
+        assert_eq!(chain.num_layers(), 2);
+        let mut bus = BufferExchange::default();
+        let mut s = Solver::attach_shared(chain);
+        assert_eq!(s.solve_exchanging(&[], &mut bus), SolveResult::Unsat);
+        assert!(!bus.pool.is_empty(), "UNSAT proof should learn clauses");
+        assert!(
+            bus.pool.iter().all(|(_, pure)| *pure),
+            "skeleton-only derivations must stay pure under an inert axiom layer"
+        );
     }
 
     #[test]
