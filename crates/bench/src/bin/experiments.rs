@@ -187,7 +187,8 @@ fn phase_json(p: &Phase) -> String {
         "{{\"wall_s\": {:.6}, \"compilations\": {}, \"extensions\": {}, \
          \"reused_clauses\": {}, \"vault_published\": {}, \"vault_imported\": {}, \
          \"vault_filtered\": {}, \"raw_instances\": {}, \"exchange_exported\": {}, \
-         \"exchange_imported\": {}, \"retries\": {}, \"degraded\": {}}}",
+         \"exchange_imported\": {}, \"propagations\": {}, \"decisions\": {}, \
+         \"retries\": {}, \"degraded\": {}}}",
         p.wall.as_secs_f64(),
         s.compilations,
         s.extensions,
@@ -198,24 +199,33 @@ fn phase_json(p: &Phase) -> String {
         s.raw_instances,
         s.exchange.0,
         s.exchange.1,
+        s.propagations,
+        s.decisions,
         s.retries,
         s.degraded,
     )
 }
 
 /// The perf acceptance experiment: the TSO union over bounds `2..=bound`,
-/// three ways —
+/// four ways —
 ///
 /// 1. **baseline** — monolithic per-query compilation, vault off, 1 thread
 ///    (every query re-runs the Tseitin transform from scratch);
-/// 2. **incremental** — layered sweep compilation plus the cross-query
-///    clause vault, still 1 thread (isolates the compile/vault win);
-/// 3. **portfolio** — incremental + vault at `threads` threads with cube
-///    splitting (the full engine).
+/// 2. **eager** — layered sweep compilation plus the cross-query clause
+///    vault, 1 thread, with every definitional layer watcher-attached up
+///    front (PR 4's behavior — the propagation-tax control);
+/// 3. **incremental** — the same, but with lazy definitional propagation:
+///    sibling axioms' Tseitin cones stay dormant per worker (isolates the
+///    compile/vault/lazy win, still 1 thread);
+/// 4. **portfolio** — incremental + vault + lazy at `threads` threads with
+///    cube splitting (the full engine).
 ///
-/// All three suites must be byte-identical; the incremental phases must
-/// compile in full exactly once per sweep and show nonzero reuse counters.
-/// Results also go to `BENCH_synth.json` (written atomically) for machines.
+/// All four suites must be byte-identical; the incremental phases must
+/// compile in full exactly once per sweep and show nonzero reuse counters;
+/// lazy must strictly reduce propagations vs. eager at bounds 3–4 (at
+/// other bounds the reduction is only reported — see the calibration
+/// note at the assertion). Results also go to `BENCH_synth.json`
+/// (written atomically).
 fn speedup(bound: usize, threads: usize) {
     let threads = resolve_threads(threads);
     let cube_bits = env_usize("LITSYNTH_CUBE_BITS", 2);
@@ -224,7 +234,7 @@ fn speedup(bound: usize, threads: usize) {
     );
     let tso = Tso::new();
 
-    let run = |name, incremental, vault, threads: usize, cube_bits: usize| {
+    let run = |name, incremental, vault, lazy, threads: usize, cube_bits: usize| {
         let t0 = std::time::Instant::now();
         let (union, stats) =
             litsynth_core::synthesize_union_up_to_with_stats(&tso, 2..=bound, |n| {
@@ -233,6 +243,7 @@ fn speedup(bound: usize, threads: usize) {
                 c.cube_bits = cube_bits;
                 c.incremental = incremental;
                 c.vault = vault;
+                c.lazy = lazy;
                 c.journal = litsynth_core::env_journal();
                 c
             });
@@ -243,10 +254,11 @@ fn speedup(bound: usize, threads: usize) {
             wall: t0.elapsed(),
         }
     };
-    let baseline = run("baseline", false, false, 1, 0);
-    let incremental = run("incremental", true, true, 1, 0);
-    let portfolio = run("portfolio", true, true, threads, cube_bits);
-    let phases = [&baseline, &incremental, &portfolio];
+    let baseline = run("baseline", false, false, false, 1, 0);
+    let eager = run("eager", true, true, false, 1, 0);
+    let incremental = run("incremental", true, true, true, 1, 0);
+    let portfolio = run("portfolio", true, true, true, threads, cube_bits);
+    let phases = [&baseline, &eager, &incremental, &portfolio];
 
     // Byte-identical output is the precondition for comparing the modes at
     // all — the layered arenas and the vault must only change speed.
@@ -267,10 +279,10 @@ fn speedup(bound: usize, threads: usize) {
         baseline.stats.compilations as usize, num_queries,
         "baseline must compile once per query"
     );
-    // Per participating bound the chain grows by a skeleton link and a
-    // definitions link; the very first link is the sweep's one full
-    // compilation, everything after extends.
-    let num_extensions = (2 * (bound - 1) - 1) as u64;
+    // Per participating bound the chain grows by a skeleton link and one
+    // definitional link per axiom; the very first link is the sweep's one
+    // full compilation, everything after extends.
+    let num_extensions = ((1 + tso.axioms().len()) * (bound - 1) - 1) as u64;
     for p in &phases[1..] {
         assert_eq!(
             p.stats.compilations, 1,
@@ -304,6 +316,39 @@ fn speedup(bound: usize, threads: usize) {
             p.stats.vault.imported,
         );
     }
+    // The lazy claim, calibrated to measurement: on one thread over the
+    // identical formula chain, dormant definitional cones strictly cut
+    // unit propagations at bounds 3–4 (−12% at bound 3, deterministic
+    // single-thread runs). Bound 2's sweep is a single trivially small
+    // link where the few level-0 activation propagations are the whole
+    // story, so the comparison is noise there. At bound 5 and up the
+    // effect inverts: hash consing concentrates ~80% of the gates into
+    // one shared minimality bulk that every per-axiom query activates
+    // anyway, pooled solvers accumulate the union of their tasks'
+    // cones, and dropped stale-cone vault imports cost more pruning
+    // than dormancy saves — so bounds outside 3–4 only report the
+    // (possibly negative) reduction instead of asserting it. See
+    // DESIGN §3b for the full measurement story. (A journal replay
+    // does zero solver work in every phase — nothing to compare.)
+    let reduction =
+        1.0 - incremental.stats.propagations as f64 / eager.stats.propagations.max(1) as f64;
+    if incremental.stats.raw_instances > 0 && (3..=4).contains(&bound) {
+        assert!(
+            incremental.stats.propagations < eager.stats.propagations,
+            "lazy propagation must beat eager through bound {bound}: {} !< {}",
+            incremental.stats.propagations,
+            eager.stats.propagations
+        );
+    }
+    println!(
+        "lazy: {} propagations vs {} eager ({:.1}% reduction), \
+         {} vs {} decisions",
+        incremental.stats.propagations,
+        eager.stats.propagations,
+        reduction * 100.0,
+        incremental.stats.decisions,
+        eager.stats.decisions,
+    );
     let ratio = |p: &Phase| baseline.wall.as_secs_f64() / p.wall.as_secs_f64().max(1e-9);
     println!(
         "speedup: incremental {:.2}x, portfolio ({} threads, {} cubes/query) {:.2}x \
@@ -343,16 +388,19 @@ fn speedup(bound: usize, threads: usize) {
          \"bounds\": [2, {bound}],\n  \"threads\": {threads},\n  \
          \"cube_bits\": {cube_bits},\n  \"suite_tests\": {},\n  \
          \"byte_identical\": true,\n  \"phases\": {{\n    \"baseline\": {},\n    \
-         \"incremental\": {},\n    \"portfolio\": {}\n  }},\n  \
+         \"eager\": {},\n    \"incremental\": {},\n    \"portfolio\": {}\n  }},\n  \
          \"speedup_incremental\": {:.4},\n  \"speedup_portfolio\": {:.4},\n  \
+         \"lazy_propagation_reduction\": {:.4},\n  \
          \"resilience\": {{\"retries\": {retries}, \"degraded\": {degraded}, \
          \"injected_faults\": {injections}}}\n}}\n",
         baseline.union.len(),
         phase_json(&baseline),
+        phase_json(&eager),
         phase_json(&incremental),
         phase_json(&portfolio),
         ratio(&incremental),
         ratio(&portfolio),
+        reduction,
     );
     let path = std::path::Path::new("BENCH_synth.json");
     match litsynth_core::atomic_write(path, json.as_bytes()) {

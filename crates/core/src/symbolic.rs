@@ -77,6 +77,16 @@ pub struct SynthConfig {
     /// to have any effect — the vault keys on skeleton-layer fingerprints).
     /// Imports only prune search; suites are byte-identical either way.
     pub vault: bool,
+    /// Attach enumeration workers to sweep-shared compilations lazily:
+    /// definitional CNF layers (one per axiom on the incremental chain)
+    /// stay dormant — no watchers, no propagation — until the worker's
+    /// own assumptions or blocking clauses reference them, so each query
+    /// pays only for its own Tseitin cones. Activation only adds
+    /// constraints the full formula already contains; suites are
+    /// byte-identical either way. No effect without
+    /// [`SynthConfig::incremental`] (scratch compilations carry no
+    /// definitional layers).
+    pub lazy: bool,
     /// Total attempts per cube worker (including the first) before the
     /// query is marked degraded instead of aborting the run.
     pub max_attempts: usize,
@@ -124,6 +134,7 @@ impl SynthConfig {
             probe_conflicts: 500,
             incremental: true,
             vault: true,
+            lazy: true,
             max_attempts: 3,
             retry_backoff_ms: 10,
             solve_conflicts: 0,
@@ -167,6 +178,12 @@ impl SynthConfig {
     /// Enables or disables the cross-query clause vault (builder style).
     pub fn with_vault(mut self, vault: bool) -> SynthConfig {
         self.vault = vault;
+        self
+    }
+
+    /// Enables or disables lazy definitional propagation (builder style).
+    pub fn with_lazy(mut self, lazy: bool) -> SynthConfig {
+        self.lazy = lazy;
         self
     }
 

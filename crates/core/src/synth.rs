@@ -103,6 +103,11 @@ pub struct WorkerStats {
     pub cnf_clauses: usize,
     /// Wall-clock time this worker spent.
     pub elapsed: Duration,
+    /// Unit propagations this worker's solver performed (delta over this
+    /// task only — pooled solvers carry history from earlier tasks).
+    pub propagations: u64,
+    /// Decisions this worker's solver made (delta over this task only).
+    pub decisions: u64,
     /// `true` if the instance cap or time budget stopped this worker.
     pub truncated: bool,
     /// Learnt clauses this worker published on the exchange bus.
@@ -147,6 +152,10 @@ pub struct SynthResult {
     /// Exchange-bus totals over all workers: (exported, imported,
     /// filtered).
     pub exchange: (u64, u64, u64),
+    /// Unit propagations, summed over workers.
+    pub propagations: u64,
+    /// Solver decisions, summed over workers.
+    pub decisions: u64,
     /// Total cube-selection probe time, summed over queries.
     pub probe: Duration,
     /// Workers whose every attempt failed: the suite is complete iff this
@@ -270,14 +279,17 @@ struct BoundShare {
     st: Arc<SymbolicTest>,
     /// The shared layer chain up to and including this bound: per
     /// participating bound so far, a skeleton layer (wellformedness,
-    /// observables, pin candidates) followed by a definitions layer (every
-    /// axiom's minimality-circuit Tseitin cone), all encoded exactly once
-    /// per sweep. Every layer is tagged shared ("skeleton") — definition
-    /// layers only *name* gates, they assert nothing, so learnt clauses
-    /// derived from the chain alone are sound to share between all queries
-    /// whose chain has them as a prefix (see `litsynth_portfolio::vault`).
-    /// A bound's queries all run over this identical formula and differ
-    /// only in their assumption roots.
+    /// observables, pin candidates) followed by one *definitional* layer
+    /// per axiom (that axiom's minimality-circuit Tseitin cone), all
+    /// encoded exactly once per sweep. Every layer is tagged shared
+    /// ("skeleton") — definition layers only *name* gates, they assert
+    /// nothing, so learnt clauses derived from the chain alone are sound
+    /// to share between all queries whose chain has them as a prefix (see
+    /// `litsynth_portfolio::vault`) — and the per-axiom layers are
+    /// additionally tagged definitional, so a lazily attached worker
+    /// ([`SynthConfig::lazy`]) leaves sibling axioms' cones dormant. A
+    /// bound's queries all run over this identical formula and differ only
+    /// in their assumption roots.
     compiled: Arc<CompiledCircuit>,
     /// Minimality asserts per axiom index (cube pins excluded).
     asserts: Vec<Vec<Bit>>,
@@ -343,19 +355,28 @@ fn sweep_shares<M: MemoryModel>(
             None => CompiledCircuit::compile_tagged(&alg.circuit, roots, true),
             Some(prev) => CompiledCircuit::extend(prev, &alg.circuit, roots, true),
         };
-        // Fuse every axiom's minimality-circuit *definitions* into the
-        // shared chain, tagged shared like the skeleton. A Tseitin layer
-        // never constrains — it only names gates — so the bound's queries
-        // all solve this one formula under different assumptions, and any
-        // clause a solver learns from the chain alone is valid for every
-        // sibling (and every later bound): that is what makes the vault's
-        // cross-query seeding productive instead of marginal.
-        let full = Arc::new(CompiledCircuit::extend(
-            &skeleton,
-            &alg.circuit,
-            asserts.iter().flatten().copied(),
-            true,
-        ));
+        // Chain every axiom's minimality-circuit *definitions* onto the
+        // shared chain as its own definitional layer, tagged shared like
+        // the skeleton. A Tseitin layer never constrains — it only names
+        // gates — so the bound's queries all solve this one formula under
+        // different assumptions, and any clause a solver learns from the
+        // chain alone is valid for every sibling (and every later bound):
+        // that is what makes the vault's cross-query seeding productive
+        // instead of marginal. One layer *per axiom* (instead of one fused
+        // definitions layer) is what lets a lazily attached worker leave
+        // the sibling axioms' cones dormant: each layer is marked
+        // definitional, so `Solver::attach_shared_lazy` installs its
+        // watchers only when the query's own assumptions reach it.
+        let mut link = skeleton;
+        for ax_asserts in &asserts {
+            link = CompiledCircuit::extend_definitional(
+                &link,
+                &alg.circuit,
+                ax_asserts.iter().copied(),
+                true,
+            );
+        }
+        let full = Arc::new(link);
         chain = Some(full.clone());
         built.push(Some((Arc::new(st), full, asserts, candidates)));
     }
@@ -555,7 +576,20 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
     let pooled = task.prebuilt.as_ref().map(|share| &share.pool);
     let mut finder = pooled
         .and_then(|pool| pool.lock().unwrap_or_else(|e| e.into_inner()).pop())
-        .unwrap_or_else(|| query.query.attach());
+        .unwrap_or_else(|| {
+            // Lazy attach leaves the chain's definitional layers (sibling
+            // axioms' Tseitin cones) dormant; this query's own cones wake
+            // on the first solve, when its assumptions reference them. On
+            // a monolithic compilation there are no definitional layers
+            // and the two attaches are identical. Every task of a bound
+            // shares one `cfg.lazy`, so pooled solvers are homogeneous.
+            if cfg.lazy {
+                query.query.attach_lazy()
+            } else {
+                query.query.attach()
+            }
+        });
+    let stats_before = finder.solver_stats();
     let guard = pooled.map(|_| finder.new_guard());
     // Focus branching on this query's own cone. On the monolithic path the
     // warmed cone covers (essentially) the whole formula, so this changes
@@ -569,6 +603,17 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             .chain(st.kind.iter().flatten())
             .copied(),
     );
+    // Declare this task's live cone roots up front (lazy attach only):
+    // vault fetches and exchange drains may seed pruning clauses before
+    // the first solve would have activated the cones via its assumptions,
+    // and a lazy solver drops seeds that touch dormant gates.
+    let root_bits: Vec<Bit> = asserts
+        .iter()
+        .chain(&st.observables)
+        .chain(st.kind.iter().flatten())
+        .copied()
+        .collect();
+    finder.declare_roots(circuit, &root_bits);
     let max_attempts = cfg.max_attempts.max(1);
     let last_attempt = max_attempts > 1 && attempt + 1 >= max_attempts;
     let mut endpoint = task.bus.endpoint(task.cube);
@@ -640,9 +685,12 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
     }
     let xs = exchange.stats();
     let (cnf_vars, cnf_clauses) = (finder.num_cnf_vars(), finder.num_cnf_clauses());
+    let stats_after = finder.solver_stats();
+    let propagations = stats_after.propagations - stats_before.propagations;
+    let decisions = stats_after.decisions - stats_before.decisions;
     if std::env::var_os("LITSYNTH_TRACE").is_some() {
         eprintln!(
-            "trace {} cube {} attempt {}: wall {:?} probe {:?} raw {} conflicts {}",
+            "trace {} cube {} attempt {}: wall {:?} probe {:?} raw {} conflicts {} props {} decs {} active {}/{}",
             task.query_key,
             task.cube,
             attempt,
@@ -650,6 +698,10 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             query.query.probe_time(),
             raw,
             finder.solver_stats().conflicts,
+            propagations,
+            decisions,
+            finder.active_var_count(),
+            finder.num_cnf_vars(),
         );
     }
     // Park the solver for the bound's next task, warm. Interrupted attempts
@@ -685,6 +737,8 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             cnf_vars,
             cnf_clauses,
             elapsed: start.elapsed(),
+            propagations,
+            decisions,
             truncated,
             exported: xs.exported,
             imported: xs.imported,
@@ -725,6 +779,8 @@ fn placeholder_run(task: &Task) -> CubeRun {
             cnf_vars: 0,
             cnf_clauses: 0,
             elapsed: Duration::ZERO,
+            propagations: 0,
+            decisions: 0,
             truncated: false,
             exported: 0,
             imported: 0,
@@ -773,6 +829,8 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
     let mut clauses = 0;
     let mut compilations = 0;
     let mut exchange = (0u64, 0u64, 0u64);
+    let mut propagations = 0u64;
+    let mut decisions = 0u64;
     let mut probe = Duration::ZERO;
     let mut truncated = false;
     let mut degraded = 0usize;
@@ -789,6 +847,8 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
         exchange.0 += run.stats.exported;
         exchange.1 += run.stats.imported;
         exchange.2 += run.stats.filtered;
+        propagations += run.stats.propagations;
+        decisions += run.stats.decisions;
         probe += run.probe;
         truncated |= run.stats.truncated;
         degraded += run.stats.degraded as usize;
@@ -804,6 +864,8 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
         cnf_clauses: clauses,
         compilations,
         exchange,
+        propagations,
+        decisions,
         probe,
         degraded,
         retries,
@@ -824,6 +886,8 @@ fn journal_hit_result(tests: CanonicalSuite, elapsed: Duration) -> SynthResult {
         cnf_clauses: 0,
         compilations: 0,
         exchange: (0, 0, 0),
+        propagations: 0,
+        decisions: 0,
         probe: Duration::ZERO,
         degraded: 0,
         retries: 0,
@@ -1034,6 +1098,12 @@ pub struct SweepStats {
     /// Exchange-bus totals over all workers: (exported, imported,
     /// filtered).
     pub exchange: (u64, u64, u64),
+    /// Unit propagations, summed over the sweep's workers. The number
+    /// [`SynthConfig::lazy`] exists to shrink: dormant definitional layers
+    /// propagate nothing.
+    pub propagations: u64,
+    /// Solver decisions, summed over the sweep's workers.
+    pub decisions: u64,
 }
 
 /// Synthesizes the union suite over a range of bounds, merging canonical
@@ -1107,6 +1177,8 @@ pub fn synthesize_union_up_to_with_stats<M: MemoryModel + Sync>(
             stats.exchange.0 += r.exchange.0;
             stats.exchange.1 += r.exchange.1;
             stats.exchange.2 += r.exchange.2;
+            stats.propagations += r.propagations;
+            stats.decisions += r.decisions;
             record_if_clean(model.name(), ax, cfg, r);
         }
         union.extend(u);
@@ -1384,11 +1456,11 @@ mod tests {
     #[test]
     fn incremental_chain_cnf_matches_from_scratch_modulo_renaming() {
         // The tentpole soundness property, for bounds 2..=4: the shared
-        // layer chain — each bound's skeleton link followed by its
-        // definitions link — contains exactly the clauses a from-scratch
-        // compilation of the same cumulative roots produces, modulo
-        // variable renaming. Every cone is Tseitin-encoded exactly once
-        // per sweep, nothing more and nothing less.
+        // layer chain — each bound's skeleton link followed by one
+        // definitional link per axiom — contains exactly the clauses a
+        // from-scratch compilation of the same cumulative roots produces,
+        // modulo variable renaming. Every cone is Tseitin-encoded exactly
+        // once per sweep, nothing more and nothing less.
         let m = Tso::new();
         let mut alg = litsynth_models::SymAlg::new();
         let mut chain: Option<CompiledCircuit> = None;
@@ -1421,12 +1493,15 @@ mod tests {
                 .iter()
                 .map(|&ax| minimality_asserts_opts(&mut alg, &m, &st, ax, cfg.orphan_unconstrained))
                 .collect();
-            let full = CompiledCircuit::extend(
-                &skeleton,
-                &alg.circuit,
-                asserts.iter().flatten().copied(),
-                true,
-            );
+            let mut full = skeleton;
+            for ax_asserts in &asserts {
+                full = CompiledCircuit::extend_definitional(
+                    &full,
+                    &alg.circuit,
+                    ax_asserts.iter().copied(),
+                    true,
+                );
+            }
             cumulative_roots.extend(asserts.iter().flatten());
             let scratch = CompiledCircuit::compile(&alg.circuit, cumulative_roots.iter().copied());
             assert!(
@@ -1471,6 +1546,64 @@ mod tests {
     }
 
     #[test]
+    fn union_up_to_is_byte_identical_with_lazy_on_and_off() {
+        // Lazy definitional propagation may only change how much work the
+        // solvers do, never the suite: activation only adds constraints
+        // the full formula already contains (DESIGN §3b), so the suite is
+        // byte-identical with lazy on and off at any thread count or cube
+        // split.
+        let m = Tso::new();
+        let run = |lazy: bool, threads: usize, cube_bits: usize| {
+            let u = synthesize_union_up_to(&m, 2..=3, |n| {
+                SynthConfig::new(n)
+                    .with_threads(threads)
+                    .with_cube_bits(cube_bits)
+                    .with_lazy(lazy)
+            });
+            suite_bytes(&u)
+        };
+        let baseline = run(false, 1, 0);
+        for (lazy, threads, cube_bits) in [
+            (true, 1, 0),
+            (true, 2, 0),
+            (true, 2, 1),
+            (true, 4, 2),
+            (false, 2, 1),
+        ] {
+            assert_eq!(
+                run(lazy, threads, cube_bits),
+                baseline,
+                "lazy={lazy} threads={threads} cube_bits={cube_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_attach_reduces_sweep_propagations() {
+        // The tentpole perf claim, in miniature: on a sequential
+        // incremental sweep, leaving sibling axioms' definitional cones
+        // dormant must strictly reduce total unit propagations while
+        // finding the identical suite.
+        let m = Tso::new();
+        let run = |lazy: bool| {
+            synthesize_union_up_to_with_stats(&m, 2..=3, |n| {
+                SynthConfig::new(n).with_lazy(lazy).with_vault(false)
+            })
+        };
+        let (u_lazy, s_lazy) = run(true);
+        let (u_eager, s_eager) = run(false);
+        assert_eq!(suite_bytes(&u_lazy), suite_bytes(&u_eager));
+        assert!(s_lazy.propagations > 0, "counters must be recorded");
+        assert!(s_lazy.decisions > 0, "counters must be recorded");
+        assert!(
+            s_lazy.propagations < s_eager.propagations,
+            "lazy {} !< eager {}",
+            s_lazy.propagations,
+            s_eager.propagations
+        );
+    }
+
+    #[test]
     fn incremental_sweep_compiles_once_and_reuses_the_skeleton() {
         let m = Tso::new();
         let (u_inc, s_inc) = synthesize_union_up_to_with_stats(&m, 2..=3, SynthConfig::new);
@@ -1481,11 +1614,13 @@ mod tests {
         });
         assert_eq!(suite_bytes(&u_inc), suite_bytes(&u_mono));
         assert_eq!(s_inc.compilations, 1, "one full compile per sweep");
-        // Two participating bounds → one definitions link on the first and
-        // a skeleton + definitions link on the second, i.e. 3 extensions
-        // (the global counter may only over-count, from tests running
-        // concurrently in this binary).
-        assert!(s_inc.extensions >= 3);
+        // Two participating bounds → one definitional link per axiom on
+        // the first and a skeleton link plus one definitional link per
+        // axiom on the second, i.e. 2·A+1 extensions (the global counter
+        // may only over-count, from tests running concurrently in this
+        // binary).
+        let expected = 2 * m.axioms().len() as u64 + 1;
+        assert!(s_inc.extensions >= expected, "{}", s_inc.extensions);
         assert!(s_inc.reused_clauses > 0, "extensions must reuse clauses");
         assert_eq!(
             s_mono.compilations as usize,

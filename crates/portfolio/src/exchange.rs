@@ -22,6 +22,14 @@
 //! prunes search, and provably nothing else. (If an import does make a
 //! worker's formula unsatisfiable, that cube genuinely had no remaining
 //! models.)
+//!
+//! Lazily attached workers (`CompiledQuery::attach_lazy`) add one wrinkle:
+//! a fetched clause may mention gate variables of a definitional cone the
+//! importer has never activated. The solver treats such clauses as absent
+//! — it silently drops them at import time rather than waking the cone —
+//! which keeps the dormant-cone saving and stays sound by the same
+//! argument: an import can only prune, so *not* installing one changes no
+//! enumeration result.
 
 use litsynth_sat::{ClauseExchange, Lit};
 use std::sync::{Arc, Mutex, MutexGuard};

@@ -111,6 +111,17 @@ impl CompiledQuery {
         Finder::attach(&self.compiled)
     }
 
+    /// Like [`CompiledQuery::attach`], but definitional layers of the
+    /// shared arena start dormant and are watcher-installed only when the
+    /// worker's assumptions or blocking clauses first reference them
+    /// ([`Finder::attach_lazy`]). On a sweep-shared chain carrying one
+    /// definitional layer per axiom this spares each worker the
+    /// propagation tax of every *other* query's Tseitin cones while
+    /// enumerating exactly the same instance set.
+    pub fn attach_lazy(&self) -> Finder {
+        Finder::attach_lazy(&self.compiled)
+    }
+
     /// Number of distinct pinnable bits available for cube splitting.
     pub fn num_pinnable(&self) -> usize {
         self.pins.len()

@@ -219,10 +219,14 @@ impl<E: ClauseExchange> ClauseExchange for VaultedExchange<E> {
             self.seeded = true;
             if self.imports_enabled {
                 // The whole shelf seeds, cross-axiom clauses included: on a
-                // fused chain every axiom's definitional gates are functions
-                // of the shared skeleton variables, so a clause over a
-                // sibling's gates still propagates — and prunes — in this
-                // query's search.
+                // sweep-shared chain every axiom's definitional gates are
+                // functions of the shared skeleton variables, so a clause
+                // over a sibling's gates still propagates — and prunes — in
+                // this query's search. A lazily attached solver instead
+                // *drops* any seeded clause that mentions a variable of a
+                // still-dormant definitional layer (it treats the cone's
+                // clauses as absent), which is equally sound: imports only
+                // ever prune.
                 out.extend(self.vault.seed(&self.import_fps));
             }
         }

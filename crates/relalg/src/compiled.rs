@@ -128,6 +128,34 @@ impl CompiledCircuit {
         roots: I,
         skeleton: bool,
     ) -> CompiledCircuit {
+        CompiledCircuit::extend_with(base, c, roots, skeleton, false)
+    }
+
+    /// [`CompiledCircuit::extend`], additionally tagging the new layer
+    /// *definitional* ([`litsynth_sat::CnfLayer::is_definitional`]): a
+    /// pure Tseitin cone a lazy solver may leave dormant until the query
+    /// references one of its variables. The tag's promise — every clause
+    /// mentions a layer-own gate variable, and those gates are functions
+    /// of earlier variables — holds for any `translate_cones` output by
+    /// construction: each emitted clause names the fresh variable it
+    /// defines (the AND-gate triple and the const-true unit both contain
+    /// their own fresh var; inputs emit no clauses at all).
+    pub fn extend_definitional<I: IntoIterator<Item = Bit>>(
+        base: &CompiledCircuit,
+        c: &Circuit,
+        roots: I,
+        skeleton: bool,
+    ) -> CompiledCircuit {
+        CompiledCircuit::extend_with(base, c, roots, skeleton, true)
+    }
+
+    fn extend_with<I: IntoIterator<Item = Bit>>(
+        base: &CompiledCircuit,
+        c: &Circuit,
+        roots: I,
+        skeleton: bool,
+        definitional: bool,
+    ) -> CompiledCircuit {
         INCREMENTAL_EXTENSIONS.fetch_add(1, Ordering::Relaxed);
         REUSED_CLAUSES.fetch_add(
             (base.cnf.num_clauses() + base.cnf.units().len()) as u64,
@@ -143,7 +171,7 @@ impl CompiledCircuit {
         };
         translate_cones(c, roots, &mut b, &mut state);
         CompiledCircuit {
-            cnf: Arc::new(b.build_tagged(skeleton)),
+            cnf: Arc::new(b.build_layer(skeleton, definitional)),
             node_var: state.node_var,
             const_true: state.const_true,
             input_of_var: state.input_of_var,
@@ -389,6 +417,25 @@ mod tests {
         assert!(f.next_instance(&c, &[root]).is_some());
         let mut fb = Finder::attach(&base);
         assert!(fb.next_instance(&c, &[xy]).is_some());
+    }
+
+    #[test]
+    fn definitional_extensions_tag_their_layer() {
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let y = c.input("y");
+        let base = CompiledCircuit::compile_tagged(&c, [x, y], true);
+        let xy = c.and(x, y);
+        let ext = CompiledCircuit::extend_definitional(&base, &c, [xy], true);
+        assert!(!ext.cnf().layers()[0].is_definitional());
+        assert!(ext.cnf().layers()[1].is_definitional());
+        assert!(ext.cnf().layers()[1].is_skeleton());
+        // The cone encodes and solves exactly like a plain extension.
+        let plain = CompiledCircuit::extend(&base, &c, [xy], true);
+        assert_eq!(ext.num_vars(), plain.num_vars());
+        assert_eq!(ext.num_clauses(), plain.num_clauses());
+        let mut f = Finder::attach_lazy(&ext);
+        assert!(f.next_instance(&c, &[xy]).is_some());
     }
 
     #[test]

@@ -123,6 +123,23 @@ impl Finder {
         }
     }
 
+    /// [`Finder::attach`], but via [`Solver::attach_shared_lazy`]: the
+    /// arena's definitional layers (see
+    /// [`CompiledCircuit::extend_definitional`]) stay dormant until this
+    /// finder's assumptions, blocking clauses, or demand-translated bits
+    /// reference one of their variables. Dormant cones cost no watchers
+    /// and no propagation; activation only adds constraints the full
+    /// formula already contains, so the enumerated instance set is
+    /// identical to an eager attach.
+    pub fn attach_lazy(compiled: &CompiledCircuit) -> Finder {
+        Finder {
+            solver: Solver::attach_shared_lazy(compiled.cnf().clone()),
+            node_var: compiled.node_var().to_vec(),
+            const_true: compiled.const_true(),
+            input_of_var: compiled.input_of_var().to_vec(),
+        }
+    }
+
     /// Statistics from the underlying SAT solver.
     pub fn solver_stats(&self) -> litsynth_sat::SolverStats {
         self.solver.stats()
@@ -163,6 +180,29 @@ impl Finder {
     /// Number of CNF variables allocated so far.
     pub fn num_cnf_vars(&self) -> usize {
         self.solver.num_vars()
+    }
+
+    /// Shared-arena layers this finder's solver has activated (all of
+    /// them on an eager attach; see [`Finder::attach_lazy`]).
+    pub fn active_layer_count(&self) -> usize {
+        self.solver.active_layer_count()
+    }
+
+    /// CNF variables with watchers live (all of them on an eager attach;
+    /// the demand-activated subset after [`Finder::attach_lazy`]).
+    pub fn active_var_count(&self) -> usize {
+        self.solver.active_var_count()
+    }
+
+    /// Declares the cone roots this finder is about to enumerate under
+    /// (see [`litsynth_sat::Solver::declare_roots`]): on a lazily
+    /// attached solver, activates the bits' defining cones now, so that
+    /// pruning clauses seeded *before* the first solve — a vault fetch,
+    /// an exchange drain — land on live watchers instead of being
+    /// dropped as dormant. No-op on an eager attach.
+    pub fn declare_roots(&mut self, c: &Circuit, bits: &[Bit]) {
+        let lits: Vec<Lit> = bits.iter().map(|&b| self.lit_of(c, b)).collect();
+        self.solver.declare_roots(lits);
     }
 
     /// Number of CNF clauses added so far.

@@ -63,7 +63,7 @@ pub mod dimacs;
 pub use budget::{BudgetedResult, CancelToken, Interrupt, SolveBudget};
 pub use exchange::{ClauseExchange, NoExchange};
 pub use fault::{FaultAction, FaultCtx, FaultPlan, FaultPlanError, FaultSite};
-pub use shared::{CnfBuilder, SharedCnf};
+pub use shared::{CnfBuilder, CnfLayer, GateDef, SharedCnf};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};
 

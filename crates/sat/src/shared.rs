@@ -23,6 +23,23 @@
 //! skeleton alone can be reused across queries sharing the same skeleton
 //! chain — see [`SharedCnf::skeleton_fingerprints`] and the clause vault
 //! in the portfolio crate.
+//!
+//! Orthogonally, a layer can be tagged *definitional*
+//! ([`CnfLayer::is_definitional`]): every clause in it is a pure Tseitin
+//! naming constraint — its freshest (maximum) variable is a gate the
+//! clause helps define, and gates are functions of strictly older
+//! variables. A definitional layer asserts nothing by itself, so a solver
+//! may defer watching its clauses gate by gate until the query actually
+//! references them ([`crate::Solver::attach_shared_lazy`]). The cone
+//! metadata a lazy solver needs is precomputed here: each layer owns the
+//! contiguous variable range `[prev.num_vars(), num_vars())`
+//! ([`SharedCnf::layer_var_range`]) and the contiguous clause range
+//! [`SharedCnf::layer_clause_range`] ("which cone does this variable
+//! belong to" is a single binary search, [`SharedCnf::layer_of_var`]),
+//! and a definitional layer additionally indexes, per gate variable, the
+//! clauses and units defining that gate ([`CnfLayer::gate_defs`]) so
+//! activation can walk exactly the referenced sub-DAG of a cone instead
+//! of waking whole layers.
 
 use crate::types::{Lit, Var};
 use std::sync::Arc;
@@ -54,8 +71,34 @@ pub struct CnfLayer {
     units: Vec<Lit>,
     /// `true` when this layer encodes shared structural skeleton.
     skeleton: bool,
+    /// `true` when every clause of this layer is a Tseitin naming
+    /// constraint over the layer's own gate variables (a definition cone):
+    /// the layer asserts nothing and is eligible for lazy watching.
+    definitional: bool,
+    /// First variable index owned by this layer (`num_vars` of the
+    /// previous layer in the chain).
+    first_var: usize,
+    /// Definitional layers only: CSR index from layer-own gate variable to
+    /// the items (clauses/units) defining it. `def_start.len()` is the
+    /// layer's own variable count + 1; `def_items[def_start[v-first_var]..
+    /// def_start[v-first_var+1]]` encodes a layer-local non-unit clause
+    /// index as `ci << 1` and a layer-local unit index as `ui << 1 | 1`.
+    /// Empty for non-definitional layers.
+    def_start: Vec<u32>,
+    def_items: Vec<u32>,
     /// Content fingerprint of the whole chain ending at this layer.
     fingerprint: u64,
+}
+
+/// One item defining a gate variable of a definitional [`CnfLayer`]: a
+/// layer-local non-unit clause index, or a unit literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateDef {
+    /// Index into the layer's non-unit clauses (layer-local; add the
+    /// layer's flat clause offset to address the solver's arena).
+    Clause(usize),
+    /// A unit clause (e.g. the constant-true gate's pin).
+    Unit(Lit),
 }
 
 impl CnfLayer {
@@ -67,6 +110,48 @@ impl CnfLayer {
     /// `true` when this layer encodes shared structural skeleton.
     pub fn is_skeleton(&self) -> bool {
         self.skeleton
+    }
+
+    /// `true` when this layer is a pure definition cone (see
+    /// [`CnfBuilder::build_layer`]): a lazy solver may skip its watchers
+    /// until one of its variables is referenced.
+    pub fn is_definitional(&self) -> bool {
+        self.definitional
+    }
+
+    /// Unit clauses contributed by this layer alone.
+    pub fn units(&self) -> &[Lit] {
+        &self.units
+    }
+
+    /// Total variables allocated up to and including this layer (the
+    /// cumulative count, not the layer's own).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// First variable index owned by this layer.
+    pub fn first_var(&self) -> usize {
+        self.first_var
+    }
+
+    /// The items defining gate variable `v` of a definitional layer: the
+    /// clauses whose freshest variable is `v`, in layer order. Empty for
+    /// non-definitional layers, input variables (which have no defining
+    /// clauses), and variables outside the layer.
+    pub fn gate_defs(&self, v: Var) -> impl Iterator<Item = GateDef> + '_ {
+        let i = v.index().wrapping_sub(self.first_var);
+        let range = match (self.def_start.get(i), self.def_start.get(i + 1)) {
+            (Some(&lo), Some(&hi)) => lo as usize..hi as usize,
+            _ => 0..0,
+        };
+        self.def_items[range].iter().map(|&item| {
+            if item & 1 == 0 {
+                GateDef::Clause((item >> 1) as usize)
+            } else {
+                GateDef::Unit(self.units[(item >> 1) as usize])
+            }
+        })
     }
 
     /// The cumulative chain fingerprint ending at this layer. Equal
@@ -143,6 +228,35 @@ impl SharedCnf {
     fn layer_of(&self, clause: usize) -> usize {
         debug_assert!(clause < self.num_clauses);
         self.clause_start.partition_point(|&s| s <= clause) - 1
+    }
+
+    /// The index of the layer that owns (non-unit) clause `i`.
+    #[inline]
+    pub fn layer_of_clause(&self, i: usize) -> usize {
+        self.layer_of(i)
+    }
+
+    /// The index of the layer that owns variable `v` — layers own
+    /// contiguous, ascending variable ranges, so this is a binary search.
+    #[inline]
+    pub fn layer_of_var(&self, v: Var) -> usize {
+        self.layers.partition_point(|l| l.num_vars <= v.index())
+    }
+
+    /// The half-open variable range `[lo, hi)` owned by layer `li`.
+    pub fn layer_var_range(&self, li: usize) -> std::ops::Range<usize> {
+        let lo = if li == 0 {
+            0
+        } else {
+            self.layers[li - 1].num_vars
+        };
+        lo..self.layers[li].num_vars
+    }
+
+    /// The half-open flat clause-index range owned by layer `li`.
+    pub fn layer_clause_range(&self, li: usize) -> std::ops::Range<usize> {
+        let lo = self.clause_start[li];
+        lo..lo + self.layers[li].ranges.len()
     }
 
     /// Total literal count across all arena clauses.
@@ -264,16 +378,75 @@ impl CnfBuilder {
 
     /// Finalizes the formula, tagging the new layer non-skeleton.
     pub fn build(self) -> SharedCnf {
-        self.build_tagged(false)
+        self.build_layer(false, false)
     }
 
     /// Finalizes the formula, tagging the newly built layer's provenance:
     /// `skeleton == true` marks it as axiom-independent structural
     /// skeleton, eligible to anchor cross-query clause reuse.
     pub fn build_tagged(self, skeleton: bool) -> SharedCnf {
+        self.build_layer(skeleton, false)
+    }
+
+    /// Finalizes the formula with full provenance. `definitional == true`
+    /// additionally promises that every clause of the new layer is a
+    /// Tseitin naming constraint — its freshest (maximum) variable is one
+    /// of the layer's own gate variables, defined as a function of
+    /// strictly older variables — so the layer asserts nothing by itself
+    /// and a lazy solver may defer watching it, gate by gate (see
+    /// [`crate::Solver::attach_shared_lazy`]). The promise is checked
+    /// structurally here (every clause must be owned by a layer-own
+    /// variable); the deeper functional property is the encoder's contract
+    /// — `litsynth-relalg` is the only producer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `definitional` is set and some clause of the new layer
+    /// contains no layer-own variable.
+    pub fn build_layer(self, skeleton: bool, definitional: bool) -> SharedCnf {
+        let first_var = self.base.last().map_or(0, |l| l.num_vars);
+        let (def_start, def_items) = if definitional {
+            let own = self.num_vars - first_var;
+            let owner_of = |lits: &[Lit]| -> usize {
+                let v = lits.iter().map(|l| l.var().index()).max().unwrap_or(0);
+                assert!(
+                    v >= first_var && !lits.is_empty(),
+                    "definitional layer clause owns no layer variable"
+                );
+                v - first_var
+            };
+            let mut counts = vec![0u32; own + 1];
+            for &(start, len) in &self.ranges {
+                counts[owner_of(&self.lits[start as usize..(start + len) as usize])] += 1;
+            }
+            for &u in &self.units {
+                counts[owner_of(std::slice::from_ref(&u))] += 1;
+            }
+            let mut def_start = vec![0u32; own + 1];
+            for i in 0..own {
+                def_start[i + 1] = def_start[i] + counts[i];
+            }
+            let mut next = def_start.clone();
+            let mut def_items = vec![0u32; def_start[own] as usize];
+            // Fill in layer order per owner: clauses first, then units —
+            // activation replays them in this order.
+            for (ci, &(start, len)) in self.ranges.iter().enumerate() {
+                let o = owner_of(&self.lits[start as usize..(start + len) as usize]);
+                def_items[next[o] as usize] = (ci as u32) << 1;
+                next[o] += 1;
+            }
+            for (ui, &u) in self.units.iter().enumerate() {
+                let o = owner_of(std::slice::from_ref(&u));
+                def_items[next[o] as usize] = (ui as u32) << 1 | 1;
+                next[o] += 1;
+            }
+            (def_start, def_items)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         let mut fp = self.base.last().map_or(FNV_OFFSET, |l| l.fingerprint);
         fp = fnv_fold_u64(fp, self.num_vars as u64);
-        fp = fnv_fold_u64(fp, skeleton as u64);
+        fp = fnv_fold_u64(fp, skeleton as u64 | (definitional as u64) << 1);
         for &u in &self.units {
             fp = fnv_fold_u64(fp, 1 + u.code() as u64);
         }
@@ -290,6 +463,10 @@ impl CnfBuilder {
             ranges: self.ranges,
             units: self.units,
             skeleton,
+            definitional,
+            first_var,
+            def_start,
+            def_items,
             fingerprint: fp,
         });
         let mut layers = self.base;
@@ -419,6 +596,45 @@ mod tests {
         let v1 = d.new_var();
         d.add_clause([Lit::pos(v0), Lit::neg(v1)]);
         assert_ne!(d.build_tagged(true).fingerprint(), base1.fingerprint());
+    }
+
+    #[test]
+    fn layer_metadata_exposes_cone_ranges_and_tags() {
+        let mut b = CnfBuilder::new();
+        let v0 = b.new_var();
+        let v1 = b.new_var();
+        b.add_clause([Lit::pos(v0), Lit::pos(v1)]);
+        let base = b.build_tagged(true);
+        let extend = |definitional: bool| {
+            let mut e = CnfBuilder::extending(&base);
+            let v2 = e.new_var();
+            let v3 = e.new_var();
+            e.add_clause([Lit::neg(v2), Lit::pos(v0)]);
+            e.add_clause([Lit::neg(v3), Lit::pos(v2)]);
+            e.add_clause([Lit::pos(v3)]);
+            e.build_layer(true, definitional)
+        };
+        let ext = extend(true);
+        assert!(!ext.layers()[0].is_definitional());
+        assert!(ext.layers()[1].is_definitional());
+        assert!(ext.layers()[1].is_skeleton());
+        // Contiguous per-layer variable and clause ownership.
+        assert_eq!(ext.layer_var_range(0), 0..2);
+        assert_eq!(ext.layer_var_range(1), 2..4);
+        assert_eq!(ext.layer_clause_range(0), 0..1);
+        assert_eq!(ext.layer_clause_range(1), 1..3);
+        assert_eq!(ext.layer_of_var(v0), 0);
+        assert_eq!(ext.layer_of_var(v1), 0);
+        let v2 = Var::from_index(2);
+        assert_eq!(ext.layer_of_var(v2), 1);
+        assert_eq!(ext.layer_of_clause(0), 0);
+        assert_eq!(ext.layer_of_clause(2), 1);
+        assert_eq!(ext.layers()[1].units().len(), 1);
+        assert_eq!(ext.layers()[1].num_vars(), 4, "cumulative, not own");
+        // The definitional tag is part of the chain fingerprint: two
+        // chains that differ only in lazy eligibility must not share
+        // vault shelves.
+        assert_ne!(ext.fingerprint(), extend(false).fingerprint());
     }
 
     #[test]

@@ -128,6 +128,15 @@ pub struct Solver {
     /// Scratch for LBD computation (level → generation stamp).
     lbd_seen: Vec<u64>,
     lbd_gen: u64,
+    /// `true` when created with [`Solver::attach_shared_lazy`]:
+    /// definitional shared gates start dormant and activate on demand.
+    lazy: bool,
+    /// Per-variable activation state. Local variables and every variable
+    /// of an eager attach are always active; gate variables of a
+    /// definitional layer are inactive — their defining clauses unwatched,
+    /// the variable never assigned or branched on — until the search first
+    /// references them ([`Solver::activate_vars`]).
+    var_active: Vec<bool>,
 }
 
 impl Solver {
@@ -206,6 +215,137 @@ impl Solver {
         s
     }
 
+    /// [`Solver::attach_shared`], but the gates of *definitional* layers
+    /// ([`crate::CnfLayer::is_definitional`]) start dormant: no watchers
+    /// are installed for their defining clauses, the gate variables are
+    /// never branched on or assigned, and propagation never walks their
+    /// clauses. A dormant gate activates the moment the search references
+    /// it — through an assumption, an added (non-imported) clause, or
+    /// transitively as an input of another activating gate — at which
+    /// point its defining clauses are installed and their consequences
+    /// replayed at level 0 (see [`Solver::activate_vars`] for why that is
+    /// sound). Imported clauses over a dormant gate are dropped instead of
+    /// activating it: imports are redundant, so treating them as absent
+    /// only forgoes pruning.
+    ///
+    /// Activation is per *gate*, not per layer: on a hash-consed
+    /// sweep-shared chain most of a sibling query's cone lives in layers
+    /// this query also draws shared sub-gates from, so waking whole layers
+    /// would wake nearly everything. Walking the definitional sub-DAG var
+    /// by var installs exactly the cone the query reaches and nothing
+    /// else, while solving the *same formula* as far as the query can
+    /// observe: a dormant gate only names a function nothing active
+    /// constrains.
+    pub fn attach_shared_lazy(shared: Arc<SharedCnf>) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..shared.num_vars() {
+            s.new_var();
+        }
+        s.shared_watch = vec![[0, 1]; shared.num_clauses()];
+        s.shared_skel = (0..shared.num_clauses())
+            .map(|i| shared.clause_is_skeleton(i))
+            .collect();
+        s.lazy = true;
+        for (li, layer) in shared.layers().iter().enumerate() {
+            if layer.is_definitional() {
+                for v in shared.layer_var_range(li) {
+                    s.var_active[v] = false;
+                }
+            }
+        }
+        s.ok = shared.is_ok();
+        // Non-definitional layers (the skeleton, monolithic layers) assert
+        // things; they are installed up front exactly as an eager attach
+        // would watch them. Any definitional gate their clauses or units
+        // reference as input is seeded active — the closure invariant is
+        // that an installed clause only mentions active variables.
+        let mut seed = Vec::new();
+        let mut units = Vec::new();
+        for (li, layer) in shared.layers().iter().enumerate() {
+            if layer.is_definitional() {
+                continue;
+            }
+            for ci in shared.layer_clause_range(li) {
+                let cl = shared.clause(ci);
+                debug_assert!(cl.len() >= 2, "arena clauses are never unit");
+                let cref = SHARED_BIT | ci as u32;
+                s.watches[cl[0].code()].push(Watcher {
+                    cref,
+                    blocker: cl[1],
+                });
+                s.watches[cl[1].code()].push(Watcher {
+                    cref,
+                    blocker: cl[0],
+                });
+                seed.extend(cl.iter().map(|l| l.var()));
+            }
+            for &u in layer.units() {
+                units.push((u, layer.is_skeleton()));
+                seed.push(u.var());
+            }
+        }
+        seed.retain(|v| !s.var_active[v.index()]);
+        s.shared = Some(shared);
+        if s.ok {
+            for (u, pure) in units {
+                match s.lit_value(u) {
+                    LBool::True => {
+                        if pure {
+                            s.zero_pure[u.var().index()] = true;
+                        }
+                    }
+                    LBool::False => {
+                        s.ok = false;
+                        break;
+                    }
+                    LBool::Undef => {
+                        s.zero_pure[u.var().index()] = pure;
+                        s.unchecked_enqueue(u, None);
+                    }
+                }
+            }
+        }
+        if s.ok {
+            s.activate_vars(seed);
+        }
+        if s.ok && s.propagate().is_some() {
+            s.ok = false;
+        }
+        s
+    }
+
+    /// Number of shared layers with watchers installed: all of them after
+    /// an eager [`Solver::attach_shared`], 0 with no arena. After
+    /// [`Solver::attach_shared_lazy`], counts the layers at least one of
+    /// whose own gates has activated (a layer owning no variables counts
+    /// as active — it has nothing to defer).
+    pub fn active_layer_count(&self) -> usize {
+        let Some(sh) = &self.shared else { return 0 };
+        if !self.lazy {
+            return sh.num_layers();
+        }
+        (0..sh.num_layers())
+            .filter(|&li| {
+                let r = sh.layer_var_range(li);
+                !sh.layers()[li].is_definitional()
+                    || r.is_empty()
+                    || r.clone().any(|v| self.var_active[v])
+            })
+            .count()
+    }
+
+    /// Number of variables with watchers live: every variable after an
+    /// eager [`Solver::attach_shared`] (or on a solver with no arena),
+    /// only the activated ones after [`Solver::attach_shared_lazy`].
+    /// Diagnostic companion to [`Solver::active_layer_count`] at gate
+    /// granularity.
+    pub fn active_var_count(&self) -> usize {
+        if !self.lazy {
+            return self.assigns.len();
+        }
+        self.var_active.iter().filter(|&&a| a).count()
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
@@ -216,6 +356,7 @@ impl Solver {
         self.level.push(0);
         self.seen.push(false);
         self.zero_pure.push(false);
+        self.var_active.push(true);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap.insert(v.index(), &self.activity);
@@ -292,6 +433,27 @@ impl Solver {
             return false;
         }
         self.cancel_until(0);
+        if self.lazy {
+            if import {
+                // An imported clause over a dormant cone is treated as
+                // absent: imports are redundant (they only prune), so
+                // dropping one is always sound — and activating a cone for
+                // it would pay exactly the propagation tax laziness avoids
+                // (measured: activate-on-import loses on every swept
+                // bound). Callers that want an import to stick declare
+                // their cone roots first ([`Solver::declare_roots`]).
+                if ls.iter().any(|l| !self.var_active[l.var().index()]) {
+                    return true;
+                }
+            } else {
+                // An asserted clause references the cone for real: wake it
+                // so the new clause's literals land on live watchers.
+                self.activate_for_lits(ls.iter().copied());
+                if !self.ok {
+                    return false;
+                }
+            }
+        }
         ls.sort();
         ls.dedup();
         // Detect tautologies and drop literals already false at level 0.
@@ -387,6 +549,13 @@ impl Solver {
         if !self.ok {
             return BudgetedResult::Done(SolveResult::Unsat);
         }
+        // Lazy arenas: the assumptions declare which cones this solve
+        // touches; wake them before search (and before imports, so peer
+        // clauses over the now-live cones are accepted).
+        self.activate_for_lits(assumptions.iter().copied());
+        if !self.ok {
+            return BudgetedResult::Done(SolveResult::Unsat);
+        }
         let start_conflicts = self.stats.conflicts;
         let start_propagations = self.stats.propagations;
         self.export_fresh(exchange);
@@ -452,6 +621,10 @@ impl Solver {
         max_conflicts: u64,
     ) -> Option<SolveResult> {
         self.model.clear();
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        self.activate_for_lits(assumptions.iter().copied());
         if !self.ok {
             return Some(SolveResult::Unsat);
         }
@@ -568,6 +741,157 @@ impl Solver {
             self.shared_skel[(cref & !SHARED_BIT) as usize]
         } else {
             self.clauses[cref as usize].skeleton
+        }
+    }
+
+    /// Declares the cone roots a query is about to solve under: activates
+    /// the listed literals' defining cones immediately instead of at the
+    /// first `solve` call. A lazily attached solver otherwise treats
+    /// *imported* clauses over dormant cones as absent
+    /// ([`Solver::add_clause_import`]), so a caller seeding pruning
+    /// clauses (a vault fetch, an exchange drain) before the first solve
+    /// must declare its roots first — or the seeds over its own cone are
+    /// silently dropped. No-op on eager solvers; sound at any point (it
+    /// only installs constraints the full formula already contains).
+    pub fn declare_roots<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.activate_for_lits(lits);
+    }
+
+    /// Activates every dormant gate variable of `lits`, transitively
+    /// through their defining cones. No-op on eager solvers. Cancels to
+    /// level 0 first: every call site is a level-0 boundary (solve entry,
+    /// clause add), and watcher installation must not race a live trail.
+    fn activate_for_lits<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        if !self.lazy || !self.ok {
+            return;
+        }
+        let want: Vec<Var> = lits
+            .into_iter()
+            .map(|l| l.var())
+            .filter(|v| v.index() < self.var_active.len() && !self.var_active[v.index()])
+            .collect();
+        if !want.is_empty() {
+            self.cancel_until(0);
+            self.activate_vars(want);
+        }
+    }
+
+    /// Activates each listed dormant gate variable: installs watchers for
+    /// the clauses *defining* it ([`crate::CnfLayer::gate_defs`]) and,
+    /// transitively, activates every dormant variable those clauses
+    /// mention. The closure maintains the invariant that an installed
+    /// clause's variables are all active — so a dormant gate appears in no
+    /// watched clause and can never be assigned, watched, or branched on —
+    /// and, symmetrically, that an active gate's defining clauses are all
+    /// installed, so an active gate is always constrained to its defining
+    /// function.
+    ///
+    /// Runs at decision level 0, replaying each installed clause against
+    /// the level-0 trail exactly as eager attach-time propagation would
+    /// have: a clause already satisfied at level 0 is skipped for good
+    /// (level-0 assignments are permanent), a falsified clause fails the
+    /// solver, an asserting clause enqueues its literal with the shared
+    /// clause as reason (so skeleton purity flows through
+    /// [`Solver::unchecked_enqueue`] exactly as in live propagation), and
+    /// anything else gets two watchers on non-false literals. One
+    /// propagation pass at the end replays the consequences. Soundness
+    /// (DESIGN §3b): activation only ever *adds* constraints the full
+    /// formula already contains, so no model is gained; and a dormant
+    /// gate is definitional — its unwatched defining clauses are
+    /// satisfiable by construction given any assignment to the active
+    /// variables, and no active clause mentions the gate — so no
+    /// observable model is lost.
+    fn activate_vars(&mut self, mut worklist: Vec<Var>) {
+        let shared = self.shared.clone().expect("activation requires an arena");
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut touched = false;
+        while let Some(v) = worklist.pop() {
+            if self.var_active[v.index()] {
+                continue;
+            }
+            self.var_active[v.index()] = true;
+            // Re-enter the branching heap: the variable may have been
+            // popped and discarded while inactive (insert is a no-op if it
+            // is still there).
+            self.heap.insert(v.index(), &self.activity);
+            touched = true;
+            let li = shared.layer_of_var(v);
+            let layer = &shared.layers()[li];
+            let clause_base = shared.layer_clause_range(li).start;
+            let pure = layer.is_skeleton();
+            for def in layer.gate_defs(v) {
+                let ci = match def {
+                    crate::GateDef::Unit(u) => {
+                        match self.lit_value(u) {
+                            LBool::True => {
+                                if pure {
+                                    self.zero_pure[u.var().index()] = true;
+                                }
+                            }
+                            LBool::False => {
+                                self.ok = false;
+                                return;
+                            }
+                            LBool::Undef => {
+                                self.zero_pure[u.var().index()] = pure;
+                                self.unchecked_enqueue(u, None);
+                            }
+                        }
+                        continue;
+                    }
+                    crate::GateDef::Clause(local) => clause_base + local,
+                };
+                let cl = shared.clause(ci);
+                let mut satisfied = false;
+                let mut free = [0u32; 2];
+                let mut n_free = 0usize;
+                // One scan does double duty: classify the clause against
+                // the level-0 trail and discover which dormant inputs it
+                // drags in (no early exit — the dependency scan must see
+                // every literal).
+                for (j, &l) in cl.iter().enumerate() {
+                    if !self.var_active[l.var().index()] {
+                        worklist.push(l.var());
+                    }
+                    match self.lit_value(l) {
+                        LBool::True => satisfied = true,
+                        LBool::False => {}
+                        LBool::Undef => {
+                            if n_free < 2 {
+                                free[n_free] = j as u32;
+                            }
+                            n_free += 1;
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                let cref = SHARED_BIT | ci as u32;
+                match n_free {
+                    0 => {
+                        self.ok = false;
+                        return;
+                    }
+                    1 => {
+                        self.unchecked_enqueue(cl[free[0] as usize], Some(cref));
+                    }
+                    _ => {
+                        self.shared_watch[ci] = free;
+                        self.watches[cl[free[0] as usize].code()].push(Watcher {
+                            cref,
+                            blocker: cl[free[1] as usize],
+                        });
+                        self.watches[cl[free[1] as usize].code()].push(Watcher {
+                            cref,
+                            blocker: cl[free[0] as usize],
+                        });
+                    }
+                }
+            }
+        }
+        if touched && self.propagate().is_some() {
+            self.ok = false;
         }
     }
 
@@ -893,8 +1217,11 @@ impl Solver {
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
+        // Inactive (dormant-cone) variables are skipped: nothing watches
+        // them, so assigning one could never propagate or conflict — it
+        // would only pad the trail. They re-enter the heap on activation.
         while let Some(v) = self.heap.pop_max(&self.activity) {
-            if self.assigns[v] == LBool::Undef {
+            if self.assigns[v] == LBool::Undef && self.var_active[v] {
                 return Some(Var(v as u32));
             }
         }
@@ -1801,5 +2128,168 @@ mod shared_tests {
         }
         assert_eq!(total, 4);
         assert_eq!(with_w, 2);
+    }
+
+    #[test]
+    fn attach_arenas_with_units_and_empty_clauses() {
+        // Units in the arena propagate at attach time on both paths.
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        b.add_clause([Lit::pos(x)]);
+        b.add_clause([Lit::neg(x), Lit::pos(y)]);
+        let cnf = std::sync::Arc::new(b.build());
+        for mut s in [
+            Solver::attach_shared(cnf.clone()),
+            Solver::attach_shared_lazy(cnf.clone()),
+        ] {
+            assert!(s.solve().is_sat());
+            assert_eq!(s.value(x), Some(true));
+            assert_eq!(s.value(y), Some(true));
+        }
+        // An arena holding an empty clause attaches as already-unsat.
+        let mut b = CnfBuilder::new();
+        let z = b.new_var();
+        b.add_clause([Lit::pos(z)]);
+        b.add_clause([]);
+        let cnf = std::sync::Arc::new(b.build());
+        assert!(!cnf.is_ok());
+        for mut s in [
+            Solver::attach_shared(cnf.clone()),
+            Solver::attach_shared_lazy(cnf),
+        ] {
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            assert!(!s.add_clause([Lit::pos(z)]), "an unsat attach stays unsat");
+        }
+    }
+
+    #[test]
+    fn fresh_attach_resets_shared_watch_positions() {
+        // Pool-reuse shape: solver A enumerates against the arena (moving
+        // its private watch positions), then a fresh solver attaches to
+        // the same arena — its `shared_watch` must start at [0, 1] for
+        // every clause, unaffected by A's searches.
+        let (cnf, vs) = exactly_one(6);
+        let mut a = Solver::attach_shared(cnf.clone());
+        assert_eq!(enumerate(&mut a, &vs, &[], &mut NoExchange).len(), 6);
+        assert!(
+            a.shared_watch.iter().any(|&wp| wp != [0, 1]),
+            "enumeration should have moved at least one watch position"
+        );
+        let mut fresh = Solver::attach_shared(cnf.clone());
+        assert_eq!(fresh.shared_watch, vec![[0, 1]; cnf.num_clauses()]);
+        assert_eq!(enumerate(&mut fresh, &vs, &[], &mut NoExchange).len(), 6);
+        // Same contract on the lazy path: dormant clauses keep the reset
+        // positions until activation installs real watchers.
+        let fresh_lazy = Solver::attach_shared_lazy(cnf.clone());
+        assert_eq!(fresh_lazy.shared_watch, vec![[0, 1]; cnf.num_clauses()]);
+    }
+
+    // ----- lazy definitional activation -----
+
+    /// A three-layer chain: an exactly-one(4) skeleton, then two
+    /// definitional cones — `g0 := v0 ∨ v2` and `g1 := g0 ∨ v3` (pure
+    /// Tseitin namings; every clause mentions its layer's own gate).
+    fn layered_chain() -> (std::sync::Arc<SharedCnf>, Vec<Var>, Var, Var) {
+        let mut b = CnfBuilder::new();
+        let vs: Vec<Var> = (0..4).map(|_| b.new_var()).collect();
+        b.add_clause(vs.iter().map(|&v| Lit::pos(v)));
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_clause([Lit::neg(vs[i]), Lit::neg(vs[j])]);
+            }
+        }
+        let base = b.build_tagged(true);
+        let mut e1 = CnfBuilder::extending(&base);
+        let g0 = e1.new_var();
+        e1.add_clause([Lit::neg(g0), Lit::pos(vs[0]), Lit::pos(vs[2])]);
+        e1.add_clause([Lit::pos(g0), Lit::neg(vs[0])]);
+        e1.add_clause([Lit::pos(g0), Lit::neg(vs[2])]);
+        let l1 = e1.build_layer(true, true);
+        let mut e2 = CnfBuilder::extending(&l1);
+        let g1 = e2.new_var();
+        e2.add_clause([Lit::neg(g1), Lit::pos(g0), Lit::pos(vs[3])]);
+        e2.add_clause([Lit::pos(g1), Lit::neg(g0)]);
+        e2.add_clause([Lit::pos(g1), Lit::neg(vs[3])]);
+        (std::sync::Arc::new(e2.build_layer(true, true)), vs, g0, g1)
+    }
+
+    #[test]
+    fn lazy_attach_skips_dormant_cones_until_referenced() {
+        let (cnf, vs, _g0, _g1) = layered_chain();
+        let mut eager = Solver::attach_shared(cnf.clone());
+        let mut lazy = Solver::attach_shared_lazy(cnf.clone());
+        assert_eq!(eager.active_layer_count(), 3);
+        assert_eq!(
+            lazy.active_layer_count(),
+            1,
+            "definitional cones start dormant"
+        );
+        // A query that never touches the gates: identical model set over
+        // the skeleton, and no activation from skeleton-only blocking.
+        let me = enumerate(&mut eager, &vs, &[], &mut NoExchange);
+        let ml = enumerate(&mut lazy, &vs, &[], &mut NoExchange);
+        assert_eq!(me, ml);
+        assert_eq!(ml.len(), 4);
+        assert_eq!(lazy.active_layer_count(), 1);
+        assert!(
+            lazy.stats().propagations < eager.stats().propagations,
+            "dormant cones must not be propagated: lazy {} vs eager {}",
+            lazy.stats().propagations,
+            eager.stats().propagations
+        );
+    }
+
+    #[test]
+    fn assumptions_wake_cones_transitively_and_match_eager() {
+        let (cnf, vs, _g0, g1) = layered_chain();
+        let mut eager = Solver::attach_shared(cnf.clone());
+        let mut lazy = Solver::attach_shared_lazy(cnf.clone());
+        let assume = [Lit::pos(g1)];
+        let me = enumerate(&mut eager, &vs, &assume, &mut NoExchange);
+        let ml = enumerate(&mut lazy, &vs, &assume, &mut NoExchange);
+        assert_eq!(me, ml);
+        assert_eq!(ml.len(), 3, "g1 = v0 ∨ v2 ∨ v3 under exactly-one");
+        assert_eq!(
+            lazy.active_layer_count(),
+            3,
+            "assuming g1 must wake its cone and, transitively, g0's"
+        );
+    }
+
+    #[test]
+    fn adding_a_clause_on_a_dormant_cone_activates_it() {
+        let (cnf, vs, g0, _g1) = layered_chain();
+        let mut lazy = Solver::attach_shared_lazy(cnf.clone());
+        assert_eq!(lazy.active_layer_count(), 1);
+        lazy.add_clause([Lit::pos(g0)]);
+        assert_eq!(
+            lazy.active_layer_count(),
+            2,
+            "asserting g0 wakes only its cone"
+        );
+        let ml = enumerate(&mut lazy, &vs, &[], &mut NoExchange);
+        let mut eager = Solver::attach_shared(cnf);
+        eager.add_clause([Lit::pos(g0)]);
+        let me = enumerate(&mut eager, &vs, &[], &mut NoExchange);
+        assert_eq!(me, ml);
+        assert_eq!(ml.len(), 2, "g0 keeps exactly the v0 and v2 models");
+    }
+
+    #[test]
+    fn imports_over_dormant_cones_are_dropped_not_activating() {
+        let (cnf, vs, g0, g1) = layered_chain();
+        let mut lazy = Solver::attach_shared_lazy(cnf.clone());
+        let mut bus = BufferExchange::default();
+        // Peer clauses over dormant gates: redundant for this query, so
+        // treating them as absent must change nothing but effort.
+        bus.pool.push((vec![Lit::pos(g0), Lit::pos(g1)], true));
+        bus.pool
+            .push((vec![Lit::neg(g1), Lit::pos(vs[3]), Lit::pos(g0)], true));
+        let ml = enumerate(&mut lazy, &vs, &[], &mut bus);
+        assert_eq!(lazy.active_layer_count(), 1, "imports must not wake cones");
+        let mut eager = Solver::attach_shared(cnf);
+        let me = enumerate(&mut eager, &vs, &[], &mut NoExchange);
+        assert_eq!(me, ml);
     }
 }
