@@ -87,6 +87,19 @@ pub struct SynthConfig {
     /// [`SynthConfig::incremental`] (scratch compilations carry no
     /// definitional layers).
     pub lazy: bool,
+    /// Shelve (rather than drop) vault/exchange imports that mention a
+    /// dormant cone on the lazy path, replaying them the moment the cone
+    /// activates, so laziness never discards sound pruning. Imports only
+    /// prune; suites are byte-identical either way. No effect without
+    /// [`SynthConfig::lazy`].
+    pub shelve: bool,
+    /// Restrict each query's SAT decisions to its declared cone through
+    /// the solver's two-level decision domain (local cone heap first,
+    /// global VSIDS fallback once the cone is assigned). Only reorders
+    /// decisions; suites are byte-identical either way. No effect without
+    /// [`SynthConfig::incremental`] (a scratch compilation *is* its own
+    /// cone).
+    pub domain: bool,
     /// Total attempts per cube worker (including the first) before the
     /// query is marked degraded instead of aborting the run.
     pub max_attempts: usize,
@@ -135,6 +148,8 @@ impl SynthConfig {
             incremental: true,
             vault: true,
             lazy: true,
+            shelve: true,
+            domain: true,
             max_attempts: 3,
             retry_backoff_ms: 10,
             solve_conflicts: 0,
@@ -184,6 +199,19 @@ impl SynthConfig {
     /// Enables or disables lazy definitional propagation (builder style).
     pub fn with_lazy(mut self, lazy: bool) -> SynthConfig {
         self.lazy = lazy;
+        self
+    }
+
+    /// Enables or disables shelve-and-replay of imports over dormant
+    /// cones (builder style).
+    pub fn with_shelve(mut self, shelve: bool) -> SynthConfig {
+        self.shelve = shelve;
+        self
+    }
+
+    /// Enables or disables the two-level decision domain (builder style).
+    pub fn with_domain(mut self, domain: bool) -> SynthConfig {
+        self.domain = domain;
         self
     }
 

@@ -108,6 +108,12 @@ pub struct WorkerStats {
     pub propagations: u64,
     /// Decisions this worker's solver made (delta over this task only).
     pub decisions: u64,
+    /// Decisions served from the local level of the two-level decision
+    /// domain (delta; 0 unless [`SynthConfig::domain`] is on).
+    pub domain_decisions: u64,
+    /// Shelved imports replayed after their cone activated (delta; 0
+    /// unless the lazy path with [`SynthConfig::shelve`] is on).
+    pub shelved_replayed: u64,
     /// `true` if the instance cap or time budget stopped this worker.
     pub truncated: bool,
     /// Learnt clauses this worker published on the exchange bus.
@@ -156,6 +162,10 @@ pub struct SynthResult {
     pub propagations: u64,
     /// Solver decisions, summed over workers.
     pub decisions: u64,
+    /// Local-domain decisions, summed over workers.
+    pub domain_decisions: u64,
+    /// Shelved imports replayed, summed over workers.
+    pub shelved_replayed: u64,
     /// Total cube-selection probe time, summed over queries.
     pub probe: Duration,
     /// Workers whose every attempt failed: the suite is complete iff this
@@ -590,6 +600,14 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             }
         });
     let stats_before = finder.solver_stats();
+    // Per-task knobs on a possibly pooled solver: shelving of imports over
+    // dormant cones (lazy path) and the two-level decision domain. Set
+    // before `declare_roots`, which is what (re)builds the domain as this
+    // task's cone — on a pooled solver that replaces the previous task's
+    // cone, which is exactly the point: the accumulated active set only
+    // grows, the decision domain tracks the *current* query.
+    finder.set_shelving(cfg.shelve);
+    finder.set_domain_enabled(cfg.domain && cfg.incremental);
     let guard = pooled.map(|_| finder.new_guard());
     // Focus branching on this query's own cone. On the monolithic path the
     // warmed cone covers (essentially) the whole formula, so this changes
@@ -603,10 +621,10 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             .chain(st.kind.iter().flatten())
             .copied(),
     );
-    // Declare this task's live cone roots up front (lazy attach only):
-    // vault fetches and exchange drains may seed pruning clauses before
-    // the first solve would have activated the cones via its assumptions,
-    // and a lazy solver drops seeds that touch dormant gates.
+    // Declare this task's live cone roots up front: on a lazy attach the
+    // vault fetch and exchange drain below land on live watchers instead
+    // of the shelf, and with the decision domain on this is what scopes
+    // branching to the task's own cone.
     let root_bits: Vec<Bit> = asserts
         .iter()
         .chain(&st.observables)
@@ -688,9 +706,11 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
     let stats_after = finder.solver_stats();
     let propagations = stats_after.propagations - stats_before.propagations;
     let decisions = stats_after.decisions - stats_before.decisions;
+    let domain_decisions = stats_after.domain_decisions - stats_before.domain_decisions;
+    let shelved_replayed = stats_after.shelved_replayed - stats_before.shelved_replayed;
     if std::env::var_os("LITSYNTH_TRACE").is_some() {
         eprintln!(
-            "trace {} cube {} attempt {}: wall {:?} probe {:?} raw {} conflicts {} props {} decs {} active {}/{}",
+            "trace {} cube {} attempt {}: wall {:?} probe {:?} raw {} conflicts {} props {} decs {} domdecs {} replayed {} active {}/{}",
             task.query_key,
             task.cube,
             attempt,
@@ -700,6 +720,8 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             finder.solver_stats().conflicts,
             propagations,
             decisions,
+            domain_decisions,
+            shelved_replayed,
             finder.active_var_count(),
             finder.num_cnf_vars(),
         );
@@ -739,6 +761,8 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             elapsed: start.elapsed(),
             propagations,
             decisions,
+            domain_decisions,
+            shelved_replayed,
             truncated,
             exported: xs.exported,
             imported: xs.imported,
@@ -781,6 +805,8 @@ fn placeholder_run(task: &Task) -> CubeRun {
             elapsed: Duration::ZERO,
             propagations: 0,
             decisions: 0,
+            domain_decisions: 0,
+            shelved_replayed: 0,
             truncated: false,
             exported: 0,
             imported: 0,
@@ -831,6 +857,8 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
     let mut exchange = (0u64, 0u64, 0u64);
     let mut propagations = 0u64;
     let mut decisions = 0u64;
+    let mut domain_decisions = 0u64;
+    let mut shelved_replayed = 0u64;
     let mut probe = Duration::ZERO;
     let mut truncated = false;
     let mut degraded = 0usize;
@@ -849,6 +877,8 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
         exchange.2 += run.stats.filtered;
         propagations += run.stats.propagations;
         decisions += run.stats.decisions;
+        domain_decisions += run.stats.domain_decisions;
+        shelved_replayed += run.stats.shelved_replayed;
         probe += run.probe;
         truncated |= run.stats.truncated;
         degraded += run.stats.degraded as usize;
@@ -866,6 +896,8 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
         exchange,
         propagations,
         decisions,
+        domain_decisions,
+        shelved_replayed,
         probe,
         degraded,
         retries,
@@ -888,6 +920,8 @@ fn journal_hit_result(tests: CanonicalSuite, elapsed: Duration) -> SynthResult {
         exchange: (0, 0, 0),
         propagations: 0,
         decisions: 0,
+        domain_decisions: 0,
+        shelved_replayed: 0,
         probe: Duration::ZERO,
         degraded: 0,
         retries: 0,
@@ -1104,6 +1138,15 @@ pub struct SweepStats {
     pub propagations: u64,
     /// Solver decisions, summed over the sweep's workers.
     pub decisions: u64,
+    /// Decisions served from the local level of the two-level decision
+    /// domain, summed over the sweep's workers (0 with
+    /// [`SynthConfig::domain`] off — a zero here with the domain on means
+    /// it was silently disabled somewhere).
+    pub domain_decisions: u64,
+    /// Shelved imports replayed after their cone activated, summed over
+    /// the sweep's workers (0 with [`SynthConfig::shelve`] off or the
+    /// lazy path inactive).
+    pub shelved_replayed: u64,
 }
 
 /// Synthesizes the union suite over a range of bounds, merging canonical
@@ -1179,6 +1222,8 @@ pub fn synthesize_union_up_to_with_stats<M: MemoryModel + Sync>(
             stats.exchange.2 += r.exchange.2;
             stats.propagations += r.propagations;
             stats.decisions += r.decisions;
+            stats.domain_decisions += r.domain_decisions;
+            stats.shelved_replayed += r.shelved_replayed;
             record_if_clean(model.name(), ax, cfg, r);
         }
         union.extend(u);
@@ -1547,33 +1592,54 @@ mod tests {
 
     #[test]
     fn union_up_to_is_byte_identical_with_lazy_on_and_off() {
-        // Lazy definitional propagation may only change how much work the
-        // solvers do, never the suite: activation only adds constraints
-        // the full formula already contains (DESIGN §3b), so the suite is
-        // byte-identical with lazy on and off at any thread count or cube
-        // split.
+        // Lazy definitional propagation — and the mechanisms layered on
+        // it: shelve-and-replay of dormant-cone imports and the two-level
+        // decision domain — may only change how much work the solvers do,
+        // never the suite. Activation only adds constraints the full
+        // formula already contains, a shelved import only prunes, and the
+        // domain only reorders decisions (DESIGN §3b), so the suite is
+        // byte-identical across the whole {lazy} × {shelve} × {domain} ×
+        // {vault} knob matrix at any thread count or cube split.
         let m = Tso::new();
-        let run = |lazy: bool, threads: usize, cube_bits: usize| {
+        let run = |lazy: bool,
+                   shelve: bool,
+                   domain: bool,
+                   vault: bool,
+                   threads: usize,
+                   cube_bits: usize| {
             let u = synthesize_union_up_to(&m, 2..=3, |n| {
                 SynthConfig::new(n)
                     .with_threads(threads)
                     .with_cube_bits(cube_bits)
                     .with_lazy(lazy)
+                    .with_shelve(shelve)
+                    .with_domain(domain)
+                    .with_vault(vault)
             });
             suite_bytes(&u)
         };
-        let baseline = run(false, 1, 0);
-        for (lazy, threads, cube_bits) in [
-            (true, 1, 0),
-            (true, 2, 0),
-            (true, 2, 1),
-            (true, 4, 2),
-            (false, 2, 1),
+        let baseline = run(false, false, false, false, 1, 0);
+        for (lazy, shelve, domain, vault, threads, cube_bits) in [
+            // the original lazy legs (defaults now carry shelve+domain on)
+            (true, true, true, true, 1, 0),
+            (true, true, true, true, 2, 1),
+            (true, true, true, true, 4, 2),
+            (false, true, true, true, 2, 1),
+            // each new knob isolated, vault on and off
+            (true, false, true, true, 1, 0),
+            (true, true, false, true, 1, 0),
+            (true, false, false, true, 2, 1),
+            (true, true, true, false, 2, 1),
+            (true, false, true, false, 1, 0),
+            (true, true, false, false, 1, 0),
+            // domain without lazy (eager attach, cone-scoped branching)
+            (false, true, true, false, 1, 0),
         ] {
             assert_eq!(
-                run(lazy, threads, cube_bits),
+                run(lazy, shelve, domain, vault, threads, cube_bits),
                 baseline,
-                "lazy={lazy} threads={threads} cube_bits={cube_bits}"
+                "lazy={lazy} shelve={shelve} domain={domain} vault={vault} \
+                 threads={threads} cube_bits={cube_bits}"
             );
         }
     }
@@ -1601,6 +1667,25 @@ mod tests {
             s_lazy.propagations,
             s_eager.propagations
         );
+    }
+
+    #[test]
+    fn sweep_reports_domain_decisions_when_enabled() {
+        // A silently disabled domain must be visible: with the default
+        // config (incremental + domain on) the local-level decision
+        // counter is non-zero and bounded by total decisions; with the
+        // knob off it is exactly zero.
+        let m = Tso::new();
+        let (_, s_on) = synthesize_union_up_to_with_stats(&m, 2..=3, SynthConfig::new);
+        assert!(
+            s_on.domain_decisions > 0,
+            "domain enabled but no local decisions recorded"
+        );
+        assert!(s_on.domain_decisions <= s_on.decisions);
+        let (_, s_off) = synthesize_union_up_to_with_stats(&m, 2..=3, |n| {
+            SynthConfig::new(n).with_domain(false)
+        });
+        assert_eq!(s_off.domain_decisions, 0);
     }
 
     #[test]

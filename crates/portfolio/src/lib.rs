@@ -21,7 +21,10 @@
 //!   by every model remaining in the others (see [`exchange`] for the full
 //!   argument) — so the exchange prunes search but can never change the
 //!   enumerated model set, keeping suites byte-identical to the sequential
-//!   path.
+//!   path. On lazily attached workers the import path is cone-aware:
+//!   clauses over still-dormant cones shelve inside the receiving solver
+//!   and replay on activation, so laziness never forfeits bus or
+//!   [`vault`] pruning.
 //! * **Pick cubes adaptively** — a short probing run samples VSIDS
 //!   activity and [`cube::rank_pins`] splits on the bits the solver
 //!   actually branches on, instead of the first `b` slots.

@@ -117,7 +117,11 @@ impl CompiledQuery {
     /// ([`Finder::attach_lazy`]). On a sweep-shared chain carrying one
     /// definitional layer per axiom this spares each worker the
     /// propagation tax of every *other* query's Tseitin cones while
-    /// enumerating exactly the same instance set.
+    /// enumerating exactly the same instance set. Exchange and vault
+    /// imports that touch a still-dormant cone are shelved and replayed
+    /// on activation ([`Finder::set_shelving`]), and branching can be
+    /// scoped to the declared cone via the two-level decision domain
+    /// ([`Finder::set_domain_enabled`]).
     pub fn attach_lazy(&self) -> Finder {
         Finder::attach_lazy(&self.compiled)
     }

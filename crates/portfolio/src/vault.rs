@@ -22,6 +22,13 @@
 //! variable indices. Imports therefore only prune search — enumerated
 //! model sets, and hence synthesized suites, stay byte-identical with the
 //! vault on or off.
+//!
+//! On a *lazily* attached receiver ([`litsynth_sat::Solver::attach_shared_lazy`])
+//! the fetch is additionally cone-aware: seeds over the query's declared
+//! cone install immediately, and seeds touching a still-dormant cone are
+//! shelved inside the solver and replayed when that cone activates
+//! ([`litsynth_sat::Solver::set_shelving`]), so laziness never costs
+//! vaulted pruning.
 
 use litsynth_sat::{ClauseExchange, Lit};
 use std::collections::{HashMap, HashSet};
@@ -222,11 +229,14 @@ impl<E: ClauseExchange> ClauseExchange for VaultedExchange<E> {
                 // sweep-shared chain every axiom's definitional gates are
                 // functions of the shared skeleton variables, so a clause
                 // over a sibling's gates still propagates — and prunes — in
-                // this query's search. A lazily attached solver instead
-                // *drops* any seeded clause that mentions a variable of a
-                // still-dormant definitional layer (it treats the cone's
-                // clauses as absent), which is equally sound: imports only
-                // ever prune.
+                // this query's search. The fetch is cone-aware on a lazily
+                // attached solver: a seeded clause over the receiver's
+                // *declared* cone installs immediately, while one touching
+                // a still-dormant cone is shelved inside the solver and
+                // replayed the moment that cone activates, so no vaulted
+                // pruning is ever discarded. (Before shelving, such seeds
+                // were dropped outright — sound, imports only prune, but
+                // measurably costly at deep bounds.)
                 out.extend(self.vault.seed(&self.import_fps));
             }
         }

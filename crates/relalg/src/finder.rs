@@ -198,11 +198,28 @@ impl Finder {
     /// (see [`litsynth_sat::Solver::declare_roots`]): on a lazily
     /// attached solver, activates the bits' defining cones now, so that
     /// pruning clauses seeded *before* the first solve — a vault fetch,
-    /// an exchange drain — land on live watchers instead of being
-    /// dropped as dormant. No-op on an eager attach.
+    /// an exchange drain — install immediately instead of passing
+    /// through the shelve-and-replay path; and, when the decision domain
+    /// is enabled ([`Finder::set_domain_enabled`]), rebuilds the local
+    /// decision domain as this query's cone. No-op on an eager attach
+    /// with the domain off.
     pub fn declare_roots(&mut self, c: &Circuit, bits: &[Bit]) {
         let lits: Vec<Lit> = bits.iter().map(|&b| self.lit_of(c, b)).collect();
         self.solver.declare_roots(lits);
+    }
+
+    /// Controls shelve-and-replay of exchange/vault imports over dormant
+    /// cones (see [`litsynth_sat::Solver::set_shelving`]; default on).
+    pub fn set_shelving(&mut self, on: bool) {
+        self.solver.set_shelving(on);
+    }
+
+    /// Enables the two-level decision domain (see
+    /// [`litsynth_sat::Solver::set_domain_enabled`]; default off): after
+    /// the next [`Finder::declare_roots`], solves branch on the declared
+    /// cone first and fall back to global VSIDS once it is exhausted.
+    pub fn set_domain_enabled(&mut self, on: bool) {
+        self.solver.set_domain_enabled(on);
     }
 
     /// Number of CNF clauses added so far.

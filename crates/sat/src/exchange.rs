@@ -10,7 +10,12 @@
 //! (and at the end of each solve) the solver *exports* the clauses it learnt
 //! since the last exchange point and *fetches* whatever its peers published
 //! in the meantime; fetched clauses enter the database as learnt imports,
-//! eligible for the usual database reduction.
+//! eligible for the usual database reduction. A lazily attached receiver
+//! ([`crate::Solver::attach_shared_lazy`]) additionally *shelves* a
+//! fetched clause that mentions a still-dormant definitional cone and
+//! replays it the moment that cone activates — never activating a cone
+//! for an import, and never discarding one either
+//! ([`crate::Solver::set_shelving`]).
 //!
 //! Every exported clause carries a *skeleton-purity* flag: `true` iff the
 //! solver derived it exclusively from clauses of skeleton-tagged shared

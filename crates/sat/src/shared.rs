@@ -293,6 +293,55 @@ impl SharedCnf {
             .map(|l| l.fingerprint)
             .collect()
     }
+
+    /// The definitional cone of `roots`: every variable reachable from a
+    /// root by repeatedly following [`CnfLayer::gate_defs`] through
+    /// definitional layers. Variables owned by non-definitional layers are
+    /// included but not expanded (they have no defining clauses to chase),
+    /// exactly mirroring the closure [`crate::Solver::activate_vars`]
+    /// computes when it wakes a cone. The result is deduplicated; its
+    /// order is a deterministic function of the root order.
+    pub fn cone_vars(&self, roots: impl IntoIterator<Item = Var>) -> Vec<Var> {
+        let mut seen = vec![false; self.num_vars];
+        let mut out = Vec::new();
+        let mut worklist: Vec<Var> = Vec::new();
+        for r in roots {
+            if r.index() < self.num_vars && !seen[r.index()] {
+                seen[r.index()] = true;
+                worklist.push(r);
+            }
+        }
+        while let Some(v) = worklist.pop() {
+            out.push(v);
+            let li = self.layer_of_var(v);
+            let layer = &self.layers[li];
+            if !layer.definitional {
+                continue;
+            }
+            let clause_base = self.clause_start[li];
+            for def in layer.gate_defs(v) {
+                match def {
+                    GateDef::Unit(u) => {
+                        let w = u.var();
+                        if !seen[w.index()] {
+                            seen[w.index()] = true;
+                            worklist.push(w);
+                        }
+                    }
+                    GateDef::Clause(local) => {
+                        for &l in self.clause(clause_base + local) {
+                            let w = l.var();
+                            if !seen[w.index()] {
+                                seen[w.index()] = true;
+                                worklist.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Builds a [`SharedCnf`], mirroring the clause normalization that
@@ -635,6 +684,44 @@ mod tests {
         // chains that differ only in lazy eligibility must not share
         // vault shelves.
         assert_ne!(ext.fingerprint(), extend(false).fingerprint());
+    }
+
+    #[test]
+    fn cone_vars_walks_definitional_defs_only() {
+        // Skeleton over v0, v1; then two stacked definitional cones
+        // g0 := v0 ∨ v1 and g1 := g0 ∨ v1.
+        let mut b = CnfBuilder::new();
+        let v0 = b.new_var();
+        let v1 = b.new_var();
+        b.add_clause([Lit::pos(v0), Lit::pos(v1)]);
+        let base = b.build_tagged(true);
+        let mut e1 = CnfBuilder::extending(&base);
+        let g0 = e1.new_var();
+        e1.add_clause([Lit::neg(g0), Lit::pos(v0), Lit::pos(v1)]);
+        e1.add_clause([Lit::pos(g0), Lit::neg(v0)]);
+        e1.add_clause([Lit::pos(g0), Lit::neg(v1)]);
+        let l1 = e1.build_layer(true, true);
+        let mut e2 = CnfBuilder::extending(&l1);
+        let g1 = e2.new_var();
+        e2.add_clause([Lit::neg(g1), Lit::pos(g0), Lit::pos(v1)]);
+        e2.add_clause([Lit::pos(g1), Lit::neg(g0)]);
+        e2.add_clause([Lit::pos(g1), Lit::neg(v1)]);
+        let chain = e2.build_layer(true, true);
+        let sorted = |mut v: Vec<Var>| {
+            v.sort();
+            v
+        };
+        // A skeleton root does not expand (its layer has no gate defs).
+        assert_eq!(sorted(chain.cone_vars([v0])), vec![v0]);
+        // g0's cone pulls in its skeleton inputs.
+        assert_eq!(sorted(chain.cone_vars([g0])), vec![v0, v1, g0]);
+        // g1 chains through g0 transitively.
+        assert_eq!(sorted(chain.cone_vars([g1])), vec![v0, v1, g0, g1]);
+        // Duplicated and out-of-range roots are tolerated and deduped.
+        assert_eq!(
+            sorted(chain.cone_vars([g0, g0, Var::from_index(99)])),
+            vec![v0, v1, g0]
+        );
     }
 
     #[test]

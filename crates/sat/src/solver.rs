@@ -3,7 +3,7 @@
 use crate::budget::{BudgetedResult, Interrupt, SolveBudget};
 use crate::exchange::{ClauseExchange, NoExchange};
 use crate::fault::FaultAction;
-use crate::heap::ActivityHeap;
+use crate::heap::{ActivityHeap, DecisionDomain};
 use crate::shared::SharedCnf;
 use crate::types::{LBool, Lit, Var};
 use std::sync::Arc;
@@ -37,6 +37,12 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnts: u64,
+    /// Decisions served from the local level of the two-level decision
+    /// domain (always ≤ `decisions`; 0 unless the domain is enabled).
+    pub domain_decisions: u64,
+    /// Imported clauses that were shelved over a dormant cone and later
+    /// replayed when the cone activated (lazy attach only).
+    pub shelved_replayed: u64,
 }
 
 #[derive(Debug)]
@@ -137,6 +143,31 @@ pub struct Solver {
     /// the variable never assigned or branched on — until the search first
     /// references them ([`Solver::activate_vars`]).
     var_active: Vec<bool>,
+    /// `false` restores the pre-shelving behavior of dropping imports over
+    /// dormant cones (ablation knob; see [`Solver::set_shelving`]).
+    shelve: bool,
+    /// Shelved imports: clauses received over an exchange while at least
+    /// one of their variables was dormant, parked here (with their purity
+    /// claim) until [`Solver::activate_vars`] wakes the last dormant
+    /// variable and replays them. `None` once replayed.
+    shelved: Vec<Option<(Vec<Lit>, bool)>>,
+    /// Per-variable shelf watch: `shelf_watch[v]` lists the `shelved` slots
+    /// currently parked on dormant variable `v` (each shelved clause is
+    /// registered under exactly one of its dormant variables; on that
+    /// variable's activation the slot re-registers under another dormant
+    /// variable or, when none is left, replays).
+    shelf_watch: Vec<Vec<u32>>,
+    /// The local level of the two-level decision domain: the declared
+    /// cone's variables, rebuilt by [`Solver::declare_roots`] when
+    /// `use_domain` is set.
+    domain: DecisionDomain,
+    /// Whether [`Solver::declare_roots`] builds a decision domain and
+    /// solves branch on it first (see [`Solver::set_domain_enabled`]).
+    use_domain: bool,
+    /// Whether the *current* solve consults the local domain — set on
+    /// entry to `solve_budgeted`/`solve_limited`, cleared on exit, so the
+    /// restriction is per-query and costs one flag check per decision.
+    domain_active: bool,
 }
 
 impl Solver {
@@ -147,6 +178,7 @@ impl Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
             max_learnts: 1000.0,
+            shelve: true,
             ..Solver::default()
         }
     }
@@ -224,9 +256,11 @@ impl Solver {
     /// transitively as an input of another activating gate — at which
     /// point its defining clauses are installed and their consequences
     /// replayed at level 0 (see [`Solver::activate_vars`] for why that is
-    /// sound). Imported clauses over a dormant gate are dropped instead of
-    /// activating it: imports are redundant, so treating them as absent
-    /// only forgoes pruning.
+    /// sound). Imported clauses over a dormant gate are *shelved* instead
+    /// of activating it: imports are redundant (they only prune), so
+    /// deferring one is always sound, and activation replays the shelf the
+    /// moment the cone wakes so no sound pruning is ever discarded (see
+    /// [`Solver::set_shelving`]).
     ///
     /// Activation is per *gate*, not per layer: on a hash-consed
     /// sweep-shared chain most of a sibling query's cone lives in layers
@@ -357,6 +391,7 @@ impl Solver {
         self.seen.push(false);
         self.zero_pure.push(false);
         self.var_active.push(true);
+        self.shelf_watch.push(Vec::new());
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap.insert(v.index(), &self.activity);
@@ -412,6 +447,35 @@ impl Solver {
         }
     }
 
+    /// Controls shelve-and-replay of imports over dormant cones (lazy
+    /// attach only; default on). With shelving off, such imports are
+    /// dropped outright — the PR 5 behavior, kept as an ablation knob.
+    /// Sound either way: imports only prune.
+    pub fn set_shelving(&mut self, on: bool) {
+        self.shelve = on;
+    }
+
+    /// Enables the two-level decision domain (default off). When on, each
+    /// [`Solver::declare_roots`] call rebuilds the local domain as the
+    /// declared cone, and every subsequent `solve_budgeted`/`solve_limited`
+    /// branches on the cone's variables first, falling back to the global
+    /// VSIDS heap only once no cone variable is left unassigned. The
+    /// restriction only reorders decisions, so results (and, downstream,
+    /// enumerated suites) are unchanged — it exists to keep a pooled
+    /// solver's search inside the current query's cone even after earlier
+    /// tasks activated unrelated cones.
+    pub fn set_domain_enabled(&mut self, on: bool) {
+        self.use_domain = on;
+        if !on {
+            self.domain.reset();
+        }
+    }
+
+    /// Number of imports currently shelved awaiting cone activation.
+    pub fn shelved_count(&self) -> usize {
+        self.shelved.iter().filter(|s| s.is_some()).count()
+    }
+
     /// Adds a clause (a disjunction of literals).
     ///
     /// May be called at any time, including between `solve` calls; this is how
@@ -435,14 +499,23 @@ impl Solver {
         self.cancel_until(0);
         if self.lazy {
             if import {
-                // An imported clause over a dormant cone is treated as
-                // absent: imports are redundant (they only prune), so
-                // dropping one is always sound — and activating a cone for
-                // it would pay exactly the propagation tax laziness avoids
-                // (measured: activate-on-import loses on every swept
-                // bound). Callers that want an import to stick declare
-                // their cone roots first ([`Solver::declare_roots`]).
-                if ls.iter().any(|l| !self.var_active[l.var().index()]) {
+                // An imported clause over a dormant cone must not activate
+                // the cone — that would pay exactly the propagation tax
+                // laziness avoids (measured: activate-on-import loses on
+                // every swept bound). But dropping it outright forgoes
+                // sound pruning forever (measured: the bound-5 inversion),
+                // so instead the clause is *shelved*, watched on one of
+                // its dormant variables, and replayed by
+                // [`Solver::activate_vars`] the moment its whole cone is
+                // awake. Sound in both directions: an import is redundant,
+                // so deferring it loses no models, and replaying it only
+                // prunes.
+                if let Some(l) = ls.iter().find(|l| !self.var_active[l.var().index()]) {
+                    if self.shelve {
+                        let slot = self.shelved.len() as u32;
+                        self.shelf_watch[l.var().index()].push(slot);
+                        self.shelved.push(Some((ls, pure)));
+                    }
                     return true;
                 }
             } else {
@@ -545,6 +618,21 @@ impl Solver {
         exchange: &mut dyn ClauseExchange,
         budget: &SolveBudget,
     ) -> BudgetedResult {
+        // Arm the local decision domain for the duration of this solve:
+        // O(1) on, O(1) off, and the domain itself (built at
+        // `declare_roots`) survives for the next solve on this query.
+        self.domain_active = self.use_domain && self.domain.len() > 0;
+        let r = self.solve_budgeted_inner(assumptions, exchange, budget);
+        self.domain_active = false;
+        r
+    }
+
+    fn solve_budgeted_inner(
+        &mut self,
+        assumptions: &[Lit],
+        exchange: &mut dyn ClauseExchange,
+        budget: &SolveBudget,
+    ) -> BudgetedResult {
         self.model.clear();
         if !self.ok {
             return BudgetedResult::Done(SolveResult::Unsat);
@@ -616,6 +704,17 @@ impl Solver {
     /// probes a query with a small budget and reads the resulting
     /// activities via [`Solver::activity`].
     pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<SolveResult> {
+        self.domain_active = self.use_domain && self.domain.len() > 0;
+        let r = self.solve_limited_inner(assumptions, max_conflicts);
+        self.domain_active = false;
+        r
+    }
+
+    fn solve_limited_inner(
         &mut self,
         assumptions: &[Lit],
         max_conflicts: u64,
@@ -746,15 +845,59 @@ impl Solver {
 
     /// Declares the cone roots a query is about to solve under: activates
     /// the listed literals' defining cones immediately instead of at the
-    /// first `solve` call. A lazily attached solver otherwise treats
-    /// *imported* clauses over dormant cones as absent
-    /// ([`Solver::add_clause_import`]), so a caller seeding pruning
-    /// clauses (a vault fetch, an exchange drain) before the first solve
-    /// must declare its roots first — or the seeds over its own cone are
-    /// silently dropped. No-op on eager solvers; sound at any point (it
+    /// first `solve` call, and — when the two-level decision domain is
+    /// enabled ([`Solver::set_domain_enabled`]) — rebuilds the local
+    /// decision domain as exactly the declared cone, replacing whatever
+    /// cone a previous query on this (pooled) solver declared. Declaring
+    /// roots is no longer required for imports to stick (imports over
+    /// dormant cones shelve and replay on activation), but declaring them
+    /// up front lets a vault fetch or exchange drain install its clauses
+    /// immediately instead of through the shelf. Sound at any point (it
     /// only installs constraints the full formula already contains).
     pub fn declare_roots<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
-        self.activate_for_lits(lits);
+        if !self.use_domain {
+            self.activate_for_lits(lits);
+            return;
+        }
+        let roots: Vec<Lit> = lits.into_iter().collect();
+        self.activate_for_lits(roots.iter().copied());
+        self.rebuild_domain(&roots);
+    }
+
+    /// Rebuilds the local decision domain as the definitional cone of
+    /// `roots` (plus any solver-local root variables the arena does not
+    /// know). Membership is generation-stamped, so replacing the previous
+    /// query's domain is O(new cone), not O(vars).
+    fn rebuild_domain(&mut self, roots: &[Lit]) {
+        self.domain.reset();
+        self.domain.reserve_keys(self.assigns.len());
+        let members: Vec<usize> = match &self.shared {
+            Some(sh) => {
+                let arena_vars = sh.num_vars();
+                let mut m: Vec<usize> = sh
+                    .cone_vars(roots.iter().map(|l| l.var()))
+                    .into_iter()
+                    .map(|v| v.index())
+                    .collect();
+                m.extend(
+                    roots
+                        .iter()
+                        .map(|l| l.var().index())
+                        .filter(|&v| v >= arena_vars),
+                );
+                m
+            }
+            None => roots.iter().map(|l| l.var().index()).collect(),
+        };
+        for v in members {
+            if v < self.assigns.len()
+                && self.domain.add(v)
+                && self.assigns[v] == LBool::Undef
+                && self.var_active[v]
+            {
+                self.domain.enqueue(v, &self.activity);
+            }
+        }
     }
 
     /// Activates every dormant gate variable of `lits`, transitively
@@ -805,6 +948,10 @@ impl Solver {
         let shared = self.shared.clone().expect("activation requires an arena");
         debug_assert_eq!(self.decision_level(), 0);
         let mut touched = false;
+        // Shelf slots whose last dormant variable wakes in this closure;
+        // replayed (as ordinary imports) once the closure and its level-0
+        // propagation settle.
+        let mut replay: Vec<u32> = Vec::new();
         while let Some(v) = worklist.pop() {
             if self.var_active[v.index()] {
                 continue;
@@ -815,6 +962,24 @@ impl Solver {
             // is still there).
             self.heap.insert(v.index(), &self.activity);
             touched = true;
+            // Wake the shelf parked on this variable: each slot re-parks on
+            // another still-dormant variable of its clause, or — when this
+            // was the last one — queues for replay. Dormant variables found
+            // here are *not* pushed on the worklist: a shelved import must
+            // never widen the activation closure.
+            for slot in std::mem::take(&mut self.shelf_watch[v.index()]) {
+                let next_dormant = match self.shelved[slot as usize].as_ref() {
+                    None => continue,
+                    Some((lits, _)) => lits
+                        .iter()
+                        .map(|l| l.var().index())
+                        .find(|&w| !self.var_active[w]),
+                };
+                match next_dormant {
+                    Some(w) => self.shelf_watch[w].push(slot),
+                    None => replay.push(slot),
+                }
+            }
             let li = shared.layer_of_var(v);
             let layer = &shared.layers()[li];
             let clause_base = shared.layer_clause_range(li).start;
@@ -892,6 +1057,20 @@ impl Solver {
         }
         if touched && self.propagate().is_some() {
             self.ok = false;
+        }
+        // Replay fully-awake shelved imports. Runs after the closure's own
+        // propagation so the imports land on a settled level-0 trail; each
+        // replay goes through the normal import path (which re-checks
+        // satisfaction/units and may fail the solver on a genuine
+        // level-0 conflict).
+        for slot in replay {
+            if !self.ok {
+                break;
+            }
+            if let Some((lits, pure)) = self.shelved[slot as usize].take() {
+                self.stats.shelved_replayed += 1;
+                self.import_clause(lits, pure);
+            }
         }
     }
 
@@ -1057,6 +1236,9 @@ impl Solver {
             self.assigns[v] = LBool::Undef;
             self.reason[v] = None;
             self.heap.insert(v, &self.activity);
+            // Domain members become decidable locally again (no-op for
+            // non-members and while no domain is built).
+            self.domain.enqueue(v, &self.activity);
         }
         self.trail.truncate(lim);
         self.trail_lim.truncate(target);
@@ -1073,6 +1255,7 @@ impl Solver {
             self.heap.rescaled();
         }
         self.heap.increased(v, &self.activity);
+        self.domain.increased(v, &self.activity);
     }
 
     fn clause_bump(&mut self, cref: u32) {
@@ -1217,6 +1400,20 @@ impl Solver {
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
+        // Two-level branching: while this solve has a live decision
+        // domain, prefer the highest-activity variable of the declared
+        // cone; only once the cone is fully assigned fall through to the
+        // global heap. Popping from the local heap leaves the variable in
+        // the global heap (and vice versa) — the stale entry is skipped by
+        // the `Undef` check when it surfaces.
+        if self.domain_active {
+            while let Some(v) = self.domain.pop(&self.activity) {
+                if self.assigns[v] == LBool::Undef && self.var_active[v] {
+                    self.stats.domain_decisions += 1;
+                    return Some(Var(v as u32));
+                }
+            }
+        }
         // Inactive (dormant-cone) variables are skipped: nothing watches
         // them, so assigning one could never propagate or conflict — it
         // would only pad the trail. They re-enter the heap on activation.
@@ -2277,19 +2474,133 @@ mod shared_tests {
     }
 
     #[test]
-    fn imports_over_dormant_cones_are_dropped_not_activating() {
+    fn imports_over_dormant_cones_are_shelved_not_activating() {
         let (cnf, vs, g0, g1) = layered_chain();
         let mut lazy = Solver::attach_shared_lazy(cnf.clone());
         let mut bus = BufferExchange::default();
         // Peer clauses over dormant gates: redundant for this query, so
-        // treating them as absent must change nothing but effort.
+        // parking them on the shelf must change nothing but effort.
         bus.pool.push((vec![Lit::pos(g0), Lit::pos(g1)], true));
         bus.pool
             .push((vec![Lit::neg(g1), Lit::pos(vs[3]), Lit::pos(g0)], true));
         let ml = enumerate(&mut lazy, &vs, &[], &mut bus);
         assert_eq!(lazy.active_layer_count(), 1, "imports must not wake cones");
-        let mut eager = Solver::attach_shared(cnf);
+        assert_eq!(lazy.shelved_count(), 2, "both imports wait on the shelf");
+        assert_eq!(lazy.stats().shelved_replayed, 0);
+        let mut eager = Solver::attach_shared(cnf.clone());
         let me = enumerate(&mut eager, &vs, &[], &mut NoExchange);
         assert_eq!(me, ml);
+        // Ablation knob: with shelving off the imports are dropped outright
+        // (the pre-fix behavior), still without waking any cone.
+        let mut dropper = Solver::attach_shared_lazy(cnf);
+        dropper.set_shelving(false);
+        let mut bus2 = BufferExchange::default();
+        bus2.pool.push((vec![Lit::pos(g0), Lit::pos(g1)], true));
+        let md = enumerate(&mut dropper, &vs, &[], &mut bus2);
+        assert_eq!(md, me);
+        assert_eq!(dropper.active_layer_count(), 1);
+        assert_eq!(dropper.shelved_count(), 0, "shelving off means dropping");
+    }
+
+    #[test]
+    fn shelved_import_replays_and_prunes_once_its_cone_activates() {
+        // ¬g0 ∨ ¬v1 is implied (v1 excludes v0 and v2, and g0 = v0 ∨ v2)
+        // but over the dormant gate g0 at import time. Shelved, it must be
+        // installed by the activation that a later solve's assumptions
+        // trigger — and then prune the contradictory assumption pair
+        // {g0, v1} *directly*, with no conflict analysis at all.
+        let (cnf, vs, g0, _g1) = layered_chain();
+        let mut s = Solver::attach_shared_lazy(cnf.clone());
+        let mut bus = BufferExchange::default();
+        bus.pool.push((vec![Lit::neg(g0), Lit::neg(vs[1])], true));
+        assert!(s.solve_exchanging(&[], &mut bus).is_sat());
+        assert_eq!(s.shelved_count(), 1, "import over dormant g0 is shelved");
+        assert_eq!(s.active_layer_count(), 1);
+        let before = s.stats();
+        let r = s.solve_with_assumptions(&[Lit::pos(g0), Lit::pos(vs[1])]);
+        assert_eq!(r, SolveResult::Unsat);
+        let after = s.stats();
+        assert_eq!(after.shelved_replayed, 1, "activation replayed the shelf");
+        assert_eq!(s.shelved_count(), 0);
+        assert_eq!(
+            after.conflicts, before.conflicts,
+            "the replayed import falsifies the second assumption outright"
+        );
+        // Control: with shelving off the import is gone, and refuting the
+        // same assumption pair costs at least one analyzed conflict.
+        let mut ctrl = Solver::attach_shared_lazy(cnf);
+        ctrl.set_shelving(false);
+        let mut bus2 = BufferExchange::default();
+        bus2.pool.push((vec![Lit::neg(g0), Lit::neg(vs[1])], true));
+        assert!(ctrl.solve_exchanging(&[], &mut bus2).is_sat());
+        let before = ctrl.stats();
+        let r = ctrl.solve_with_assumptions(&[Lit::pos(g0), Lit::pos(vs[1])]);
+        assert_eq!(r, SolveResult::Unsat);
+        assert_eq!(ctrl.stats().shelved_replayed, 0);
+        assert!(
+            ctrl.stats().conflicts > before.conflicts,
+            "without the import the refutation needs conflict analysis"
+        );
+    }
+
+    #[test]
+    fn shelved_import_replays_on_declare_roots() {
+        let (cnf, vs, g0, _g1) = layered_chain();
+        let mut s = Solver::attach_shared_lazy(cnf);
+        let mut bus = BufferExchange::default();
+        bus.pool.push((vec![Lit::neg(g0), Lit::neg(vs[1])], true));
+        assert!(s.solve_exchanging(&[], &mut bus).is_sat());
+        assert_eq!(s.shelved_count(), 1);
+        s.declare_roots([Lit::pos(g0)]);
+        assert_eq!(s.stats().shelved_replayed, 1);
+        assert_eq!(s.shelved_count(), 0);
+        assert_eq!(s.active_layer_count(), 2, "only g0's cone woke");
+    }
+
+    #[test]
+    fn decision_domain_branches_on_declared_cone_first() {
+        let (cnf, vs, g0, _g1) = layered_chain();
+        let mut eager = Solver::attach_shared(cnf.clone());
+        let me = enumerate(&mut eager, &vs, &[Lit::pos(g0)], &mut NoExchange);
+        let mut s = Solver::attach_shared_lazy(cnf.clone());
+        s.set_domain_enabled(true);
+        s.declare_roots([Lit::pos(g0)]);
+        let md = enumerate(&mut s, &vs, &[Lit::pos(g0)], &mut NoExchange);
+        assert_eq!(me, md, "the domain only reorders decisions");
+        let st = s.stats();
+        assert!(
+            st.domain_decisions > 0,
+            "decisions should be served from the declared cone"
+        );
+        assert!(st.domain_decisions <= st.decisions);
+        // Default-off: a solver that never enables the domain reports 0.
+        let mut plain = Solver::attach_shared_lazy(cnf);
+        let _ = enumerate(&mut plain, &vs, &[Lit::pos(g0)], &mut NoExchange);
+        assert_eq!(plain.stats().domain_decisions, 0);
+    }
+
+    #[test]
+    fn decision_domain_falls_back_to_global_heap_when_cone_exhausted() {
+        // Cone of g0 is {g0, v0, v2}; a full model still needs v1 and v3,
+        // which only the global fallback can decide once the cone is
+        // assigned. Deciding g0 false propagates ¬v0 and ¬v2, leaving
+        // v1 ∨ v3 undetermined — so the SAT answer requires at least one
+        // global (non-domain) decision.
+        let (cnf, _vs, g0, _g1) = layered_chain();
+        let mut s = Solver::attach_shared_lazy(cnf);
+        s.set_domain_enabled(true);
+        s.declare_roots([Lit::pos(g0)]);
+        assert!(s.solve().is_sat());
+        let st = s.stats();
+        assert!(st.domain_decisions > 0, "local level used first");
+        assert!(
+            st.decisions > st.domain_decisions,
+            "completing the model needs the global fallback"
+        );
+        // Disabling re-enables plain VSIDS: no further local decisions.
+        s.set_domain_enabled(false);
+        let before = s.stats().domain_decisions;
+        assert!(s.solve().is_sat());
+        assert_eq!(s.stats().domain_decisions, before);
     }
 }
