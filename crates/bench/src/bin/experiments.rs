@@ -1,11 +1,13 @@
 //! The evaluation harness: regenerates every table and figure of the
-//! paper's evaluation (see DESIGN.md §5 for the experiment index).
+//! paper's evaluation (see DESIGN.md §6 for the experiment index).
 //!
 //! Usage: `experiments <id> [budget_ms_per_query]` where `<id>` is one of
 //! `table2 table4 fig11 fig12 fig13 fig14 fig16 fig20 c11 scc_wa soundness
-//! speedup all`, or `experiments emit <model> <max_bound> [budget_ms]` to
+//! speedup all`, `experiments emit <model> <max_bound> [budget_ms]` to
 //! write the synthesized union suite to `suites_out/<model>/` in the
-//! textual litmus format. Suite files are written atomically
+//! textual litmus format, or `experiments serve [max_bound] [clients]` to
+//! benchmark a loopback `litsynth-serve` server (cold/warm latency, cache
+//! hit rate, shard counters — written to `BENCH_synth.json`). Suite files are written atomically
 //! (temp + rename), so a killed `emit` never leaves a half-written test.
 //!
 //! Passing `--resume` (any position) turns on the checkpoint journal:
@@ -119,6 +121,10 @@ fn main() {
             args.get(2).map(String::as_str).unwrap_or("tso"),
             args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5),
             args.get(4).and_then(|s| s.parse().ok()).unwrap_or(120_000),
+        ),
+        "serve" => serve(
+            args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3),
+            args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4),
         ),
         "all" => all(budget),
         other => match experiments().into_iter().find(|(name, _)| *name == other) {
@@ -526,6 +532,118 @@ fn emit(model: &str, max_bound: usize, budget: u64) {
         "scc" => go(&Scc::new(), max_bound, budget),
         "c11" => go(&C11::new(), max_bound, budget),
         other => eprintln!("unknown model {other:?}"),
+    }
+}
+
+/// The serving acceptance experiment: a loopback `litsynth-serve` server
+/// answering the TSO union over bounds `2..=bound`, timed cold (through
+/// the shard layer) and warm (from the suite cache), then hammered by
+/// `clients` concurrent connections repeating the warm query.
+///
+/// Asserts the serving contract — the cold suite is byte-identical to a
+/// direct `synthesize_union_up_to` call, and the warm repeat is a cache
+/// hit with zero compilations — and writes the latencies, hit rate, and
+/// shard counters to `BENCH_synth.json` (CI's serve-smoke greps it).
+fn serve(bound: usize, clients: usize) {
+    use litsynth_serve::{Client, QueryRequest, ServeConfig, Server};
+    let clients = clients.max(1);
+    println!("\n## Serving — loopback litsynth-serve, TSO bounds 2..={bound}, {clients} clients\n");
+    let server = Server::start(ServeConfig {
+        unit_threads: env_usize("LITSYNTH_THREADS", 1),
+        cube_bits: env_usize("LITSYNTH_CUBE_BITS", 0),
+        max_bound: bound,
+        ..ServeConfig::default()
+    })
+    .expect("loopback server starts");
+    let addr = server.addr();
+    println!("serving on {addr}");
+    let req = QueryRequest::sweep("tso", 2, bound);
+
+    let mut client = Client::connect(addr).expect("client connects");
+    let t0 = std::time::Instant::now();
+    let cold = client.query(&req).expect("cold query succeeds");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(!cold.reply.cached, "first query must be cold");
+    let direct = litsynth_core::encode_suite_body(&litsynth_core::synthesize_union_up_to(
+        &Tso::new(),
+        2..=bound,
+        SynthConfig::new,
+    ));
+    assert_eq!(
+        cold.reply.suite, direct,
+        "served suite must be byte-identical"
+    );
+
+    let t1 = std::time::Instant::now();
+    let warm = client.query(&req).expect("warm query succeeds");
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert!(warm.reply.cached, "repeat must hit the suite cache");
+    assert_eq!(warm.reply.compilations, 0, "warm queries must not compile");
+    assert_eq!(warm.reply.suite, cold.reply.suite);
+    println!(
+        "cold: {cold_ms:.1} ms ({} compilations) | warm: {warm_ms:.3} ms (cached, 0 compilations)",
+        cold.reply.compilations
+    );
+
+    // Concurrent warm load: every client repeats the cached query.
+    const REPEATS: usize = 8;
+    let t2 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut c = Client::connect(addr).expect("load client connects");
+                for _ in 0..REPEATS {
+                    let served = c.query(&req).expect("load query succeeds");
+                    assert!(served.reply.cached);
+                }
+            });
+        }
+    });
+    let load_s = t2.elapsed().as_secs_f64();
+    let warm_qps = (clients * REPEATS) as f64 / load_s.max(1e-9);
+    println!(
+        "load: {clients} clients x {REPEATS} warm queries in {load_s:.3} s ({warm_qps:.0} qps)"
+    );
+
+    let stats = server.stats();
+    let hit_rate = stats.cache.hits as f64 / (stats.cache.hits + stats.cache.misses).max(1) as f64;
+    println!(
+        "cache: {} hits, {} misses ({:.1}% hit rate) | shard: {} local, {} stolen, \
+         {} respawns",
+        stats.cache.hits,
+        stats.cache.misses,
+        hit_rate * 100.0,
+        stats.shard.claimed_local,
+        stats.shard.stolen,
+        stats.shard.respawns,
+    );
+    server.shutdown();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"serve\",\n  \"model\": \"tso\",\n  \
+         \"bounds\": [2, {bound}],\n  \"clients\": {clients},\n  \
+         \"cold_ms\": {cold_ms:.3},\n  \"warm_ms\": {warm_ms:.3},\n  \
+         \"warm_qps\": {warm_qps:.1},\n  \"suite_tests\": {},\n  \
+         \"byte_identical\": true,\n  \"cold_compilations\": {},\n  \
+         \"warm_compilations\": {},\n  \"cache_hits\": {},\n  \
+         \"cache_misses\": {},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \
+         \"shard\": {{\"claimed_local\": {}, \"stolen\": {}, \"reassigned\": {}, \
+         \"respawns\": {}}},\n  \"engage_downgrades\": {}\n}}\n",
+        cold.reply.tests,
+        cold.reply.compilations,
+        warm.reply.compilations,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.shard.claimed_local,
+        stats.shard.stolen,
+        stats.shard.reassigned,
+        stats.shard.respawns,
+        litsynth_core::engage_downgrades(),
+    );
+    let path = std::path::Path::new("BENCH_synth.json");
+    match litsynth_core::atomic_write(path, json.as_bytes()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
 

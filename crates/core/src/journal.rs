@@ -94,18 +94,46 @@ pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     result
 }
 
-/// A directory of journaled query suites.
+/// A directory of journaled query suites — per-run scratch when opened
+/// with [`Journal::open`], a persistent size-capped cache tier when opened
+/// with [`Journal::open_capped`] (the serving layer's second tier: a
+/// restarted server re-serves journaled queries with zero solver work).
 #[derive(Debug)]
 pub struct Journal {
     dir: PathBuf,
+    /// Total-size cap in bytes; `None` = unbounded (the classic
+    /// per-run-scratch behavior).
+    cap_bytes: Option<u64>,
+    /// Entries evicted to honor the cap, over this handle's lifetime.
+    evictions: std::sync::atomic::AtomicU64,
 }
 
 impl Journal {
-    /// Opens (creating if needed) a journal at `dir`.
+    /// Opens (creating if needed) an unbounded journal at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Arc<Journal>> {
+        Self::open_with_cap(dir, None)
+    }
+
+    /// Opens (creating if needed) a journal at `dir` capped at `cap_bytes`
+    /// total entry size. After every [`Journal::record`] the oldest
+    /// entries (by modification time, ties broken by file name) are
+    /// evicted until the total fits — except the entry just written, so a
+    /// single oversized suite is still recorded and served once.
+    pub fn open_capped(dir: impl Into<PathBuf>, cap_bytes: u64) -> std::io::Result<Arc<Journal>> {
+        Self::open_with_cap(dir, Some(cap_bytes))
+    }
+
+    fn open_with_cap(
+        dir: impl Into<PathBuf>,
+        cap_bytes: Option<u64>,
+    ) -> std::io::Result<Arc<Journal>> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Arc::new(Journal { dir }))
+        Ok(Arc::new(Journal {
+            dir,
+            cap_bytes,
+            evictions: std::sync::atomic::AtomicU64::new(0),
+        }))
     }
 
     /// The journal directory.
@@ -113,9 +141,21 @@ impl Journal {
         &self.dir
     }
 
+    /// Entries evicted by the size cap over this handle's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     fn entry_path(&self, key: &str) -> PathBuf {
         // Keys are `model/axiom/bound`; flatten to one file per query.
-        self.dir.join(format!("{}.journal", key.replace('/', "-")))
+        // The readable flattened key alone is ambiguous (`a/b` and `a-b`
+        // both flatten to `a-b`), so the key's FNV hash is appended:
+        // distinct keys always map to distinct files.
+        self.dir.join(format!(
+            "{}-{:016x}.journal",
+            key.replace('/', "-"),
+            fnv1a(key.as_bytes())
+        ))
     }
 
     /// Number of entries currently journaled (any `.journal` file counts,
@@ -150,17 +190,7 @@ impl Journal {
         if fnv1a(body.as_bytes()) != checksum {
             return None;
         }
-        let mut suite = CanonicalSuite::new();
-        for block in body.split("\n%%\n") {
-            let block = block.trim_end_matches('\n');
-            if block.is_empty() {
-                continue;
-            }
-            let (key_line, test_text) = block.split_once('\n')?;
-            let key = key_line.strip_prefix("#key ")?;
-            let (test, outcome) = from_text(test_text).ok()?;
-            suite.insert(key.to_string(), (test, outcome));
-        }
+        let suite = decode_suite_body(body)?;
         if suite.len() != count {
             return None;
         }
@@ -176,25 +206,109 @@ impl Journal {
         fingerprint: u64,
         suite: &CanonicalSuite,
     ) -> std::io::Result<()> {
-        let mut body = String::new();
-        for (k, (test, outcome)) in suite {
-            body.push_str("#key ");
-            body.push_str(k);
-            body.push('\n');
-            let text = to_text(test, outcome);
-            body.push_str(&text);
-            if !text.ends_with('\n') {
-                body.push('\n');
-            }
-            body.push_str("%%\n");
-        }
+        let body = encode_suite_body(suite);
         let entry = format!(
             "{VERSION}\nconfig {fingerprint:016x}\nchecksum {:016x}\ntests {}\n{body}",
             fnv1a(body.as_bytes()),
             suite.len(),
         );
-        atomic_write(&self.entry_path(key), entry.as_bytes())
+        let path = self.entry_path(key);
+        atomic_write(&path, entry.as_bytes())?;
+        self.evict_to_cap(&path);
+        Ok(())
     }
+
+    /// Total bytes of `.journal` entries currently on disk.
+    pub fn total_bytes(&self) -> u64 {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "journal"))
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Evicts oldest-first until the total entry size fits the cap,
+    /// sparing `just_written`. Best-effort: an unreadable directory or a
+    /// failed remove is skipped — the cap is a cache policy, never a
+    /// correctness condition.
+    fn evict_to_cap(&self, just_written: &Path) {
+        let Some(cap) = self.cap_bytes else {
+            return;
+        };
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        // (mtime, name, path, size) per entry, oldest first. Names break
+        // mtime ties so the eviction order is stable across runs on
+        // filesystems with coarse timestamps.
+        let mut entries: Vec<(std::time::SystemTime, std::ffi::OsString, PathBuf, u64)> = rd
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "journal"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                Some((mtime, e.file_name(), e.path(), meta.len()))
+            })
+            .collect();
+        entries.sort();
+        let mut total: u64 = entries.iter().map(|(_, _, _, size)| size).sum();
+        for (_, _, path, size) in entries {
+            if total <= cap {
+                break;
+            }
+            if path == just_written {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(size);
+                self.evictions
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Serializes a canonical suite to the journal/wire body format: per test,
+/// a `#key <canonical key>` line, the litmus text, and a `%%` terminator.
+/// The exact format [`Journal::record`] checksums and the serve protocol
+/// ships — [`decode_suite_body`] round-trips it byte-identically at the
+/// suite level (canonical keys and every field `serialize` reads).
+pub fn encode_suite_body(suite: &CanonicalSuite) -> String {
+    let mut body = String::new();
+    for (k, (test, outcome)) in suite {
+        body.push_str("#key ");
+        body.push_str(k);
+        body.push('\n');
+        let text = to_text(test, outcome);
+        body.push_str(&text);
+        if !text.ends_with('\n') {
+            body.push('\n');
+        }
+        body.push_str("%%\n");
+    }
+    body
+}
+
+/// Parses an [`encode_suite_body`] body back into a canonical suite.
+/// `None` on any malformed block (callers treat the whole body as absent —
+/// a torn entry must never yield a partial suite).
+pub fn decode_suite_body(body: &str) -> Option<CanonicalSuite> {
+    let mut suite = CanonicalSuite::new();
+    for block in body.split("\n%%\n") {
+        let block = block.trim_end_matches('\n');
+        if block.is_empty() {
+            continue;
+        }
+        let (key_line, test_text) = block.split_once('\n')?;
+        let key = key_line.strip_prefix("#key ")?;
+        let (test, outcome) = from_text(test_text).ok()?;
+        suite.insert(key.to_string(), (test, outcome));
+    }
+    Some(suite)
 }
 
 /// The journal configured by the environment: active when
@@ -325,5 +439,112 @@ mod tests {
     #[test]
     fn query_key_is_lowercased_and_slash_joined() {
         assert_eq!(query_key("TSO", "sc_per_loc", 2), "tso/sc_per_loc/2");
+    }
+
+    #[test]
+    fn distinct_keys_never_share_an_entry_file() {
+        // Regression: plain `/`→`-` flattening mapped `a/b` and `a-b` to
+        // the same file, so recording one clobbered (and then served) the
+        // other. The appended key hash keeps them apart.
+        let dir = temp_dir("collision");
+        let j = Journal::open(&dir).expect("journal opens");
+        assert_ne!(j.entry_path("a/b"), j.entry_path("a-b"));
+        let suite = sample_suite();
+        let empty = CanonicalSuite::new();
+        j.record("a/b", 7, &suite).expect("record a/b");
+        j.record("a-b", 7, &empty).expect("record a-b");
+        assert_eq!(j.entries(), 2, "two keys, two files");
+        let back = j.lookup("a/b", 7).expect("a/b survives a-b's record");
+        assert_eq!(back.len(), suite.len());
+        assert_eq!(j.lookup("a-b", 7).expect("a-b entry").len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_evicts_oldest_entries_but_never_the_newest() {
+        let dir = temp_dir("evict");
+        let suite = sample_suite();
+        let one_entry = {
+            let j = Journal::open(&dir).expect("journal opens");
+            j.record("probe/size/0", 1, &suite).expect("record");
+            j.total_bytes()
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(one_entry > 0);
+
+        // Cap at ~2.5 entries: the third record must evict the oldest.
+        let j = Journal::open_capped(&dir, one_entry * 5 / 2).expect("journal opens");
+        for (i, key) in ["tso/a/2", "tso/b/2", "tso/c/2"].iter().enumerate() {
+            j.record(key, i as u64, &suite).expect("record");
+            // Distinct mtimes even on coarse-timestamp filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(j.evictions() >= 1, "the cap must have evicted");
+        assert!(j.total_bytes() <= one_entry * 5 / 2);
+        assert!(j.lookup("tso/a/2", 0).is_none(), "oldest entry evicted");
+        assert!(
+            j.lookup("tso/c/2", 2).is_some(),
+            "the just-written entry is never evicted"
+        );
+
+        // A cap smaller than a single entry still records (and keeps) the
+        // entry just written.
+        let _ = std::fs::remove_dir_all(&dir);
+        let j = Journal::open_capped(&dir, 1).expect("journal opens");
+        j.record("tso/solo/2", 9, &suite).expect("record");
+        assert!(j.lookup("tso/solo/2", 9).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn suite_body_round_trips_through_encode_and_decode() {
+        let suite = sample_suite();
+        let body = encode_suite_body(&suite);
+        let back = decode_suite_body(&body).expect("decodes");
+        assert_eq!(
+            suite.keys().collect::<Vec<_>>(),
+            back.keys().collect::<Vec<_>>()
+        );
+        for (k, (t, o)) in &suite {
+            let (bt, bo) = &back[k];
+            assert_eq!(serialize(t, o), serialize(bt, bo), "{k}");
+        }
+        // And a torn body reads as absent, never as a partial suite.
+        assert!(decode_suite_body(&body[..body.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn config_fingerprint_golden_value_is_pinned() {
+        // The fingerprint is a *network-visible* cache key (journal tier
+        // and serve-protocol suite cache): accidental drift silently
+        // invalidates every cached suite in the fleet, so the exact value
+        // is pinned here. If this fails because the fingerprinted field
+        // set deliberately changed, bump the journal VERSION and update
+        // the constant.
+        let fp = config_fingerprint("TSO", "sc_per_loc", &SynthConfig::new(3));
+        assert_eq!(fp, 0xa995_49ce_ee79_66bf, "got {fp:#018x}");
+
+        // Every parallelism/serving knob must be excluded: these are
+        // byte-identity-preserving by construction, so two configs that
+        // differ only here share cache entries.
+        let mut cfg = SynthConfig::new(3);
+        cfg.threads = 16;
+        cfg.cube_bits = 4;
+        cfg.exchange = false;
+        cfg.exchange_max_lbd = 2;
+        cfg.exchange_max_len = 5;
+        cfg.adaptive_cubes = false;
+        cfg.probe_conflicts = 9;
+        cfg.incremental = false;
+        cfg.vault = false;
+        cfg.lazy = false;
+        cfg.shelve = false;
+        cfg.domain = false;
+        cfg.max_attempts = 7;
+        cfg.retry_backoff_ms = 99;
+        cfg.adaptive_engage = false;
+        cfg.engage_below = 99;
+        cfg.progress = Some(crate::symbolic::ProgressSink::new(|_| {}));
+        assert_eq!(config_fingerprint("TSO", "sc_per_loc", &cfg), fp);
     }
 }

@@ -27,12 +27,16 @@ pub mod symbolic;
 pub mod synth;
 
 pub use allprogs::count_programs;
-pub use journal::{atomic_write, env_journal, Journal};
+pub use journal::{
+    atomic_write, config_fingerprint, decode_suite_body, encode_suite_body, env_journal, query_key,
+    Journal,
+};
 pub use minimal::{check_minimal, minimal_for_some_axiom, MinimalityVerdict};
 pub use relax::{applications, apply, Application};
 pub use subtest::{contains_subtest, covering_subtests, program_key};
-pub use symbolic::{vocabulary, Shape, SymbolicTest, SynthConfig};
+pub use symbolic::{vocabulary, ProgressEvent, ProgressSink, Shape, SymbolicTest, SynthConfig};
 pub use synth::{
-    synthesize_axiom, synthesize_union, synthesize_union_up_to, synthesize_union_up_to_with_stats,
-    CanonicalSuite, SweepStats, SynthResult, WorkerStats,
+    engage_downgrades, merge_unit_suites, plan_units, run_unit, synthesize_axiom, synthesize_union,
+    synthesize_union_up_to, synthesize_union_up_to_with_stats, CanonicalSuite, SweepStats,
+    SynthResult, UnitPlan, WorkerStats,
 };

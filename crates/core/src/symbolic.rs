@@ -22,6 +22,47 @@ use litsynth_litmus::{Addr, DepKind, FenceKind, Instr, LitmusTest, MemOrder, Out
 use litsynth_models::{Ctx, MemoryModel, SymAlg};
 use litsynth_relalg::{Bit, Circuit, Instance, Matrix1, Matrix2};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One per-query progress notification, emitted when a query completes
+/// (enumerated or journal-replayed). The serving layer turns these into
+/// streamed `PROGRESS` frames; any other consumer can log them.
+#[derive(Clone, Debug)]
+pub struct ProgressEvent {
+    /// The query's journal key, e.g. `tso/sc_per_loc/3`.
+    pub key: String,
+    /// Canonical tests the query found.
+    pub tests: usize,
+    /// `true` when the query was replayed from the journal (zero solver
+    /// work).
+    pub from_journal: bool,
+    /// Wall-clock time the query took.
+    pub elapsed: std::time::Duration,
+}
+
+/// A shareable per-query progress callback ([`SynthConfig::progress`]).
+/// Called from synthesis worker threads, so the closure must be cheap and
+/// must not block on the synthesis path it is reporting on.
+#[derive(Clone)]
+pub struct ProgressSink(Arc<dyn Fn(&ProgressEvent) + Send + Sync>);
+
+impl ProgressSink {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> ProgressSink {
+        ProgressSink(Arc::new(f))
+    }
+
+    /// Delivers one event.
+    pub fn emit(&self, event: &ProgressEvent) {
+        (self.0)(event)
+    }
+}
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressSink(..)")
+    }
+}
 
 /// Bounds and options for one synthesis query.
 #[derive(Clone, Debug)]
@@ -118,6 +159,21 @@ pub struct SynthConfig {
     /// *truncates* the suite at a clean instance boundary — exceeding this
     /// budget interrupts the solve and triggers the retry/degrade ladder.
     pub solve_wall_ms: u64,
+    /// Engage the per-query portfolio machinery (cube splitting, and with
+    /// it the exchange bus and the cube-selection probe) adaptively by
+    /// problem size: below [`SynthConfig::engage_below`] events the query
+    /// auto-downgrades to the unsplit incremental path — at small bounds
+    /// the machinery's overhead loses outright (0.58× measured), and the
+    /// suite is byte-identical either way. The downgrade is counted
+    /// process-wide (`crate::synth::engage_downgrades`), so which path ran
+    /// is always provable.
+    pub adaptive_engage: bool,
+    /// Queries with fewer events than this downgrade when
+    /// [`SynthConfig::adaptive_engage`] is on. The default (3) downgrades
+    /// exactly the bound-2 queries, where the portfolio never pays off.
+    pub engage_below: usize,
+    /// Per-query progress callback; `None` (the default) reports nothing.
+    pub progress: Option<ProgressSink>,
     /// Deterministic fault-injection plan (testing only). Defaults to the
     /// process-wide plan armed via `LITSYNTH_FAULT_PLAN`, if any.
     pub fault_plan: Option<std::sync::Arc<litsynth_sat::FaultPlan>>,
@@ -155,9 +211,31 @@ impl SynthConfig {
             solve_conflicts: 0,
             solve_propagations: 0,
             solve_wall_ms: 0,
+            adaptive_engage: true,
+            engage_below: 3,
+            progress: None,
             fault_plan: litsynth_sat::FaultPlan::global(),
             journal: None,
         }
+    }
+
+    /// Enables or disables the adaptive engagement heuristic (builder
+    /// style).
+    pub fn with_adaptive_engage(mut self, engage: bool) -> SynthConfig {
+        self.adaptive_engage = engage;
+        self
+    }
+
+    /// Sets the adaptive-engagement size threshold (builder style).
+    pub fn with_engage_below(mut self, events: usize) -> SynthConfig {
+        self.engage_below = events;
+        self
+    }
+
+    /// Sets the per-query progress callback (builder style).
+    pub fn with_progress(mut self, progress: Option<ProgressSink>) -> SynthConfig {
+        self.progress = progress;
+        self
     }
 
     /// Sets the worker-thread count (builder style).

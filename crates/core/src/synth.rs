@@ -216,13 +216,46 @@ fn insert_dedup(suite: &mut CanonicalSuite, key: String, test: LitmusTest, outco
     }
 }
 
+/// Process-wide count of queries the adaptive engagement heuristic
+/// downgraded to the unsplit path ([`SynthConfig::adaptive_engage`]).
+static ENGAGE_DOWNGRADES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many queries the adaptive engagement heuristic has downgraded to
+/// the unsplit incremental path so far, process-wide. The counter that
+/// proves which path a small-bound query actually ran.
+pub fn engage_downgrades() -> u64 {
+    ENGAGE_DOWNGRADES.load(Ordering::Relaxed)
+}
+
 /// `cube_bits` clamped to the number of pinnable selector bits the query
 /// actually has. The pin *candidates* are the instruction-kind selector
 /// bits — distinct circuit inputs, and observables, so pinning them
 /// partitions the observable space (every blocked class determines the
 /// pinned bits' values and falls in exactly one cube).
+///
+/// With [`SynthConfig::adaptive_engage`] on, a query below the engagement
+/// threshold downgrades to 0 — unsplit, no exchange bus, no probe: the
+/// portfolio machinery's overhead loses at small bounds (0.58× measured,
+/// see ROADMAP), and cube splitting is byte-identity-preserving, so the
+/// downgrade changes wall-clock only.
 fn effective_cube_bits<M: MemoryModel>(model: &M, cfg: &SynthConfig) -> usize {
+    if cfg.cube_bits > 0 && cfg.adaptive_engage && cfg.events < cfg.engage_below {
+        ENGAGE_DOWNGRADES.fetch_add(1, Ordering::Relaxed);
+        return 0;
+    }
     cfg.cube_bits.min(vocabulary(model).len() * cfg.events)
+}
+
+/// Reports one completed query to `cfg`'s progress sink, if any.
+fn emit_progress(model_name: &str, axiom: &str, cfg: &SynthConfig, r: &SynthResult) {
+    if let Some(sink) = &cfg.progress {
+        sink.emit(&crate::symbolic::ProgressEvent {
+            key: query_key(model_name, axiom, cfg.events),
+            tests: r.tests.len(),
+            from_journal: r.from_journal,
+            elapsed: r.elapsed,
+        });
+    }
 }
 
 /// One (axiom, bound) query, compiled once and shared by its cube workers.
@@ -1025,7 +1058,9 @@ pub fn synthesize_axiom<M: MemoryModel + Sync>(
     let start = Instant::now();
     let axiom = static_axiom(model, axiom);
     if let Some(tests) = journal_lookup(model, axiom, cfg) {
-        return journal_hit_result(tests, start.elapsed());
+        let r = journal_hit_result(tests, start.elapsed());
+        emit_progress(model.name(), axiom, cfg, &r);
+        return r;
     }
     let cube_bits = effective_cube_bits(model, cfg);
     let query_key: Arc<str> = query_key(model.name(), axiom, cfg.events).into();
@@ -1047,6 +1082,7 @@ pub fn synthesize_axiom<M: MemoryModel + Sync>(
     let runs = run_tasks(model, &tasks, cfg.threads);
     let r = merge_query(runs, start.elapsed());
     record_if_clean(model.name(), axiom, cfg, &r);
+    emit_progress(model.name(), axiom, cfg, &r);
     r
 }
 
@@ -1070,6 +1106,7 @@ pub fn synthesize_union<M: MemoryModel + Sync>(
     let (per_axiom, union) = merge_union(model, tasks, runs, start, hits);
     for (&ax, r) in &per_axiom {
         record_if_clean(model.name(), ax, cfg, r);
+        emit_progress(model.name(), ax, cfg, r);
     }
     (per_axiom, union)
 }
@@ -1225,6 +1262,7 @@ pub fn synthesize_union_up_to_with_stats<M: MemoryModel + Sync>(
             stats.domain_decisions += r.domain_decisions;
             stats.shelved_replayed += r.shelved_replayed;
             record_if_clean(model.name(), ax, cfg, r);
+            emit_progress(model.name(), ax, cfg, r);
         }
         union.extend(u);
     }
@@ -1234,6 +1272,81 @@ pub fn synthesize_union_up_to_with_stats<M: MemoryModel + Sync>(
         stats.vault = v.stats();
     }
     (union, stats)
+}
+
+/// One shard-claimable unit of a sweep: a single (axiom, bound) query with
+/// its fingerprinted [`WorkUnit`](litsynth_portfolio::WorkUnit) identity
+/// and the config to run it under. The unit's `seq` is its position in the
+/// sweep's deterministic merge order.
+#[derive(Clone, Debug)]
+pub struct UnitPlan {
+    /// The unit's claimable identity (key, config fingerprint, merge seq).
+    pub unit: litsynth_portfolio::WorkUnit,
+    /// The query's axiom.
+    pub axiom: &'static str,
+    /// The query's event bound.
+    pub bound: usize,
+    /// The config the unit runs under.
+    pub cfg: SynthConfig,
+}
+
+/// Plans a sweep as independent work units, in deterministic merge order:
+/// bounds ascending, each bound's axioms in model order, `seq` numbering
+/// the lot. The shard layer hands these out (in any order, to any worker)
+/// and [`merge_unit_suites`] reassembles the results by `seq` — the merge
+/// then matches [`synthesize_union_up_to`]'s bound-then-axiom loop
+/// exactly, which is what makes served suites byte-identical to a direct
+/// sweep.
+pub fn plan_units<M: MemoryModel>(
+    model: &M,
+    bounds: std::ops::RangeInclusive<usize>,
+    mk_cfg: impl Fn(usize) -> SynthConfig,
+) -> Vec<UnitPlan> {
+    let mut units = Vec::new();
+    for bound in bounds {
+        let cfg = mk_cfg(bound);
+        for &axiom in model.axioms() {
+            let seq = units.len();
+            units.push(UnitPlan {
+                unit: litsynth_portfolio::WorkUnit {
+                    key: query_key(model.name(), axiom, bound).into(),
+                    fingerprint: config_fingerprint(model.name(), axiom, &cfg),
+                    seq,
+                },
+                axiom,
+                bound,
+                cfg: cfg.clone(),
+            });
+        }
+    }
+    units
+}
+
+/// Runs one planned unit to completion on the calling thread('s pool):
+/// exactly [`synthesize_axiom`] under the unit's config — journaled,
+/// resilient, byte-identical to the same query inside a direct sweep.
+pub fn run_unit<M: MemoryModel + Sync>(model: &M, plan: &UnitPlan) -> SynthResult {
+    synthesize_axiom(model, plan.axiom, &plan.cfg)
+}
+
+/// Merges per-unit suites *in `seq` order* into the sweep union.
+///
+/// Determinism: [`synthesize_union_up_to`] builds its union bound-by-bound
+/// (each bound's axioms first-wins-merged in axiom order, bounds then
+/// concatenated — cross-bound canonical keys are disjoint because every
+/// test has exactly its bound's event count). A first-wins fold over the
+/// unit suites in `seq` order is the same computation, so a sharded sweep
+/// serves byte-identical suites no matter which shard ran which unit.
+pub fn merge_unit_suites<'a>(
+    suites: impl IntoIterator<Item = &'a CanonicalSuite>,
+) -> CanonicalSuite {
+    let mut union = CanonicalSuite::new();
+    for suite in suites {
+        for (k, v) in suite {
+            union.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+    }
+    union
 }
 
 #[cfg(test)]
@@ -1377,7 +1490,12 @@ mod tests {
 
     #[test]
     fn worker_stats_cover_every_cube() {
-        let cfg = SynthConfig::new(2).with_threads(2).with_cube_bits(2);
+        // Adaptive engagement would (correctly) unsplit this small bound;
+        // disabled here because cube accounting is exactly what's tested.
+        let cfg = SynthConfig::new(2)
+            .with_threads(2)
+            .with_cube_bits(2)
+            .with_adaptive_engage(false);
         let r = synthesize_axiom(&Tso::new(), "sc_per_loc", &cfg);
         assert_eq!(r.workers.len(), 4);
         for (i, w) in r.workers.iter().enumerate() {
@@ -1455,7 +1573,8 @@ mod tests {
         let cfg = SynthConfig::new(2)
             .with_threads(4)
             .with_cube_bits(2)
-            .with_incremental(false);
+            .with_incremental(false)
+            .with_adaptive_engage(false);
         let (p, _) = synthesize_union(&m, &cfg);
         let compiled = litsynth_relalg::compilations() - before;
         // The union must have compiled at least one CNF per query. The
@@ -1485,7 +1604,10 @@ mod tests {
         // query; the bound's definition layers extend that chain and all
         // queries share the result, contributing only assumption roots.
         let extensions_before = litsynth_relalg::incremental_extensions();
-        let cfg = SynthConfig::new(2).with_threads(4).with_cube_bits(2);
+        let cfg = SynthConfig::new(2)
+            .with_threads(4)
+            .with_cube_bits(2)
+            .with_adaptive_engage(false);
         let (p, _) = synthesize_union(&m, &cfg);
         assert_eq!(
             p.values().map(|r| r.compilations).sum::<usize>(),
@@ -1718,8 +1840,11 @@ mod tests {
     #[test]
     fn cube_bits_clamp_to_the_selector_count() {
         // 2 events × 3 TSO shapes = 6 selector bits; asking for 40 must
-        // clamp, not allocate 2^40 cubes.
-        let cfg = SynthConfig::new(2).with_cube_bits(40);
+        // clamp, not allocate 2^40 cubes. (Engagement heuristic off: the
+        // clamp is what's tested, not the small-bound downgrade.)
+        let cfg = SynthConfig::new(2)
+            .with_cube_bits(40)
+            .with_adaptive_engage(false);
         let r = synthesize_axiom(&Tso::new(), "sc_per_loc", &cfg);
         assert_eq!(r.workers.len(), 1 << 6);
         assert_eq!(r.len(), 3);
@@ -1853,6 +1978,7 @@ mod tests {
         let plan = FaultPlan::parse("tso/sc_per_loc/2@0@*@0@panic").expect("plan parses");
         let cfg = SynthConfig::new(2)
             .with_cube_bits(1)
+            .with_adaptive_engage(false)
             .with_fault_plan(Some(Arc::new(plan)));
         let r = synthesize_axiom(&Tso::new(), "sc_per_loc", &cfg);
         assert_eq!(r.degraded, 1);
@@ -1900,5 +2026,94 @@ mod tests {
         assert_eq!(r.degraded, 0);
         assert_eq!(r.retries, 0);
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn units_run_in_any_order_merge_to_the_direct_sweep() {
+        // The shard layer's contract: run the planned units in *any* order
+        // (here: reversed, the worst case for a completion-order merge),
+        // merge by seq, and the union is byte-identical to a direct sweep.
+        let m = Tso::new();
+        let direct = synthesize_union_up_to(&m, 2..=3, SynthConfig::new);
+        let plans = plan_units(&m, 2..=3, SynthConfig::new);
+        assert_eq!(plans.len(), 2 * m.axioms().len());
+        assert!(plans.iter().enumerate().all(|(i, p)| p.unit.seq == i));
+        let mut suites: Vec<(usize, CanonicalSuite)> = plans
+            .iter()
+            .rev()
+            .map(|p| (p.unit.seq, run_unit(&m, p).tests))
+            .collect();
+        suites.sort_by_key(|&(seq, _)| seq);
+        let merged = merge_unit_suites(suites.iter().map(|(_, s)| s));
+        assert_eq!(suite_bytes(&direct), suite_bytes(&merged));
+    }
+
+    #[test]
+    fn adaptive_engagement_downgrades_small_bounds_to_one_worker() {
+        // Below the engagement threshold the portfolio machinery is pure
+        // overhead: the heuristic must collapse cube splitting to a single
+        // worker, count the downgrade, and leave the suite untouched.
+        let engaged = SynthConfig::new(2)
+            .with_threads(2)
+            .with_cube_bits(2)
+            .with_adaptive_engage(false);
+        let full = synthesize_axiom(&Tso::new(), "sc_per_loc", &engaged);
+        assert_eq!(full.workers.len(), 4, "opt-out keeps all 2^2 cubes");
+
+        let before = engage_downgrades();
+        let auto = SynthConfig::new(2).with_threads(2).with_cube_bits(2);
+        assert!(auto.adaptive_engage, "the heuristic is on by default");
+        let small = synthesize_axiom(&Tso::new(), "sc_per_loc", &auto);
+        assert_eq!(small.workers.len(), 1, "downgraded to a single worker");
+        assert!(
+            engage_downgrades() > before,
+            "the downgrade counter must prove which path ran"
+        );
+        assert_eq!(suite_bytes(&full.tests), suite_bytes(&small.tests));
+
+        // At or above the threshold the knobs are honored as given.
+        let at = SynthConfig::new(3).with_cube_bits(1);
+        let r = synthesize_axiom(&Tso::new(), "sc_per_loc", &at);
+        assert_eq!(r.workers.len(), 2, "bound 3 engages the portfolio");
+    }
+
+    #[test]
+    fn progress_sink_reports_every_query_and_flags_journal_replays() {
+        use crate::symbolic::{ProgressEvent, ProgressSink};
+        let (dir, j) = temp_journal("progress");
+        let events: Arc<std::sync::Mutex<Vec<ProgressEvent>>> = Arc::default();
+        let mk_cfg = {
+            let (j, events) = (j.clone(), events.clone());
+            move |n: usize| {
+                let events = events.clone();
+                SynthConfig::new(n)
+                    .with_journal(Some(j.clone()))
+                    .with_progress(Some(ProgressSink::new(move |e| {
+                        events.lock().unwrap().push(e.clone())
+                    })))
+            }
+        };
+        let m = Tso::new();
+        synthesize_union_up_to(&m, 2..=3, mk_cfg.clone());
+        {
+            let got = events.lock().unwrap();
+            assert_eq!(got.len(), 2 * m.axioms().len(), "one event per query");
+            assert!(got.iter().all(|e| !e.from_journal));
+            // Not every query yields tests (rmw_atomicity/2 is empty), but
+            // the sweep as a whole must.
+            assert!(got.iter().any(|e| e.tests > 0));
+            assert!(got.iter().any(|e| e.key == "tso/sc_per_loc/2"));
+            assert!(got.iter().any(|e| e.key == "tso/causality/3"));
+        }
+        events.lock().unwrap().clear();
+        synthesize_union_up_to(&m, 2..=3, mk_cfg);
+        let got = events.lock().unwrap();
+        assert_eq!(got.len(), 2 * m.axioms().len());
+        assert!(
+            got.iter().all(|e| e.from_journal),
+            "replayed queries must be flagged as journal hits"
+        );
+        drop(got);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -42,10 +42,12 @@ pub mod exchange;
 pub mod pool;
 pub mod query;
 pub mod resilient;
+pub mod unit;
 pub mod vault;
 
 pub use exchange::{ExchangeBus, ExchangeConfig, ExchangeEndpoint, ExchangeStats};
 pub use pool::{resolve_threads, run_ordered};
 pub use query::{CompiledQuery, CubeConfig};
 pub use resilient::{run_resilient, Attempt, RetryConfig, TaskReport};
+pub use unit::{StealQueue, StealStats, WorkUnit};
 pub use vault::{ClauseVault, VaultConfig, VaultStats, VaultedExchange};

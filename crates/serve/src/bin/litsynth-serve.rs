@@ -1,0 +1,140 @@
+//! The serving daemon and its command-line client.
+//!
+//! ```text
+//! litsynth-serve listen [--addr A] [--shards N] [--threads N]
+//!                       [--cube-bits N] [--cache-mb N] [--max-bound N]
+//!                       [--journal DIR] [--journal-cap-mb N]
+//! litsynth-serve query <addr> <model> [max_bound] [min_bound] [axioms,...]
+//! litsynth-serve ping <addr>
+//! litsynth-serve stats <addr>
+//! ```
+
+use litsynth_serve::{Client, QueryRequest, ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  litsynth-serve listen [--addr A] [--shards N] [--threads N] \
+         [--cube-bits N] [--cache-mb N] [--max-bound N] [--journal DIR] \
+         [--journal-cap-mb N]\n  litsynth-serve query <addr> <model> [max_bound] \
+         [min_bound] [axioms,...]\n  litsynth-serve ping <addr>\n  \
+         litsynth-serve stats <addr>"
+    );
+    std::process::exit(2);
+}
+
+fn listen(args: &[String]) {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7787".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage()).clone();
+        let num = |v: String| v.parse::<u64>().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--shards" => cfg.shards = num(val()) as usize,
+            "--threads" => cfg.unit_threads = num(val()) as usize,
+            "--cube-bits" => cfg.cube_bits = num(val()) as usize,
+            "--cache-mb" => cfg.cache_bytes = (num(val()) as usize) << 20,
+            "--max-bound" => cfg.max_bound = num(val()) as usize,
+            "--journal" => cfg.journal_dir = Some(val().into()),
+            "--journal-cap-mb" => cfg.journal_cap_bytes = Some(num(val()) << 20),
+            _ => usage(),
+        }
+    }
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("litsynth-serve: bind failed: {e}");
+        std::process::exit(1);
+    });
+    println!("listening on {}", server.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn query(args: &[String]) {
+    let (Some(addr), Some(model)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let max_bound = args
+        .get(2)
+        .map_or(3, |s| s.parse().unwrap_or_else(|_| usage()));
+    let min_bound = args
+        .get(3)
+        .map_or(2, |s| s.parse().unwrap_or_else(|_| usage()));
+    let mut req = QueryRequest::sweep(model, min_bound, max_bound);
+    if let Some(axioms) = args.get(4) {
+        req.axioms = axioms.split(',').map(str::to_string).collect();
+    }
+    let mut client = connect(addr);
+    match client.query(&req) {
+        Ok(served) => {
+            for p in &served.progress {
+                eprintln!(
+                    "progress: {} — {} tests{}",
+                    p.key,
+                    p.tests,
+                    if p.from_journal { " (journal)" } else { "" }
+                );
+            }
+            let r = &served.reply;
+            eprintln!(
+                "suite {:016x}: {} tests, cached={}, compilations={}, retries={}, \
+                 truncated={}, degraded={}",
+                r.fingerprint,
+                r.tests,
+                r.cached,
+                r.compilations,
+                r.retries,
+                r.truncated,
+                r.degraded
+            );
+            print!("{}", r.suite);
+        }
+        Err(e) => {
+            eprintln!("litsynth-serve: query failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("litsynth-serve: connect to {addr} failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("listen") => listen(&args[2..]),
+        Some("query") => query(&args[2..]),
+        Some("ping") => {
+            let addr = args.get(2).unwrap_or_else(|| usage());
+            match connect(addr).ping() {
+                Ok(()) => println!("pong"),
+                Err(e) => {
+                    eprintln!("litsynth-serve: ping failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("stats") => {
+            let addr = args.get(2).unwrap_or_else(|| usage());
+            match connect(addr).stats() {
+                Ok(stats) => {
+                    for (k, v) in stats {
+                        println!("{k}={v}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("litsynth-serve: stats failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

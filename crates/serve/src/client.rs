@@ -1,0 +1,100 @@
+//! A blocking client for the serve protocol.
+
+use crate::protocol::{read_frame, write_frame, Progress, QueryReply, QueryRequest};
+use litsynth_core::{decode_suite_body, CanonicalSuite};
+use std::collections::BTreeMap;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A served suite: the reply plus the `PROGRESS` frames that streamed in
+/// while it was computed (empty on a cache hit).
+#[derive(Clone, Debug)]
+pub struct ServedSuite {
+    /// The `SUITE` reply.
+    pub reply: QueryReply,
+    /// Per-unit progress, in completion order.
+    pub progress: Vec<Progress>,
+}
+
+impl ServedSuite {
+    /// Decodes the reply's suite body back into canonical tests.
+    pub fn suite(&self) -> Option<CanonicalSuite> {
+        decode_suite_body(&self.reply.suite)
+    }
+}
+
+/// One connection to a litsynth-serve server. Queries are synchronous;
+/// the connection can be reused for any number of them.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn protocol_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn expect_frame(&mut self) -> io::Result<(String, String)> {
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| protocol_err("server closed the connection mid-exchange".to_string()))
+    }
+
+    /// Round-trips a `PING`.
+    pub fn ping(&mut self) -> io::Result<()> {
+        write_frame(&mut self.writer, "PING", "")?;
+        match self.expect_frame()? {
+            (verb, _) if verb == "PONG" => Ok(()),
+            (verb, body) => Err(protocol_err(format!("expected PONG, got {verb} {body:?}"))),
+        }
+    }
+
+    /// Sends a query and blocks until the `SUITE` reply, collecting any
+    /// streamed `PROGRESS` frames along the way. A server-side `ERR` is
+    /// surfaced as [`io::ErrorKind::Other`].
+    pub fn query(&mut self, req: &QueryRequest) -> io::Result<ServedSuite> {
+        write_frame(&mut self.writer, "QUERY", &req.to_body())?;
+        let mut progress = Vec::new();
+        loop {
+            let (verb, body) = self.expect_frame()?;
+            match verb.as_str() {
+                "PROGRESS" => progress.push(Progress::from_body(&body).map_err(protocol_err)?),
+                "SUITE" => {
+                    let reply = QueryReply::from_body(&body).map_err(protocol_err)?;
+                    return Ok(ServedSuite { reply, progress });
+                }
+                "ERR" => return Err(io::Error::other(body)),
+                other => return Err(protocol_err(format!("unexpected frame {other} mid-query"))),
+            }
+        }
+    }
+
+    /// Fetches the server's counters as a name → value map.
+    pub fn stats(&mut self) -> io::Result<BTreeMap<String, u64>> {
+        write_frame(&mut self.writer, "STATS", "")?;
+        let (verb, body) = self.expect_frame()?;
+        if verb != "STATS" {
+            return Err(protocol_err(format!("expected STATS, got {verb}")));
+        }
+        body.lines()
+            .filter(|l| !l.is_empty())
+            .map(|line| {
+                let (k, v) = line
+                    .split_once('=')
+                    .ok_or_else(|| protocol_err(format!("stats line {line:?}")))?;
+                let v = v
+                    .parse()
+                    .map_err(|_| protocol_err(format!("stats value {line:?}")))?;
+                Ok((k.to_string(), v))
+            })
+            .collect()
+    }
+}

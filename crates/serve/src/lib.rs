@@ -1,0 +1,36 @@
+//! # litsynth-serve
+//!
+//! A distributed synthesis service over the litsynth engine: a std-only
+//! TCP server (the workspace is dependency-free by policy) answering
+//! `(model, relaxations, bound)` suite queries.
+//!
+//! * [`protocol`] — length-prefixed text frames (`QUERY`, `SUITE`,
+//!   `PROGRESS`, `ERR`, `PING`/`PONG`, `STATS`).
+//! * [`cache`] — the warm tier: a byte-capped LRU keyed by
+//!   [`cache::suite_fingerprint`], an FNV fold over the query's
+//!   (key, [`litsynth_core::config_fingerprint`]) unit list.
+//! * [`shard`] — the cold path: (axiom, bound) units fanned over a
+//!   work-stealing, crash-supervised shard pool and merged in seq order.
+//! * [`server`] / [`client`] — the two ends of the wire.
+//! * [`models`] — model-name dispatch (the `MemoryModel` trait is not
+//!   object-safe, so names are matched to concrete types).
+//!
+//! The load-bearing invariant is **byte identity**: whatever the cache
+//! state, shard count, steal pattern, or crash timing, a served suite is
+//! byte-for-byte the suite a direct
+//! [`litsynth_core::synthesize_union_up_to`] call returns. Warm queries
+//! additionally do *zero* solver work — the loopback tests assert both,
+//! on the served counters.
+
+pub mod cache;
+pub mod client;
+pub mod models;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use cache::{suite_fingerprint, CacheStats, SuiteCache};
+pub use client::{Client, ServedSuite};
+pub use protocol::{Progress, QueryReply, QueryRequest};
+pub use server::{ServeConfig, Server, ServerStats};
+pub use shard::{plan_query, run_sharded, sharded_union, ShardConfig, ShardFault, ShardRunStats};

@@ -1,0 +1,80 @@
+//! Model-name dispatch for the serving layer.
+//!
+//! [`litsynth_models::MemoryModel`] is not object-safe (its methods are
+//! generic over the relational algebra), so the server can't hold a
+//! `dyn MemoryModel`. Instead a request's model name is dispatched
+//! through [`ModelOp`] — a visitor whose generic `run` is instantiated
+//! once per concrete model. Relaxed variants are first-class names:
+//! `armv7` is Power with the ARMv7 relaxation set applied, exactly as in
+//! the `experiments` harness.
+
+use litsynth_models::{MemoryModel, Power, Sc, Scc, Tso, C11};
+
+/// Every model name [`dispatch`] accepts, in a stable order.
+pub const MODELS: &[&str] = &["sc", "tso", "power", "armv7", "scc", "c11"];
+
+/// A computation generic over the concrete model type.
+pub trait ModelOp {
+    /// The computation's result.
+    type Out;
+    /// Runs against the dispatched model.
+    fn run<M: MemoryModel + Sync>(self, model: &M) -> Self::Out;
+}
+
+/// Runs `op` against the model named `name` (lower-case, see [`MODELS`]).
+pub fn dispatch<Op: ModelOp>(name: &str, op: Op) -> Result<Op::Out, String> {
+    match name {
+        "sc" => Ok(op.run(&Sc::new())),
+        "tso" => Ok(op.run(&Tso::new())),
+        "power" => Ok(op.run(&Power::new())),
+        "armv7" => Ok(op.run(&Power::armv7())),
+        "scc" => Ok(op.run(&Scc::new())),
+        "c11" => Ok(op.run(&C11::new())),
+        other => Err(format!(
+            "unknown model {other:?} (expected one of {})",
+            MODELS.join(", ")
+        )),
+    }
+}
+
+/// The axioms of the model named `name`, in model order.
+pub fn axioms_of(name: &str) -> Result<&'static [&'static str], String> {
+    struct Axioms;
+    impl ModelOp for Axioms {
+        type Out = &'static [&'static str];
+        fn run<M: MemoryModel + Sync>(self, model: &M) -> Self::Out {
+            model.axioms()
+        }
+    }
+    dispatch(name, Axioms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_model_dispatches_and_unknown_names_error() {
+        for &name in MODELS {
+            assert!(
+                !axioms_of(name).expect("listed model dispatches").is_empty(),
+                "{name} must expose axioms"
+            );
+        }
+        assert!(axioms_of("TSO").is_err(), "names are lower-case");
+        assert!(axioms_of("riscv").is_err());
+    }
+
+    #[test]
+    fn armv7_is_the_relaxed_power_variant() {
+        struct Name;
+        impl ModelOp for Name {
+            type Out = &'static str;
+            fn run<M: MemoryModel + Sync>(self, model: &M) -> Self::Out {
+                model.name()
+            }
+        }
+        assert_eq!(dispatch("armv7", Name).unwrap(), "ARMv7");
+        assert_eq!(dispatch("power", Name).unwrap(), "Power");
+    }
+}

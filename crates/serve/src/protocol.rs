@@ -1,0 +1,338 @@
+//! The wire protocol: length-prefixed text frames.
+//!
+//! Every frame is `"<VERB> <len>\n"` followed by exactly `len` bytes of
+//! UTF-8 body. Verbs:
+//!
+//! | verb       | direction | body                                        |
+//! |------------|-----------|---------------------------------------------|
+//! | `QUERY`    | c → s     | a [`QueryRequest`] in `key=value` lines     |
+//! | `PROGRESS` | s → c     | one completed (axiom, bound) unit           |
+//! | `SUITE`    | s → c     | [`QueryReply`] header, blank line, suite    |
+//! | `ERR`      | s → c     | human-readable error text                   |
+//! | `PING`     | c → s     | empty                                       |
+//! | `PONG`     | s → c     | empty                                       |
+//! | `STATS`    | both      | empty request; `key=value` lines back       |
+//!
+//! The suite section of a `SUITE` frame is exactly
+//! [`litsynth_core::encode_suite_body`] — the same format the journal
+//! stores — so a served suite can be byte-compared against a direct
+//! [`litsynth_core::synthesize_union_up_to`] run without re-parsing.
+
+use std::io::{self, BufRead, Write};
+
+/// Frames larger than this are rejected before the body is read, so a
+/// corrupt or hostile length prefix can't trigger a giant allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one `"<verb> <len>\n<body>"` frame and flushes. The frame is
+/// composed first and written in one call — on an unbuffered TCP stream,
+/// header and body as separate small writes trip Nagle/delayed-ACK
+/// stalls that dwarf a warm query's actual service time.
+pub fn write_frame(w: &mut impl Write, verb: &str, body: &str) -> io::Result<()> {
+    w.write_all(format!("{verb} {}\n{body}", body.len()).as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF (peer closed between
+/// frames); anything malformed is an [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<(String, String)>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end_matches('\n');
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let (verb, len) = header
+        .split_once(' ')
+        .ok_or_else(|| bad("frame header is not `VERB len`"))?;
+    if verb.is_empty() || !verb.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(bad("frame verb must be ASCII uppercase"));
+    }
+    let len: usize = len
+        .parse()
+        .map_err(|_| bad("frame length is not a number"))?;
+    if len > MAX_FRAME {
+        return Err(bad("frame exceeds MAX_FRAME"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("frame body is not UTF-8"))?;
+    Ok(Some((verb.to_string(), body)))
+}
+
+/// A suite query: which model variant, which bounds, which axioms.
+///
+/// The model name selects the (model, relaxations) pair — relaxed
+/// variants are first-class model names (`armv7` is Power with the ARMv7
+/// relaxations applied), exactly as in the `experiments` harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Model name, lower-case: `sc`, `tso`, `power`, `armv7`, `scc`, `c11`.
+    pub model: String,
+    /// Smallest event bound of the sweep (≥ 2).
+    pub min_bound: usize,
+    /// Largest event bound of the sweep (inclusive).
+    pub max_bound: usize,
+    /// Axioms to synthesize; empty means every axiom of the model. Order
+    /// is irrelevant — the server always runs them in model order, so two
+    /// requests for the same set are the same cache entry.
+    pub axioms: Vec<String>,
+    /// Per-query solver time budget in milliseconds (`0` = unlimited).
+    pub budget_ms: u64,
+}
+
+impl QueryRequest {
+    /// A whole-model sweep request over `min_bound..=max_bound`.
+    pub fn sweep(model: &str, min_bound: usize, max_bound: usize) -> QueryRequest {
+        QueryRequest {
+            model: model.to_string(),
+            min_bound,
+            max_bound,
+            axioms: Vec::new(),
+            budget_ms: 0,
+        }
+    }
+
+    /// Serializes to `key=value` lines.
+    pub fn to_body(&self) -> String {
+        format!(
+            "model={}\nmin_bound={}\nmax_bound={}\naxioms={}\nbudget_ms={}\n",
+            self.model,
+            self.min_bound,
+            self.max_bound,
+            self.axioms.join(","),
+            self.budget_ms
+        )
+    }
+
+    /// Parses `key=value` lines; unknown keys and bad numbers are errors
+    /// (the fingerprint is a cache key — silently dropping a field could
+    /// serve the wrong suite).
+    pub fn from_body(body: &str) -> Result<QueryRequest, String> {
+        let mut req = QueryRequest::sweep("", 2, 0);
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("request line {line:?} is not key=value"))?;
+            let num = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("request field {k}={v:?} is not a number"))
+            };
+            match k {
+                "model" => req.model = v.to_string(),
+                "min_bound" => req.min_bound = num(v)? as usize,
+                "max_bound" => req.max_bound = num(v)? as usize,
+                "axioms" => {
+                    req.axioms = v
+                        .split(',')
+                        .filter(|a| !a.is_empty())
+                        .map(str::to_string)
+                        .collect()
+                }
+                "budget_ms" => req.budget_ms = num(v)?,
+                other => return Err(format!("unknown request field {other:?}")),
+            }
+        }
+        if req.model.is_empty() {
+            return Err("request is missing the model field".to_string());
+        }
+        Ok(req)
+    }
+}
+
+/// A served suite: the reply header plus the suite body.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// The query's suite fingerprint (the cache key).
+    pub fingerprint: u64,
+    /// Number of tests in the suite.
+    pub tests: usize,
+    /// `true` if this reply came from the in-memory suite cache.
+    pub cached: bool,
+    /// Circuit→CNF compilations spent answering this query (0 on a cache
+    /// hit *and* on a journal replay — the persistent tier).
+    pub compilations: usize,
+    /// Solver attempts retried by the resilient runner for this query.
+    pub retries: u64,
+    /// `true` if any unit hit its instance cap or time budget.
+    pub truncated: bool,
+    /// Cube workers whose every attempt failed (0 ⇒ suite is complete).
+    pub degraded: usize,
+    /// The suite, in [`litsynth_core::encode_suite_body`] format.
+    pub suite: String,
+}
+
+impl QueryReply {
+    /// Serializes as header lines, a blank line, then the suite body.
+    pub fn to_body(&self) -> String {
+        format!(
+            "fingerprint={:016x}\ntests={}\ncached={}\ncompilations={}\nretries={}\n\
+             truncated={}\ndegraded={}\n\n{}",
+            self.fingerprint,
+            self.tests,
+            self.cached,
+            self.compilations,
+            self.retries,
+            self.truncated,
+            self.degraded,
+            self.suite
+        )
+    }
+
+    /// Parses a `SUITE` frame body.
+    pub fn from_body(body: &str) -> Result<QueryReply, String> {
+        let (header, suite) = body
+            .split_once("\n\n")
+            .ok_or_else(|| "reply has no blank line after the header".to_string())?;
+        let mut reply = QueryReply {
+            fingerprint: 0,
+            tests: 0,
+            cached: false,
+            compilations: 0,
+            retries: 0,
+            truncated: false,
+            degraded: 0,
+            suite: suite.to_string(),
+        };
+        for line in header.lines() {
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("reply line {line:?} is not key=value"))?;
+            let err = || format!("reply field {k}={v:?} is malformed");
+            match k {
+                "fingerprint" => {
+                    reply.fingerprint = u64::from_str_radix(v, 16).map_err(|_| err())?
+                }
+                "tests" => reply.tests = v.parse().map_err(|_| err())?,
+                "cached" => reply.cached = v.parse().map_err(|_| err())?,
+                "compilations" => reply.compilations = v.parse().map_err(|_| err())?,
+                "retries" => reply.retries = v.parse().map_err(|_| err())?,
+                "truncated" => reply.truncated = v.parse().map_err(|_| err())?,
+                "degraded" => reply.degraded = v.parse().map_err(|_| err())?,
+                other => return Err(format!("unknown reply field {other:?}")),
+            }
+        }
+        Ok(reply)
+    }
+}
+
+/// One completed (axiom, bound) unit, streamed while a cold query runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Progress {
+    /// The unit's query key, e.g. `tso/sc_per_loc/3`.
+    pub key: String,
+    /// Tests the unit contributed (pre-merge).
+    pub tests: usize,
+    /// `true` if the unit was replayed from the journal tier.
+    pub from_journal: bool,
+}
+
+impl Progress {
+    /// Serializes to `key=value` lines.
+    pub fn to_body(&self) -> String {
+        format!(
+            "key={}\ntests={}\nfrom_journal={}\n",
+            self.key, self.tests, self.from_journal
+        )
+    }
+
+    /// Parses a `PROGRESS` frame body.
+    pub fn from_body(body: &str) -> Result<Progress, String> {
+        let mut p = Progress {
+            key: String::new(),
+            tests: 0,
+            from_journal: false,
+        };
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("progress line {line:?} is not key=value"))?;
+            let err = || format!("progress field {k}={v:?} is malformed");
+            match k {
+                "key" => p.key = v.to_string(),
+                "tests" => p.tests = v.parse().map_err(|_| err())?,
+                "from_journal" => p.from_journal = v.parse().map_err(|_| err())?,
+                other => return Err(format!("unknown progress field {other:?}")),
+            }
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip_including_empty_and_multiline_bodies() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "PING", "").unwrap();
+        write_frame(&mut buf, "SUITE", "a=1\n\nbody\nwith %% lines\n").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(("PING".to_string(), String::new()))
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((
+                "SUITE".to_string(),
+                "a=1\n\nbody\nwith %% lines\n".to_string()
+            ))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_misread() {
+        for bad in [
+            "PING\n",                              // no length
+            "ping 0\n",                            // lower-case verb
+            "QUERY x\n",                           // non-numeric length
+            &format!("QUERY {}\n", MAX_FRAME + 1), // oversized
+        ] {
+            let mut r = BufReader::new(bad.as_bytes());
+            assert!(read_frame(&mut r).is_err(), "{bad:?} must be rejected");
+        }
+        // Truncated body: header promises more bytes than the stream has.
+        let mut r = BufReader::new(&b"SUITE 10\nabc"[..]);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn request_and_reply_round_trip_through_their_bodies() {
+        let mut req = QueryRequest::sweep("tso", 2, 4);
+        req.axioms = vec!["sc_per_loc".to_string(), "causality".to_string()];
+        req.budget_ms = 500;
+        assert_eq!(QueryRequest::from_body(&req.to_body()), Ok(req.clone()));
+        assert!(QueryRequest::from_body("model=tso\nbogus=1\n").is_err());
+        assert!(
+            QueryRequest::from_body("min_bound=2\n").is_err(),
+            "model required"
+        );
+
+        let reply = QueryReply {
+            fingerprint: 0xdead_beef_0123_4567,
+            tests: 12,
+            cached: true,
+            compilations: 0,
+            retries: 3,
+            truncated: false,
+            degraded: 0,
+            suite: "#key k\nbody\n%%\n".to_string(),
+        };
+        let back = QueryReply::from_body(&reply.to_body()).unwrap();
+        assert_eq!(back.fingerprint, reply.fingerprint);
+        assert_eq!(back.tests, reply.tests);
+        assert!(back.cached);
+        assert_eq!(back.suite, reply.suite);
+
+        let p = Progress {
+            key: "tso/causality/3".to_string(),
+            tests: 2,
+            from_journal: true,
+        };
+        assert_eq!(Progress::from_body(&p.to_body()), Ok(p));
+    }
+}

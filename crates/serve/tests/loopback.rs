@@ -1,0 +1,180 @@
+//! Loopback end-to-end tests: the acceptance criteria of the serving
+//! layer, asserted on real TCP connections against in-process servers.
+//!
+//! Every server here is configured through explicit [`ServeConfig`]
+//! fields, never environment variables — the test binary is one process
+//! and env vars would leak across tests.
+
+use litsynth_core::{encode_suite_body, synthesize_union_up_to, SynthConfig};
+use litsynth_models::{MemoryModel, Tso};
+use litsynth_serve::{Client, QueryRequest, ServeConfig, Server, ShardFault};
+use std::sync::Arc;
+
+fn direct_tso_bytes(bounds: std::ops::RangeInclusive<usize>) -> String {
+    encode_suite_body(&synthesize_union_up_to(
+        &Tso::new(),
+        bounds,
+        SynthConfig::new,
+    ))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("litsynth-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cold_query_matches_the_direct_sweep_and_warm_repeat_is_free() {
+    let server = Server::start(ServeConfig::default()).expect("loopback server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    client.ping().expect("server answers ping");
+
+    // Cold: computed through the shard layer, byte-identical to a direct
+    // synthesize_union_up_to call, with real solver work.
+    let req = QueryRequest::sweep("tso", 2, 3);
+    let cold = client.query(&req).expect("cold query succeeds");
+    assert!(!cold.reply.cached);
+    assert!(cold.reply.compilations > 0, "cold queries compile");
+    assert_eq!(cold.reply.degraded, 0);
+    assert_eq!(cold.reply.suite, direct_tso_bytes(2..=3), "byte identity");
+    assert_eq!(cold.reply.tests, cold.suite().expect("body decodes").len());
+    assert_eq!(
+        cold.progress.len(),
+        2 * Tso::new().axioms().len(),
+        "one PROGRESS frame per (axiom, bound) unit"
+    );
+
+    // Warm: the identical query is a cache hit with zero solver work —
+    // the acceptance criterion, asserted on the served counters.
+    let warm = client.query(&req).expect("warm query succeeds");
+    assert!(warm.reply.cached, "repeat must hit the suite cache");
+    assert_eq!(warm.reply.compilations, 0, "zero compilations when warm");
+    assert_eq!(warm.reply.suite, cold.reply.suite, "same bytes warm");
+    assert!(warm.progress.is_empty(), "no units run on a hit");
+    assert_eq!(warm.reply.fingerprint, cold.reply.fingerprint);
+
+    let stats = client.stats().expect("stats round-trip");
+    assert!(stats["cache_hits"] >= 1, "{stats:?}");
+    assert!(stats["queries"] >= 2);
+
+    // A fresh connection shares the same cache.
+    let mut other = Client::connect(server.addr()).expect("second client connects");
+    assert!(other.query(&req).expect("query succeeds").reply.cached);
+    server.shutdown();
+}
+
+#[test]
+fn axiom_subsets_are_order_insensitive_and_validated() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let mut fwd = QueryRequest::sweep("tso", 2, 2);
+    fwd.axioms = vec!["sc_per_loc".to_string(), "causality".to_string()];
+    let mut rev = QueryRequest::sweep("tso", 2, 2);
+    rev.axioms = vec!["causality".to_string(), "sc_per_loc".to_string()];
+    let a = client.query(&fwd).expect("subset query succeeds");
+    let b = client.query(&rev).expect("reordered subset succeeds");
+    assert_eq!(a.reply.fingerprint, b.reply.fingerprint, "same cache entry");
+    assert!(b.reply.cached, "spelling order must not defeat the cache");
+    assert_eq!(a.reply.suite, b.reply.suite);
+
+    // Validation: bad model, bad axiom, over-cap bound all ERR without
+    // killing the connection.
+    for bad in [
+        QueryRequest::sweep("riscv", 2, 2),
+        QueryRequest::sweep("tso", 2, 99),
+        QueryRequest::sweep("tso", 1, 2),
+        {
+            let mut r = QueryRequest::sweep("tso", 2, 2);
+            r.axioms = vec!["nonsense".to_string()];
+            r
+        },
+    ] {
+        assert!(client.query(&bad).is_err(), "{bad:?} must be rejected");
+    }
+    client.ping().expect("connection survives rejected queries");
+    server.shutdown();
+}
+
+#[test]
+fn killed_shard_worker_is_recovered_and_bytes_are_unchanged() {
+    // Kill the shard thread holding tso/causality/3 once, mid-query: the
+    // supervisor must reassign the unit, respawn the slot, and the served
+    // suite must still be byte-identical to the direct sweep.
+    let server = Server::start(ServeConfig {
+        shard_fault: Some(ShardFault {
+            key: "tso/causality/3".to_string(),
+            kills: 1,
+        }),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let served = client
+        .query(&QueryRequest::sweep("tso", 2, 3))
+        .expect("query survives the killed worker");
+    assert_eq!(served.reply.degraded, 0);
+    assert_eq!(served.reply.suite, direct_tso_bytes(2..=3), "byte identity");
+    let stats = client.stats().expect("stats round-trip");
+    assert!(stats["shard_respawns"] >= 1, "{stats:?}");
+    assert!(stats["shard_reassigned"] >= 1, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn cube_level_fault_plan_is_retried_under_the_shard_layer() {
+    // The PR 3 fault machinery composes with sharding: a cube-level panic
+    // inside one unit is retried by the resilient runner (not the shard
+    // supervisor) and the served bytes are unchanged. The plan is an
+    // explicit config field — never the LITSYNTH_FAULT_PLAN env var,
+    // which would leak into sibling tests.
+    let plan = litsynth_sat::FaultPlan::parse("tso/sc_per_loc/2@0@0@0@panic").expect("plan parses");
+    let server = Server::start(ServeConfig {
+        fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let served = client
+        .query(&QueryRequest::sweep("tso", 2, 2))
+        .expect("query survives the injected cube fault");
+    assert_eq!(served.reply.degraded, 0);
+    assert!(served.reply.retries > 0, "the cube panic must be retried");
+    assert_eq!(served.reply.suite, direct_tso_bytes(2..=2), "byte identity");
+    server.shutdown();
+}
+
+#[test]
+fn journal_tier_survives_a_server_restart_with_zero_compilations() {
+    // Restarting the server empties the in-memory cache, but the on-disk
+    // journal is the persistent tier: the rebuilt reply is a cache miss
+    // served entirely from journal replays — zero compilations.
+    let dir = temp_dir("restart");
+    let cfg = || ServeConfig {
+        journal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let req = QueryRequest::sweep("tso", 2, 3);
+    let first = Server::start(cfg()).expect("first server starts");
+    let mut client = Client::connect(first.addr()).expect("client connects");
+    let cold = client.query(&req).expect("cold query succeeds");
+    assert!(cold.reply.compilations > 0);
+    first.shutdown();
+
+    let second = Server::start(cfg()).expect("second server starts");
+    let mut client = Client::connect(second.addr()).expect("client reconnects");
+    let replayed = client.query(&req).expect("replayed query succeeds");
+    assert!(!replayed.reply.cached, "restart must empty the warm tier");
+    assert_eq!(
+        replayed.reply.compilations, 0,
+        "every unit must replay from the journal"
+    );
+    assert!(
+        replayed.progress.iter().all(|p| p.from_journal),
+        "progress must say where the units came from"
+    );
+    assert_eq!(replayed.reply.suite, cold.reply.suite, "byte identity");
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
