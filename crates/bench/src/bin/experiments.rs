@@ -10,6 +10,15 @@
 //! hit rate, shard counters — written to `BENCH_synth.json`). Suite files are written atomically
 //! (temp + rename), so a killed `emit` never leaves a half-written test.
 //!
+//! `experiments remote [max_bound]` exercises the multi-host tier over
+//! loopback: a no-fault leg (coordinator + 2 workers, everything remote,
+//! zero degradation) and a kill leg (one worker dies mid-unit; its lease
+//! is reclaimed and the unit re-run), asserting byte identity against
+//! the direct sweep in both and writing the counters to
+//! `BENCH_synth.json` (CI's remote-smoke greps them). Workers run as
+//! real `litsynth-serve worker` processes when the sibling binary is
+//! built, in-process threads otherwise.
+//!
 //! Passing `--resume` (any position) turns on the checkpoint journal:
 //! every completed (axiom, bound) query is recorded under
 //! `suites_out/journal/`, and a re-run skips the recorded queries,
@@ -126,6 +135,7 @@ fn main() {
             args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3),
             args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4),
         ),
+        "remote" => remote(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3)),
         "all" => all(budget),
         other => match experiments().into_iter().find(|(name, _)| *name == other) {
             Some((_, run)) => {
@@ -639,6 +649,149 @@ fn serve(bound: usize, clients: usize) {
         stats.shard.reassigned,
         stats.shard.respawns,
         litsynth_core::engage_downgrades(),
+    );
+    let path = std::path::Path::new("BENCH_synth.json");
+    match litsynth_core::atomic_write(path, json.as_bytes()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Either flavor of remote worker: a real `litsynth-serve worker`
+/// process (when the sibling binary is built) or an in-process thread.
+enum RemoteWorker {
+    Process(std::process::Child),
+    Thread(litsynth_serve::WorkerHandle),
+}
+
+impl RemoteWorker {
+    fn stop(self) {
+        match self {
+            RemoteWorker::Process(mut child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            RemoteWorker::Thread(handle) => handle.stop(),
+        }
+    }
+}
+
+/// The multi-host tier over loopback: a no-fault leg and a worker-kill
+/// leg, both asserting byte identity against the direct sweep. Counters
+/// go to `BENCH_synth.json` for CI's remote-smoke.
+fn remote(bound: usize) {
+    use litsynth_serve::{
+        Client, FaultKind, QueryRequest, ServeConfig, Server, WorkerConfig, WorkerFault,
+    };
+    println!("\n## Remote — loopback coordinator + 2 workers, TSO bounds 2..={bound}\n");
+    let worker_bin = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|d| d.join("litsynth-serve")))
+        .filter(|p| p.is_file());
+    let worker_mode = if worker_bin.is_some() {
+        "process"
+    } else {
+        "thread"
+    };
+    println!("worker mode: {worker_mode}");
+    let direct = litsynth_core::encode_suite_body(&litsynth_core::synthesize_union_up_to(
+        &Tso::new(),
+        2..=bound,
+        SynthConfig::new,
+    ));
+    // Both kill-leg workers carry the same exit fault: whichever claims
+    // the unit dies mid-run, deterministically, like a kill -9.
+    let kill_key = "tso/sc_per_loc/2";
+    let spawn = |addr: std::net::SocketAddr, fault_key: Option<&str>| -> RemoteWorker {
+        match &worker_bin {
+            Some(bin) => {
+                let mut cmd = std::process::Command::new(bin);
+                cmd.arg("worker").arg(addr.to_string());
+                if let Some(key) = fault_key {
+                    cmd.arg("--fault-exit-key").arg(key);
+                }
+                RemoteWorker::Process(cmd.spawn().expect("worker process spawns"))
+            }
+            None => RemoteWorker::Thread(litsynth_serve::WorkerHandle::spawn(
+                addr.to_string(),
+                WorkerConfig {
+                    fault: fault_key.map(|key| WorkerFault {
+                        key: key.to_string(),
+                        kind: FaultKind::ExitMidUnit,
+                    }),
+                    ..WorkerConfig::default()
+                },
+            )),
+        }
+    };
+    let leg = |fault_key: Option<&str>| {
+        let server = Server::start(ServeConfig {
+            max_bound: bound,
+            lease_ms: 2_000,
+            ..ServeConfig::default()
+        })
+        .expect("coordinator starts");
+        let addr = server.addr();
+        let workers = vec![spawn(addr, fault_key), spawn(addr, fault_key)];
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.stats().remote.workers_live < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "both workers must register within 10s"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let mut client = Client::connect(addr).expect("client connects");
+        let t0 = std::time::Instant::now();
+        let served = client
+            .query(&QueryRequest::sweep("tso", 2, bound))
+            .expect("remote query completes");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            served.reply.suite, direct,
+            "served suite must be byte-identical"
+        );
+        let stats = server.stats().remote;
+        for w in workers {
+            w.stop();
+        }
+        server.shutdown();
+        (ms, stats)
+    };
+
+    let (nofault_ms, nofault) = leg(None);
+    assert_eq!(
+        nofault.degraded_to_local, 0,
+        "a healthy fleet must not degrade: {nofault:?}"
+    );
+    println!(
+        "no-fault: {nofault_ms:.1} ms, {} units remote, 0 degraded",
+        nofault.completed_remote
+    );
+    let (kill_ms, kill) = leg(Some(kill_key));
+    assert!(
+        kill.reclaimed_leases >= 1,
+        "the killed worker's lease must be reclaimed: {kill:?}"
+    );
+    println!(
+        "kill: {kill_ms:.1} ms, {} leases reclaimed, {} degraded to local — bytes unchanged",
+        kill.reclaimed_leases, kill.degraded_to_local
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"remote\",\n  \"model\": \"tso\",\n  \
+         \"bounds\": [2, {bound}],\n  \"worker_mode\": \"{worker_mode}\",\n  \
+         \"byte_identical\": true,\n  \"nofault_ms\": {nofault_ms:.3},\n  \
+         \"nofault_completed_remote\": {},\n  \"nofault_degraded_to_local\": {},\n  \
+         \"kill_ms\": {kill_ms:.3},\n  \"reclaimed_leases\": {},\n  \
+         \"lease_expiries\": {},\n  \"degraded_to_local\": {},\n  \
+         \"rejected_results\": {}\n}}\n",
+        nofault.completed_remote,
+        nofault.degraded_to_local,
+        kill.reclaimed_leases,
+        kill.lease_expiries,
+        kill.degraded_to_local,
+        kill.rejected_results,
     );
     let path = std::path::Path::new("BENCH_synth.json");
     match litsynth_core::atomic_write(path, json.as_bytes()) {

@@ -16,7 +16,7 @@
 //! substitute answers that a clean run would also have produced.
 
 use crate::symbolic::SynthConfig;
-use crate::synth::CanonicalSuite;
+use crate::synth::{CanonicalSuite, SynthResult};
 use litsynth_litmus::format::{from_text, to_text};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -26,8 +26,10 @@ use std::sync::Arc;
 const VERSION: &str = "litsynth-journal v1";
 
 /// FNV-1a, the same dependency-free content hash used elsewhere in the
-/// repo; good enough to detect torn or hand-edited entries.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// repo; good enough to detect torn or hand-edited entries, and the hash
+/// behind every wire/journal integrity checksum (the serve protocol's
+/// frame trailers reuse it, so one implementation is the whole story).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -272,6 +274,82 @@ impl Journal {
     }
 }
 
+/// Serializes one completed (axiom, bound) unit result for the remote
+/// worker wire: the journal entry's own header discipline (config
+/// fingerprint, FNV content checksum, test count) plus the work counters a
+/// coordinator folds into the merged reply, a blank line, and the suite in
+/// [`encode_suite_body`] format. [`decode_unit_result`] round-trips it and
+/// rejects any corruption or config skew — a remote worker's answer is
+/// merged only if it provably ran the same query under the same config.
+pub fn encode_unit_result(fingerprint: u64, r: &SynthResult) -> String {
+    let body = encode_suite_body(&r.tests);
+    format!(
+        "config {fingerprint:016x}\nchecksum {:016x}\ntests {}\ncompilations {}\n\
+         retries {}\ntruncated {}\ndegraded {}\n\n{body}",
+        fnv1a(body.as_bytes()),
+        r.tests.len(),
+        r.compilations,
+        r.retries,
+        r.truncated,
+        r.degraded,
+    )
+}
+
+/// Parses an [`encode_unit_result`] payload, validating the declared
+/// config fingerprint against `expect_fingerprint` and the FNV checksum
+/// against the body that actually arrived. A stale (wrong-config) or
+/// corrupt result is an `Err` naming the expected/actual values — never a
+/// partial or silently-wrong suite.
+pub fn decode_unit_result(text: &str, expect_fingerprint: u64) -> Result<SynthResult, String> {
+    let (header, body) = text
+        .split_once("\n\n")
+        .ok_or_else(|| "unit result has no blank line after the header".to_string())?;
+    let mut fingerprint = None;
+    let mut checksum = None;
+    let mut tests = None;
+    let mut r = SynthResult::carrying(CanonicalSuite::new());
+    for line in header.lines() {
+        let (k, v) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("unit-result header line {line:?} is not `key value`"))?;
+        let err = || format!("unit-result field {k} {v:?} is malformed");
+        match k {
+            "config" => fingerprint = Some(u64::from_str_radix(v, 16).map_err(|_| err())?),
+            "checksum" => checksum = Some(u64::from_str_radix(v, 16).map_err(|_| err())?),
+            "tests" => tests = Some(v.parse::<usize>().map_err(|_| err())?),
+            "compilations" => r.compilations = v.parse().map_err(|_| err())?,
+            "retries" => r.retries = v.parse().map_err(|_| err())?,
+            "truncated" => r.truncated = v.parse().map_err(|_| err())?,
+            "degraded" => r.degraded = v.parse().map_err(|_| err())?,
+            other => return Err(format!("unknown unit-result field {other:?}")),
+        }
+    }
+    let fingerprint = fingerprint.ok_or("unit result is missing the config line")?;
+    if fingerprint != expect_fingerprint {
+        return Err(format!(
+            "config fingerprint mismatch: expected {expect_fingerprint:016x}, \
+             actual {fingerprint:016x}"
+        ));
+    }
+    let checksum = checksum.ok_or("unit result is missing the checksum line")?;
+    let actual = fnv1a(body.as_bytes());
+    if actual != checksum {
+        return Err(format!(
+            "content checksum mismatch: expected {checksum:016x}, actual {actual:016x}"
+        ));
+    }
+    let tests = tests.ok_or("unit result is missing the tests line")?;
+    let suite = decode_suite_body(body).ok_or("unit-result suite body does not parse")?;
+    if suite.len() != tests {
+        return Err(format!(
+            "unit result declares {tests} tests but the body holds {}",
+            suite.len()
+        ));
+    }
+    r.tests = suite;
+    Ok(r)
+}
+
 /// Serializes a canonical suite to the journal/wire body format: per test,
 /// a `#key <canonical key>` line, the litmus text, and a `%%` terminator.
 /// The exact format [`Journal::record`] checksums and the serve protocol
@@ -511,6 +589,43 @@ mod tests {
         }
         // And a torn body reads as absent, never as a partial suite.
         assert!(decode_suite_body(&body[..body.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn unit_result_round_trips_and_rejects_skew_and_corruption() {
+        let mut r = SynthResult::carrying(sample_suite());
+        r.compilations = 2;
+        r.retries = 3;
+        r.truncated = false;
+        r.degraded = 0;
+        let text = encode_unit_result(0x1234, &r);
+        let back = decode_unit_result(&text, 0x1234).expect("round-trips");
+        assert_eq!(back.compilations, 2);
+        assert_eq!(back.retries, 3);
+        assert_eq!(
+            encode_suite_body(&back.tests),
+            encode_suite_body(&r.tests),
+            "suite bytes survive the round-trip"
+        );
+
+        // Config skew: a result computed under another fingerprint is
+        // stale and must be rejected, naming both values.
+        let err = decode_unit_result(&text, 0x9999).expect_err("stale result rejected");
+        assert!(
+            err.contains("0000000000009999") && err.contains("0000000000001234"),
+            "{err}"
+        );
+
+        // Corruption: flip one byte of the suite body — the checksum must
+        // catch it and the error must name expected/actual digests.
+        let flipped = text.replacen("%%", "%$", 1);
+        assert_ne!(flipped, text, "sample suite must be non-empty");
+        let err = decode_unit_result(&flipped, 0x1234).expect_err("corrupt result rejected");
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(err.contains("expected") && err.contains("actual"), "{err}");
+
+        // Truncation: a torn payload never yields a partial suite.
+        assert!(decode_unit_result(&text[..text.len() / 2], 0x1234).is_err());
     }
 
     #[test]

@@ -198,6 +198,31 @@ impl SynthResult {
     pub fn into_tests(self) -> Vec<(LitmusTest, Outcome)> {
         self.tests.into_values().collect()
     }
+
+    /// A result that merely *carries* `tests` with every work counter
+    /// zero — the shape of a journal replay or of a remotely computed unit
+    /// folded in by a coordinator (the solver work happened elsewhere).
+    pub fn carrying(tests: CanonicalSuite) -> SynthResult {
+        SynthResult {
+            tests,
+            raw_instances: 0,
+            elapsed: Duration::ZERO,
+            truncated: false,
+            cnf_vars: 0,
+            cnf_clauses: 0,
+            compilations: 0,
+            exchange: (0, 0, 0),
+            propagations: 0,
+            decisions: 0,
+            domain_decisions: 0,
+            shelved_replayed: 0,
+            probe: Duration::ZERO,
+            degraded: 0,
+            retries: 0,
+            from_journal: false,
+            workers: Vec::new(),
+        }
+    }
 }
 
 /// Inserts with the deterministic representative rule: the value kept for
@@ -942,25 +967,10 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
 /// A [`SynthResult`] replayed from the checkpoint journal: the exact tests
 /// recorded by a previous complete run, with all work counters zero.
 fn journal_hit_result(tests: CanonicalSuite, elapsed: Duration) -> SynthResult {
-    SynthResult {
-        tests,
-        raw_instances: 0,
-        elapsed,
-        truncated: false,
-        cnf_vars: 0,
-        cnf_clauses: 0,
-        compilations: 0,
-        exchange: (0, 0, 0),
-        propagations: 0,
-        decisions: 0,
-        domain_decisions: 0,
-        shelved_replayed: 0,
-        probe: Duration::ZERO,
-        degraded: 0,
-        retries: 0,
-        from_journal: true,
-        workers: Vec::new(),
-    }
+    let mut r = SynthResult::carrying(tests);
+    r.elapsed = elapsed;
+    r.from_journal = true;
+    r
 }
 
 /// Journals `r` if it is complete: not truncated, no degraded workers, and

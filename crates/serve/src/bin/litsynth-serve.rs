@@ -1,25 +1,59 @@
-//! The serving daemon and its command-line client.
+//! The serving daemon, its remote worker, and the command-line client.
 //!
 //! ```text
 //! litsynth-serve listen [--addr A] [--shards N] [--threads N]
 //!                       [--cube-bits N] [--cache-mb N] [--max-bound N]
 //!                       [--journal DIR] [--journal-cap-mb N]
+//!                       [--lease-ms N] [--remote-attempts N]
+//!                       [--idle-timeout-ms N]
+//! litsynth-serve worker <coordinator-addr> [--threads N] [--cube-bits N]
+//!                       [--fault-exit-key K]
 //! litsynth-serve query <addr> <model> [max_bound] [min_bound] [axioms,...]
 //! litsynth-serve ping <addr>
 //! litsynth-serve stats <addr>
 //! ```
 
-use litsynth_serve::{Client, QueryRequest, ServeConfig, Server};
+use litsynth_serve::{
+    run_worker, Client, FaultKind, QueryRequest, ServeConfig, Server, WorkerConfig, WorkerFault,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  litsynth-serve listen [--addr A] [--shards N] [--threads N] \
          [--cube-bits N] [--cache-mb N] [--max-bound N] [--journal DIR] \
-         [--journal-cap-mb N]\n  litsynth-serve query <addr> <model> [max_bound] \
+         [--journal-cap-mb N] [--lease-ms N] [--remote-attempts N] \
+         [--idle-timeout-ms N]\n  litsynth-serve worker <coordinator-addr> \
+         [--threads N] [--cube-bits N] [--fault-exit-key K]\n  \
+         litsynth-serve query <addr> <model> [max_bound] \
          [min_bound] [axioms,...]\n  litsynth-serve ping <addr>\n  \
          litsynth-serve stats <addr>"
     );
     std::process::exit(2);
+}
+
+fn worker(args: &[String]) {
+    let Some(addr) = args.first() else { usage() };
+    let mut cfg = WorkerConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage()).clone();
+        match flag.as_str() {
+            "--threads" => cfg.unit_threads = val().parse().unwrap_or_else(|_| usage()),
+            "--cube-bits" => cfg.cube_bits = val().parse().unwrap_or_else(|_| usage()),
+            // Deterministic kill-mid-unit for the CI smoke: the process
+            // dies, like a real `kill -9`, the first time this unit is
+            // leased to it.
+            "--fault-exit-key" => {
+                cfg.fault = Some(WorkerFault {
+                    key: val(),
+                    kind: FaultKind::ExitMidUnit,
+                })
+            }
+            _ => usage(),
+        }
+    }
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    run_worker(addr, &cfg, &stop);
 }
 
 fn listen(args: &[String]) {
@@ -40,6 +74,9 @@ fn listen(args: &[String]) {
             "--max-bound" => cfg.max_bound = num(val()) as usize,
             "--journal" => cfg.journal_dir = Some(val().into()),
             "--journal-cap-mb" => cfg.journal_cap_bytes = Some(num(val()) << 20),
+            "--lease-ms" => cfg.lease_ms = num(val()),
+            "--remote-attempts" => cfg.remote_attempts = num(val()) as usize,
+            "--idle-timeout-ms" => cfg.idle_timeout_ms = num(val()),
             _ => usage(),
         }
     }
@@ -110,6 +147,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("listen") => listen(&args[2..]),
+        Some("worker") => worker(&args[2..]),
         Some("query") => query(&args[2..]),
         Some("ping") => {
             let addr = args.get(2).unwrap_or_else(|| usage());

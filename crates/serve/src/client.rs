@@ -1,10 +1,85 @@
-//! A blocking client for the serve protocol.
+//! A blocking client for the serve protocol, hardened against the
+//! network: read/write timeouts (a stalled server surfaces as a typed
+//! [`ClientError::Timeout`], never a hang), connect retry with
+//! exponential backoff plus deterministic jitter, and an FNV integrity
+//! check on every `SUITE` body (a bit flipped in transit is rejected
+//! with the expected/actual digests, never parsed).
 
-use crate::protocol::{read_frame, write_frame, Progress, QueryReply, QueryRequest};
+use crate::protocol::{open_body, read_frame, write_frame, Progress, QueryReply, QueryRequest};
 use litsynth_core::{decode_suite_body, CanonicalSuite};
+use litsynth_litmus::SplitMix64;
 use std::collections::BTreeMap;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client socket knobs. Explicit fields, never environment variables.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Read/write timeout per socket operation, in milliseconds; `0`
+    /// disables timeouts (a cold query may legitimately take minutes).
+    pub io_timeout_ms: u64,
+    /// Extra connect attempts after the first fails.
+    pub connect_retries: u32,
+    /// First retry delay.
+    pub connect_backoff_ms: u64,
+    /// Retry delay cap.
+    pub connect_backoff_max_ms: u64,
+    /// Seed for the deterministic retry jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            io_timeout_ms: 0,
+            connect_retries: 0,
+            connect_backoff_ms: 100,
+            connect_backoff_max_ms: 2_000,
+            jitter_seed: 1,
+        }
+    }
+}
+
+/// Why a client call failed — the wire's failure modes kept distinct so
+/// callers can retry timeouts without retrying rejections.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket operation exceeded [`ClientConfig::io_timeout_ms`] (the
+    /// server is stalled or unreachable mid-exchange).
+    Timeout(String),
+    /// The server answered with an `ERR` frame.
+    Server(String),
+    /// The server answered with bytes that don't parse (or fail the
+    /// integrity checksum).
+    Protocol(String),
+    /// Any other IO failure (connect refused, reset, …).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout(op) => write!(f, "timed out: {op}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    fn from_io(e: io::Error, op: &str) -> ClientError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                ClientError::Timeout(op.to_string())
+            }
+            _ => ClientError::Io(e),
+        }
+    }
+}
 
 /// A served suite: the reply plus the `PROGRESS` frames that streamed in
 /// while it was computed (empty on a cache hit).
@@ -30,69 +105,118 @@ pub struct Client {
     writer: TcpStream,
 }
 
-fn protocol_err(msg: String) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
-}
-
 impl Client {
-    /// Connects to a server.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
+    /// Connects with default knobs (no timeouts, no retries).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects under `cfg`: failed attempts are retried with
+    /// exponential backoff plus jitter, and the socket gets `cfg`'s
+    /// read/write timeouts.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        cfg: &ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let mut rng = SplitMix64::new(cfg.jitter_seed);
+        let mut backoff = cfg.connect_backoff_ms.max(1);
+        let mut attempt = 0;
+        let writer = loop {
+            match TcpStream::connect(&addr) {
+                Ok(s) => break s,
+                Err(e) if attempt >= cfg.connect_retries => {
+                    return Err(ClientError::from_io(e, "connect"));
+                }
+                Err(_) => {
+                    let jitter = rng.next_u64() % (backoff / 2 + 1);
+                    std::thread::sleep(Duration::from_millis(backoff + jitter));
+                    backoff = (backoff * 2).min(cfg.connect_backoff_max_ms.max(1));
+                    attempt += 1;
+                }
+            }
+        };
+        writer.set_nodelay(true).map_err(ClientError::Io)?;
+        if cfg.io_timeout_ms > 0 {
+            let t = Some(Duration::from_millis(cfg.io_timeout_ms));
+            writer.set_read_timeout(t).map_err(ClientError::Io)?;
+            writer.set_write_timeout(t).map_err(ClientError::Io)?;
+        }
+        let reader = BufReader::new(writer.try_clone().map_err(ClientError::Io)?);
         Ok(Client { reader, writer })
     }
 
-    fn expect_frame(&mut self) -> io::Result<(String, String)> {
-        read_frame(&mut self.reader)?
-            .ok_or_else(|| protocol_err("server closed the connection mid-exchange".to_string()))
+    fn expect_frame(&mut self) -> Result<(String, String), ClientError> {
+        match read_frame(&mut self.reader) {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err(ClientError::Protocol(
+                "server closed the connection mid-exchange".to_string(),
+            )),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                Err(ClientError::Protocol(e.to_string()))
+            }
+            Err(e) => Err(ClientError::from_io(e, "waiting for a reply frame")),
+        }
+    }
+
+    fn send(&mut self, verb: &str, body: &str) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, verb, body)
+            .map_err(|e| ClientError::from_io(e, "sending a frame"))
     }
 
     /// Round-trips a `PING`.
-    pub fn ping(&mut self) -> io::Result<()> {
-        write_frame(&mut self.writer, "PING", "")?;
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING", "")?;
         match self.expect_frame()? {
             (verb, _) if verb == "PONG" => Ok(()),
-            (verb, body) => Err(protocol_err(format!("expected PONG, got {verb} {body:?}"))),
+            (verb, body) => Err(ClientError::Protocol(format!(
+                "expected PONG, got {verb} {body:?}"
+            ))),
         }
     }
 
     /// Sends a query and blocks until the `SUITE` reply, collecting any
-    /// streamed `PROGRESS` frames along the way. A server-side `ERR` is
-    /// surfaced as [`io::ErrorKind::Other`].
-    pub fn query(&mut self, req: &QueryRequest) -> io::Result<ServedSuite> {
-        write_frame(&mut self.writer, "QUERY", &req.to_body())?;
+    /// streamed `PROGRESS` frames along the way. The suite body's
+    /// integrity trailer is verified before anything is parsed.
+    pub fn query(&mut self, req: &QueryRequest) -> Result<ServedSuite, ClientError> {
+        self.send("QUERY", &req.to_body())?;
         let mut progress = Vec::new();
         loop {
             let (verb, body) = self.expect_frame()?;
             match verb.as_str() {
-                "PROGRESS" => progress.push(Progress::from_body(&body).map_err(protocol_err)?),
+                "PROGRESS" => {
+                    progress.push(Progress::from_body(&body).map_err(ClientError::Protocol)?)
+                }
                 "SUITE" => {
-                    let reply = QueryReply::from_body(&body).map_err(protocol_err)?;
+                    let payload = open_body(&body).map_err(ClientError::Protocol)?;
+                    let reply = QueryReply::from_body(payload).map_err(ClientError::Protocol)?;
                     return Ok(ServedSuite { reply, progress });
                 }
-                "ERR" => return Err(io::Error::other(body)),
-                other => return Err(protocol_err(format!("unexpected frame {other} mid-query"))),
+                "ERR" => return Err(ClientError::Server(body)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame {other} mid-query"
+                    )))
+                }
             }
         }
     }
 
     /// Fetches the server's counters as a name → value map.
-    pub fn stats(&mut self) -> io::Result<BTreeMap<String, u64>> {
-        write_frame(&mut self.writer, "STATS", "")?;
+    pub fn stats(&mut self) -> Result<BTreeMap<String, u64>, ClientError> {
+        self.send("STATS", "")?;
         let (verb, body) = self.expect_frame()?;
         if verb != "STATS" {
-            return Err(protocol_err(format!("expected STATS, got {verb}")));
+            return Err(ClientError::Protocol(format!("expected STATS, got {verb}")));
         }
         body.lines()
             .filter(|l| !l.is_empty())
             .map(|line| {
                 let (k, v) = line
                     .split_once('=')
-                    .ok_or_else(|| protocol_err(format!("stats line {line:?}")))?;
+                    .ok_or_else(|| ClientError::Protocol(format!("stats line {line:?}")))?;
                 let v = v
                     .parse()
-                    .map_err(|_| protocol_err(format!("stats value {line:?}")))?;
+                    .map_err(|_| ClientError::Protocol(format!("stats value {line:?}")))?;
                 Ok((k.to_string(), v))
             })
             .collect()

@@ -11,6 +11,11 @@
 //!   (key, [`litsynth_core::config_fingerprint`]) unit list.
 //! * [`shard`] — the cold path: (axiom, bound) units fanned over a
 //!   work-stealing, crash-supervised shard pool and merged in seq order.
+//! * [`remote`] — the multi-host tier: units leased to remote workers
+//!   under deadlines, reclaimed on expiry, validated on return, and
+//!   degraded to local compute when the fleet thins out.
+//! * [`worker`] — the other end of the lease: `HELLO`, run, renew, ship
+//!   the result bytes back (or `NACK` a config it can't reproduce).
 //! * [`server`] / [`client`] — the two ends of the wire.
 //! * [`models`] — model-name dispatch (the `MemoryModel` trait is not
 //!   object-safe, so names are matched to concrete types).
@@ -26,11 +31,17 @@ pub mod cache;
 pub mod client;
 pub mod models;
 pub mod protocol;
+pub mod remote;
 pub mod server;
 pub mod shard;
+pub mod worker;
 
 pub use cache::{suite_fingerprint, CacheStats, SuiteCache};
-pub use client::{Client, ServedSuite};
+pub use client::{Client, ClientConfig, ClientError, ServedSuite};
 pub use protocol::{Progress, QueryReply, QueryRequest};
+pub use remote::{BatchStats, RemotePool, RemoteStats};
 pub use server::{ServeConfig, Server, ServerStats};
-pub use shard::{plan_query, run_sharded, sharded_union, ShardConfig, ShardFault, ShardRunStats};
+pub use shard::{
+    plan_query, run_distributed, run_sharded, sharded_union, ShardConfig, ShardFault, ShardRunStats,
+};
+pub use worker::{run_worker, FaultKind, WorkerConfig, WorkerFault, WorkerHandle};

@@ -37,6 +37,24 @@ pub fn dispatch<Op: ModelOp>(name: &str, op: Op) -> Result<Op::Out, String> {
     }
 }
 
+/// Resolves an axiom name against a model to the model's own `&'static`
+/// spelling (unit plans key on the static string). Errors name the
+/// model's axiom list, mirroring the server's request validation.
+pub fn resolve_axiom<M: MemoryModel>(model: &M, axiom: &str) -> Result<&'static str, String> {
+    model
+        .axioms()
+        .iter()
+        .copied()
+        .find(|a| *a == axiom)
+        .ok_or_else(|| {
+            format!(
+                "model {} has no axiom {axiom:?} (axioms: {})",
+                model.name(),
+                model.axioms().join(", ")
+            )
+        })
+}
+
 /// The axioms of the model named `name`, in model order.
 pub fn axioms_of(name: &str) -> Result<&'static [&'static str], String> {
     struct Axioms;

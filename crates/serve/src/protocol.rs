@@ -12,12 +12,28 @@
 //! | `PING`     | c → s     | empty                                       |
 //! | `PONG`     | s → c     | empty                                       |
 //! | `STATS`    | both      | empty request; `key=value` lines back       |
+//! | `HELLO`    | w → c     | remote-worker registration, `key=value`     |
+//! | `LEASE`    | c → w     | lease terms on registration (`lease_ms=N`)  |
+//! | `LEASE`    | w → c     | lease renewal for a running unit            |
+//! | `UNIT`     | c → w     | a [`UnitAssign`]: one leased unit to run    |
+//! | `UNITDONE` | w → c     | a [`UnitDone`]: the unit's result payload   |
+//! | `NACK`     | w → c     | a [`Nack`]: the worker declines the unit    |
+//!
+//! (`c` = client, `s` = server, `w` = remote worker, and the coordinator
+//! is the server end of a worker connection.)
 //!
 //! The suite section of a `SUITE` frame is exactly
 //! [`litsynth_core::encode_suite_body`] — the same format the journal
 //! stores — so a served suite can be byte-compared against a direct
 //! [`litsynth_core::synthesize_union_up_to`] run without re-parsing.
+//!
+//! `SUITE` and `UNITDONE` bodies additionally carry an FNV-1a integrity
+//! trailer ([`seal_body`]/[`open_body`]): journal entries already checksum
+//! their contents, but the wire did not, and a result-bearing frame that
+//! arrives bit-flipped must be rejected (with an `ERR` naming the
+//! expected/actual digest), never parsed into a wrong suite.
 
+use litsynth_core::fnv1a;
 use std::io::{self, BufRead, Write};
 
 /// Frames larger than this are rejected before the body is read, so a
@@ -58,6 +74,40 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<(String, String)>> 
     r.read_exact(&mut body)?;
     let body = String::from_utf8(body).map_err(|_| bad("frame body is not UTF-8"))?;
     Ok(Some((verb.to_string(), body)))
+}
+
+/// Appends the FNV-1a integrity trailer to a result-bearing frame body
+/// (`SUITE`/`UNITDONE`): one final `#fnv=<16 hex digits>` line over every
+/// byte before it. [`open_body`] verifies and strips it.
+pub fn seal_body(body: &str) -> String {
+    format!("{body}#fnv={:016x}\n", fnv1a(body.as_bytes()))
+}
+
+/// Verifies and strips a [`seal_body`] trailer, returning the payload.
+/// A missing trailer or a digest mismatch is an `Err` naming the expected
+/// (sender-declared) and actual (received-payload) digests — the caller
+/// rejects the frame rather than merging a corrupt result.
+pub fn open_body(sealed: &str) -> Result<&str, String> {
+    let at = sealed
+        .rfind("#fnv=")
+        .ok_or_else(|| "body has no #fnv integrity trailer".to_string())?;
+    if at != 0 && !sealed[..at].ends_with('\n') {
+        return Err("#fnv integrity trailer is not on its own line".to_string());
+    }
+    let (payload, trailer) = sealed.split_at(at);
+    let hex = trailer
+        .strip_prefix("#fnv=")
+        .expect("found by rfind above")
+        .trim_end_matches('\n');
+    let expected = u64::from_str_radix(hex, 16)
+        .map_err(|_| format!("#fnv trailer digest {hex:?} is not 16 hex digits"))?;
+    let actual = fnv1a(payload.as_bytes());
+    if expected != actual {
+        return Err(format!(
+            "integrity checksum mismatch: expected {expected:016x}, actual {actual:016x}"
+        ));
+    }
+    Ok(payload)
 }
 
 /// A suite query: which model variant, which bounds, which axioms.
@@ -259,6 +309,214 @@ impl Progress {
     }
 }
 
+/// One leased unit assignment, coordinator → worker. Carries the unit's
+/// identity (key, merge seq, config fingerprint), the lease bookkeeping
+/// (grant id, attempt number), and every *suite-relevant* config field —
+/// exactly the set [`litsynth_core::config_fingerprint`] covers — so the
+/// worker can rebuild the query config, recompute the fingerprint, and
+/// refuse (NACK) an assignment its code would answer differently.
+/// Parallelism knobs are deliberately absent: they are the worker's own
+/// business and byte-identity-preserving by construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitAssign {
+    /// The unit's query key, e.g. `tso/causality/3`.
+    pub key: String,
+    /// The lease grant id: unique per dispatch, echoed by `UNITDONE`,
+    /// `NACK`, and renewal `LEASE` frames so a stale answer from a
+    /// reclaimed lease can never be mistaken for the live one.
+    pub grant: u64,
+    /// The unit's position in the sweep's deterministic merge order.
+    pub seq: usize,
+    /// Remote attempts already consumed for this unit (0 on the first).
+    pub attempt: usize,
+    /// Request-model name, lower-case (`tso`, `armv7`, …).
+    pub model: String,
+    /// The query's axiom.
+    pub axiom: String,
+    /// The query's event bound (also the config's `events`).
+    pub bound: usize,
+    /// The coordinator's [`litsynth_core::config_fingerprint`] for this
+    /// unit — the worker must reproduce it or NACK.
+    pub fingerprint: u64,
+    /// `SynthConfig::max_threads` (test threads, suite-relevant).
+    pub max_threads: usize,
+    /// `SynthConfig::max_addrs`.
+    pub max_addrs: usize,
+    /// `SynthConfig::exact_canon`.
+    pub exact_canon: bool,
+    /// `SynthConfig::orphan_unconstrained`.
+    pub orphan_unconstrained: bool,
+    /// `SynthConfig::max_instances`.
+    pub max_instances: usize,
+    /// `SynthConfig::time_budget_ms`.
+    pub time_budget_ms: u64,
+}
+
+impl UnitAssign {
+    /// Serializes to `key=value` lines.
+    pub fn to_body(&self) -> String {
+        format!(
+            "key={}\ngrant={}\nseq={}\nattempt={}\nmodel={}\naxiom={}\nbound={}\n\
+             fingerprint={:016x}\nmax_threads={}\nmax_addrs={}\nexact_canon={}\n\
+             orphan_unconstrained={}\nmax_instances={}\ntime_budget_ms={}\n",
+            self.key,
+            self.grant,
+            self.seq,
+            self.attempt,
+            self.model,
+            self.axiom,
+            self.bound,
+            self.fingerprint,
+            self.max_threads,
+            self.max_addrs,
+            self.exact_canon,
+            self.orphan_unconstrained,
+            self.max_instances,
+            self.time_budget_ms,
+        )
+    }
+
+    /// Parses a `UNIT` frame body; unknown keys and bad values are errors
+    /// (running a misparsed assignment would waste a lease, or worse).
+    pub fn from_body(body: &str) -> Result<UnitAssign, String> {
+        let mut a = UnitAssign {
+            key: String::new(),
+            grant: 0,
+            seq: 0,
+            attempt: 0,
+            model: String::new(),
+            axiom: String::new(),
+            bound: 0,
+            fingerprint: 0,
+            max_threads: 0,
+            max_addrs: 0,
+            exact_canon: false,
+            orphan_unconstrained: true,
+            max_instances: 0,
+            time_budget_ms: 0,
+        };
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("unit line {line:?} is not key=value"))?;
+            let err = || format!("unit field {k}={v:?} is malformed");
+            match k {
+                "key" => a.key = v.to_string(),
+                "grant" => a.grant = v.parse().map_err(|_| err())?,
+                "seq" => a.seq = v.parse().map_err(|_| err())?,
+                "attempt" => a.attempt = v.parse().map_err(|_| err())?,
+                "model" => a.model = v.to_string(),
+                "axiom" => a.axiom = v.to_string(),
+                "bound" => a.bound = v.parse().map_err(|_| err())?,
+                "fingerprint" => a.fingerprint = u64::from_str_radix(v, 16).map_err(|_| err())?,
+                "max_threads" => a.max_threads = v.parse().map_err(|_| err())?,
+                "max_addrs" => a.max_addrs = v.parse().map_err(|_| err())?,
+                "exact_canon" => a.exact_canon = v.parse().map_err(|_| err())?,
+                "orphan_unconstrained" => a.orphan_unconstrained = v.parse().map_err(|_| err())?,
+                "max_instances" => a.max_instances = v.parse().map_err(|_| err())?,
+                "time_budget_ms" => a.time_budget_ms = v.parse().map_err(|_| err())?,
+                other => return Err(format!("unknown unit field {other:?}")),
+            }
+        }
+        if a.key.is_empty() || a.model.is_empty() || a.axiom.is_empty() {
+            return Err("unit assignment is missing key/model/axiom".to_string());
+        }
+        Ok(a)
+    }
+}
+
+/// A completed unit, worker → coordinator: the echoed lease coordinates
+/// plus the [`litsynth_core::encode_unit_result`] payload (which carries
+/// its own config fingerprint and content checksum — the coordinator
+/// validates both before merging).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitDone {
+    /// The unit's query key.
+    pub key: String,
+    /// The lease grant this result answers.
+    pub grant: u64,
+    /// The [`litsynth_core::encode_unit_result`] text.
+    pub payload: String,
+}
+
+impl UnitDone {
+    /// Serializes: two fixed header lines, then the payload verbatim.
+    pub fn to_body(&self) -> String {
+        format!("key={}\ngrant={}\n{}", self.key, self.grant, self.payload)
+    }
+
+    /// Parses a `UNITDONE` frame body (after [`open_body`]).
+    pub fn from_body(body: &str) -> Result<UnitDone, String> {
+        let mut parts = body.splitn(3, '\n');
+        let key = parts
+            .next()
+            .and_then(|l| l.strip_prefix("key="))
+            .ok_or("UNITDONE body does not start with key=")?;
+        let grant = parts
+            .next()
+            .and_then(|l| l.strip_prefix("grant="))
+            .ok_or("UNITDONE body has no grant= line")?;
+        let payload = parts.next().ok_or("UNITDONE body has no payload")?;
+        Ok(UnitDone {
+            key: key.to_string(),
+            grant: grant
+                .parse()
+                .map_err(|_| format!("UNITDONE grant {grant:?} is not a number"))?,
+            payload: payload.to_string(),
+        })
+    }
+}
+
+/// A declined unit, worker → coordinator: the worker cannot (or will not)
+/// run the assignment — unknown model or axiom, config-fingerprint skew.
+/// The coordinator re-queues the unit under its attempt budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Nack {
+    /// The unit's query key.
+    pub key: String,
+    /// The declined lease grant.
+    pub grant: u64,
+    /// Human-readable reason, surfaced in coordinator counters/logs.
+    pub reason: String,
+}
+
+impl Nack {
+    /// Serializes to `key=value` lines (the reason must be one line).
+    pub fn to_body(&self) -> String {
+        format!(
+            "key={}\ngrant={}\nreason={}\n",
+            self.key,
+            self.grant,
+            self.reason.replace('\n', " ")
+        )
+    }
+
+    /// Parses a `NACK` frame body.
+    pub fn from_body(body: &str) -> Result<Nack, String> {
+        let mut n = Nack {
+            key: String::new(),
+            grant: 0,
+            reason: String::new(),
+        };
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("nack line {line:?} is not key=value"))?;
+            match k {
+                "key" => n.key = v.to_string(),
+                "grant" => {
+                    n.grant = v
+                        .parse()
+                        .map_err(|_| format!("nack grant {v:?} is not a number"))?
+                }
+                "reason" => n.reason = v.to_string(),
+                other => return Err(format!("unknown nack field {other:?}")),
+            }
+        }
+        Ok(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +592,81 @@ mod tests {
             from_journal: true,
         };
         assert_eq!(Progress::from_body(&p.to_body()), Ok(p));
+    }
+
+    #[test]
+    fn remote_verb_bodies_round_trip_and_reject_junk() {
+        let a = UnitAssign {
+            key: "tso/causality/3".to_string(),
+            grant: 42,
+            seq: 7,
+            attempt: 1,
+            model: "tso".to_string(),
+            axiom: "causality".to_string(),
+            bound: 3,
+            fingerprint: 0xa99549ceee7966bf,
+            max_threads: 2,
+            max_addrs: 2,
+            exact_canon: true,
+            orphan_unconstrained: false,
+            max_instances: 400,
+            time_budget_ms: 0,
+        };
+        assert_eq!(UnitAssign::from_body(&a.to_body()), Ok(a.clone()));
+        assert!(UnitAssign::from_body("key=k\nbogus=1\n").is_err());
+        assert!(
+            UnitAssign::from_body("grant=1\n").is_err(),
+            "key/model/axiom required"
+        );
+        assert!(UnitAssign::from_body(&a.to_body().replace("grant=42", "grant=x")).is_err());
+
+        let d = UnitDone {
+            key: a.key.clone(),
+            grant: 42,
+            payload: "config 00\nchecksum 00\ntests 0\n\n".to_string(),
+        };
+        assert_eq!(UnitDone::from_body(&d.to_body()), Ok(d.clone()));
+        assert!(UnitDone::from_body("grant=1\npayload").is_err());
+        assert!(UnitDone::from_body("key=k\ngrant=zzz\npayload").is_err());
+
+        let n = Nack {
+            key: a.key.clone(),
+            grant: 9,
+            reason: "fingerprint skew".to_string(),
+        };
+        assert_eq!(Nack::from_body(&n.to_body()), Ok(n.clone()));
+        let folded = Nack {
+            reason: "two\nlines".to_string(),
+            ..n.clone()
+        };
+        assert_eq!(
+            Nack::from_body(&folded.to_body()).unwrap().reason,
+            "two lines",
+            "newlines in reasons must fold to keep the body parseable"
+        );
+        assert!(Nack::from_body("key=k\nwhat=1\n").is_err());
+    }
+
+    #[test]
+    fn sealed_bodies_detect_bit_flips() {
+        let body = "#key k\nPo R x 0 | W y 1\n%%\n";
+        let sealed = seal_body(body);
+        assert_eq!(open_body(&sealed), Ok(body));
+
+        // Flip one payload bit: the digest in the trailer no longer matches.
+        let flipped = sealed.replacen("%%", "%$", 1);
+        let err = open_body(&flipped).unwrap_err();
+        assert!(
+            err.contains("checksum mismatch") && err.contains("expected"),
+            "error must name the digests: {err}"
+        );
+
+        // Corrupt the trailer itself.
+        assert!(open_body(body).is_err(), "missing trailer rejected");
+        let bad_hex = sealed.replace("#fnv=", "#fnv=zz");
+        assert!(open_body(&bad_hex).is_err());
+
+        // Empty payload seals and opens.
+        assert_eq!(open_body(&seal_body("")), Ok(""));
     }
 }

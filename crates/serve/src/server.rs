@@ -21,8 +21,9 @@
 
 use crate::cache::{suite_fingerprint, CacheStats, SuiteCache};
 use crate::models::{self, ModelOp};
-use crate::protocol::{read_frame, write_frame, Progress, QueryReply, QueryRequest};
-use crate::shard::{plan_query, run_sharded, ShardConfig, ShardFault, ShardRunStats};
+use crate::protocol::{read_frame, seal_body, write_frame, Progress, QueryReply, QueryRequest};
+use crate::remote::{BatchStats, RemotePool, RemoteStats};
+use crate::shard::{plan_query, run_distributed, ShardConfig, ShardFault, ShardRunStats};
 use litsynth_core::{
     encode_suite_body, merge_unit_suites, CanonicalSuite, Journal, ProgressSink, SynthConfig,
     UnitPlan,
@@ -60,6 +61,17 @@ pub struct ServeConfig {
     pub max_bound: usize,
     /// Crash-retries per unit in the shard layer.
     pub max_unit_attempts: usize,
+    /// Deadline lease handed to remote workers, in milliseconds: a
+    /// leased unit with no result, `NACK`, or renewal inside this window
+    /// is reclaimed and re-queued.
+    pub lease_ms: u64,
+    /// Remote dispatch attempts per unit before it degrades to the local
+    /// shard pool.
+    pub remote_attempts: usize,
+    /// Idle deadline per client connection, in milliseconds: a
+    /// connection with no frame (a `PING` counts) inside this window is
+    /// reaped. `0` disables the reaper.
+    pub idle_timeout_ms: u64,
     /// Cube-level fault injection for every unit (tests only).
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Shard-kill fault injection (tests only).
@@ -78,6 +90,9 @@ impl Default for ServeConfig {
             journal_cap_bytes: None,
             max_bound: 5,
             max_unit_attempts: 3,
+            lease_ms: 10_000,
+            remote_attempts: 3,
+            idle_timeout_ms: 600_000,
             fault_plan: None,
             shard_fault: None,
         }
@@ -95,6 +110,7 @@ struct Counters {
     shard_reassigned: AtomicU64,
     shard_respawns: AtomicU64,
     shard_heartbeats: AtomicU64,
+    idle_reaped: AtomicU64,
 }
 
 /// A point-in-time view of the server's counters.
@@ -112,12 +128,17 @@ pub struct ServerStats {
     pub cache: CacheStats,
     /// Shard-layer counters, summed over cold queries.
     pub shard: ShardRunStats,
+    /// Remote-tier counters (workers, leases, degradation).
+    pub remote: RemoteStats,
+    /// Connections reaped by the idle deadline.
+    pub idle_reaped: u64,
 }
 
 struct Shared {
     cfg: ServeConfig,
     cache: SuiteCache,
     journal: Option<Arc<Journal>>,
+    pool: Arc<RemotePool>,
     counters: Counters,
     inflight: Mutex<HashSet<u64>>,
     inflight_done: Condvar,
@@ -144,6 +165,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             cache: SuiteCache::new(cfg.cache_bytes),
+            pool: RemotePool::new(cfg.lease_ms, cfg.remote_attempts),
             cfg,
             journal,
             counters: Counters::default(),
@@ -211,6 +233,8 @@ fn stats_of(shared: &Shared) -> ServerStats {
             respawns: c.shard_respawns.load(Ordering::Relaxed),
             heartbeats: c.shard_heartbeats.load(Ordering::Relaxed),
         },
+        remote: shared.pool.stats(),
+        idle_reaped: c.idle_reaped.load(Ordering::Relaxed),
     }
 }
 
@@ -234,7 +258,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     // A short read timeout keeps idle keep-alive connections from
-    // pinning shutdown; timeouts just re-check the stop flag.
+    // pinning shutdown; timeouts re-check the stop flag and the
+    // connection's idle deadline.
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -246,6 +271,8 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
             body,
         )
     };
+    let idle_cap = Duration::from_millis(shared.cfg.idle_timeout_ms);
+    let mut last_frame = std::time::Instant::now();
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(f) => f,
@@ -256,6 +283,11 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
                 ) =>
             {
                 if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                if !idle_cap.is_zero() && last_frame.elapsed() > idle_cap {
+                    shared.counters.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                    let _ = send("ERR", "connection reaped: idle deadline passed");
                     return Ok(());
                 }
                 continue;
@@ -269,13 +301,24 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
         let Some((verb, body)) = frame else {
             return Ok(());
         };
+        last_frame = std::time::Instant::now();
         match verb.as_str() {
             "PING" => send("PONG", "")?,
             "STATS" => send("STATS", &stats_body(shared))?,
             "QUERY" => match handle_query(shared, &body, &writer) {
-                Ok(reply) => send("SUITE", &reply.to_body())?,
+                Ok(reply) => send("SUITE", &seal_body(&reply.to_body()))?,
                 Err(msg) => send("ERR", &msg)?,
             },
+            // A worker announced itself: this connection thread becomes
+            // the worker's dispatcher until the connection dies.
+            "HELLO" => {
+                return crate::remote::serve_worker(
+                    &shared.pool,
+                    &mut reader,
+                    &writer,
+                    &shared.stop,
+                )
+            }
             other => send("ERR", &format!("unsupported verb {other:?}"))?,
         }
     }
@@ -287,7 +330,11 @@ fn stats_body(shared: &Shared) -> String {
         "queries={}\ncoalesced={}\ncompilations={}\nsolver_retries={}\n\
          cache_hits={}\ncache_misses={}\ncache_evictions={}\ncache_entries={}\n\
          cache_bytes={}\nshard_claimed_local={}\nshard_stolen={}\nshard_reassigned={}\n\
-         shard_respawns={}\nshard_heartbeats={}\nengage_downgrades={}\n",
+         shard_respawns={}\nshard_heartbeats={}\nengage_downgrades={}\n\
+         remote_workers_connected={}\nremote_workers_live={}\nremote_units={}\n\
+         remote_completed={}\nremote_reclaimed_leases={}\nremote_lease_expiries={}\n\
+         remote_nacks={}\nremote_rejected_results={}\nremote_duplicate_unitdone={}\n\
+         remote_degraded_to_local={}\nidle_reaped={}\n",
         s.queries,
         s.coalesced,
         s.compilations,
@@ -303,6 +350,17 @@ fn stats_body(shared: &Shared) -> String {
         s.shard.respawns,
         s.shard.heartbeats,
         litsynth_core::engage_downgrades(),
+        s.remote.workers_connected,
+        s.remote.workers_live,
+        s.remote.units_remote,
+        s.remote.completed_remote,
+        s.remote.reclaimed_leases,
+        s.remote.lease_expiries,
+        s.remote.nacks,
+        s.remote.rejected_results,
+        s.remote.duplicate_unitdone,
+        s.remote.degraded_to_local,
+        s.idle_reaped,
     )
 }
 
@@ -364,16 +422,25 @@ impl ModelOp for Plan<'_> {
     }
 }
 
-/// Runs a planned cold query through the shard layer.
+/// Runs a planned cold query through the distributed dispatcher: remote
+/// workers when any are live, the local shard pool otherwise.
 struct Execute<'a> {
+    request_model: &'a str,
     plans: &'a [UnitPlan],
     shard: ShardConfig,
+    pool: &'a Arc<RemotePool>,
 }
 
 impl ModelOp for Execute<'_> {
-    type Out = Result<(Vec<litsynth_core::SynthResult>, ShardRunStats), String>;
+    type Out = Result<(Vec<litsynth_core::SynthResult>, ShardRunStats, BatchStats), String>;
     fn run<M: MemoryModel + Sync>(self, model: &M) -> Self::Out {
-        run_sharded(model, self.plans, &self.shard)
+        run_distributed(
+            model,
+            self.request_model,
+            self.plans,
+            &self.shard,
+            Some(self.pool),
+        )
     }
 }
 
@@ -472,7 +539,15 @@ fn cold_query(
         max_unit_attempts: shared.cfg.max_unit_attempts,
         fault: shared.cfg.shard_fault.clone(),
     };
-    let (results, stats) = models::dispatch(&req.model, Execute { plans, shard })??;
+    let (results, stats, _batch) = models::dispatch(
+        &req.model,
+        Execute {
+            request_model: &req.model,
+            plans,
+            shard,
+            pool: &shared.pool,
+        },
+    )??;
     let c = &shared.counters;
     c.shard_claimed_local
         .fetch_add(stats.claimed_local, Ordering::Relaxed);

@@ -277,6 +277,33 @@ pub fn run_sharded<M: MemoryModel + Sync>(
     Ok((results, stats))
 }
 
+/// Runs a planned query across whatever compute is available: when the
+/// remote pool has live workers the units go out on deadline leases
+/// (degrading to local per-unit as budgets or workers run out,
+/// per [`crate::remote`]); with no pool or no workers this is exactly
+/// [`run_sharded`] — single-host queries never count as degraded.
+/// Either way the results come back in seq order, so the merge (and the
+/// served bytes) cannot depend on where the units ran.
+pub fn run_distributed<M: MemoryModel + Sync>(
+    model: &M,
+    request_model: &str,
+    plans: &[UnitPlan],
+    cfg: &ShardConfig,
+    pool: Option<&std::sync::Arc<crate::remote::RemotePool>>,
+) -> Result<(Vec<SynthResult>, ShardRunStats, crate::remote::BatchStats), String> {
+    match pool {
+        Some(pool) if pool.live() > 0 => {
+            let (results, batch) =
+                crate::remote::run_batch(model, request_model, plans, cfg, pool)?;
+            Ok((results, ShardRunStats::default(), batch))
+        }
+        _ => {
+            let (results, stats) = run_sharded(model, plans, cfg)?;
+            Ok((results, stats, crate::remote::BatchStats::default()))
+        }
+    }
+}
+
 /// Convenience: plan, run sharded, and merge in one call — the sharded
 /// equivalent of [`litsynth_core::synthesize_union_up_to`].
 pub fn sharded_union<M: MemoryModel + Sync>(

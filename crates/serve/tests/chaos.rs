@@ -1,0 +1,82 @@
+//! Chaos soak: seeded random fault schedules over a 2-worker loopback
+//! topology, asserting the served suite stays byte-identical to the
+//! direct sweep across every schedule — the multi-host extension of the
+//! PR 6 byte-identity matrix. Schedules are deterministic functions of
+//! the seed (explicit config, no env vars, no wall-clock randomness).
+
+use litsynth_core::{encode_suite_body, synthesize_union_up_to, SynthConfig};
+use litsynth_litmus::SplitMix64;
+use litsynth_models::{MemoryModel, Tso};
+use litsynth_serve::{
+    Client, FaultKind, QueryRequest, ServeConfig, Server, WorkerConfig, WorkerFault, WorkerHandle,
+};
+
+const SEEDS: u64 = 20;
+
+/// Picks this worker's scheduled fault (or none) from the seed stream.
+fn scheduled_fault(rng: &mut SplitMix64, keys: &[String]) -> Option<WorkerFault> {
+    if rng.next_u64() % 10 >= 7 {
+        return None; // a healthy worker, 30% of the time
+    }
+    let key = keys[(rng.next_u64() % keys.len() as u64) as usize].clone();
+    let kind = match rng.next_u64() % 6 {
+        0 => FaultKind::ExitMidUnit,
+        1 => FaultKind::DropMidFrame,
+        2 => FaultKind::StallMs(600 + rng.next_u64() % 600),
+        3 => FaultKind::DuplicateDone,
+        4 => FaultKind::WrongFingerprint,
+        _ => FaultKind::CorruptBody,
+    };
+    Some(WorkerFault { key, kind })
+}
+
+#[test]
+fn chaos_schedules_never_change_the_served_bytes() {
+    let model = Tso::new();
+    let direct = encode_suite_body(&synthesize_union_up_to(&model, 2..=3, SynthConfig::new));
+    let keys: Vec<String> = (2..=3)
+        .flat_map(|b| model.axioms().iter().map(move |a| format!("tso/{a}/{b}")))
+        .collect();
+    let mut failures = Vec::new();
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9e37_79b9) + 7);
+        let server = Server::start(ServeConfig {
+            lease_ms: 250,
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        let workers: Vec<WorkerHandle> = (0..2)
+            .map(|i| {
+                WorkerHandle::spawn(
+                    server.addr().to_string(),
+                    WorkerConfig {
+                        jitter_seed: seed * 2 + i + 1,
+                        fault: scheduled_fault(&mut rng, &keys),
+                        ..WorkerConfig::default()
+                    },
+                )
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.stats().remote.workers_live < 2 {
+            assert!(std::time::Instant::now() < deadline, "workers register");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        let served = client
+            .query(&QueryRequest::sweep("tso", 2, 3))
+            .unwrap_or_else(|e| panic!("seed {seed}: query must complete: {e}"));
+        if served.reply.suite != direct {
+            failures.push(seed);
+        }
+        for w in workers {
+            w.stop();
+        }
+        server.shutdown();
+    }
+    assert!(
+        failures.is_empty(),
+        "seeds with byte drift: {failures:?} — the fault schedule must \
+         never change the served suite"
+    );
+}

@@ -7,7 +7,10 @@
 
 use litsynth_core::{encode_suite_body, synthesize_union_up_to, SynthConfig};
 use litsynth_models::{MemoryModel, Tso};
-use litsynth_serve::{Client, QueryRequest, ServeConfig, Server, ShardFault};
+use litsynth_serve::{
+    Client, ClientConfig, ClientError, FaultKind, QueryRequest, ServeConfig, Server, ShardFault,
+    WorkerConfig, WorkerFault, WorkerHandle,
+};
 use std::sync::Arc;
 
 fn direct_tso_bytes(bounds: std::ops::RangeInclusive<usize>) -> String {
@@ -177,4 +180,216 @@ fn journal_tier_survives_a_server_restart_with_zero_compilations() {
     assert_eq!(replayed.reply.suite, cold.reply.suite, "byte identity");
     second.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns `n` in-process workers against `addr`, the first carrying
+/// `fault`, and waits until all have registered.
+fn spawn_workers(server: &Server, n: usize, fault: Option<WorkerFault>) -> Vec<WorkerHandle> {
+    let workers: Vec<WorkerHandle> = (0..n)
+        .map(|i| {
+            WorkerHandle::spawn(
+                server.addr().to_string(),
+                WorkerConfig {
+                    jitter_seed: i as u64 + 1,
+                    fault: if i == 0 { fault.clone() } else { None },
+                    ..WorkerConfig::default()
+                },
+            )
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.stats().remote.workers_live < n as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "workers must register within 5s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    workers
+}
+
+#[test]
+fn remote_workers_serve_byte_identical_suites_with_no_local_fallback() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let workers = spawn_workers(&server, 2, None);
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let served = client
+        .query(&QueryRequest::sweep("tso", 2, 3))
+        .expect("remote query succeeds");
+    assert_eq!(served.reply.suite, direct_tso_bytes(2..=3), "byte identity");
+    assert_eq!(
+        served.progress.len(),
+        2 * Tso::new().axioms().len(),
+        "remote completion still streams one PROGRESS per unit"
+    );
+    let stats = server.stats().remote;
+    assert_eq!(
+        stats.completed_remote,
+        2 * Tso::new().axioms().len() as u64,
+        "every unit must have run remotely: {stats:?}"
+    );
+    assert_eq!(stats.degraded_to_local, 0, "{stats:?}");
+    assert_eq!(stats.reclaimed_leases, 0, "{stats:?}");
+
+    // Warm repeat is still a pure cache hit — no worker involved.
+    let warm = client.query(&QueryRequest::sweep("tso", 2, 3)).unwrap();
+    assert!(warm.reply.cached);
+    for w in workers {
+        w.stop();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn every_injected_worker_fault_preserves_byte_identity() {
+    // One worker per fault kind, so the faulted unit is deterministically
+    // leased to the faulted worker. The coordinator must reclaim, reject,
+    // or ignore as appropriate — re-dispatching to the reconnected worker
+    // or degrading to local compute — and the served suite must be
+    // byte-identical to the direct sweep either way.
+    let direct = direct_tso_bytes(2..=3);
+    let faults: Vec<(FaultKind, &str)> = vec![
+        (FaultKind::ExitMidUnit, "kill mid-unit"),
+        (FaultKind::DropMidFrame, "connection drop mid-frame"),
+        (FaultKind::StallMs(2_000), "slow worker past its lease"),
+        (FaultKind::DuplicateDone, "duplicate UNITDONE"),
+        (FaultKind::WrongFingerprint, "fingerprint-mismatched result"),
+        (FaultKind::CorruptBody, "checksum-corrupt result"),
+    ];
+    for (kind, what) in faults {
+        let server = Server::start(ServeConfig {
+            lease_ms: 400,
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        let fault = WorkerFault {
+            key: "tso/sc_per_loc/2".to_string(),
+            kind: kind.clone(),
+        };
+        let workers = spawn_workers(&server, 1, Some(fault));
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        let served = client
+            .query(&QueryRequest::sweep("tso", 2, 3))
+            .unwrap_or_else(|e| panic!("query must survive {what}: {e}"));
+        assert_eq!(served.reply.suite, direct, "byte identity under {what}");
+        let stats = server.stats().remote;
+        match kind {
+            FaultKind::ExitMidUnit | FaultKind::DropMidFrame => {
+                assert!(stats.reclaimed_leases >= 1, "{what}: {stats:?}");
+            }
+            FaultKind::StallMs(_) => {
+                assert!(stats.lease_expiries >= 1, "{what}: {stats:?}");
+                assert!(stats.reclaimed_leases >= 1, "{what}: {stats:?}");
+            }
+            FaultKind::DuplicateDone => {
+                assert!(stats.duplicate_unitdone >= 1, "{what}: {stats:?}");
+            }
+            FaultKind::WrongFingerprint | FaultKind::CorruptBody => {
+                assert!(stats.rejected_results >= 1, "{what}: {stats:?}");
+            }
+        }
+        for w in workers {
+            w.stop();
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn full_remote_outage_degrades_gracefully_to_local_compute() {
+    // A single worker that dies mid-unit and never comes back: the
+    // remaining units must degrade to the coordinator's local pool, the
+    // query must complete, and the bytes must be unchanged. The suite is
+    // complete, so it is cached — degradation never caches partials
+    // because partials are never produced.
+    let server = Server::start(ServeConfig {
+        lease_ms: 400,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let workers = spawn_workers(
+        &server,
+        1,
+        Some(WorkerFault {
+            key: "tso/sc_per_loc/2".to_string(),
+            kind: FaultKind::ExitMidUnit,
+        }),
+    );
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let served = client
+        .query(&QueryRequest::sweep("tso", 2, 3))
+        .expect("query completes despite total worker loss");
+    assert_eq!(served.reply.suite, direct_tso_bytes(2..=3), "byte identity");
+    assert_eq!(served.reply.tests, served.suite().expect("decodes").len());
+    let stats = server.stats().remote;
+    assert!(stats.reclaimed_leases >= 1, "{stats:?}");
+    assert!(
+        stats.degraded_to_local >= 1,
+        "the outage must be counted, never silent: {stats:?}"
+    );
+    // The completed suite was cached — a warm repeat does zero work.
+    let warm = client.query(&QueryRequest::sweep("tso", 2, 3)).unwrap();
+    assert!(warm.reply.cached, "complete degraded suites are cacheable");
+    assert_eq!(warm.reply.suite, served.reply.suite);
+    for w in workers {
+        w.stop();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stalled_server_surfaces_as_a_typed_timeout() {
+    // A listener that accepts and then never answers: the client's read
+    // deadline must fire as ClientError::Timeout, not hang forever and
+    // not masquerade as a server ERR.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("listener binds");
+    let addr = listener.local_addr().unwrap();
+    let hold = std::thread::spawn(move || {
+        let conn = listener.accept().map(|(s, _)| s);
+        std::thread::sleep(std::time::Duration::from_secs(3));
+        drop(conn);
+    });
+    let mut client = Client::connect_with(
+        addr,
+        &ClientConfig {
+            io_timeout_ms: 200,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect succeeds (the stall is after accept)");
+    let started = std::time::Instant::now();
+    match client.ping() {
+        Err(ClientError::Timeout(_)) => {}
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "the deadline must fire well before the stall ends"
+    );
+    let _ = hold.join();
+}
+
+#[test]
+fn idle_connections_are_reaped_and_ping_resets_the_deadline() {
+    let server = Server::start(ServeConfig {
+        idle_timeout_ms: 600,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    // Activity inside the window keeps the connection alive.
+    for _ in 0..3 {
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        client.ping().expect("PING resets the idle deadline");
+    }
+    // Going quiet past the deadline gets the connection reaped.
+    std::thread::sleep(std::time::Duration::from_millis(1_200));
+    assert!(
+        client.ping().is_err(),
+        "the reaped connection must be unusable"
+    );
+    let mut fresh = Client::connect(server.addr()).expect("fresh client connects");
+    let stats = fresh.stats().expect("stats round-trip");
+    assert!(stats["idle_reaped"] >= 1, "{stats:?}");
+    server.shutdown();
 }
