@@ -141,6 +141,15 @@ pub struct SynthConfig {
     /// [`SynthConfig::incremental`] (a scratch compilation *is* its own
     /// cone).
     pub domain: bool,
+    /// Run level-0 inprocessing on each worker solver's private clause
+    /// database: purge satisfied clauses, strip false literals, subsume and
+    /// strengthen new learnts. Inprocessing only removes redundant clauses
+    /// and literals; suites are byte-identical either way.
+    pub inprocess: bool,
+    /// Retain learnt clauses in LBD tiers (core/mid/local) instead of the
+    /// legacy single-activity reduction. Retention only discards learnt
+    /// clauses; suites are byte-identical either way.
+    pub tiered: bool,
     /// Total attempts per cube worker (including the first) before the
     /// query is marked degraded instead of aborting the run.
     pub max_attempts: usize,
@@ -206,6 +215,8 @@ impl SynthConfig {
             lazy: true,
             shelve: true,
             domain: true,
+            inprocess: true,
+            tiered: true,
             max_attempts: 3,
             retry_backoff_ms: 10,
             solve_conflicts: 0,
@@ -290,6 +301,18 @@ impl SynthConfig {
     /// Enables or disables the two-level decision domain (builder style).
     pub fn with_domain(mut self, domain: bool) -> SynthConfig {
         self.domain = domain;
+        self
+    }
+
+    /// Enables or disables level-0 inprocessing (builder style).
+    pub fn with_inprocess(mut self, inprocess: bool) -> SynthConfig {
+        self.inprocess = inprocess;
+        self
+    }
+
+    /// Enables or disables tiered learnt retention (builder style).
+    pub fn with_tiered(mut self, tiered: bool) -> SynthConfig {
+        self.tiered = tiered;
         self
     }
 

@@ -114,6 +114,22 @@ pub struct WorkerStats {
     /// Shelved imports replayed after their cone activated (delta; 0
     /// unless the lazy path with [`SynthConfig::shelve`] is on).
     pub shelved_replayed: u64,
+    /// Clauses purged by level-0 inprocessing as satisfied (delta; 0
+    /// unless [`SynthConfig::inprocess`] is on).
+    pub simplify_removed: u64,
+    /// Learnt clauses deleted by on-the-fly subsumption (delta).
+    pub subsumed: u64,
+    /// Literals removed by false-literal stripping and self-subsuming
+    /// resolution (delta).
+    pub strengthened: u64,
+    /// Arena garbage collections this worker's solver ran (delta).
+    pub gc_runs: u64,
+    /// Arena words reclaimed by those collections (delta).
+    pub gc_reclaimed_words: u64,
+    /// Live learnt clauses per retention tier (core/mid/local) when the
+    /// task finished — a snapshot of the (possibly pooled) solver, not a
+    /// delta.
+    pub learnt_tiers: [u64; 3],
     /// `true` if the instance cap or time budget stopped this worker.
     pub truncated: bool,
     /// Learnt clauses this worker published on the exchange bus.
@@ -166,6 +182,16 @@ pub struct SynthResult {
     pub domain_decisions: u64,
     /// Shelved imports replayed, summed over workers.
     pub shelved_replayed: u64,
+    /// Inprocessing-purged clauses, summed over workers.
+    pub simplify_removed: u64,
+    /// Subsumed learnt clauses, summed over workers.
+    pub subsumed: u64,
+    /// Stripped/strengthened literals, summed over workers.
+    pub strengthened: u64,
+    /// Arena garbage collections, summed over workers.
+    pub gc_runs: u64,
+    /// Arena words reclaimed, summed over workers.
+    pub gc_reclaimed_words: u64,
     /// Total cube-selection probe time, summed over queries.
     pub probe: Duration,
     /// Workers whose every attempt failed: the suite is complete iff this
@@ -216,6 +242,11 @@ impl SynthResult {
             decisions: 0,
             domain_decisions: 0,
             shelved_replayed: 0,
+            simplify_removed: 0,
+            subsumed: 0,
+            strengthened: 0,
+            gc_runs: 0,
+            gc_reclaimed_words: 0,
             probe: Duration::ZERO,
             degraded: 0,
             retries: 0,
@@ -554,7 +585,7 @@ impl ClauseExchange for CubeExchange {
         }
     }
 
-    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, bool)>) {
+    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, u32, bool)>) {
         match self {
             CubeExchange::Plain(e) => e.fetch(out),
             CubeExchange::Vaulted(v) => v.fetch(out),
@@ -666,6 +697,8 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
     // grows, the decision domain tracks the *current* query.
     finder.set_shelving(cfg.shelve);
     finder.set_domain_enabled(cfg.domain && cfg.incremental);
+    finder.set_inprocessing(cfg.inprocess);
+    finder.set_tiered_retention(cfg.tiered);
     let guard = pooled.map(|_| finder.new_guard());
     // Focus branching on this query's own cone. On the monolithic path the
     // warmed cone covers (essentially) the whole formula, so this changes
@@ -766,9 +799,19 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
     let decisions = stats_after.decisions - stats_before.decisions;
     let domain_decisions = stats_after.domain_decisions - stats_before.domain_decisions;
     let shelved_replayed = stats_after.shelved_replayed - stats_before.shelved_replayed;
+    let simplify_removed = stats_after.simplify_removed - stats_before.simplify_removed;
+    let subsumed = stats_after.subsumed - stats_before.subsumed;
+    let strengthened = stats_after.strengthened - stats_before.strengthened;
+    let gc_runs = stats_after.gc_runs - stats_before.gc_runs;
+    let gc_reclaimed_words = stats_after.gc_reclaimed_words - stats_before.gc_reclaimed_words;
+    let learnt_tiers = [
+        stats_after.learnts_core,
+        stats_after.learnts_mid,
+        stats_after.learnts_local,
+    ];
     if std::env::var_os("LITSYNTH_TRACE").is_some() {
         eprintln!(
-            "trace {} cube {} attempt {}: wall {:?} probe {:?} raw {} conflicts {} props {} decs {} domdecs {} replayed {} active {}/{}",
+            "trace {} cube {} attempt {}: wall {:?} probe {:?} raw {} conflicts {} props {} decs {} domdecs {} replayed {} simp {} subs {} str {} gc {}/{}w tiers {}/{}/{} active {}/{}",
             task.query_key,
             task.cube,
             attempt,
@@ -780,6 +823,14 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             decisions,
             domain_decisions,
             shelved_replayed,
+            simplify_removed,
+            subsumed,
+            strengthened,
+            gc_runs,
+            gc_reclaimed_words,
+            learnt_tiers[0],
+            learnt_tiers[1],
+            learnt_tiers[2],
             finder.active_var_count(),
             finder.num_cnf_vars(),
         );
@@ -789,8 +840,14 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
     // the failed pass's guarded blocking clauses are inert and the retry
     // re-enumerates its cube from scratch, exactly like a cold solver
     // would. A task that panics instead (injected fault) simply drops its
-    // solver; the pool refills from `attach` on demand.
+    // solver; the pool refills from `attach` on demand. The guard is
+    // retired first (¬guard asserted at level 0): it is never assumed
+    // again, so the pass's blocking clauses become level-0-satisfied and
+    // the parked solver's next inprocessing pass physically sheds them.
     if let Some(pool) = pooled {
+        if let Some(g) = guard {
+            finder.retire_guard(g);
+        }
         pool.lock().unwrap_or_else(|e| e.into_inner()).push(finder);
     }
     let run = CubeRun {
@@ -821,6 +878,12 @@ fn enumerate_cube<M: MemoryModel>(model: &M, task: &Task, attempt: usize) -> Att
             decisions,
             domain_decisions,
             shelved_replayed,
+            simplify_removed,
+            subsumed,
+            strengthened,
+            gc_runs,
+            gc_reclaimed_words,
+            learnt_tiers,
             truncated,
             exported: xs.exported,
             imported: xs.imported,
@@ -865,6 +928,12 @@ fn placeholder_run(task: &Task) -> CubeRun {
             decisions: 0,
             domain_decisions: 0,
             shelved_replayed: 0,
+            simplify_removed: 0,
+            subsumed: 0,
+            strengthened: 0,
+            gc_runs: 0,
+            gc_reclaimed_words: 0,
+            learnt_tiers: [0; 3],
             truncated: false,
             exported: 0,
             imported: 0,
@@ -917,6 +986,11 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
     let mut decisions = 0u64;
     let mut domain_decisions = 0u64;
     let mut shelved_replayed = 0u64;
+    let mut simplify_removed = 0u64;
+    let mut subsumed = 0u64;
+    let mut strengthened = 0u64;
+    let mut gc_runs = 0u64;
+    let mut gc_reclaimed_words = 0u64;
     let mut probe = Duration::ZERO;
     let mut truncated = false;
     let mut degraded = 0usize;
@@ -937,6 +1011,11 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
         decisions += run.stats.decisions;
         domain_decisions += run.stats.domain_decisions;
         shelved_replayed += run.stats.shelved_replayed;
+        simplify_removed += run.stats.simplify_removed;
+        subsumed += run.stats.subsumed;
+        strengthened += run.stats.strengthened;
+        gc_runs += run.stats.gc_runs;
+        gc_reclaimed_words += run.stats.gc_reclaimed_words;
         probe += run.probe;
         truncated |= run.stats.truncated;
         degraded += run.stats.degraded as usize;
@@ -956,6 +1035,11 @@ fn merge_query(runs: Vec<CubeRun>, elapsed: Duration) -> SynthResult {
         decisions,
         domain_decisions,
         shelved_replayed,
+        simplify_removed,
+        subsumed,
+        strengthened,
+        gc_runs,
+        gc_reclaimed_words,
         probe,
         degraded,
         retries,
@@ -1194,6 +1278,20 @@ pub struct SweepStats {
     /// the sweep's workers (0 with [`SynthConfig::shelve`] off or the
     /// lazy path inactive).
     pub shelved_replayed: u64,
+    /// Clauses purged by level-0 inprocessing, summed over the sweep's
+    /// workers (0 with [`SynthConfig::inprocess`] off).
+    pub simplify_removed: u64,
+    /// Learnt clauses deleted by on-the-fly subsumption, summed over the
+    /// sweep's workers.
+    pub subsumed: u64,
+    /// Literals removed by stripping / self-subsuming resolution, summed
+    /// over the sweep's workers.
+    pub strengthened: u64,
+    /// Clause-arena garbage collections, summed over the sweep's workers.
+    pub gc_runs: u64,
+    /// Arena words reclaimed by those collections, summed over the
+    /// sweep's workers.
+    pub gc_reclaimed_words: u64,
 }
 
 /// Synthesizes the union suite over a range of bounds, merging canonical
@@ -1271,6 +1369,11 @@ pub fn synthesize_union_up_to_with_stats<M: MemoryModel + Sync>(
             stats.decisions += r.decisions;
             stats.domain_decisions += r.domain_decisions;
             stats.shelved_replayed += r.shelved_replayed;
+            stats.simplify_removed += r.simplify_removed;
+            stats.subsumed += r.subsumed;
+            stats.strengthened += r.strengthened;
+            stats.gc_runs += r.gc_runs;
+            stats.gc_reclaimed_words += r.gc_reclaimed_words;
             record_if_clean(model.name(), ax, cfg, r);
             emit_progress(model.name(), ax, cfg, r);
         }
@@ -1774,6 +1877,80 @@ mod tests {
                  threads={threads} cube_bits={cube_bits}"
             );
         }
+    }
+
+    #[test]
+    fn union_up_to_is_byte_identical_across_sat_core_toggles() {
+        // The SAT-core modernization matrix: level-0 inprocessing only
+        // removes satisfied/subsumed clauses and false literals, tiered
+        // retention only discards learnt clauses, and the clause arena is
+        // pure storage — all only-prune or storage-only, so the suite is
+        // byte-identical across {inprocess} × {tiered} crossed with the
+        // existing {shelve} × {domain} × {vault} legs at any thread count
+        // or cube split (DESIGN §3c).
+        let m = Tso::new();
+        let run = |inprocess: bool,
+                   tiered: bool,
+                   shelve: bool,
+                   domain: bool,
+                   vault: bool,
+                   threads: usize,
+                   cube_bits: usize| {
+            let u = synthesize_union_up_to(&m, 2..=3, |n| {
+                SynthConfig::new(n)
+                    .with_threads(threads)
+                    .with_cube_bits(cube_bits)
+                    .with_inprocess(inprocess)
+                    .with_tiered(tiered)
+                    .with_shelve(shelve)
+                    .with_domain(domain)
+                    .with_vault(vault)
+            });
+            suite_bytes(&u)
+        };
+        // Everything off, sequential: the legacy core.
+        let baseline = run(false, false, false, false, false, 1, 0);
+        for (inprocess, tiered, shelve, domain, vault, threads, cube_bits) in [
+            // each new knob isolated on the sequential path
+            (true, false, false, false, false, 1, 0),
+            (false, true, false, false, false, 1, 0),
+            // both on (the default core), sequential and parallel
+            (true, true, false, false, false, 1, 0),
+            (true, true, true, true, true, 1, 0),
+            (true, true, true, true, true, 4, 2),
+            // modern core against individual portfolio knobs
+            (true, true, false, true, true, 2, 1),
+            (true, true, true, false, true, 2, 1),
+            (true, true, true, true, false, 2, 1),
+            // legacy core under the full portfolio stack
+            (false, false, true, true, true, 4, 2),
+        ] {
+            assert_eq!(
+                run(inprocess, tiered, shelve, domain, vault, threads, cube_bits),
+                baseline,
+                "inprocess={inprocess} tiered={tiered} shelve={shelve} \
+                 domain={domain} vault={vault} threads={threads} cube_bits={cube_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_reports_inprocessing_counters_when_enabled() {
+        // The new counters must roll all the way up: with the default
+        // config (inprocessing on) a sweep records purged clauses, and
+        // with the knob off every inprocessing counter is exactly zero.
+        let m = Tso::new();
+        let (_, s_on) = synthesize_union_up_to_with_stats(&m, 2..=3, SynthConfig::new);
+        assert!(
+            s_on.simplify_removed > 0,
+            "inprocessing enabled but nothing purged across a sweep"
+        );
+        let (_, s_off) = synthesize_union_up_to_with_stats(&m, 2..=3, |n| {
+            SynthConfig::new(n).with_inprocess(false)
+        });
+        assert_eq!(s_off.simplify_removed, 0);
+        assert_eq!(s_off.subsumed, 0);
+        assert_eq!(s_off.strengthened, 0);
     }
 
     #[test]

@@ -77,12 +77,14 @@ pub struct ExchangeStats {
     pub filtered: u64,
 }
 
-/// One clause on the bus: who published it, its literals, and whether it
-/// is skeleton-pure (derived from skeleton-tagged layers alone — see
-/// [`litsynth_sat::ClauseExchange`]). Purity travels with the clause so
-/// importing solvers keep propagating it and the cross-query vault can
-/// harvest pure clauses downstream.
-type PooledClause = (usize, Arc<[Lit]>, bool);
+/// One clause on the bus: who published it, its literals, the LBD its
+/// sender reported, and whether it is skeleton-pure (derived from
+/// skeleton-tagged layers alone — see [`litsynth_sat::ClauseExchange`]).
+/// The LBD travels with the clause so importing solvers file it in the
+/// right retention tier before its first use, and purity travels so
+/// importers keep propagating it and the cross-query vault can harvest
+/// pure clauses downstream.
+type PooledClause = (usize, Arc<[Lit]>, u32, bool);
 
 /// The shared clause pool for one query's cube workers.
 #[derive(Debug, Default)]
@@ -160,18 +162,18 @@ impl ClauseExchange for ExchangeEndpoint {
             self.stats.filtered += 1;
             return;
         }
-        pool.push((self.worker, lits.into(), skeleton));
+        pool.push((self.worker, lits.into(), lbd, skeleton));
         self.stats.exported += 1;
     }
 
-    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, bool)>) {
+    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, u32, bool)>) {
         if !self.bus.cfg.enabled || !self.imports_enabled {
             return;
         }
         let pool = lock_pool(&self.bus.pool);
-        for (owner, clause, pure) in &pool[self.cursor..] {
+        for (owner, clause, lbd, pure) in &pool[self.cursor..] {
             if *owner != self.worker {
-                out.push((clause.to_vec(), *pure));
+                out.push((clause.to_vec(), *lbd, *pure));
                 self.stats.imported += 1;
             }
         }
@@ -197,7 +199,7 @@ mod tests {
         b.export(&[lit(2), lit(3)], 2, false);
         let mut got = Vec::new();
         a.fetch(&mut got);
-        assert_eq!(got, vec![(vec![lit(2), lit(3)], false)]);
+        assert_eq!(got, vec![(vec![lit(2), lit(3)], 2, false)]);
         got.clear();
         a.fetch(&mut got);
         assert!(got.is_empty(), "cursor must advance past seen clauses");
@@ -205,8 +207,8 @@ mod tests {
         b.fetch(&mut got);
         assert_eq!(
             got,
-            vec![(vec![lit(0), lit(1)], true)],
-            "purity travels with the clause"
+            vec![(vec![lit(0), lit(1)], 2, true)],
+            "LBD and purity travel with the clause"
         );
         assert_eq!(a.stats().exported, 1);
         assert_eq!(a.stats().imported, 1);
@@ -262,7 +264,7 @@ mod tests {
         a.fetch(&mut got);
         assert_eq!(
             got,
-            vec![(vec![lit(2), lit(3)], false)],
+            vec![(vec![lit(2), lit(3)], 1, false)],
             "exports still flow"
         );
     }

@@ -70,12 +70,13 @@ pub struct VaultStats {
     pub filtered: u64,
 }
 
-/// One fingerprint's shelf: insertion-ordered clauses plus a membership
-/// set so duplicate publishes (the same clause learnt by several cubes)
-/// are dropped.
+/// One fingerprint's shelf: insertion-ordered clauses (each with the LBD
+/// its publisher reported, so seeded solvers file them in the right
+/// retention tier) plus a membership set so duplicate publishes (the same
+/// clause learnt by several cubes) are dropped.
 #[derive(Debug, Default)]
 struct Shelf {
-    clauses: Vec<Arc<[Lit]>>,
+    clauses: Vec<(Arc<[Lit]>, u32)>,
     seen: HashSet<Arc<[Lit]>>,
 }
 
@@ -124,7 +125,7 @@ impl ClauseVault {
             self.filtered.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        shelf.clauses.push(clause);
+        shelf.clauses.push((clause, lbd));
         self.published.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -132,9 +133,11 @@ impl ClauseVault {
     /// Every vaulted clause shelved under any of `fingerprints` — the
     /// receiving query passes its full list of skeleton-chain prefix
     /// fingerprints, and anything published under an identical prefix is a
-    /// sound seed. Clauses come back flagged skeleton-pure, so the
-    /// receiving solver's own derivations from them can be re-vaulted.
-    pub fn seed(&self, fingerprints: &[u64]) -> Vec<(Vec<Lit>, bool)> {
+    /// sound seed. Clauses come back with their publisher-reported LBD and
+    /// flagged skeleton-pure, so the receiving solver files them in the
+    /// right retention tier and its own derivations from them can be
+    /// re-vaulted.
+    pub fn seed(&self, fingerprints: &[u64]) -> Vec<(Vec<Lit>, u32, bool)> {
         if !self.cfg.enabled {
             return Vec::new();
         }
@@ -142,7 +145,12 @@ impl ClauseVault {
         let mut out = Vec::new();
         for fp in fingerprints {
             if let Some(shelf) = shelves.get(fp) {
-                out.extend(shelf.clauses.iter().map(|c| (c.to_vec(), true)));
+                out.extend(
+                    shelf
+                        .clauses
+                        .iter()
+                        .map(|(c, lbd)| (c.to_vec(), *lbd, true)),
+                );
             }
         }
         drop(shelves);
@@ -221,7 +229,7 @@ impl<E: ClauseExchange> ClauseExchange for VaultedExchange<E> {
         self.inner.export(lits, lbd, skeleton);
     }
 
-    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, bool)>) {
+    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, u32, bool)>) {
         if !self.seeded {
             self.seeded = true;
             if self.imports_enabled {
@@ -260,7 +268,7 @@ mod tests {
         assert!(vault.publish(9, &[lit(2), lit(3)], 2));
         assert_eq!(
             vault.seed(&[7]),
-            vec![(vec![lit(0), lit(1)], true)],
+            vec![(vec![lit(0), lit(1)], 2, true)],
             "only the matching shelf seeds"
         );
         assert!(vault.seed(&[8]).is_empty(), "unknown fingerprint is empty");
@@ -315,7 +323,7 @@ mod tests {
         let mut b = VaultedExchange::new(NoExchange, vault.clone(), 99, vec![42, 99]);
         let mut got = Vec::new();
         b.fetch(&mut got);
-        assert_eq!(got, vec![(vec![lit(0), lit(1)], true)]);
+        assert_eq!(got, vec![(vec![lit(0), lit(1)], 2, true)]);
         got.clear();
         b.fetch(&mut got);
         assert!(got.is_empty(), "seeding happens exactly once");

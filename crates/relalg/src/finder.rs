@@ -222,6 +222,23 @@ impl Finder {
         self.solver.set_domain_enabled(on);
     }
 
+    /// Controls level-0 inprocessing of the solver's private clause
+    /// database (see [`litsynth_sat::Solver::set_inprocessing`]; default
+    /// on). Inprocessing only removes satisfied/subsumed clauses and false
+    /// literals, so the enumerated instance set is unchanged either way.
+    pub fn set_inprocessing(&mut self, on: bool) {
+        self.solver.set_inprocessing(on);
+    }
+
+    /// Controls tiered learnt-clause retention (see
+    /// [`litsynth_sat::Solver::set_tiered_retention`]; default on). `false`
+    /// falls back to the legacy single-activity reduction policy. Retention
+    /// only discards learnt clauses, so the enumerated instance set is
+    /// unchanged either way.
+    pub fn set_tiered_retention(&mut self, on: bool) {
+        self.solver.set_tiered_retention(on);
+    }
+
     /// Number of CNF clauses added so far.
     pub fn num_cnf_clauses(&self) -> usize {
         self.solver.num_clauses()
@@ -318,6 +335,19 @@ impl Finder {
         let v = self.solver.new_var();
         self.input_of_var.push(None);
         Lit::pos(v)
+    }
+
+    /// Retires an activation guard that will never be assumed again: the
+    /// unit clause `¬guard` is added, which satisfies — permanently, at
+    /// level 0 — every blocking clause the guard enclosed and every learnt
+    /// derived from them (all carry `¬guard`), so the next inprocessing
+    /// pass physically purges them from a pooled solver instead of leaving
+    /// them as inert dead weight. Sound because the guard variable occurs
+    /// only negatively outside the finished pass's assumptions: asserting
+    /// `¬guard` can satisfy clauses but never falsify one, and no future
+    /// pass observes or assumes it.
+    pub fn retire_guard(&mut self, guard: Lit) {
+        self.solver.add_clause([!guard]);
     }
 
     /// [`Finder::next_instance_budgeted`] with extra assumption literals —

@@ -50,8 +50,12 @@ pub trait ClauseExchange {
     fn export(&mut self, lits: &[Lit], lbd: u32, skeleton: bool);
 
     /// Appends peer clauses not yet seen by this endpoint to `out`, each
-    /// with its skeleton-purity flag.
-    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, bool)>);
+    /// with the LBD its sender reported and its skeleton-purity flag. The
+    /// receiver treats the LBD as an upper bound — it recomputes a tighter
+    /// one when the clause participates in conflict analysis — but the
+    /// sender-side value is what keeps tiered retention from misfiling an
+    /// import before its first use.
+    fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, u32, bool)>);
 }
 
 /// The no-op exchange: plain solving without a portfolio.
@@ -60,5 +64,5 @@ pub struct NoExchange;
 
 impl ClauseExchange for NoExchange {
     fn export(&mut self, _lits: &[Lit], _lbd: u32, _skeleton: bool) {}
-    fn fetch(&mut self, _out: &mut Vec<(Vec<Lit>, bool)>) {}
+    fn fetch(&mut self, _out: &mut Vec<(Vec<Lit>, u32, bool)>) {}
 }

@@ -14,7 +14,11 @@
 //! * VSIDS variable activity with an indexed max-heap,
 //! * phase saving,
 //! * Luby-sequence restarts,
-//! * learnt-clause database reduction,
+//! * a flat `u32` clause arena with free-list reuse and relocation GC,
+//! * tiered learnt-clause retention (core/mid/local by LBD) with
+//!   size-triggered database reduction,
+//! * level-0 inprocessing: satisfied-clause purging, false-literal
+//!   stripping, and on-the-fly subsumption / self-subsuming resolution,
 //! * incremental solving under assumptions, and
 //! * incremental clause addition between `solve` calls (used for
 //!   blocking-clause model enumeration).
@@ -50,6 +54,7 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+mod arena;
 mod budget;
 mod exchange;
 mod fault;

@@ -1,5 +1,6 @@
 //! The CDCL solver proper.
 
+use crate::arena::{ClauseArena, TIER_CORE, TIER_LOCAL, TIER_MID};
 use crate::budget::{BudgetedResult, Interrupt, SolveBudget};
 use crate::exchange::{ClauseExchange, NoExchange};
 use crate::fault::FaultAction;
@@ -43,25 +44,27 @@ pub struct SolverStats {
     /// Imported clauses that were shelved over a dormant cone and later
     /// replayed when the cone activated (lazy attach only).
     pub shelved_replayed: u64,
-}
-
-#[derive(Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    deleted: bool,
-    /// Literal-block distance at learn time (0 for original clauses).
-    lbd: u32,
-    /// `true` for clauses received over a [`ClauseExchange`]; they are
-    /// never re-exported.
-    imported: bool,
-    /// Skeleton purity: `true` iff this clause is implied by the shared
-    /// arena's skeleton layers alone. Original local clauses (blocking
-    /// clauses, demand-translated extensions) are never pure; learnt
-    /// clauses inherit purity iff every antecedent of their derivation
-    /// was pure (see [`Solver::analyze`]).
-    skeleton: bool,
+    /// Level-0 inprocessing: local clauses purged because they were
+    /// satisfied at level 0 (plus shared clauses whose private watchers
+    /// were dropped for the same reason).
+    pub simplify_removed: u64,
+    /// Learnt clauses deleted because another learnt clause subsumed them.
+    pub subsumed: u64,
+    /// Literals removed from learnt clauses by level-0 false-literal
+    /// stripping and self-subsuming resolution.
+    pub strengthened: u64,
+    /// Relocation GC passes over the local clause arena.
+    pub gc_runs: u64,
+    /// Arena words reclaimed by those GC passes.
+    pub gc_reclaimed_words: u64,
+    /// Live learnt clauses in the CORE retention tier (LBD ≤ 2; immortal).
+    pub learnts_core: u64,
+    /// Live learnt clauses in the MID retention tier (LBD ≤ 6; demoted to
+    /// LOCAL when unused between two reductions).
+    pub learnts_mid: u64,
+    /// Live learnt clauses in the LOCAL retention tier (the
+    /// activity-sorted deletion pool).
+    pub learnts_local: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -73,7 +76,31 @@ struct Watcher {
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
+/// Clause activities are stored as f32 bits in the arena header, so the
+/// rescale threshold is far below the variable one.
+const RESCALE_LIMIT_CLA: f64 = 1e20;
 const RESTART_BASE: u64 = 100;
+/// LBD boundaries of the learnt retention tiers.
+const CORE_LBD: u32 = 2;
+const MID_LBD: u32 = 6;
+/// Initial live-learnt budget: `reduce_db` fires when the live learnt
+/// count passes it (a function of database size, not conflict cadence),
+/// and the budget grows geometrically afterwards.
+const LEARNT_BUDGET_INIT: f64 = 1000.0;
+const LEARNT_BUDGET_GROWTH: f64 = 1.3;
+/// On-the-fly subsumption queue cap: learnts past it skip the queue (the
+/// pass is opportunistic; missing one only costs pruning).
+const SUBSUME_QUEUE_CAP: usize = 10_000;
+
+fn tier_for_lbd(lbd: u32) -> u32 {
+    if lbd <= CORE_LBD {
+        TIER_CORE
+    } else if lbd <= MID_LBD {
+        TIER_MID
+    } else {
+        TIER_LOCAL
+    }
+}
 
 /// High bit of a clause reference: set for clauses living in the shared
 /// arena ([`SharedCnf`]), clear for clauses in this solver's local database.
@@ -91,7 +118,30 @@ const SHARED_BIT: u32 = 1 << 31;
 /// local as usual.
 #[derive(Debug, Default)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    /// The flat local clause database: originals and learnts live side by
+    /// side in one `u32` slab, addressed by word-offset crefs (see
+    /// [`ClauseArena`]). Local crefs stay below [`SHARED_BIT`].
+    ca: ClauseArena,
+    /// CRefs of the live original (non-learnt) local clauses.
+    local_clauses: Vec<u32>,
+    /// CRefs of the live learnt clauses.
+    learnt_refs: Vec<u32>,
+    /// Live learnt count per retention tier (indexed by `TIER_*`).
+    n_tier: [usize; 3],
+    /// Learnts (own and imported) queued for the next level-0 subsumption
+    /// pass.
+    subsume_queue: Vec<u32>,
+    /// Trail length after the last `simplify`; skipping the pass while it
+    /// is unchanged is what makes the cadence cheap.
+    simp_db_assigns: usize,
+    /// Propagation count below which the next `simplify` is deferred
+    /// (classic minisat `simpDB_props` pacing).
+    simp_db_props: u64,
+    /// Level-0 inprocessing on/off (see [`Solver::set_inprocessing`]).
+    inprocess: bool,
+    /// Tiered learnt retention on/off (see
+    /// [`Solver::set_tiered_retention`]).
+    tiered: bool,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     polarity: Vec<bool>,
@@ -108,7 +158,6 @@ pub struct Solver {
     seen: Vec<bool>,
     model: Vec<LBool>,
     stats: SolverStats,
-    n_learnts: usize,
     max_learnts: f64,
     /// The shared clause arena, if attached.
     shared: Option<Arc<SharedCnf>>,
@@ -150,7 +199,7 @@ pub struct Solver {
     /// one of their variables was dormant, parked here (with their purity
     /// claim) until [`Solver::activate_vars`] wakes the last dormant
     /// variable and replays them. `None` once replayed.
-    shelved: Vec<Option<(Vec<Lit>, bool)>>,
+    shelved: Vec<Option<(Vec<Lit>, u32, bool)>>,
     /// Per-variable shelf watch: `shelf_watch[v]` lists the `shelved` slots
     /// currently parked on dormant variable `v` (each shelved clause is
     /// registered under exactly one of its dormant variables; on that
@@ -177,7 +226,11 @@ impl Solver {
             ok: true,
             var_inc: 1.0,
             cla_inc: 1.0,
-            max_learnts: 1000.0,
+            max_learnts: LEARNT_BUDGET_INIT,
+            // usize::MAX ≠ any trail length, so the first simplify runs.
+            simp_db_assigns: usize::MAX,
+            inprocess: true,
+            tiered: true,
             shelve: true,
             ..Solver::default()
         }
@@ -406,22 +459,20 @@ impl Solver {
     /// Number of original (non-learnt, non-deleted) clauses, including the
     /// shared arena's clauses and units when attached.
     pub fn num_clauses(&self) -> usize {
-        let local = self
-            .clauses
-            .iter()
-            .filter(|c| !c.learnt && !c.deleted)
-            .count();
         let shared = self
             .shared
             .as_ref()
             .map_or(0, |s| s.num_clauses() + s.units().len());
-        local + shared
+        self.local_clauses.len() + shared
     }
 
     /// Search statistics accumulated so far.
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
-        s.learnts = self.n_learnts as u64;
+        s.learnts = self.learnt_refs.len() as u64;
+        s.learnts_core = self.n_tier[TIER_CORE as usize] as u64;
+        s.learnts_mid = self.n_tier[TIER_MID as usize] as u64;
+        s.learnts_local = self.n_tier[TIER_LOCAL as usize] as u64;
         s
     }
 
@@ -471,6 +522,34 @@ impl Solver {
         }
     }
 
+    /// Controls level-0 inprocessing (default on): between solves — at the
+    /// classic `simpDB` cadence — the solver purges local clauses satisfied
+    /// at level 0, strips false literals, and runs on-the-fly subsumption +
+    /// self-subsuming resolution over recently landed learnts. Every step
+    /// only deletes satisfied clauses or strengthens existing ones, so the
+    /// model set (and downstream, enumerated suite bytes) is unchanged.
+    pub fn set_inprocessing(&mut self, on: bool) {
+        self.inprocess = on;
+    }
+
+    /// Controls tiered learnt retention (default on): learnts are filed
+    /// CORE/MID/LOCAL by LBD; a reduction keeps CORE clauses, demotes
+    /// unused MID clauses, and deletes the lowest-activity half of the
+    /// LOCAL tier. Off restores the legacy single-activity halving. Both
+    /// modes trigger when the live learnt count outgrows its budget — a
+    /// function of database size, not conflict cadence. Retention only
+    /// decides which *redundant* clauses to keep, so either policy yields
+    /// the same models.
+    pub fn set_tiered_retention(&mut self, on: bool) {
+        self.tiered = on;
+    }
+
+    /// Overrides the live-learnt budget that triggers `reduce_db` (tests
+    /// and tuning).
+    pub fn set_learnt_budget(&mut self, budget: usize) {
+        self.max_learnts = budget as f64;
+    }
+
     /// Number of imports currently shelved awaiting cone activation.
     pub fn shelved_count(&self) -> usize {
         self.shelved.iter().filter(|s| s.is_some()).count()
@@ -482,17 +561,19 @@ impl Solver {
     /// blocking clauses are added during model enumeration. Returns `false` if
     /// the formula has become trivially unsatisfiable.
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
-        self.add_clause_inner(lits.into_iter().collect(), false, false)
+        self.add_clause_inner(lits.into_iter().collect(), false, 0, false)
     }
 
     /// [`Solver::add_clause`], but the clause enters the database as a
     /// learnt import: eligible for database reduction and never re-exported
-    /// over an exchange. `pure` is the sender's skeleton-purity claim.
-    fn import_clause(&mut self, lits: Vec<Lit>, pure: bool) -> bool {
-        self.add_clause_inner(lits, true, pure)
+    /// over an exchange. `lbd` is the sender's reported LBD (an upper
+    /// bound; conflict analysis tightens it on use) and `pure` the sender's
+    /// skeleton-purity claim.
+    fn import_clause(&mut self, lits: Vec<Lit>, lbd: u32, pure: bool) -> bool {
+        self.add_clause_inner(lits, true, lbd, pure)
     }
 
-    fn add_clause_inner(&mut self, mut ls: Vec<Lit>, import: bool, pure: bool) -> bool {
+    fn add_clause_inner(&mut self, mut ls: Vec<Lit>, import: bool, lbd: u32, pure: bool) -> bool {
         if !self.ok {
             return false;
         }
@@ -514,7 +595,7 @@ impl Solver {
                     if self.shelve {
                         let slot = self.shelved.len() as u32;
                         self.shelf_watch[l.var().index()].push(slot);
-                        self.shelved.push(Some((ls, pure)));
+                        self.shelved.push(Some((ls, lbd, pure)));
                     }
                     return true;
                 }
@@ -559,13 +640,18 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let lbd = if import { filtered.len() as u32 } else { 0 };
+                let len = filtered.len() as u32;
                 let cref = self.attach_new_clause(filtered, import);
-                let c = &mut self.clauses[cref as usize];
-                c.skeleton = pure;
+                self.ca.set_skeleton(cref, pure);
                 if import {
-                    c.imported = true;
-                    c.lbd = lbd;
+                    self.ca.set_imported(cref);
+                    // The sender's LBD is an upper bound; level-0 stripping
+                    // above can only have tightened the clause, and no
+                    // clause is worse than its length.
+                    self.set_learnt_lbd(cref, lbd.clamp(1, len));
+                    if self.subsume_queue.len() < SUBSUME_QUEUE_CAP {
+                        self.subsume_queue.push(cref);
+                    }
                 }
                 true
             }
@@ -651,6 +737,13 @@ impl Solver {
         if !self.ok {
             return BudgetedResult::Done(SolveResult::Unsat);
         }
+        // Level-0 inprocessing between queries: by far the most valuable
+        // moment on a pooled solver, right after the previous query's
+        // blocking clauses became level-0-satisfiable dead weight.
+        self.simplify();
+        if !self.ok {
+            return BudgetedResult::Done(SolveResult::Unsat);
+        }
         let mut restart = 0u64;
         loop {
             let spent_conflicts = self.stats.conflicts - start_conflicts;
@@ -688,6 +781,13 @@ impl Solver {
                     self.cancel_until(0);
                     self.export_fresh(exchange);
                     self.import_pending(exchange);
+                    if !self.ok {
+                        return BudgetedResult::Done(SolveResult::Unsat);
+                    }
+                    // Restart boundaries are level 0 with fresh imports in
+                    // the subsumption queue; the cadence gate keeps this
+                    // from firing every restart.
+                    self.simplify();
                     if !self.ok {
                         return BudgetedResult::Done(SolveResult::Unsat);
                     }
@@ -789,7 +889,7 @@ impl Solver {
                 .clause((cref & !SHARED_BIT) as usize)
                 .len()
         } else {
-            self.clauses[cref as usize].lits.len()
+            self.ca.len(cref)
         }
     }
 
@@ -802,14 +902,13 @@ impl Solver {
                 .expect("shared cref implies attached arena")
                 .clause((cref & !SHARED_BIT) as usize)[j]
         } else {
-            self.clauses[cref as usize].lits[j]
+            self.ca.lit(cref, j)
         }
     }
 
     fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as u32;
-        debug_assert_eq!(cref & SHARED_BIT, 0, "local clause database overflow");
+        let cref = self.ca.alloc(&lits, learnt);
         self.watches[lits[0].code()].push(Watcher {
             cref,
             blocker: lits[1],
@@ -819,18 +918,31 @@ impl Solver {
             blocker: lits[0],
         });
         if learnt {
-            self.n_learnts += 1;
+            self.learnt_refs.push(cref);
+            // Filed LOCAL until the caller supplies a real LBD
+            // (`set_learnt_lbd`), so the tier counters always balance.
+            self.ca.set_tier(cref, TIER_LOCAL);
+            self.n_tier[TIER_LOCAL as usize] += 1;
+        } else {
+            self.local_clauses.push(cref);
         }
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-            deleted: false,
-            lbd: 0,
-            imported: false,
-            skeleton: false,
-        });
         cref
+    }
+
+    /// Records a learnt clause's LBD and refiles it in the matching
+    /// retention tier.
+    fn set_learnt_lbd(&mut self, cref: u32, lbd: u32) {
+        self.ca.set_lbd(cref, lbd);
+        self.move_tier(cref, tier_for_lbd(lbd));
+    }
+
+    fn move_tier(&mut self, cref: u32, tier: u32) {
+        let old = self.ca.tier(cref);
+        if old != tier {
+            self.n_tier[old as usize] -= 1;
+            self.n_tier[tier as usize] += 1;
+            self.ca.set_tier(cref, tier);
+        }
     }
 
     /// Skeleton purity of the clause behind `cref` (shared or local).
@@ -839,7 +951,7 @@ impl Solver {
         if cref & SHARED_BIT != 0 {
             self.shared_skel[(cref & !SHARED_BIT) as usize]
         } else {
-            self.clauses[cref as usize].skeleton
+            self.ca.is_skeleton(cref)
         }
     }
 
@@ -970,7 +1082,7 @@ impl Solver {
             for slot in std::mem::take(&mut self.shelf_watch[v.index()]) {
                 let next_dormant = match self.shelved[slot as usize].as_ref() {
                     None => continue,
-                    Some((lits, _)) => lits
+                    Some((lits, _, _)) => lits
                         .iter()
                         .map(|l| l.var().index())
                         .find(|&w| !self.var_active[w]),
@@ -1067,9 +1179,9 @@ impl Solver {
             if !self.ok {
                 break;
             }
-            if let Some((lits, pure)) = self.shelved[slot as usize].take() {
+            if let Some((lits, lbd, pure)) = self.shelved[slot as usize].take() {
                 self.stats.shelved_replayed += 1;
-                self.import_clause(lits, pure);
+                self.import_clause(lits, lbd, pure);
             }
         }
     }
@@ -1171,20 +1283,17 @@ impl Solver {
                     i += 1;
                     continue;
                 }
-                let cref = w.cref as usize;
-                if self.clauses[cref].deleted {
-                    ws.swap_remove(i);
-                    continue;
-                }
+                // Local clause: its literals live in the flat arena.
+                // Deletion detaches watchers eagerly, so every watcher
+                // reaching this point is live.
+                let cref = w.cref;
+                debug_assert!(!self.ca.is_deleted(cref));
                 // Normalize so the false literal is at index 1.
-                {
-                    let c = &mut self.clauses[cref];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                if self.ca.lit(cref, 0) == false_lit {
+                    self.ca.swap_lits(cref, 0, 1);
                 }
-                let first = self.clauses[cref].lits[0];
+                debug_assert_eq!(self.ca.lit(cref, 1), false_lit);
+                let first = self.ca.lit(cref, 0);
                 if first != w.blocker && self.lit_value(first) == LBool::True {
                     ws[i].blocker = first;
                     i += 1;
@@ -1192,16 +1301,15 @@ impl Solver {
                 }
                 // Look for a replacement watch.
                 let mut found = None;
-                for k in 2..self.clauses[cref].lits.len() {
-                    let q = self.clauses[cref].lits[k];
-                    if self.lit_value(q) != LBool::False {
+                for k in 2..self.ca.len(cref) {
+                    if self.lit_value(self.ca.lit(cref, k)) != LBool::False {
                         found = Some(k);
                         break;
                     }
                 }
                 if let Some(k) = found {
-                    let q = self.clauses[cref].lits[k];
-                    self.clauses[cref].lits.swap(1, k);
+                    let q = self.ca.lit(cref, k);
+                    self.ca.swap_lits(cref, 1, k);
                     self.watches[q.code()].push(Watcher {
                         cref: w.cref,
                         blocker: first,
@@ -1259,14 +1367,39 @@ impl Solver {
     }
 
     fn clause_bump(&mut self, cref: u32) {
-        let c = &mut self.clauses[cref as usize];
-        c.activity += self.cla_inc;
-        if c.activity > RESCALE_LIMIT {
-            for cl in &mut self.clauses {
-                cl.activity *= 1.0 / RESCALE_LIMIT;
+        let a = self.ca.activity(cref) + self.cla_inc as f32;
+        self.ca.set_activity(cref, a);
+        if a as f64 > RESCALE_LIMIT_CLA {
+            for i in 0..self.learnt_refs.len() {
+                let c = self.learnt_refs[i];
+                let scaled = self.ca.activity(c) * (1.0 / RESCALE_LIMIT_CLA) as f32;
+                self.ca.set_activity(c, scaled);
             }
-            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+            self.cla_inc *= 1.0 / RESCALE_LIMIT_CLA;
         }
+    }
+
+    /// Recomputes a clause's LBD from the current assignment levels. Only
+    /// meaningful while every literal of the clause is assigned — true for
+    /// any clause expanded during conflict analysis. Level-0 literals are
+    /// skipped: inprocessing is entitled to strip them.
+    fn clause_lbd_now(&mut self, cref: u32) -> u32 {
+        self.lbd_gen += 1;
+        let mut lbd = 0u32;
+        for j in 0..self.ca.len(cref) {
+            let lev = self.level[self.ca.lit(cref, j).var().index()] as usize;
+            if lev == 0 {
+                continue;
+            }
+            if lev >= self.lbd_seen.len() {
+                self.lbd_seen.resize(lev + 1, 0);
+            }
+            if self.lbd_seen[lev] != self.lbd_gen {
+                self.lbd_seen[lev] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
+        lbd.max(1)
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
@@ -1291,8 +1424,21 @@ impl Solver {
 
         loop {
             pure &= self.clause_pure(confl);
-            if confl & SHARED_BIT == 0 && self.clauses[confl as usize].learnt {
+            if confl & SHARED_BIT == 0 && self.ca.is_learnt(confl) {
                 self.clause_bump(confl);
+                // MID-tier probation: a use between two reductions is what
+                // keeps a MID clause from demoting.
+                self.ca.set_used(confl, true);
+                // Glucose-style tightening: a clause showing up in conflicts
+                // with fewer distinct levels than at learn time is more
+                // valuable than its stored LBD claims — refile it.
+                let stored = self.ca.lbd(confl);
+                if stored > CORE_LBD {
+                    let fresh = self.clause_lbd_now(confl);
+                    if fresh < stored {
+                        self.set_learnt_lbd(confl, fresh);
+                    }
+                }
             }
             for j in 0..self.clause_len(confl) {
                 let q = self.clause_lit(confl, j);
@@ -1425,32 +1571,466 @@ impl Solver {
         None
     }
 
-    /// Deletes roughly half of the learnt clauses, lowest activity first.
+    /// Shrinks the learnt database. Tiered mode (default): CORE clauses
+    /// (LBD ≤ 2) are immortal, MID clauses that sat out the whole period
+    /// since the previous reduction demote to LOCAL, and the
+    /// lowest-activity half of the LOCAL tier is deleted. Legacy mode
+    /// ([`Solver::set_tiered_retention`] off) halves the whole database by
+    /// activity. Either way only *redundant* clauses are deleted, so the
+    /// model set is untouched.
     fn reduce_db(&mut self) {
-        let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
-            .filter(|&i| {
-                let c = &self.clauses[i as usize];
-                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_locked(i)
-            })
-            .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
+        let mut pool: Vec<u32> = if self.tiered {
+            for i in 0..self.learnt_refs.len() {
+                let c = self.learnt_refs[i];
+                if self.ca.tier(c) == TIER_MID {
+                    if self.ca.is_used(c) {
+                        self.ca.set_used(c, false);
+                    } else {
+                        self.move_tier(c, TIER_LOCAL);
+                    }
+                }
+            }
+            self.learnt_refs
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    self.ca.tier(c) == TIER_LOCAL && self.ca.len(c) > 2 && !self.is_locked(c)
+                })
+                .collect()
+        } else {
+            self.learnt_refs
+                .iter()
+                .copied()
+                .filter(|&c| self.ca.len(c) > 2 && !self.is_locked(c))
+                .collect()
+        };
+        pool.sort_by(|&a, &b| {
+            self.ca
+                .activity(a)
+                .partial_cmp(&self.ca.activity(b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let n_delete = learnt_refs.len() / 2;
-        for &cref in &learnt_refs[..n_delete] {
-            self.clauses[cref as usize].deleted = true;
-            self.n_learnts -= 1;
+        pool.truncate(pool.len() / 2);
+        self.remove_clauses(&pool);
+        if self.ca.should_gc() {
+            self.garbage_collect();
         }
-        // Deleted clauses are pruned lazily from watch lists in `propagate`.
     }
 
     fn is_locked(&self, cref: u32) -> bool {
-        let c = &self.clauses[cref as usize];
-        let first = c.lits[0];
+        let first = self.ca.lit(cref, 0);
         self.lit_value(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
+    }
+
+    /// Removes `cref`'s two watchers. Safe to call on an already-detached
+    /// clause (the scans simply find nothing).
+    fn detach_clause(&mut self, cref: u32) {
+        for j in 0..2 {
+            let l = self.ca.lit(cref, j);
+            let ws = &mut self.watches[l.code()];
+            if let Some(p) = ws.iter().position(|w| w.cref == cref) {
+                ws.swap_remove(p);
+            }
+        }
+    }
+
+    /// Detaches and frees a batch of live local clauses. Staged: first
+    /// mark and detach everything, then purge the cref index lists, then
+    /// free the arena blocks — so free-list reuse can never hand a block
+    /// to a new clause while a stale cref to it survives in any list.
+    /// Callers guarantee no victim is locked (a reason clause).
+    fn remove_clauses(&mut self, victims: &[u32]) {
+        if victims.is_empty() {
+            return;
+        }
+        for &c in victims {
+            debug_assert!(!self.is_locked(c));
+            self.detach_clause(c);
+            if self.ca.is_learnt(c) {
+                self.n_tier[self.ca.tier(c) as usize] -= 1;
+            }
+            self.ca.set_deleted(c);
+        }
+        let ca = &self.ca;
+        self.learnt_refs.retain(|&c| !ca.is_deleted(c));
+        self.local_clauses.retain(|&c| !ca.is_deleted(c));
+        self.fresh_learnts.retain(|&c| !ca.is_deleted(c));
+        self.subsume_queue.retain(|&c| !ca.is_deleted(c));
+        for &c in victims {
+            self.ca.free(c);
+        }
+    }
+
+    /// Compacts the local arena: copies every live clause into a fresh slab
+    /// and rewrites all crefs — watchers, reasons, and the clause index
+    /// lists — through the relocation forwarding pointers. Sound at any
+    /// decision level: only addresses change, never content. Shared crefs
+    /// (high bit set) are untouched; shelved clauses store literal vectors,
+    /// not crefs, so the shelf needs no pass.
+    fn garbage_collect(&mut self) {
+        let before = self.ca.data_len();
+        let mut to = ClauseArena::with_capacity(before - self.ca.wasted());
+        for ws in &mut self.watches {
+            for w in ws.iter_mut() {
+                if w.cref & SHARED_BIT == 0 {
+                    w.cref = self.ca.reloc(w.cref, &mut to);
+                }
+            }
+        }
+        for cr in self.reason.iter_mut().flatten() {
+            if *cr & SHARED_BIT == 0 {
+                *cr = self.ca.reloc(*cr, &mut to);
+            }
+        }
+        for c in self.local_clauses.iter_mut() {
+            *c = self.ca.reloc(*c, &mut to);
+        }
+        for c in self.learnt_refs.iter_mut() {
+            *c = self.ca.reloc(*c, &mut to);
+        }
+        for c in self.fresh_learnts.iter_mut() {
+            *c = self.ca.reloc(*c, &mut to);
+        }
+        for c in self.subsume_queue.iter_mut() {
+            *c = self.ca.reloc(*c, &mut to);
+        }
+        self.stats.gc_runs += 1;
+        self.stats.gc_reclaimed_words += (before - to.data_len()) as u64;
+        self.ca = to;
+    }
+
+    /// Level-0 inprocessing: purge satisfied clauses, strip false
+    /// literals, drop this solver's watchers on level-0-satisfied shared
+    /// clauses, run the queued subsumption pass, and compact the arena
+    /// when it got wasteful. The satisfied-purge leg runs at the classic
+    /// `simpDB_assigns`/`simpDB_props` cadence — it can only find work
+    /// after new level-0 facts arrived — while the subsumption leg is
+    /// driven by its queue of newly landed learnts, which fills
+    /// regardless of the level-0 trail. Everything here only deletes
+    /// satisfied clauses or strengthens implied ones, so the solver's
+    /// model set — and downstream, the enumerated suite bytes — are
+    /// untouched.
+    fn simplify(&mut self) {
+        if !self.ok || !self.inprocess || self.decision_level() != 0 {
+            return;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        let cadence = self.trail.len() != self.simp_db_assigns
+            && self.stats.propagations >= self.simp_db_props;
+        if !cadence && self.subsume_queue.is_empty() {
+            return;
+        }
+        // Level-0 assignments are permanent: conflict analysis never
+        // expands their reasons, so the reason links can be dropped — which
+        // is what makes their (locked) reason clauses removable.
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var().index()] = None;
+        }
+        if cadence {
+            self.remove_satisfied();
+        }
+        self.subsumption_pass();
+        if self.ok && self.ca.should_gc() {
+            self.garbage_collect();
+        }
+        if cadence {
+            self.simp_db_assigns = self.trail.len();
+            let shared_lits = self.shared.as_ref().map_or(0, |s| s.num_lits());
+            self.simp_db_props =
+                self.stats.propagations + (self.ca.live_lits() + shared_lits) as u64;
+        }
+    }
+
+    /// Drops local clauses satisfied at level 0, strips literals false at
+    /// level 0 from the survivors, and removes this solver's watchers on
+    /// satisfied shared clauses. After a clean level-0 propagate a
+    /// surviving clause's two watched literals are both unassigned (a false
+    /// watch with a non-true partner would have propagated or conflicted),
+    /// so false literals only sit at positions ≥ 2 and stripping never
+    /// moves a watch.
+    fn remove_satisfied(&mut self) {
+        let mut victims: Vec<u32> = Vec::new();
+        let n_learnt = self.learnt_refs.len();
+        let n_total = n_learnt + self.local_clauses.len();
+        for i in 0..n_total {
+            let c = if i < n_learnt {
+                self.learnt_refs[i]
+            } else {
+                self.local_clauses[i - n_learnt]
+            };
+            if self
+                .ca
+                .iter_lits(c)
+                .any(|l| self.lit_value(l) == LBool::True)
+            {
+                victims.push(c);
+            } else {
+                self.strip_false_lits(c);
+            }
+        }
+        self.stats.simplify_removed += victims.len() as u64;
+        self.remove_clauses(&victims);
+        if self.shared.is_none() {
+            return;
+        }
+        // Shared clauses are immutable and shared, but the watchers on them
+        // are private to this solver: dropping both ends a satisfied
+        // clause's participation in propagation for good (level-0
+        // assignments are permanent). Each active shared clause holds
+        // exactly two watchers, hence the halving.
+        let shared = self.shared.clone().expect("checked above");
+        let mut dropped = 0u64;
+        for code in 0..self.watches.len() {
+            let mut ws = std::mem::take(&mut self.watches[code]);
+            ws.retain(|w| {
+                if w.cref & SHARED_BIT == 0 {
+                    return true;
+                }
+                let cl = shared.clause((w.cref & !SHARED_BIT) as usize);
+                let sat = cl.iter().any(|&l| self.lit_value(l) == LBool::True);
+                if sat {
+                    dropped += 1;
+                }
+                !sat
+            });
+            self.watches[code] = ws;
+        }
+        self.stats.simplify_removed += dropped / 2;
+    }
+
+    /// Removes literals false at level 0 from `cref` (positions ≥ 2 only —
+    /// see [`Solver::remove_satisfied`] for why the watches are clean).
+    /// Each removal resolves against the literal's level-0 derivation, so
+    /// purity demotes unless that derivation was itself pure.
+    fn strip_false_lits(&mut self, cref: u32) {
+        let mut j = 2;
+        while j < self.ca.len(cref) {
+            let l = self.ca.lit(cref, j);
+            if self.lit_value(l) == LBool::False {
+                if !self.zero_pure[l.var().index()] {
+                    self.ca.set_skeleton(cref, false);
+                }
+                self.ca.remove_lit(cref, j);
+                self.stats.strengthened += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    /// Backward subsumption + self-subsuming resolution over the clauses
+    /// learnt (or imported) since the last pass. Candidates and victims
+    /// are all learnt clauses — redundant by construction — so deleting a
+    /// subsumed one or strengthening one by resolution only prunes; the
+    /// original formula and its model set are untouched.
+    fn subsumption_pass(&mut self) {
+        let queue = std::mem::take(&mut self.subsume_queue);
+        if queue.is_empty() {
+            return;
+        }
+        // The pass is scoped to this batch of freshly landed clauses —
+        // both the subsuming and the subsumed side. A clause that just
+        // arrived has no embedding in the ongoing search, so deduplicating
+        // and strengthening *within* the batch (vault seeds and bus
+        // imports arrive in bursts full of near-duplicates) is pure
+        // savings; deleting or rewriting an *established* learnt, although
+        // equally sound, rips out structure the pooled solver's search
+        // already leans on and was measured as a net propagation loss on
+        // the bound-5 sweep. Established clauses are retired by the
+        // retention policy (`reduce_db`) and the satisfied-purge leg
+        // instead.
+        //
+        // Occurrence lists (by variable, complement-insensitive) over the
+        // batch. Entries go stale as the pass deletes and strengthens;
+        // `is_deleted` and the literal re-check below make stale entries
+        // harmless.
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); self.assigns.len()];
+        for &c in &queue {
+            if self.ca.is_deleted(c) {
+                continue;
+            }
+            for l in self.ca.iter_lits(c) {
+                occ[l.var().index()].push(c);
+            }
+        }
+        // Literal stamps for the O(|C| + |D|) subset test.
+        let mut stamp: Vec<u64> = vec![0; 2 * self.assigns.len()];
+        let mut gen: u64 = 0;
+        for &c in &queue {
+            if !self.ok {
+                break;
+            }
+            if self.ca.is_deleted(c) {
+                continue;
+            }
+            let c_len = self.ca.len(c);
+            let c_pure = self.ca.is_skeleton(c);
+            // Scan the occurrence list of C's rarest variable.
+            let best = self
+                .ca
+                .iter_lits(c)
+                .map(|l| l.var().index())
+                .min_by_key(|&v| occ[v].len())
+                .expect("clauses are never empty");
+            for &d in &occ[best] {
+                if d == c || self.ca.is_deleted(d) || self.ca.is_deleted(c) {
+                    continue;
+                }
+                if self.ca.len(d) < c_len {
+                    continue;
+                }
+                // Stamp D's literals, then walk C: every literal of C must
+                // appear in D, with at most one appearing complemented.
+                gen += 1;
+                for l in self.ca.iter_lits(d) {
+                    stamp[l.code()] = gen;
+                }
+                let mut flipped: Option<Lit> = None;
+                let mut subset = true;
+                for l in self.ca.iter_lits(c) {
+                    if stamp[l.code()] == gen {
+                        continue;
+                    }
+                    if stamp[(!l).code()] == gen && flipped.is_none() {
+                        flipped = Some(!l);
+                        continue;
+                    }
+                    subset = false;
+                    break;
+                }
+                if !subset {
+                    continue;
+                }
+                match flipped {
+                    None => {
+                        // C ⊆ D: D is redundant.
+                        self.stats.subsumed += 1;
+                        self.remove_clauses(&[d]);
+                    }
+                    Some(fl) => {
+                        // Self-subsuming resolution: C ⊗ D on fl's variable
+                        // yields D \ {fl} — strengthen D in place.
+                        self.strengthen_clause(d, fl, c_pure);
+                        if !self.ok {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes literal `l` from live clause `cref` (the resolvent of a
+    /// self-subsuming resolution whose other antecedent has purity
+    /// `resolvent_pure`), re-establishing the watch invariants against the
+    /// current level-0 trail: the shrunken clause may have become
+    /// satisfied, unit, or even empty through units enqueued earlier in the
+    /// same pass.
+    fn strengthen_clause(&mut self, cref: u32, l: Lit, resolvent_pure: bool) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.stats.strengthened += 1;
+        if !resolvent_pure {
+            self.ca.set_skeleton(cref, false);
+        }
+        self.detach_clause(cref);
+        let pos = self
+            .ca
+            .iter_lits(cref)
+            .position(|q| q == l)
+            .expect("strengthened literal must be present");
+        let pure = self.ca.is_skeleton(cref);
+        if self.ca.len(cref) == 2 {
+            let unit = self.ca.lit(cref, 1 - pos);
+            self.remove_clauses(&[cref]);
+            self.settle_unit(unit, pure);
+            return;
+        }
+        self.ca.remove_lit(cref, pos);
+        let mut satisfied = false;
+        let mut free = [0usize; 2];
+        let mut n_free = 0usize;
+        for j in 0..self.ca.len(cref) {
+            match self.lit_value(self.ca.lit(cref, j)) {
+                LBool::True => {
+                    satisfied = true;
+                    break;
+                }
+                LBool::False => {}
+                LBool::Undef => {
+                    if n_free < 2 {
+                        free[n_free] = j;
+                    }
+                    n_free += 1;
+                }
+            }
+        }
+        if satisfied {
+            self.stats.simplify_removed += 1;
+            self.remove_clauses(&[cref]);
+            return;
+        }
+        match n_free {
+            0 => {
+                self.ok = false;
+                self.remove_clauses(&[cref]);
+            }
+            1 => {
+                let unit = self.ca.lit(cref, free[0]);
+                // The implied unit resolves the clause against the level-0
+                // derivations of its false literals.
+                let mut up = pure;
+                for j in 0..self.ca.len(cref) {
+                    let q = self.ca.lit(cref, j);
+                    if q != unit {
+                        up &= self.zero_pure[q.var().index()];
+                    }
+                }
+                self.remove_clauses(&[cref]);
+                self.settle_unit(unit, up);
+            }
+            _ => {
+                // The two free positions come out of one ascending scan
+                // (free[1] > free[0]), so the first swap cannot displace
+                // the second's literal.
+                self.ca.swap_lits(cref, 0, free[0]);
+                self.ca.swap_lits(cref, 1, free[1]);
+                let l0 = self.ca.lit(cref, 0);
+                let l1 = self.ca.lit(cref, 1);
+                self.watches[l0.code()].push(Watcher { cref, blocker: l1 });
+                self.watches[l1.code()].push(Watcher { cref, blocker: l0 });
+            }
+        }
+    }
+
+    /// Records a unit clause derived at level 0 by inprocessing: exported
+    /// like any learnt unit, enqueued, and propagated.
+    fn settle_unit(&mut self, l: Lit, pure: bool) {
+        self.fresh_units.push((l, pure));
+        match self.lit_value(l) {
+            LBool::True => {
+                if pure {
+                    self.zero_pure[l.var().index()] = true;
+                }
+            }
+            LBool::False => self.ok = false,
+            LBool::Undef => {
+                self.zero_pure[l.var().index()] = pure;
+                self.unchecked_enqueue(l, None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                } else {
+                    // The propagation recorded fresh level-0 reasons; drop
+                    // them so the rest of the pass can still delete any
+                    // clause (same argument as in `simplify`).
+                    for i in 0..self.trail.len() {
+                        self.reason[self.trail[i].var().index()] = None;
+                    }
+                }
+            }
+        }
     }
 
     /// Exports the clauses learnt since the last exchange point.
@@ -1469,11 +2049,18 @@ impl Solver {
             }
         }
         for cref in std::mem::take(&mut self.fresh_learnts) {
-            let c = &self.clauses[cref as usize];
-            if c.deleted || c.imported || c.lits.iter().any(|l| l.var().index() >= exportable) {
+            // Deleted clauses were already purged from `fresh_learnts` by
+            // `remove_clauses`; only provenance filters remain.
+            if self.ca.is_imported(cref)
+                || self
+                    .ca
+                    .iter_lits(cref)
+                    .any(|l| l.var().index() >= exportable)
+            {
                 continue;
             }
-            exchange.export(&c.lits, c.lbd, c.skeleton);
+            let lits = self.ca.copy_lits(cref);
+            exchange.export(&lits, self.ca.lbd(cref), self.ca.is_skeleton(cref));
         }
     }
 
@@ -1482,11 +2069,11 @@ impl Solver {
         debug_assert_eq!(self.decision_level(), 0);
         let mut buf = Vec::new();
         exchange.fetch(&mut buf);
-        for (lits, pure) in buf {
+        for (lits, lbd, pure) in buf {
             if !self.ok {
                 break;
             }
-            self.import_clause(lits, pure);
+            self.import_clause(lits, lbd, pure);
         }
     }
 
@@ -1537,16 +2124,28 @@ impl Solver {
                     }
                 } else {
                     let cref = self.attach_new_clause(learnt, true);
-                    self.clauses[cref as usize].lbd = lbd;
-                    self.clauses[cref as usize].skeleton = pure;
+                    self.set_learnt_lbd(cref, lbd.max(1));
+                    self.ca.set_skeleton(cref, pure);
                     self.fresh_learnts.push(cref);
-                    self.unchecked_enqueue(self.clauses[cref as usize].lits[0], Some(cref));
+                    if self.subsume_queue.len() < SUBSUME_QUEUE_CAP {
+                        self.subsume_queue.push(cref);
+                    }
+                    self.unchecked_enqueue(self.ca.lit(cref, 0), Some(cref));
                 }
                 self.var_inc /= VAR_DECAY;
                 self.cla_inc /= CLA_DECAY;
-                if self.n_learnts as f64 > self.max_learnts {
+                // Size-triggered reduction: fire when the live learnt
+                // count outgrows its budget, however many conflicts that
+                // takes (the budget growth guarantees forward progress even
+                // when most of the database is binary or locked). Both
+                // retention modes share the trigger — they differ only in
+                // *which* clauses a reduction keeps — so a small database
+                // is never pruned: on this workload learnts prune
+                // enumeration hard, and early deletion costs more
+                // propagations than the clauses' upkeep.
+                if self.learnt_refs.len() as f64 > self.max_learnts {
                     self.reduce_db();
-                    self.max_learnts *= 1.3;
+                    self.max_learnts *= LEARNT_BUDGET_GROWTH;
                 }
             } else {
                 if conflicts >= budget {
@@ -1872,15 +2471,15 @@ mod shared_tests {
     /// `crates/portfolio`.
     #[derive(Default)]
     struct BufferExchange {
-        pool: Vec<(Vec<Lit>, bool)>,
+        pool: Vec<(Vec<Lit>, u32, bool)>,
         cursor: usize,
     }
 
     impl ClauseExchange for BufferExchange {
-        fn export(&mut self, lits: &[Lit], _lbd: u32, skeleton: bool) {
-            self.pool.push((lits.to_vec(), skeleton));
+        fn export(&mut self, lits: &[Lit], lbd: u32, skeleton: bool) {
+            self.pool.push((lits.to_vec(), lbd, skeleton));
         }
-        fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, bool)>) {
+        fn fetch(&mut self, out: &mut Vec<(Vec<Lit>, u32, bool)>) {
             out.extend(self.pool[self.cursor..].iter().cloned());
             self.cursor = self.pool.len();
         }
@@ -2267,7 +2866,7 @@ mod shared_tests {
             assert_eq!(s.solve_exchanging(&[], &mut bus), SolveResult::Unsat);
             assert!(!bus.pool.is_empty(), "UNSAT proof should learn clauses");
             assert!(
-                bus.pool.iter().all(|(_, pure)| *pure == skeleton),
+                bus.pool.iter().all(|(_, _, pure)| *pure == skeleton),
                 "clauses derived only from a skeleton={skeleton} layer must export {what}"
             );
         }
@@ -2295,7 +2894,7 @@ mod shared_tests {
         assert_eq!(s.solve_exchanging(&[], &mut bus), SolveResult::Unsat);
         assert!(!bus.pool.is_empty(), "UNSAT proof should learn clauses");
         assert!(
-            bus.pool.iter().all(|(_, pure)| *pure),
+            bus.pool.iter().all(|(_, _, pure)| *pure),
             "skeleton-only derivations must stay pure under an inert axiom layer"
         );
     }
@@ -2480,9 +3079,9 @@ mod shared_tests {
         let mut bus = BufferExchange::default();
         // Peer clauses over dormant gates: redundant for this query, so
         // parking them on the shelf must change nothing but effort.
-        bus.pool.push((vec![Lit::pos(g0), Lit::pos(g1)], true));
+        bus.pool.push((vec![Lit::pos(g0), Lit::pos(g1)], 2, true));
         bus.pool
-            .push((vec![Lit::neg(g1), Lit::pos(vs[3]), Lit::pos(g0)], true));
+            .push((vec![Lit::neg(g1), Lit::pos(vs[3]), Lit::pos(g0)], 3, true));
         let ml = enumerate(&mut lazy, &vs, &[], &mut bus);
         assert_eq!(lazy.active_layer_count(), 1, "imports must not wake cones");
         assert_eq!(lazy.shelved_count(), 2, "both imports wait on the shelf");
@@ -2495,7 +3094,7 @@ mod shared_tests {
         let mut dropper = Solver::attach_shared_lazy(cnf);
         dropper.set_shelving(false);
         let mut bus2 = BufferExchange::default();
-        bus2.pool.push((vec![Lit::pos(g0), Lit::pos(g1)], true));
+        bus2.pool.push((vec![Lit::pos(g0), Lit::pos(g1)], 2, true));
         let md = enumerate(&mut dropper, &vs, &[], &mut bus2);
         assert_eq!(md, me);
         assert_eq!(dropper.active_layer_count(), 1);
@@ -2512,7 +3111,8 @@ mod shared_tests {
         let (cnf, vs, g0, _g1) = layered_chain();
         let mut s = Solver::attach_shared_lazy(cnf.clone());
         let mut bus = BufferExchange::default();
-        bus.pool.push((vec![Lit::neg(g0), Lit::neg(vs[1])], true));
+        bus.pool
+            .push((vec![Lit::neg(g0), Lit::neg(vs[1])], 2, true));
         assert!(s.solve_exchanging(&[], &mut bus).is_sat());
         assert_eq!(s.shelved_count(), 1, "import over dormant g0 is shelved");
         assert_eq!(s.active_layer_count(), 1);
@@ -2531,7 +3131,8 @@ mod shared_tests {
         let mut ctrl = Solver::attach_shared_lazy(cnf);
         ctrl.set_shelving(false);
         let mut bus2 = BufferExchange::default();
-        bus2.pool.push((vec![Lit::neg(g0), Lit::neg(vs[1])], true));
+        bus2.pool
+            .push((vec![Lit::neg(g0), Lit::neg(vs[1])], 2, true));
         assert!(ctrl.solve_exchanging(&[], &mut bus2).is_sat());
         let before = ctrl.stats();
         let r = ctrl.solve_with_assumptions(&[Lit::pos(g0), Lit::pos(vs[1])]);
@@ -2548,7 +3149,8 @@ mod shared_tests {
         let (cnf, vs, g0, _g1) = layered_chain();
         let mut s = Solver::attach_shared_lazy(cnf);
         let mut bus = BufferExchange::default();
-        bus.pool.push((vec![Lit::neg(g0), Lit::neg(vs[1])], true));
+        bus.pool
+            .push((vec![Lit::neg(g0), Lit::neg(vs[1])], 2, true));
         assert!(s.solve_exchanging(&[], &mut bus).is_sat());
         assert_eq!(s.shelved_count(), 1);
         s.declare_roots([Lit::pos(g0)]);
@@ -2602,5 +3204,141 @@ mod shared_tests {
         let before = s.stats().domain_decisions;
         assert!(s.solve().is_sat());
         assert_eq!(s.stats().domain_decisions, before);
+    }
+
+    // ----- level-0 inprocessing, tiered retention, arena GC -----
+
+    #[test]
+    fn simplify_purges_clauses_satisfied_at_level_zero() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let z = s.new_var();
+        s.add_clause([Lit::pos(x), Lit::pos(y)]);
+        s.add_clause([Lit::pos(x), Lit::pos(z)]);
+        assert_eq!(s.num_clauses(), 2);
+        // The unit satisfies both clauses at level 0; the next solve's
+        // inprocessing pass must purge them.
+        s.add_clause([Lit::pos(x)]);
+        assert!(s.solve().is_sat());
+        assert!(s.stats().simplify_removed >= 2);
+        assert_eq!(s.num_clauses(), 0);
+        // The toggle restores the old keep-everything behavior.
+        let mut off = Solver::new();
+        off.set_inprocessing(false);
+        let x = off.new_var();
+        let y = off.new_var();
+        off.add_clause([Lit::pos(x), Lit::pos(y)]);
+        off.add_clause([Lit::pos(x)]);
+        assert!(off.solve().is_sat());
+        assert_eq!(off.stats().simplify_removed, 0);
+        assert_eq!(off.num_clauses(), 1);
+    }
+
+    #[test]
+    fn subsumption_deletes_and_strengthens_imported_learnts() {
+        // Imports enter the database as learnts, so feeding crafted
+        // clauses over an exchange exercises the subsumption pass
+        // deterministically: (a ∨ b) subsumes (a ∨ b ∨ c) exactly, and
+        // self-subsumes (¬a ∨ b ∨ d) down to (b ∨ d).
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let d = s.new_var();
+        let mut bus = BufferExchange::default();
+        bus.pool.push((vec![Lit::pos(a), Lit::pos(b)], 2, false));
+        bus.pool
+            .push((vec![Lit::pos(a), Lit::pos(b), Lit::pos(c)], 3, false));
+        bus.pool
+            .push((vec![Lit::neg(a), Lit::pos(b), Lit::pos(d)], 3, false));
+        assert!(s.solve_exchanging(&[], &mut bus).is_sat());
+        let st = s.stats();
+        assert!(st.subsumed >= 1, "exact subsumption must fire");
+        assert!(st.strengthened >= 1, "self-subsuming resolution must fire");
+    }
+
+    #[test]
+    fn tiered_retention_shrinks_pooled_solver_across_tasks() {
+        // The pooled-solver shape: one long-lived solver, consecutive
+        // hard queries. The size-triggered reduce must keep the live
+        // learnt count near the LOCAL budget instead of growing without
+        // bound, and the tier counters must stay consistent.
+        let mut s = Solver::attach_shared(hard_pigeonhole());
+        s.set_learnt_budget(20);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.conflicts > 100, "pigeonhole 7→6 must be nontrivial");
+        assert_eq!(
+            st.learnts,
+            st.learnts_core + st.learnts_mid + st.learnts_local,
+            "tier counters must partition the live learnt set"
+        );
+        assert!(
+            st.learnts < st.conflicts / 2,
+            "retention must shed learnts: {} live of {} learned",
+            st.learnts,
+            st.conflicts
+        );
+    }
+
+    #[test]
+    fn arena_gc_fires_under_churn_and_preserves_results() {
+        let mut s = Solver::attach_shared(hard_pigeonhole());
+        s.set_learnt_budget(10);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.gc_runs > 0, "churn at budget 10 must trigger arena GC");
+        assert!(st.gc_reclaimed_words > 0);
+    }
+
+    #[test]
+    fn toggles_preserve_enumerated_model_sets() {
+        // The byte-identity bar, at solver scope: every combination of the
+        // new toggles enumerates the identical model set, with and without
+        // exchange traffic.
+        let (cnf, vs) = exactly_one(8);
+        let mut reference: Option<Vec<Vec<bool>>> = None;
+        for inproc in [false, true] {
+            for tiers in [false, true] {
+                for lazy in [false, true] {
+                    let mut s = if lazy {
+                        Solver::attach_shared_lazy(cnf.clone())
+                    } else {
+                        Solver::attach_shared(cnf.clone())
+                    };
+                    s.set_inprocessing(inproc);
+                    s.set_tiered_retention(tiers);
+                    s.set_learnt_budget(4);
+                    let mut bus = BufferExchange::default();
+                    let models = enumerate(&mut s, &vs, &[], &mut bus);
+                    assert_eq!(models.len(), 8);
+                    match &reference {
+                        None => reference = Some(models),
+                        Some(r) => assert_eq!(
+                            &models, r,
+                            "inproc={inproc} tiers={tiers} lazy={lazy} diverged"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imported_lbd_is_clamped_not_length() {
+        // The satellite fix: an import's stored LBD is the sender's value
+        // (clamped to [1, len]), not unconditionally the clause length.
+        // Detect it through tier accounting: an LBD-2 import of length 4
+        // must land in CORE, which length-based filing would put in MID.
+        let mut s = Solver::new();
+        let vs: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let mut bus = BufferExchange::default();
+        bus.pool
+            .push((vs.iter().map(|&v| Lit::pos(v)).collect(), 2, false));
+        assert!(s.solve_exchanging(&[], &mut bus).is_sat());
+        let st = s.stats();
+        assert_eq!(st.learnts_core, 1, "sender LBD 2 files the import as CORE");
+        assert_eq!(st.learnts_mid + st.learnts_local, 0);
     }
 }
