@@ -10,6 +10,12 @@
 //! hit rate, shard counters — written to `BENCH_synth.json`). Suite files are written atomically
 //! (temp + rename), so a killed `emit` never leaves a half-written test.
 //!
+//! `experiments oracle` is the consistency-oracle acceptance run: the
+//! saturation checker against the enumeration oracle on a factorial
+//! stress row and across every reference-suite verdict, plus a loopback
+//! `CHECK` serving benchmark (speedup, agreement counts, and qps go to
+//! `BENCH_synth.json` for CI's oracle-smoke).
+//!
 //! `experiments remote [max_bound]` exercises the multi-host tier over
 //! loopback: a no-fault leg (coordinator + 2 workers, everything remote,
 //! zero degradation) and a kill leg (one worker dies mid-unit; its lease
@@ -136,6 +142,7 @@ fn main() {
             args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4),
         ),
         "remote" => remote(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3)),
+        "oracle" => oracle(),
         "all" => all(budget),
         other => match experiments().into_iter().find(|(name, _)| *name == other) {
             Some((_, run)) => {
@@ -754,6 +761,203 @@ fn serve(bound: usize, clients: usize) {
         stats.shard.reassigned,
         stats.shard.respawns,
         litsynth_core::engage_downgrades(),
+    );
+    let path = std::path::Path::new("BENCH_synth.json");
+    match litsynth_core::atomic_write(path, json.as_bytes()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// The consistency-oracle acceptance experiment (CI's oracle-smoke greps
+/// its JSON):
+///
+/// 1. **Stress row** — a test with 6 same-address writes whose outcome is
+///    SC-forbidden: enumeration walks every (rf, co) candidate (5040
+///    executions), the saturation checker refutes it from one forced
+///    cycle. `oracle_speedup` is the wall-clock ratio, reported as an
+///    integer so the CI grep (`"oracle_speedup": [0-9]{2,}` — i.e. ≥ 10×)
+///    stays a plain regex.
+/// 2. **Suite sweep** — every classics/owens/cambridge verdict computed
+///    both ways; `oracle_agreements` must equal `oracle_total` and
+///    `oracle_disagreements` must be 0.
+/// 3. **CHECK serving** — a loopback server answering the owens suite
+///    over the `CHECK` verb, cold then cached; `check_qps` is the
+///    sustained rate.
+fn oracle() {
+    use litsynth_litmus::suites::classics;
+    use litsynth_litmus::{Execution, Instr, LitmusTest};
+    use litsynth_models::check;
+
+    println!("\n## Consistency oracle — saturation checker vs enumeration\n");
+
+    // Stress row: T0 = Wx;Wx;Wx;Rx, T1 = Wx;Wx;Wx, and the read observes
+    // the initial value — po already orders three writes before it, so
+    // the verdict is forbidden and saturation finds the fr/po cycle
+    // during seeding, while enumeration must reject all 7 rf choices
+    // x 720 coherence orders one by one.
+    let stress = LitmusTest::new(
+        "OracleStress",
+        vec![
+            vec![
+                Instr::store(0),
+                Instr::store(0),
+                Instr::store(0),
+                Instr::load(0),
+            ],
+            vec![Instr::store(0), Instr::store(0), Instr::store(0)],
+        ],
+    );
+    let weak = classics::oc([(3, None)], []);
+    let executions = Execution::iter(&stress).count();
+    let sc = Sc::new();
+    let t0 = std::time::Instant::now();
+    assert!(
+        oracle::forbidden(&sc, &stress, &weak),
+        "stress outcome must be forbidden by enumeration"
+    );
+    let enum_s = t0.elapsed().as_secs_f64();
+    // The checker refutes this in microseconds; average a batch so the
+    // ratio isn't timer-resolution noise.
+    const CHECK_ITERS: u32 = 100;
+    let t1 = std::time::Instant::now();
+    for _ in 0..CHECK_ITERS {
+        assert!(
+            check::forbidden(&sc, &stress, &weak),
+            "stress outcome must be forbidden by the checker"
+        );
+    }
+    let check_s = t1.elapsed().as_secs_f64() / f64::from(CHECK_ITERS);
+    let oracle_speedup = (enum_s / check_s.max(1e-12)).round() as u64;
+    println!(
+        "stress: {executions} executions | enumeration {:.2} ms | checker {:.4} ms | {}x",
+        enum_s * 1e3,
+        check_s * 1e3,
+        oracle_speedup
+    );
+
+    // Suite sweep: both deciders over every reference verdict.
+    let tso = Tso::new();
+    let power = Power::new();
+    let mut entries: Vec<(&'static str, LitmusTest, litsynth_litmus::Outcome)> = Vec::new();
+    for e in owens::suite() {
+        entries.push(("tso", e.test, e.outcome));
+    }
+    for e in cambridge::suite() {
+        entries.push(("power", e.test, e.outcome));
+    }
+    for (t, o) in [
+        classics::mp(),
+        classics::sb(),
+        classics::lb(),
+        classics::s(),
+        classics::r(),
+        classics::two_plus_two_w(),
+        classics::wrc(),
+        classics::iriw(),
+        classics::corr(),
+        classics::coww(),
+        classics::corw(),
+        classics::cowr(),
+        classics::colb(),
+        classics::sb_fences(),
+        classics::rwc(),
+        classics::rwc_fence(),
+        classics::rmw_rmw(),
+    ] {
+        entries.push(("sc", t.clone(), o.clone()));
+        entries.push(("tso", t, o));
+    }
+    let decide_enum = |m: &str, t: &LitmusTest, o: &litsynth_litmus::Outcome| match m {
+        "sc" => oracle::forbidden(&sc, t, o),
+        "tso" => oracle::forbidden(&tso, t, o),
+        _ => oracle::forbidden(&power, t, o),
+    };
+    let decide_check = |m: &str, t: &LitmusTest, o: &litsynth_litmus::Outcome| match m {
+        "sc" => check::forbidden(&sc, t, o),
+        "tso" => check::forbidden(&tso, t, o),
+        _ => check::forbidden(&power, t, o),
+    };
+    let t2 = std::time::Instant::now();
+    let enum_verdicts: Vec<bool> = entries
+        .iter()
+        .map(|(m, t, o)| decide_enum(m, t, o))
+        .collect();
+    let suite_enum_s = t2.elapsed().as_secs_f64();
+    let t3 = std::time::Instant::now();
+    let check_verdicts: Vec<bool> = entries
+        .iter()
+        .map(|(m, t, o)| decide_check(m, t, o))
+        .collect();
+    let suite_check_s = t3.elapsed().as_secs_f64();
+    let oracle_total = entries.len();
+    let oracle_agreements = enum_verdicts
+        .iter()
+        .zip(&check_verdicts)
+        .filter(|(a, b)| a == b)
+        .count();
+    let oracle_disagreements = oracle_total - oracle_agreements;
+    println!(
+        "suites: {oracle_agreements}/{oracle_total} agree | enumeration {:.1} ms | \
+         checker {:.1} ms",
+        suite_enum_s * 1e3,
+        suite_check_s * 1e3,
+    );
+    assert_eq!(
+        oracle_disagreements, 0,
+        "checker must agree with enumeration"
+    );
+
+    // CHECK serving over loopback: cold round, then two cached rounds.
+    let (check_qps, check_cache_hits) = {
+        use litsynth_serve::{Client, ServeConfig, Server};
+        let server = Server::start(ServeConfig::default()).expect("loopback server starts");
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        let suite = owens::suite();
+        let mut requests = 0usize;
+        let t4 = std::time::Instant::now();
+        for _round in 0..3 {
+            for e in &suite {
+                let verdict = client
+                    .check("tso", &e.test, &e.outcome)
+                    .expect("CHECK round-trips");
+                assert_eq!(
+                    !verdict.consistent,
+                    e.forbidden,
+                    "{}: served verdict must match the suite",
+                    e.test.name()
+                );
+                requests += 1;
+            }
+        }
+        let qps = requests as f64 / t4.elapsed().as_secs_f64().max(1e-9);
+        let stats = server.stats();
+        assert_eq!(stats.check_requests, requests as u64);
+        assert!(
+            stats.check_cache_hits >= (2 * suite.len()) as u64,
+            "repeat rounds must hit the check cache"
+        );
+        println!(
+            "serve: {requests} CHECKs ({} cached) in {:.3} s ({qps:.0} qps)",
+            stats.check_cache_hits,
+            t4.elapsed().as_secs_f64()
+        );
+        server.shutdown();
+        (qps, stats.check_cache_hits)
+    };
+
+    let json = format!(
+        "{{\n  \"experiment\": \"oracle\",\n  \"stress_test\": \"OracleStress\",\n  \
+         \"stress_executions\": {executions},\n  \"enum_ms\": {:.3},\n  \
+         \"check_ms\": {:.5},\n  \"oracle_speedup\": {oracle_speedup},\n  \
+         \"oracle_agreements\": {oracle_agreements},\n  \"oracle_total\": {oracle_total},\n  \
+         \"oracle_disagreements\": {oracle_disagreements},\n  \
+         \"suite_enum_ms\": {:.3},\n  \"suite_check_ms\": {:.3},\n  \
+         \"check_qps\": {check_qps:.1},\n  \"check_cache_hits\": {check_cache_hits}\n}}\n",
+        enum_s * 1e3,
+        check_s * 1e3,
+        suite_enum_s * 1e3,
+        suite_check_s * 1e3,
     );
     let path = std::path::Path::new("BENCH_synth.json");
     match litsynth_core::atomic_write(path, json.as_bytes()) {

@@ -181,6 +181,14 @@ pub struct SynthConfig {
     /// [`SynthConfig::adaptive_engage`] is on. The default (3) downgrades
     /// exactly the bound-2 queries, where the portfolio never pays off.
     pub engage_below: usize,
+    /// Re-verify every synthesized test with the polynomial consistency
+    /// checker (`litsynth_models::check`) after the suite is assembled:
+    /// each emitted (test, outcome) must be forbidden under its axiom's
+    /// claim. Purely a read-only assertion — it never changes the suite
+    /// bytes or the fingerprint — so it is excluded from
+    /// `config_fingerprint`. Off by default (release sweeps); CI turns it
+    /// on. Panics on the first disagreement.
+    pub cross_check: bool,
     /// Per-query progress callback; `None` (the default) reports nothing.
     pub progress: Option<ProgressSink>,
     /// Deterministic fault-injection plan (testing only). Defaults to the
@@ -224,6 +232,7 @@ impl SynthConfig {
             solve_wall_ms: 0,
             adaptive_engage: true,
             engage_below: 3,
+            cross_check: false,
             progress: None,
             fault_plan: litsynth_sat::FaultPlan::global(),
             journal: None,
@@ -234,6 +243,14 @@ impl SynthConfig {
     /// style).
     pub fn with_adaptive_engage(mut self, engage: bool) -> SynthConfig {
         self.adaptive_engage = engage;
+        self
+    }
+
+    /// Enables or disables the post-synthesis consistency cross-check
+    /// (builder style). Read-only defense in depth: suites and fingerprints
+    /// are identical either way.
+    pub fn with_cross_check(mut self, cross_check: bool) -> SynthConfig {
+        self.cross_check = cross_check;
         self
     }
 

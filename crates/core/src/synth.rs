@@ -1057,6 +1057,28 @@ fn journal_hit_result(tests: CanonicalSuite, elapsed: Duration) -> SynthResult {
     r
 }
 
+/// Post-synthesis consistency cross-check ([`SynthConfig::cross_check`]):
+/// re-verifies with the polynomial saturation checker
+/// (`litsynth_models::check`) that every emitted (test, outcome) really is
+/// forbidden — an axiom-forbidden outcome is model-forbidden (more axioms
+/// only shrink the allowed set), so the full-model check is sound for
+/// per-axiom suites. Read-only defense in depth for the byte-identity
+/// bar: it never mutates the suite, and a disagreement is a synthesis or
+/// model bug, so it panics.
+fn cross_check_suite<M: MemoryModel>(model: &M, axiom: &str, cfg: &SynthConfig, r: &SynthResult) {
+    if !cfg.cross_check {
+        return;
+    }
+    for (key, (test, outcome)) in &r.tests {
+        assert!(
+            litsynth_models::check::forbidden(model, test, outcome),
+            "cross-check failed: {key} (model {}, axiom {axiom}) claims a forbidden \
+             outcome the consistency checker finds observable",
+            model.name(),
+        );
+    }
+}
+
 /// Journals `r` if it is complete: not truncated, no degraded workers, and
 /// a journal is configured. Partial suites are deliberately never
 /// recorded — a resume must only ever skip work whose output is exact.
@@ -1153,6 +1175,7 @@ pub fn synthesize_axiom<M: MemoryModel + Sync>(
     let axiom = static_axiom(model, axiom);
     if let Some(tests) = journal_lookup(model, axiom, cfg) {
         let r = journal_hit_result(tests, start.elapsed());
+        cross_check_suite(model, axiom, cfg, &r);
         emit_progress(model.name(), axiom, cfg, &r);
         return r;
     }
@@ -1175,6 +1198,7 @@ pub fn synthesize_axiom<M: MemoryModel + Sync>(
         .collect();
     let runs = run_tasks(model, &tasks, cfg.threads);
     let r = merge_query(runs, start.elapsed());
+    cross_check_suite(model, axiom, cfg, &r);
     record_if_clean(model.name(), axiom, cfg, &r);
     emit_progress(model.name(), axiom, cfg, &r);
     r
@@ -1199,6 +1223,7 @@ pub fn synthesize_union<M: MemoryModel + Sync>(
     let runs = run_tasks(model, &tasks, cfg.threads);
     let (per_axiom, union) = merge_union(model, tasks, runs, start, hits);
     for (&ax, r) in &per_axiom {
+        cross_check_suite(model, ax, cfg, r);
         record_if_clean(model.name(), ax, cfg, r);
         emit_progress(model.name(), ax, cfg, r);
     }
@@ -1374,6 +1399,7 @@ pub fn synthesize_union_up_to_with_stats<M: MemoryModel + Sync>(
             stats.strengthened += r.strengthened;
             stats.gc_runs += r.gc_runs;
             stats.gc_reclaimed_words += r.gc_reclaimed_words;
+            cross_check_suite(model, ax, cfg, r);
             record_if_clean(model.name(), ax, cfg, r);
             emit_progress(model.name(), ax, cfg, r);
         }
@@ -1638,10 +1664,14 @@ mod tests {
         // counts are compared too: imports must not swallow classes.
         let m = Tso::new();
         let run = |threads: usize, cube_bits: usize, exchange: bool| {
+            // cross_check: every matrix leg is also semantically
+            // re-verified by the polynomial consistency checker (CI's
+            // determinism job rides on this test).
             let cfg = SynthConfig::new(3)
                 .with_threads(threads)
                 .with_cube_bits(cube_bits)
-                .with_exchange(exchange);
+                .with_exchange(exchange)
+                .with_cross_check(true);
             let (p, u) = synthesize_union(&m, &cfg);
             (
                 fingerprint(&p, &u),
@@ -1850,6 +1880,7 @@ mod tests {
                     .with_shelve(shelve)
                     .with_domain(domain)
                     .with_vault(vault)
+                    .with_cross_check(true)
             });
             suite_bytes(&u)
         };
@@ -1905,6 +1936,7 @@ mod tests {
                     .with_shelve(shelve)
                     .with_domain(domain)
                     .with_vault(vault)
+                    .with_cross_check(true)
             });
             suite_bytes(&u)
         };

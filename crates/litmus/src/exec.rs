@@ -25,64 +25,49 @@ pub struct Execution {
 impl Execution {
     /// Enumerates every candidate execution of `test`.
     ///
+    /// Materializes [`Execution::iter`]; callers that can stop early (first
+    /// witness found) should iterate instead of collecting.
+    pub fn enumerate(test: &LitmusTest) -> Vec<Execution> {
+        Execution::iter(test).collect()
+    }
+
+    /// Streams every candidate execution of `test` without materializing
+    /// the (factorial-sized) candidate set.
+    ///
     /// Each read may source from any same-address write (including po-later
     /// ones — filtering those is the `sc_per_loc` axiom's job) or the initial
     /// value; each address's writes may be coherence-ordered in any
-    /// permutation.
-    pub fn enumerate(test: &LitmusTest) -> Vec<Execution> {
+    /// permutation. The order matches the historical `enumerate`: coherence
+    /// permutations vary fastest (last address innermost, lexicographic by
+    /// gid), then reads-from choices (last read innermost, initial value
+    /// first then writes in gid order).
+    pub fn iter(test: &LitmusTest) -> ExecutionIter {
         let reads = test.reads();
-        let addrs = test.addresses();
-
-        // All rf choices: cartesian product over reads.
-        let mut rf_choices: Vec<BTreeMap<usize, Option<usize>>> = vec![BTreeMap::new()];
+        let mut sources: Vec<(usize, Vec<Option<usize>>)> = Vec::with_capacity(reads.len());
         for &r in &reads {
             let addr = test.instr(r).addr().expect("read has address");
-            let mut sources: Vec<Option<usize>> = vec![None];
+            let mut srcs: Vec<Option<usize>> = vec![None];
             for w in test.writes_to(addr) {
                 if w != r {
-                    sources.push(Some(w));
+                    srcs.push(Some(w));
                 }
             }
-            let mut next = Vec::with_capacity(rf_choices.len() * sources.len());
-            for base in &rf_choices {
-                for &s in &sources {
-                    let mut m = base.clone();
-                    m.insert(r, s);
-                    next.push(m);
-                }
-            }
-            rf_choices = next;
+            sources.push((r, srcs));
         }
-
-        // All co choices: product of permutations per address.
-        let mut co_choices: Vec<BTreeMap<Addr, Vec<usize>>> = vec![BTreeMap::new()];
-        for &a in &addrs {
-            let ws = test.writes_to(a);
-            if ws.is_empty() {
-                continue;
-            }
-            let perms = permutations(&ws);
-            let mut next = Vec::with_capacity(co_choices.len() * perms.len());
-            for base in &co_choices {
-                for p in &perms {
-                    let mut m = base.clone();
-                    m.insert(a, p.clone());
-                    next.push(m);
-                }
-            }
-            co_choices = next;
+        let perms: Vec<(Addr, Vec<usize>)> = test
+            .addresses()
+            .into_iter()
+            .filter_map(|a| {
+                let ws = test.writes_to(a); // gid order = lexicographic start
+                (!ws.is_empty()).then_some((a, ws))
+            })
+            .collect();
+        ExecutionIter {
+            rf_idx: vec![0; sources.len()],
+            sources,
+            perms,
+            done: false,
         }
-
-        let mut out = Vec::with_capacity(rf_choices.len() * co_choices.len());
-        for rf in &rf_choices {
-            for co in &co_choices {
-                out.push(Execution {
-                    rf: rf.clone(),
-                    co: co.clone(),
-                });
-            }
-        }
-        out
     }
 
     /// The observable outcome of this execution.
@@ -173,20 +158,81 @@ impl Execution {
     }
 }
 
-fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
-    if items.is_empty() {
-        return vec![vec![]];
-    }
-    let mut out = Vec::new();
-    for (i, &x) in items.iter().enumerate() {
-        let mut rest: Vec<usize> = items.to_vec();
-        rest.remove(i);
-        for mut p in permutations(&rest) {
-            p.insert(0, x);
-            out.push(p);
+/// Streaming candidate-execution enumerator: an odometer over per-read
+/// reads-from choices and per-address coherence permutations. Holds O(events)
+/// state regardless of how many candidates exist.
+pub struct ExecutionIter {
+    /// Per read: (gid, source choices — `None` first, then writes in gid
+    /// order).
+    sources: Vec<(usize, Vec<Option<usize>>)>,
+    /// Current source index per read.
+    rf_idx: Vec<usize>,
+    /// Per address with ≥1 write: current coherence permutation, advanced
+    /// lexicographically in place.
+    perms: Vec<(Addr, Vec<usize>)>,
+    done: bool,
+}
+
+impl Iterator for ExecutionIter {
+    type Item = Execution;
+
+    fn next(&mut self) -> Option<Execution> {
+        if self.done {
+            return None;
         }
+        let current = Execution {
+            rf: self
+                .sources
+                .iter()
+                .zip(&self.rf_idx)
+                .map(|((r, srcs), &i)| (*r, srcs[i]))
+                .collect(),
+            co: self.perms.iter().map(|(a, p)| (*a, p.clone())).collect(),
+        };
+        // Advance: co digits first (last address fastest), then rf digits
+        // (last read fastest) — the historical nesting order.
+        let mut carried = true;
+        for (_, p) in self.perms.iter_mut().rev() {
+            if next_permutation(p) {
+                carried = false;
+                break;
+            }
+            p.sort_unstable(); // wrap to the lexicographic minimum
+        }
+        if carried {
+            for (i, (_, srcs)) in self.rf_idx.iter_mut().zip(&self.sources).rev() {
+                *i += 1;
+                if *i < srcs.len() {
+                    carried = false;
+                    break;
+                }
+                *i = 0;
+            }
+        }
+        self.done = carried;
+        Some(current)
     }
-    out
+}
+
+/// Advances `items` to its lexicographic successor in place; `false` (and
+/// leaves the maximal permutation) when already at the last one.
+fn next_permutation(items: &mut [usize]) -> bool {
+    if items.len() < 2 {
+        return false;
+    }
+    let Some(i) = (0..items.len() - 1)
+        .rev()
+        .find(|&i| items[i] < items[i + 1])
+    else {
+        return false;
+    };
+    let j = (i + 1..items.len())
+        .rev()
+        .find(|&j| items[j] > items[i])
+        .expect("successor exists right of pivot");
+    items.swap(i, j);
+    items[i + 1..].reverse();
+    true
 }
 
 #[cfg(test)]
@@ -291,8 +337,132 @@ mod tests {
     }
 
     #[test]
-    fn permutation_count() {
-        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
-        assert_eq!(permutations(&[]).len(), 1);
+    fn next_permutation_is_lexicographic() {
+        let mut p = vec![1, 2, 3];
+        let mut seen = vec![p.clone()];
+        while next_permutation(&mut p) {
+            seen.push(p.clone());
+        }
+        assert_eq!(seen.len(), 6);
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "visited in lexicographic order");
+        assert!(!next_permutation(&mut []));
+        assert!(!next_permutation(&mut [7]));
+    }
+
+    /// The pre-iterator enumeration (materializing cartesian products), kept
+    /// as the reference the streaming odometer must reproduce exactly —
+    /// same candidates, same order.
+    fn naive_enumerate(test: &LitmusTest) -> Vec<Execution> {
+        fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+            if items.is_empty() {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for (i, &x) in items.iter().enumerate() {
+                let mut rest: Vec<usize> = items.to_vec();
+                rest.remove(i);
+                for mut p in permutations(&rest) {
+                    p.insert(0, x);
+                    out.push(p);
+                }
+            }
+            out
+        }
+        let mut rf_choices: Vec<BTreeMap<usize, Option<usize>>> = vec![BTreeMap::new()];
+        for &r in &test.reads() {
+            let addr = test.instr(r).addr().expect("read has address");
+            let mut sources: Vec<Option<usize>> = vec![None];
+            for w in test.writes_to(addr) {
+                if w != r {
+                    sources.push(Some(w));
+                }
+            }
+            let mut next = Vec::new();
+            for base in &rf_choices {
+                for &s in &sources {
+                    let mut m = base.clone();
+                    m.insert(r, s);
+                    next.push(m);
+                }
+            }
+            rf_choices = next;
+        }
+        let mut co_choices: Vec<BTreeMap<Addr, Vec<usize>>> = vec![BTreeMap::new()];
+        for &a in &test.addresses() {
+            let ws = test.writes_to(a);
+            if ws.is_empty() {
+                continue;
+            }
+            let mut next = Vec::new();
+            for base in &co_choices {
+                for p in permutations(&ws) {
+                    let mut m = base.clone();
+                    m.insert(a, p);
+                    next.push(m);
+                }
+            }
+            co_choices = next;
+        }
+        let mut out = Vec::new();
+        for rf in &rf_choices {
+            for co in &co_choices {
+                out.push(Execution {
+                    rf: rf.clone(),
+                    co: co.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_iterator_matches_naive_enumeration_exactly() {
+        let tests = vec![
+            mp(),
+            LitmusTest::new(
+                "CoRW",
+                vec![vec![Instr::load(0), Instr::store(0)], vec![Instr::store(0)]],
+            ),
+            LitmusTest::new("rmw", vec![vec![Instr::rmw(0)], vec![Instr::store(0)]]),
+            LitmusTest::new(
+                "3w1r",
+                vec![
+                    vec![Instr::store(0), Instr::store(0)],
+                    vec![Instr::store(0), Instr::load(0)],
+                    vec![Instr::load(1)],
+                ],
+            ),
+            LitmusTest::new("no_events_read", vec![vec![Instr::load(0)]]),
+        ];
+        for t in tests {
+            let naive = naive_enumerate(&t);
+            let streamed: Vec<Execution> = Execution::iter(&t).collect();
+            assert_eq!(
+                streamed,
+                naive,
+                "{}: same candidates in the same order",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_iterator_is_lazy() {
+        // 3 writes + 2 reads to one address: the full set is 3! × (4 × 4)
+        // candidates, but taking one costs one.
+        let t = LitmusTest::new(
+            "big",
+            vec![
+                vec![Instr::store(0), Instr::store(0), Instr::store(0)],
+                vec![Instr::load(0), Instr::load(0)],
+            ],
+        );
+        let first = Execution::iter(&t).next().expect("nonempty");
+        assert_eq!(first.rf[&3], None);
+        assert_eq!(first.rf[&4], None);
+        assert_eq!(first.co[&Addr(0)], vec![0, 1, 2]);
+        assert_eq!(Execution::iter(&t).count(), 6 * 16);
     }
 }

@@ -1,8 +1,10 @@
 //! # litsynth-litmus
 //!
 //! Litmus-test infrastructure: the program/outcome AST, concrete relation
-//! algebra, explicit execution enumeration, canonicalization, reference
-//! suites, and a diy-style randomized generator.
+//! algebra, explicit execution enumeration, the saturation-based
+//! consistency-checking core ([`check`]), a line-oriented wire codec
+//! ([`wire`]), canonicalization, reference suites, and a diy-style
+//! randomized generator.
 //!
 //! A [`LitmusTest`] is a small multi-threaded program; an [`Outcome`] is the
 //! observable result of one execution (who each read read from, plus the
@@ -35,18 +37,21 @@ mod exec;
 mod rel;
 mod test;
 
+pub mod check;
 pub mod diy;
 pub mod format;
 pub mod rng;
 pub mod suites;
+pub mod wire;
 
 pub use canon::{
     apply_thread_order, canonical_key_exact, canonical_key_hash, canonicalize_exact, serialize,
     TwoTierCanon,
 };
+pub use check::{each_co_extension, saturate, AxiomSpec, CycleWitness, DiGraph, RfPart, SpecKind};
 pub use convert::to_rmw_pairs;
 pub use event::{Addr, DepKind, FenceKind, Instr, MemOrder, Scope};
-pub use exec::Execution;
+pub use exec::{Execution, ExecutionIter};
 pub use rel::{union_all, Rel};
 pub use rng::SplitMix64;
 pub use test::{Dep, LitmusTest, Outcome, RmwPair};

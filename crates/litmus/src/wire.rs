@@ -1,0 +1,397 @@
+//! Line-oriented wire codec for tests and outcomes.
+//!
+//! The serve layer's `CHECK` verb ships a whole litmus test plus the
+//! outcome to check across the wire. The encoding is the same discipline as
+//! the serve protocol's key=value bodies: one `key=value` per line, strict
+//! parsing (unknown keys are errors — the encoded body feeds a fingerprint
+//! cache, so a silently dropped field could serve the wrong verdict),
+//! dependency-free.
+//!
+//! ```text
+//! name=MP
+//! thread=load,1,relaxed,system;store,0,release,system
+//! dep=0:0:1:addr
+//! rmw=1:0
+//! rf=2:1
+//! rf=3:init
+//! final=0:0
+//! ```
+//!
+//! `thread` lines appear once per thread in order; instructions are
+//! `;`-separated. `rf`/`final` lines carry the outcome (gids; `init` for
+//! the initial value). `dep` is `tid:from:to:kind`, `rmw` is `tid:load`.
+
+use crate::event::{Addr, DepKind, FenceKind, Instr, MemOrder, Scope};
+use crate::test::{LitmusTest, Outcome};
+use std::fmt::Write as _;
+
+/// A malformed wire body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+fn order_name(o: MemOrder) -> &'static str {
+    match o {
+        MemOrder::Relaxed => "relaxed",
+        MemOrder::Consume => "consume",
+        MemOrder::Acquire => "acquire",
+        MemOrder::Release => "release",
+        MemOrder::AcqRel => "acqrel",
+        MemOrder::SeqCst => "seqcst",
+    }
+}
+
+fn order_of(s: &str) -> Result<MemOrder, WireError> {
+    Ok(match s {
+        "relaxed" => MemOrder::Relaxed,
+        "consume" => MemOrder::Consume,
+        "acquire" => MemOrder::Acquire,
+        "release" => MemOrder::Release,
+        "acqrel" => MemOrder::AcqRel,
+        "seqcst" => MemOrder::SeqCst,
+        _ => return err(format!("unknown memory order `{s}`")),
+    })
+}
+
+fn scope_name(s: Scope) -> &'static str {
+    match s {
+        Scope::WorkItem => "workitem",
+        Scope::WorkGroup => "workgroup",
+        Scope::Device => "device",
+        Scope::System => "system",
+    }
+}
+
+fn scope_of(s: &str) -> Result<Scope, WireError> {
+    Ok(match s {
+        "workitem" => Scope::WorkItem,
+        "workgroup" => Scope::WorkGroup,
+        "device" => Scope::Device,
+        "system" => Scope::System,
+        _ => return err(format!("unknown scope `{s}`")),
+    })
+}
+
+fn fence_name(k: FenceKind) -> &'static str {
+    match k {
+        FenceKind::Full => "full",
+        FenceKind::Lightweight => "lightweight",
+        FenceKind::AcqRel => "acqrel",
+        FenceKind::Acquire => "acquire",
+        FenceKind::Release => "release",
+    }
+}
+
+fn fence_of(s: &str) -> Result<FenceKind, WireError> {
+    Ok(match s {
+        "full" => FenceKind::Full,
+        "lightweight" => FenceKind::Lightweight,
+        "acqrel" => FenceKind::AcqRel,
+        "acquire" => FenceKind::Acquire,
+        "release" => FenceKind::Release,
+        _ => return err(format!("unknown fence kind `{s}`")),
+    })
+}
+
+fn dep_name(k: DepKind) -> &'static str {
+    match k {
+        DepKind::Addr => "addr",
+        DepKind::Data => "data",
+        DepKind::Ctrl => "ctrl",
+        DepKind::CtrlIsync => "ctrlisync",
+    }
+}
+
+fn dep_of(s: &str) -> Result<DepKind, WireError> {
+    Ok(match s {
+        "addr" => DepKind::Addr,
+        "data" => DepKind::Data,
+        "ctrl" => DepKind::Ctrl,
+        "ctrlisync" => DepKind::CtrlIsync,
+        _ => return err(format!("unknown dep kind `{s}`")),
+    })
+}
+
+fn instr_str(i: &Instr) -> String {
+    match *i {
+        Instr::Load { addr, order, scope } => {
+            format!(
+                "load,{},{},{}",
+                addr.0,
+                order_name(order),
+                scope_name(scope)
+            )
+        }
+        Instr::Store { addr, order, scope } => {
+            format!(
+                "store,{},{},{}",
+                addr.0,
+                order_name(order),
+                scope_name(scope)
+            )
+        }
+        Instr::Rmw { addr, order, scope } => {
+            format!("rmw,{},{},{}", addr.0, order_name(order), scope_name(scope))
+        }
+        Instr::Fence { kind, scope } => {
+            format!("fence,{},{}", fence_name(kind), scope_name(scope))
+        }
+    }
+}
+
+fn instr_of(s: &str) -> Result<Instr, WireError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    match parts.as_slice() {
+        ["fence", kind, scope] => Ok(Instr::Fence {
+            kind: fence_of(kind)?,
+            scope: scope_of(scope)?,
+        }),
+        [op @ ("load" | "store" | "rmw"), addr, order, scope] => {
+            let addr = Addr(
+                addr.parse::<u8>()
+                    .map_err(|_| WireError(format!("bad address `{addr}`")))?,
+            );
+            let order = order_of(order)?;
+            let scope = scope_of(scope)?;
+            Ok(match *op {
+                "load" => Instr::Load { addr, order, scope },
+                "store" => Instr::Store { addr, order, scope },
+                _ => Instr::Rmw { addr, order, scope },
+            })
+        }
+        _ => err(format!("malformed instruction `{s}`")),
+    }
+}
+
+/// Encodes a test plus outcome as the `CHECK` wire body.
+pub fn encode(test: &LitmusTest, outcome: &Outcome) -> String {
+    let mut s = String::new();
+    // A newline or '=' in the name would corrupt the framing.
+    let name: String = test
+        .name()
+        .chars()
+        .map(|c| if c == '\n' || c == '=' { '_' } else { c })
+        .collect();
+    writeln!(s, "name={name}").unwrap();
+    for t in test.threads() {
+        let instrs: Vec<String> = t.iter().map(instr_str).collect();
+        writeln!(s, "thread={}", instrs.join(";")).unwrap();
+    }
+    for d in test.deps() {
+        writeln!(s, "dep={}:{}:{}:{}", d.tid, d.from, d.to, dep_name(d.kind)).unwrap();
+    }
+    for p in test.rmw_pairs() {
+        writeln!(s, "rmw={}:{}", p.tid, p.load).unwrap();
+    }
+    for (&r, &src) in &outcome.rf {
+        match src {
+            Some(w) => writeln!(s, "rf={r}:{w}").unwrap(),
+            None => writeln!(s, "rf={r}:init").unwrap(),
+        }
+    }
+    for (&a, &w) in &outcome.finals {
+        writeln!(s, "final={}:{}", a.0, w).unwrap();
+    }
+    s
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, WireError> {
+    s.parse::<usize>()
+        .map_err(|_| WireError(format!("bad {what} `{s}`")))
+}
+
+/// Decodes a `CHECK` wire body back into a test plus outcome.
+///
+/// Strict: unknown keys, malformed fields, and structurally invalid
+/// deps/rmw-pairs (which the `LitmusTest` builders would panic on) are all
+/// errors.
+pub fn decode(body: &str) -> Result<(LitmusTest, Outcome), WireError> {
+    let mut name: Option<String> = None;
+    let mut threads: Vec<Vec<Instr>> = Vec::new();
+    let mut deps: Vec<(usize, usize, usize, DepKind)> = Vec::new();
+    let mut rmws: Vec<(usize, usize)> = Vec::new();
+    let mut outcome = Outcome::empty();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return err(format!("missing `=` in `{line}`"));
+        };
+        match key {
+            "name" => name = Some(value.to_string()),
+            "thread" => {
+                let mut instrs = Vec::new();
+                for part in value.split(';') {
+                    instrs.push(instr_of(part)?);
+                }
+                threads.push(instrs);
+            }
+            "dep" => {
+                let parts: Vec<&str> = value.split(':').collect();
+                let [tid, from, to, kind] = parts.as_slice() else {
+                    return err(format!("malformed dep `{value}`"));
+                };
+                deps.push((
+                    parse_usize(tid, "dep tid")?,
+                    parse_usize(from, "dep from")?,
+                    parse_usize(to, "dep to")?,
+                    dep_of(kind)?,
+                ));
+            }
+            "rmw" => {
+                let Some((tid, load)) = value.split_once(':') else {
+                    return err(format!("malformed rmw pair `{value}`"));
+                };
+                rmws.push((parse_usize(tid, "rmw tid")?, parse_usize(load, "rmw load")?));
+            }
+            "rf" => {
+                let Some((r, w)) = value.split_once(':') else {
+                    return err(format!("malformed rf `{value}`"));
+                };
+                let r = parse_usize(r, "rf read")?;
+                let src = if w == "init" {
+                    None
+                } else {
+                    Some(parse_usize(w, "rf write")?)
+                };
+                outcome.rf.insert(r, src);
+            }
+            "final" => {
+                let Some((a, w)) = value.split_once(':') else {
+                    return err(format!("malformed final `{value}`"));
+                };
+                let a = a
+                    .parse::<u8>()
+                    .map_err(|_| WireError(format!("bad final address `{a}`")))?;
+                outcome
+                    .finals
+                    .insert(Addr(a), parse_usize(w, "final write")?);
+            }
+            _ => return err(format!("unknown key `{key}`")),
+        }
+    }
+    let Some(name) = name else {
+        return err("missing name");
+    };
+    if threads.is_empty() {
+        return err("no threads");
+    }
+    let total: usize = threads.iter().map(Vec::len).sum();
+    if total == 0 || total > 64 {
+        return err(format!("{total} events (must be 1..=64)"));
+    }
+    // Validate dep/rmw shapes up front: the builders assert on them.
+    for &(tid, from, to, _) in &deps {
+        let Some(t) = threads.get(tid) else {
+            return err(format!("dep tid {tid} out of range"));
+        };
+        if from >= to || to >= t.len() {
+            return err(format!("dep {from}->{to} out of range in thread {tid}"));
+        }
+        if !t[from].is_read() {
+            return err(format!("dep source {tid}:{from} is not a read"));
+        }
+    }
+    for &(tid, load) in &rmws {
+        let Some(t) = threads.get(tid) else {
+            return err(format!("rmw tid {tid} out of range"));
+        };
+        let ok = t.get(load).is_some_and(|i| matches!(i, Instr::Load { .. }))
+            && t.get(load + 1)
+                .is_some_and(|i| matches!(i, Instr::Store { .. }))
+            && t[load].addr() == t[load + 1].addr();
+        if !ok {
+            return err(format!(
+                "rmw pair {tid}:{load} is not an adjacent same-address load/store"
+            ));
+        }
+    }
+    let mut test = LitmusTest::new(name, threads);
+    for (tid, from, to, kind) in deps {
+        test = test.with_dep(tid, from, to, kind);
+    }
+    for (tid, load) in rmws {
+        test = test.with_rmw_pair(tid, load);
+    }
+    Ok((test, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mp_with_everything() -> (LitmusTest, Outcome) {
+        let t = LitmusTest::new(
+            "MP+dep",
+            vec![
+                vec![
+                    Instr::store(0),
+                    Instr::fence(FenceKind::Lightweight),
+                    Instr::store_ord(1, MemOrder::Release),
+                ],
+                vec![Instr::load_ord(1, MemOrder::Acquire), Instr::load(0)],
+                vec![Instr::load(2), Instr::store(2)],
+            ],
+        )
+        .with_dep(1, 0, 1, DepKind::Addr)
+        .with_rmw_pair(2, 0);
+        let o = Outcome::of([(3, Some(2)), (4, None)], [(Addr(0), 0)]);
+        (t, o)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (t, o) = mp_with_everything();
+        let body = encode(&t, &o);
+        let (t2, o2) = decode(&body).expect("decodes");
+        assert_eq!(t2.name(), t.name());
+        assert_eq!(t2.threads(), t.threads());
+        assert_eq!(t2.deps(), t.deps());
+        assert_eq!(t2.rmw_pairs(), t.rmw_pairs());
+        assert_eq!(o2, o);
+        // And the re-encoding is byte-identical (cache-key stability).
+        assert_eq!(encode(&t2, &o2), body);
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let (t, o) = mp_with_everything();
+        let body = format!("{}bogus=1\n", encode(&t, &o));
+        assert!(decode(&body).is_err());
+    }
+
+    #[test]
+    fn malformed_fields_are_rejected() {
+        for body in [
+            "thread=load,0,relaxed,system\n",             // missing name
+            "name=t\n",                                   // no threads
+            "name=t\nthread=load,0,upsidedown,system\n",  // bad order
+            "name=t\nthread=teleport,0,relaxed,system\n", // bad op
+            "name=t\nthread=load,0,relaxed,system\ndep=0:0:5:addr\n", // dep range
+            "name=t\nthread=store,0,relaxed,system;load,0,relaxed,system\nrmw=0:0\n", // rmw shape
+            "name=t\nthread=load,0,relaxed,system\nrf=zero:init\n", // bad gid
+        ] {
+            assert!(decode(body).is_err(), "{body:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn name_with_equals_is_sanitized() {
+        let t = LitmusTest::new("a=b\nc", vec![vec![Instr::load(0)]]);
+        let body = encode(&t, &Outcome::empty());
+        let (t2, _) = decode(&body).expect("decodes");
+        assert_eq!(t2.name(), "a_b_c");
+    }
+}

@@ -133,6 +133,34 @@ impl MemoryModel for C11 {
         }
     }
 
+    fn check_specs(
+        &self,
+        _test: &litsynth_litmus::LitmusTest,
+        ctx: &Ctx<crate::alg::ConcreteAlg>,
+    ) -> Vec<litsynth_litmus::AxiomSpec> {
+        use litsynth_litmus::{AxiomSpec, RfPart, SpecKind};
+        let mut alg = crate::alg::ConcreteAlg;
+        vec![
+            // coherence = irreflexive(hb ; eco?): hb depends on rf (via sw)
+            // but never on co, so the probe context computes it exactly.
+            AxiomSpec {
+                axiom: "coherence",
+                kind: SpecKind::OrderEco,
+                base: self.hb(&mut alg, ctx),
+                rf: RfPart::All,
+            },
+            // no_thin_air = acyclic(dep ∪ rf): no coherence in the union, so
+            // it checks once and never forces.
+            AxiomSpec {
+                axiom: "no_thin_air",
+                kind: SpecKind::Static,
+                base: ctx.dep(&mut alg),
+                rf: RfPart::All,
+            },
+            // atomicity and seq_cst are left to the extension backstop.
+        ]
+    }
+
     fn fence_kinds(&self) -> &'static [FenceKind] {
         &[
             FenceKind::Full,

@@ -1,0 +1,311 @@
+//! The polynomial consistency checker: model-aware driver over the
+//! saturation core (`litsynth_litmus::check`).
+//!
+//! Where [`crate::oracle`] decides observability by enumerating every
+//! candidate execution (factorial in same-address writes), this module
+//! fixes rf from the outcome, *saturates* the coherence order with every
+//! edge the model's axioms force, and only enumerates the linear
+//! extensions of the forced partial order — usually exactly one, and zero
+//! whenever saturation finds a violating cycle, which it reports as a
+//! [`CycleWitness`].
+//!
+//! Exactness: saturation only adds edges whose reversal the model forbids,
+//! and every surviving extension is re-validated by [`oracle::allows`], so
+//! the verdict agrees with enumeration on every input regardless of how
+//! much a model's `check_specs` chooses to saturate.
+
+use crate::ctx::concrete_ctx;
+use crate::model::MemoryModel;
+use crate::oracle;
+use litsynth_litmus::{check, CycleWitness, Execution, LitmusTest, Outcome};
+use std::collections::BTreeMap;
+
+/// The checker's answer for one (test, outcome, model) query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Some allowed execution matches the outcome.
+    Consistent,
+    /// No allowed execution matches; when saturation found an explicit
+    /// violating cycle (rather than exhausting the extensions), it is
+    /// attached.
+    Inconsistent(Option<CycleWitness>),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Consistent`].
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, Verdict::Consistent)
+    }
+}
+
+/// Checks whether `outcome` is observable under `model`: is there an
+/// allowed execution of `test` whose outcome matches?
+///
+/// Reads pinned by the outcome keep their source; unpinned reads are
+/// enumerated (their source choice is the one residual exponential — in
+/// practice outcomes pin every read). Finals seed the forced coherence:
+/// the recorded final write is forced co-after every other same-address
+/// write, which is part of outcome *matching*, not model validity.
+pub fn check_outcome<M: MemoryModel>(model: &M, test: &LitmusTest, outcome: &Outcome) -> Verdict {
+    let started = std::time::Instant::now();
+    let verdict = check_outcome_inner(model, test, outcome);
+    if std::env::var_os("LITSYNTH_TRACE").is_some() {
+        eprintln!(
+            "trace check {} model {} verdict {} in {:.1?}",
+            test.name(),
+            model.name(),
+            match &verdict {
+                Verdict::Consistent => "consistent",
+                Verdict::Inconsistent(Some(w)) => &w.axiom,
+                Verdict::Inconsistent(None) => "exhausted",
+            },
+            started.elapsed(),
+        );
+    }
+    verdict
+}
+
+fn check_outcome_inner<M: MemoryModel>(model: &M, test: &LitmusTest, outcome: &Outcome) -> Verdict {
+    // Outcome well-formedness: a malformed outcome matches no execution.
+    let reads = test.reads();
+    for (&r, &src) in &outcome.rf {
+        if !reads.contains(&r) {
+            return Verdict::Inconsistent(None);
+        }
+        if let Some(w) = src {
+            let addr = test.instr(r).addr().expect("read has address");
+            if w == r || !test.writes_to(addr).contains(&w) {
+                return Verdict::Inconsistent(None);
+            }
+        }
+    }
+    let mut seed_co: Vec<(usize, usize)> = Vec::new();
+    for (&a, &wf) in &outcome.finals {
+        let ws = test.writes_to(a);
+        if !ws.contains(&wf) {
+            return Verdict::Inconsistent(None);
+        }
+        for &w in &ws {
+            if w != wf {
+                seed_co.push((w, wf));
+            }
+        }
+    }
+
+    // Unpinned reads: odometer over their candidate sources, last read
+    // fastest (the enumeration order, so differential tests see identical
+    // tie-breaking).
+    let free: Vec<(usize, Vec<Option<usize>>)> = reads
+        .iter()
+        .filter(|r| !outcome.rf.contains_key(r))
+        .map(|&r| {
+            let addr = test.instr(r).addr().expect("read has address");
+            let mut srcs: Vec<Option<usize>> = vec![None];
+            for w in test.writes_to(addr) {
+                if w != r {
+                    srcs.push(Some(w));
+                }
+            }
+            (r, srcs)
+        })
+        .collect();
+    let mut idx = vec![0usize; free.len()];
+    let mut first_witness: Option<CycleWitness> = None;
+    loop {
+        let mut rf: BTreeMap<usize, Option<usize>> = outcome.rf.clone();
+        for ((r, srcs), &i) in free.iter().zip(&idx) {
+            rf.insert(*r, srcs[i]);
+        }
+        match check_rf(model, test, &rf, &seed_co) {
+            Ok(()) => return Verdict::Consistent,
+            Err(w) => {
+                if first_witness.is_none() {
+                    first_witness = w;
+                }
+            }
+        }
+        // Advance the odometer.
+        let mut carried = true;
+        for (i, (_, srcs)) in idx.iter_mut().zip(&free).rev() {
+            *i += 1;
+            if *i < srcs.len() {
+                carried = false;
+                break;
+            }
+            *i = 0;
+        }
+        if carried {
+            return Verdict::Inconsistent(first_witness);
+        }
+    }
+}
+
+/// One complete rf choice: saturate, then validate extensions. `Ok` means
+/// some allowed execution realizes this rf (and the seeds); `Err` carries
+/// the saturation cycle if there was one.
+fn check_rf<M: MemoryModel>(
+    model: &M,
+    test: &LitmusTest,
+    rf: &BTreeMap<usize, Option<usize>>,
+    seed_co: &[(usize, usize)],
+) -> Result<(), Option<CycleWitness>> {
+    // Probe context: this rf, empty co. Spec bases may read rf-derived
+    // relations (C11's hb) but never co.
+    let probe = Execution {
+        rf: rf.clone(),
+        co: BTreeMap::new(),
+    };
+    let ctx = concrete_ctx(test, &probe, &[]);
+    let specs = model.check_specs(test, &ctx);
+    let forced = check::saturate(test, rf, &specs, seed_co).map_err(Some)?;
+    let found = check::each_co_extension(test, &forced, &mut |co| {
+        let e = Execution {
+            rf: rf.clone(),
+            co: co.clone(),
+        };
+        oracle::allows(model, test, &e)
+    });
+    if found {
+        Ok(())
+    } else {
+        Err(None)
+    }
+}
+
+/// Checks one fully explicit candidate execution: its own co is the seed,
+/// so saturation degenerates to a single cycle check plus one
+/// [`oracle::allows`] validation — but with a [`CycleWitness`] when the
+/// model rejects it through a saturable axiom.
+pub fn check_execution<M: MemoryModel>(model: &M, test: &LitmusTest, exec: &Execution) -> Verdict {
+    let mut seed_co: Vec<(usize, usize)> = Vec::new();
+    for order in exec.co.values() {
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                seed_co.push((order[i], order[j]));
+            }
+        }
+    }
+    let ctx = concrete_ctx(
+        test,
+        &Execution {
+            rf: exec.rf.clone(),
+            co: BTreeMap::new(),
+        },
+        &[],
+    );
+    let specs = model.check_specs(test, &ctx);
+    if let Err(w) = check::saturate(test, &exec.rf, &specs, &seed_co) {
+        return Verdict::Inconsistent(Some(w));
+    }
+    if oracle::allows(model, test, exec) {
+        Verdict::Consistent
+    } else {
+        Verdict::Inconsistent(None)
+    }
+}
+
+/// `true` if some allowed execution matches `outcome` — the checker-backed
+/// counterpart of [`oracle::observable`].
+pub fn observable<M: MemoryModel>(model: &M, test: &LitmusTest, outcome: &Outcome) -> bool {
+    check_outcome(model, test, outcome).is_consistent()
+}
+
+/// `true` if no allowed execution matches `outcome` — the checker-backed
+/// counterpart of [`oracle::forbidden`].
+pub fn forbidden<M: MemoryModel>(model: &M, test: &LitmusTest, outcome: &Outcome) -> bool {
+    !observable(model, test, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c11::C11;
+    use crate::sc::Sc;
+    use crate::tso::Tso;
+    use litsynth_litmus::suites::classics;
+
+    #[test]
+    fn mp_is_inconsistent_under_sc_with_witness() {
+        let (t, o) = classics::mp();
+        let v = check_outcome(&Sc::new(), &t, &o);
+        let Verdict::Inconsistent(Some(w)) = v else {
+            panic!("expected a cycle witness, got {v:?}");
+        };
+        assert!(
+            w.axiom == "causality" || w.axiom == "sc_per_loc" || w.axiom == "co",
+            "unexpected axiom {}",
+            w.axiom
+        );
+        assert!(w.events.len() >= 2);
+    }
+
+    #[test]
+    fn sb_is_consistent_under_tso() {
+        let (t, o) = classics::sb();
+        assert_eq!(check_outcome(&Tso::new(), &t, &o), Verdict::Consistent);
+    }
+
+    #[test]
+    fn verdicts_match_oracle_on_classics() {
+        let entries = [
+            classics::mp(),
+            classics::sb(),
+            classics::lb(),
+            classics::corr(),
+            classics::coww(),
+            classics::corw(),
+            classics::cowr(),
+            classics::rmw_rmw(),
+        ];
+        let sc = Sc::new();
+        let tso = Tso::new();
+        let c11 = C11::new();
+        for (t, o) in &entries {
+            assert_eq!(
+                observable(&sc, t, o),
+                oracle::observable(&sc, t, o),
+                "{} under SC",
+                t.name()
+            );
+            assert_eq!(
+                observable(&tso, t, o),
+                oracle::observable(&tso, t, o),
+                "{} under TSO",
+                t.name()
+            );
+            assert_eq!(
+                observable(&c11, t, o),
+                oracle::observable(&c11, t, o),
+                "{} under C11",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_outcomes_are_inconsistent() {
+        let (t, _) = classics::mp();
+        // gid 0 is a write, not a read.
+        let o = Outcome::of([(0, None)], []);
+        assert_eq!(
+            check_outcome(&Sc::new(), &t, &o),
+            Verdict::Inconsistent(None)
+        );
+        // final write must be a write to that address: gid 2 reads y.
+        let o = Outcome::of([], [(litsynth_litmus::Addr(0), 2)]);
+        assert_eq!(
+            check_outcome(&Sc::new(), &t, &o),
+            Verdict::Inconsistent(None)
+        );
+    }
+
+    #[test]
+    fn check_execution_agrees_with_allows_on_mp() {
+        let (t, _) = classics::mp();
+        let sc = Sc::new();
+        for e in Execution::iter(&t) {
+            let v = check_execution(&sc, &t, &e);
+            assert_eq!(v.is_consistent(), oracle::allows(&sc, &t, &e), "exec {e:?}");
+        }
+    }
+}

@@ -4,7 +4,8 @@
 //! algebra abstraction and evaluated two ways:
 //!
 //! * **concretely** ([`ConcreteAlg`]) over fully known executions — the
-//!   explicit-enumeration oracle in [`oracle`];
+//!   explicit-enumeration oracle in [`oracle`] and the polynomial
+//!   saturation checker in [`check`];
 //! * **symbolically** ([`SymAlg`]) over boolean-circuit relations — the
 //!   SAT-based synthesis in `litsynth-core`.
 //!
@@ -32,6 +33,7 @@ mod sc;
 mod scc;
 mod tso;
 
+pub mod check;
 pub mod oracle;
 
 pub use alg::{CSet, ConcreteAlg, RelAlg, SymAlg};

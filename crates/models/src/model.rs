@@ -1,8 +1,10 @@
 //! The memory-model abstraction and the instruction-relaxation vocabulary.
 
-use crate::alg::RelAlg;
+use crate::alg::{ConcreteAlg, RelAlg};
 use crate::ctx::Ctx;
-use litsynth_litmus::{DepKind, FenceKind, Instr, MemOrder};
+use litsynth_litmus::{
+    AxiomSpec, DepKind, FenceKind, Instr, LitmusTest, MemOrder, RfPart, SpecKind,
+};
 
 /// The instruction-relaxation kinds of the paper's §3.2.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -91,6 +93,31 @@ pub trait MemoryModel {
             .map(|a| self.synthesis_axiom(alg, ctx, a))
             .collect();
         alg.and_many(bs)
+    }
+
+    /// The saturation interface of this model's axioms for the polynomial
+    /// consistency checker (`crate::check`): which acyclicity requirements
+    /// can *force* coherence edges for a fixed rf choice.
+    ///
+    /// `ctx` is a probe context built from that rf choice with an **empty**
+    /// coherence order — spec bases may depend on rf (C11's happens-before
+    /// does) but must never read `ctx.co` or `ctx.fr`. The default covers
+    /// every model with an `sc_per_loc` axiom (acyclic(po_loc ∪ com));
+    /// models whose other axioms also admit saturation override and extend.
+    /// Under-approximation is safe: the checker falls back to validating
+    /// the linear extensions of whatever was forced.
+    fn check_specs(&self, test: &LitmusTest, ctx: &Ctx<ConcreteAlg>) -> Vec<AxiomSpec> {
+        let _ = ctx;
+        let mut specs = Vec::new();
+        if self.axioms().contains(&"sc_per_loc") {
+            specs.push(AxiomSpec {
+                axiom: "sc_per_loc",
+                kind: SpecKind::Closure,
+                base: test.po_loc(),
+                rf: RfPart::All,
+            });
+        }
+        specs
     }
 
     /// Fence kinds in this model's ISA.

@@ -67,20 +67,19 @@ pub fn observable_axiom<M: MemoryModel>(
     outcome: &Outcome,
 ) -> bool {
     let mut alg = ConcreteAlg;
-    Execution::enumerate(test).iter().any(|e| {
+    Execution::iter(test).any(|e| {
         outcome.matches(&e.outcome())
             && sc_orders(model, test)
                 .iter()
-                .any(|sc| model.axiom(&mut alg, &concrete_ctx(test, e, sc), axiom))
+                .any(|sc| model.axiom(&mut alg, &concrete_ctx(test, &e, sc), axiom))
     })
 }
 
 /// `true` if some fully-allowed execution produces an outcome matching
 /// `outcome`.
 pub fn observable<M: MemoryModel>(model: &M, test: &LitmusTest, outcome: &Outcome) -> bool {
-    Execution::enumerate(test)
-        .iter()
-        .any(|e| outcome.matches(&e.outcome()) && allows(model, test, e))
+    // Streaming: stop at the first allowed matching execution.
+    Execution::iter(test).any(|e| outcome.matches(&e.outcome()) && allows(model, test, &e))
 }
 
 /// The outcome is forbidden: no allowed execution matches it.

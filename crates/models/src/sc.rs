@@ -44,6 +44,29 @@ impl MemoryModel for Sc {
             other => panic!("SC has no axiom {other:?}"),
         }
     }
+
+    fn check_specs(
+        &self,
+        test: &litsynth_litmus::LitmusTest,
+        _ctx: &Ctx<crate::alg::ConcreteAlg>,
+    ) -> Vec<litsynth_litmus::AxiomSpec> {
+        use litsynth_litmus::{AxiomSpec, RfPart, SpecKind};
+        vec![
+            AxiomSpec {
+                axiom: "sc_per_loc",
+                kind: SpecKind::Closure,
+                base: test.po_loc(),
+                rf: RfPart::All,
+            },
+            // causality = acyclic(com ∪ po): same shape with full po.
+            AxiomSpec {
+                axiom: "causality",
+                kind: SpecKind::Closure,
+                base: test.po(),
+                rf: RfPart::All,
+            },
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,32 @@ impl MemoryModel for Scc {
         }
     }
 
+    fn check_specs(
+        &self,
+        test: &litsynth_litmus::LitmusTest,
+        ctx: &Ctx<crate::alg::ConcreteAlg>,
+    ) -> Vec<litsynth_litmus::AxiomSpec> {
+        use litsynth_litmus::{AxiomSpec, RfPart, SpecKind};
+        let mut alg = crate::alg::ConcreteAlg;
+        vec![
+            AxiomSpec {
+                axiom: "sc_per_loc",
+                kind: SpecKind::Closure,
+                base: test.po_loc(),
+                rf: RfPart::All,
+            },
+            // no_thin_air = acyclic(rf ∪ dep): co-free, so Static.
+            // causality (with its existential sc order) and rmw_atomicity
+            // are left to the extension backstop.
+            AxiomSpec {
+                axiom: "no_thin_air",
+                kind: SpecKind::Static,
+                base: ctx.dep(&mut alg),
+                rf: RfPart::All,
+            },
+        ]
+    }
+
     fn synthesis_axiom<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>, axiom: &str) -> A::B {
         if axiom != "causality" {
             return self.axiom(alg, ctx, axiom);

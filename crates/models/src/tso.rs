@@ -22,6 +22,38 @@ impl Tso {
     pub fn new() -> Tso {
         Tso
     }
+
+    /// The rf/co-free parts of the causality union: `(ppo, fence, implied)`.
+    ///
+    /// ppo is program order minus write→read pairs (the store buffer's one
+    /// relaxation); `fence` closes it around full fences; x86 locked
+    /// instructions are serializing, so program order to and from an RMW
+    /// event is preserved ("implied fences" in herd's x86 model — Figure 4
+    /// elides this because it formalizes RMWs as load/store pairs whose
+    /// load orders). Returned unmerged so the symbolic axiom keeps its
+    /// original flat union (circuit-node order is part of the determinism
+    /// contract: it fixes CNF variable numbering).
+    fn causality_parts<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>) -> (A::Rel, A::Rel, A::Rel) {
+        let wr = alg.cross(&ctx.write, &ctx.read);
+        let ppo = alg.diff(&ctx.po, &wr);
+        let fence = ctx.fence_order(alg, FenceKind::Full);
+        let locked = {
+            let d = alg.dom_set(&ctx.rmw);
+            let r = alg.ran_set(&ctx.rmw);
+            alg.set_union(&d, &r)
+        };
+        let implied_to = alg.ran(&ctx.po, &locked);
+        let implied_from = alg.dom(&locked, &ctx.po);
+        let implied = alg.union(&implied_to, &implied_from);
+        (ppo, fence, implied)
+    }
+
+    /// `ppo ∪ fence ∪ implied`, merged — the saturation checker's
+    /// causality base.
+    pub fn causality_base<A: RelAlg>(&self, alg: &mut A, ctx: &Ctx<A>) -> A::Rel {
+        let (ppo, fence, implied) = self.causality_parts(alg, ctx);
+        alg.union_many(&[&ppo, &fence, &implied])
+    }
 }
 
 impl MemoryModel for Tso {
@@ -49,23 +81,7 @@ impl MemoryModel for Tso {
                 alg.is_empty(&bad)
             }
             "causality" => {
-                // ppo: program order minus write→read pairs (the store
-                // buffer's one relaxation).
-                let wr = alg.cross(&ctx.write, &ctx.read);
-                let ppo = alg.diff(&ctx.po, &wr);
-                let fence = ctx.fence_order(alg, FenceKind::Full);
-                // x86 locked instructions are serializing: program order to
-                // and from an RMW event is preserved ("implied fences" in
-                // herd's x86 model — Figure 4 elides this because it
-                // formalizes RMWs as load/store pairs whose load orders).
-                let locked = {
-                    let d = alg.dom_set(&ctx.rmw);
-                    let r = alg.ran_set(&ctx.rmw);
-                    alg.set_union(&d, &r)
-                };
-                let implied_to = alg.ran(&ctx.po, &locked);
-                let implied_from = alg.dom(&locked, &ctx.po);
-                let implied = alg.union(&implied_to, &implied_from);
+                let (ppo, fence, implied) = self.causality_parts(alg, ctx);
                 let rfe = ctx.rfe(alg);
                 let fr = ctx.fr(alg);
                 let u = alg.union_many(&[&rfe, &ctx.co, &fr, &ppo, &fence, &implied]);
@@ -73,6 +89,32 @@ impl MemoryModel for Tso {
             }
             other => panic!("TSO has no axiom {other:?}"),
         }
+    }
+
+    fn check_specs(
+        &self,
+        test: &litsynth_litmus::LitmusTest,
+        ctx: &Ctx<crate::alg::ConcreteAlg>,
+    ) -> Vec<litsynth_litmus::AxiomSpec> {
+        use litsynth_litmus::{AxiomSpec, RfPart, SpecKind};
+        let mut alg = crate::alg::ConcreteAlg;
+        vec![
+            AxiomSpec {
+                axiom: "sc_per_loc",
+                kind: SpecKind::Closure,
+                base: test.po_loc(),
+                rf: RfPart::All,
+            },
+            // causality = acyclic(rfe ∪ co ∪ fr ∪ ppo ∪ fence ∪ implied):
+            // only *external* rf joins the union. rmw_atomicity is not a
+            // saturation shape; the extension backstop covers it.
+            AxiomSpec {
+                axiom: "causality",
+                kind: SpecKind::Closure,
+                base: self.causality_base(&mut alg, ctx),
+                rf: RfPart::External,
+            },
+        ]
     }
 
     fn fence_kinds(&self) -> &'static [FenceKind] {

@@ -1,19 +1,26 @@
 //! Cross-validation: every status claimed by the reference suites must match
-//! the corresponding model oracle. This pins the suite encodings to the
-//! models (and vice versa) — an error in either cannot survive `cargo test`.
+//! the corresponding model. This pins the suite encodings to the models
+//! (and vice versa) — an error in either cannot survive `cargo test`.
+//!
+//! The verdict source is the polynomial saturation checker
+//! (`litsynth_models::check`), not the enumeration oracle — the checker is
+//! exact by construction (every surviving coherence extension is
+//! re-validated), and running it here keeps the suite sweep fast as the
+//! suites grow. Checker-vs-enumeration agreement itself is pinned by the
+//! differential test in `litsynth-core`.
 
-use litsynth_litmus::suites::{cambridge, owens};
-use litsynth_models::{oracle, Power, Tso};
+use litsynth_litmus::suites::{cambridge, classics, owens};
+use litsynth_models::{check, Power, Sc, Tso};
 
 #[test]
-fn owens_suite_statuses_match_tso_oracle() {
+fn owens_suite_statuses_match_tso_checker() {
     let tso = Tso::new();
     let mut bad = Vec::new();
     for e in owens::suite() {
-        let forbidden = oracle::forbidden(&tso, &e.test, &e.outcome);
+        let forbidden = check::forbidden(&tso, &e.test, &e.outcome);
         if forbidden != e.forbidden {
             bad.push(format!(
-                "{}: claimed {} but oracle says {}",
+                "{}: claimed {} but checker says {}",
                 e.test.name(),
                 if e.forbidden { "forbidden" } else { "allowed" },
                 if forbidden { "forbidden" } else { "allowed" },
@@ -24,14 +31,14 @@ fn owens_suite_statuses_match_tso_oracle() {
 }
 
 #[test]
-fn cambridge_suite_statuses_match_power_oracle() {
+fn cambridge_suite_statuses_match_power_checker() {
     let power = Power::new();
     let mut bad = Vec::new();
     for e in cambridge::suite() {
-        let forbidden = oracle::forbidden(&power, &e.test, &e.outcome);
+        let forbidden = check::forbidden(&power, &e.test, &e.outcome);
         if forbidden != e.forbidden {
             bad.push(format!(
-                "{}: claimed {} but oracle says {}",
+                "{}: claimed {} but checker says {}",
                 e.test.name(),
                 if e.forbidden { "forbidden" } else { "allowed" },
                 if forbidden { "forbidden" } else { "allowed" },
@@ -39,4 +46,54 @@ fn cambridge_suite_statuses_match_power_oracle() {
         }
     }
     assert!(bad.is_empty(), "mismatches:\n{}", bad.join("\n"));
+}
+
+#[test]
+fn classic_tests_match_their_textbook_verdicts() {
+    // The classics module ships constructors rather than a suite; pin the
+    // canonical verdicts here through the checker: every classic weak
+    // outcome is forbidden under SC, and TSO splits them on store-buffer
+    // visibility.
+    let sc = Sc::new();
+    for (t, o) in [
+        classics::mp(),
+        classics::sb(),
+        classics::lb(),
+        classics::s(),
+        classics::r(),
+        classics::two_plus_two_w(),
+        classics::wrc(),
+        classics::iriw(),
+        classics::corr(),
+        classics::coww(),
+        classics::corw(),
+        classics::colb(),
+    ] {
+        assert!(
+            check::forbidden(&sc, &t, &o),
+            "{} must be forbidden under SC",
+            t.name()
+        );
+    }
+    let tso = Tso::new();
+    for (t, o) in [classics::sb(), classics::r(), classics::rwc()] {
+        assert!(
+            check::observable(&tso, &t, &o),
+            "{} is TSO's store-buffer relaxation",
+            t.name()
+        );
+    }
+    for (t, o) in [
+        classics::mp(),
+        classics::lb(),
+        classics::sb_fences(),
+        classics::rwc_fence(),
+        classics::rmw_rmw(),
+    ] {
+        assert!(
+            check::forbidden(&tso, &t, &o),
+            "{} must be forbidden under TSO",
+            t.name()
+        );
+    }
 }

@@ -5,9 +5,12 @@
 //! check on every `SUITE` body (a bit flipped in transit is rejected
 //! with the expected/actual digests, never parsed).
 
-use crate::protocol::{open_body, read_frame, write_frame, Progress, QueryReply, QueryRequest};
+use crate::protocol::{
+    open_body, read_frame, write_frame, CheckReply, CheckRequest, Progress, QueryReply,
+    QueryRequest,
+};
 use litsynth_core::{decode_suite_body, CanonicalSuite};
-use litsynth_litmus::SplitMix64;
+use litsynth_litmus::{wire, LitmusTest, Outcome, SplitMix64};
 use std::collections::BTreeMap;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -198,6 +201,37 @@ impl Client {
                     )))
                 }
             }
+        }
+    }
+
+    /// Asks the server whether `outcome` is observable on `test` under
+    /// the model named `model`, encoding the test over the wire format.
+    /// The verdict body's integrity trailer is verified before parsing.
+    pub fn check(
+        &mut self,
+        model: &str,
+        test: &LitmusTest,
+        outcome: &Outcome,
+    ) -> Result<CheckReply, ClientError> {
+        self.check_raw(&CheckRequest {
+            model: model.to_string(),
+            test: wire::encode(test, outcome),
+        })
+    }
+
+    /// [`Client::check`] with a pre-built request (e.g. replaying stored
+    /// wire text without re-encoding).
+    pub fn check_raw(&mut self, req: &CheckRequest) -> Result<CheckReply, ClientError> {
+        self.send("CHECK", &req.to_body())?;
+        match self.expect_frame()? {
+            (verb, body) if verb == "VERDICT" => {
+                let payload = open_body(&body).map_err(ClientError::Protocol)?;
+                CheckReply::from_body(payload).map_err(ClientError::Protocol)
+            }
+            (verb, body) if verb == "ERR" => Err(ClientError::Server(body)),
+            (verb, body) => Err(ClientError::Protocol(format!(
+                "expected VERDICT, got {verb} {body:?}"
+            ))),
         }
     }
 

@@ -5,7 +5,7 @@
 //! `(model, relaxations, bound)` suite queries.
 //!
 //! * [`protocol`] — length-prefixed text frames (`QUERY`, `SUITE`,
-//!   `PROGRESS`, `ERR`, `PING`/`PONG`, `STATS`).
+//!   `PROGRESS`, `ERR`, `PING`/`PONG`, `STATS`, `CHECK`/`VERDICT`).
 //! * [`cache`] — the warm tier: a byte-capped LRU keyed by
 //!   [`cache::suite_fingerprint`], an FNV fold over the query's
 //!   (key, [`litsynth_core::config_fingerprint`]) unit list.
@@ -38,7 +38,7 @@ pub mod worker;
 
 pub use cache::{suite_fingerprint, CacheStats, SuiteCache};
 pub use client::{Client, ClientConfig, ClientError, ServedSuite};
-pub use protocol::{Progress, QueryReply, QueryRequest};
+pub use protocol::{CheckReply, CheckRequest, Progress, QueryReply, QueryRequest};
 pub use remote::{BatchStats, RemotePool, RemoteStats};
 pub use server::{ServeConfig, Server, ServerStats};
 pub use shard::{

@@ -18,6 +18,8 @@
 //! | `UNIT`     | c → w     | a [`UnitAssign`]: one leased unit to run    |
 //! | `UNITDONE` | w → c     | a [`UnitDone`]: the unit's result payload   |
 //! | `NACK`     | w → c     | a [`Nack`]: the worker declines the unit    |
+//! | `CHECK`    | c → s     | a [`CheckRequest`]: model + witness to judge |
+//! | `VERDICT`  | s → c     | a [`CheckReply`]: the consistency verdict    |
 //!
 //! (`c` = client, `s` = server, `w` = remote worker, and the coordinator
 //! is the server end of a worker connection.)
@@ -517,6 +519,118 @@ impl Nack {
     }
 }
 
+/// A consistency query: is this (test, outcome) witness observable under
+/// the named model? The test section is the
+/// [`litsynth_litmus::wire`] encoding, so any client that can spell a
+/// litmus test can ask without linking the synthesis engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckRequest {
+    /// Model name, lower-case: `sc`, `tso`, `power`, `armv7`, `scc`, `c11`.
+    pub model: String,
+    /// The [`litsynth_litmus::wire::encode`] text of the test + outcome.
+    pub test: String,
+}
+
+impl CheckRequest {
+    /// The cache fingerprint for this request: a versioned FNV-1a over
+    /// the model name and the exact test bytes. Both ends compute it the
+    /// same way, so a client can pre-key its own result cache.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(format!("litsynth-check v1\n{}\n{}", self.model, self.test).as_bytes())
+    }
+
+    /// Serializes: one `model=` line, a blank line, then the test text.
+    pub fn to_body(&self) -> String {
+        format!("model={}\n\n{}", self.model, self.test)
+    }
+
+    /// Parses a `CHECK` frame body.
+    pub fn from_body(body: &str) -> Result<CheckRequest, String> {
+        let (header, test) = body
+            .split_once("\n\n")
+            .ok_or_else(|| "CHECK body has no blank line after the header".to_string())?;
+        let model = header
+            .strip_prefix("model=")
+            .ok_or_else(|| "CHECK body does not start with model=".to_string())?;
+        if model.is_empty() {
+            return Err("CHECK request is missing the model name".to_string());
+        }
+        Ok(CheckRequest {
+            model: model.to_string(),
+            test: test.to_string(),
+        })
+    }
+}
+
+/// The server's answer to a `CHECK`: the verdict, and on an inconsistent
+/// outcome with a saturation proof, the violated axiom plus the violating
+/// cycle (event gids, in cycle order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckReply {
+    /// The request's [`CheckRequest::fingerprint`] (the cache key).
+    pub fingerprint: u64,
+    /// `true` if this verdict came from the server's check cache.
+    pub cached: bool,
+    /// `true` iff some allowed execution matches the outcome.
+    pub consistent: bool,
+    /// The violated axiom, when saturation found an explicit cycle
+    /// (empty when consistent, or when inconsistency was shown by
+    /// exhausting the coherence extensions instead).
+    pub axiom: String,
+    /// The violating cycle's event gids (empty without a cycle witness).
+    pub cycle: Vec<usize>,
+}
+
+impl CheckReply {
+    /// Serializes to `key=value` lines.
+    pub fn to_body(&self) -> String {
+        format!(
+            "fingerprint={:016x}\ncached={}\nconsistent={}\naxiom={}\ncycle={}\n",
+            self.fingerprint,
+            self.cached,
+            self.consistent,
+            self.axiom,
+            self.cycle
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+
+    /// Parses a `VERDICT` frame body (after [`open_body`]).
+    pub fn from_body(body: &str) -> Result<CheckReply, String> {
+        let mut r = CheckReply {
+            fingerprint: 0,
+            cached: false,
+            consistent: false,
+            axiom: String::new(),
+            cycle: Vec::new(),
+        };
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("verdict line {line:?} is not key=value"))?;
+            let err = || format!("verdict field {k}={v:?} is malformed");
+            match k {
+                "fingerprint" => r.fingerprint = u64::from_str_radix(v, 16).map_err(|_| err())?,
+                "cached" => r.cached = v.parse().map_err(|_| err())?,
+                "consistent" => r.consistent = v.parse().map_err(|_| err())?,
+                "axiom" => r.axiom = v.to_string(),
+                "cycle" => {
+                    r.cycle = v
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(|p| p.parse().map_err(|_| err()))
+                        .collect::<Result<_, _>>()?
+                }
+                other => return Err(format!("unknown verdict field {other:?}")),
+            }
+        }
+        Ok(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +759,47 @@ mod tests {
             "newlines in reasons must fold to keep the body parseable"
         );
         assert!(Nack::from_body("key=k\nwhat=1\n").is_err());
+    }
+
+    #[test]
+    fn check_bodies_round_trip_and_reject_junk() {
+        let req = CheckRequest {
+            model: "tso".to_string(),
+            test: "name=sb\nthread=store,0,relaxed,system\n".to_string(),
+        };
+        assert_eq!(CheckRequest::from_body(&req.to_body()), Ok(req.clone()));
+        assert_eq!(req.fingerprint(), req.fingerprint(), "stable key");
+        assert_ne!(
+            req.fingerprint(),
+            CheckRequest {
+                model: "sc".to_string(),
+                ..req.clone()
+            }
+            .fingerprint(),
+            "model is part of the key"
+        );
+        assert!(CheckRequest::from_body("model=tso\nname=x\n").is_err());
+        assert!(CheckRequest::from_body("model=\n\nname=x\n").is_err());
+
+        let reply = CheckReply {
+            fingerprint: 0x0123_4567_89ab_cdef,
+            cached: true,
+            consistent: false,
+            axiom: "sc_per_loc".to_string(),
+            cycle: vec![0, 3, 1],
+        };
+        assert_eq!(CheckReply::from_body(&reply.to_body()), Ok(reply.clone()));
+        let empty = CheckReply {
+            fingerprint: 1,
+            cached: false,
+            consistent: true,
+            axiom: String::new(),
+            cycle: Vec::new(),
+        };
+        assert_eq!(CheckReply::from_body(&empty.to_body()), Ok(empty));
+        assert!(CheckReply::from_body("consistent=yes\n").is_err());
+        assert!(CheckReply::from_body("cycle=1,x\n").is_err());
+        assert!(CheckReply::from_body("bogus=1\n").is_err());
     }
 
     #[test]

@@ -21,7 +21,9 @@
 
 use crate::cache::{suite_fingerprint, CacheStats, SuiteCache};
 use crate::models::{self, ModelOp};
-use crate::protocol::{read_frame, seal_body, write_frame, Progress, QueryReply, QueryRequest};
+use crate::protocol::{
+    read_frame, seal_body, write_frame, CheckRequest, Progress, QueryReply, QueryRequest,
+};
 use crate::remote::{BatchStats, RemotePool, RemoteStats};
 use crate::shard::{plan_query, run_distributed, ShardConfig, ShardFault, ShardRunStats};
 use litsynth_core::{
@@ -111,6 +113,9 @@ struct Counters {
     shard_respawns: AtomicU64,
     shard_heartbeats: AtomicU64,
     idle_reaped: AtomicU64,
+    check_requests: AtomicU64,
+    check_cache_hits: AtomicU64,
+    check_inconsistent: AtomicU64,
 }
 
 /// A point-in-time view of the server's counters.
@@ -132,11 +137,18 @@ pub struct ServerStats {
     pub remote: RemoteStats,
     /// Connections reaped by the idle deadline.
     pub idle_reaped: u64,
+    /// `CHECK` frames handled (hit or miss).
+    pub check_requests: u64,
+    /// `CHECK` verdicts served from the check cache.
+    pub check_cache_hits: u64,
+    /// `CHECK` verdicts (fresh or cached) that were inconsistent.
+    pub check_inconsistent: u64,
 }
 
 struct Shared {
     cfg: ServeConfig,
     cache: SuiteCache,
+    check_cache: SuiteCache,
     journal: Option<Arc<Journal>>,
     pool: Arc<RemotePool>,
     counters: Counters,
@@ -165,6 +177,9 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             cache: SuiteCache::new(cfg.cache_bytes),
+            // Verdict bodies are a few dozen bytes; a modest fixed cap
+            // holds millions of them without a config knob.
+            check_cache: SuiteCache::new(4 << 20),
             pool: RemotePool::new(cfg.lease_ms, cfg.remote_attempts),
             cfg,
             journal,
@@ -235,6 +250,9 @@ fn stats_of(shared: &Shared) -> ServerStats {
         },
         remote: shared.pool.stats(),
         idle_reaped: c.idle_reaped.load(Ordering::Relaxed),
+        check_requests: c.check_requests.load(Ordering::Relaxed),
+        check_cache_hits: c.check_cache_hits.load(Ordering::Relaxed),
+        check_inconsistent: c.check_inconsistent.load(Ordering::Relaxed),
     }
 }
 
@@ -309,6 +327,10 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
                 Ok(reply) => send("SUITE", &seal_body(&reply.to_body()))?,
                 Err(msg) => send("ERR", &msg)?,
             },
+            "CHECK" => match handle_check(shared, &body) {
+                Ok(reply) => send("VERDICT", &seal_body(&reply))?,
+                Err(msg) => send("ERR", &msg)?,
+            },
             // A worker announced itself: this connection thread becomes
             // the worker's dispatcher until the connection dies.
             "HELLO" => {
@@ -334,7 +356,8 @@ fn stats_body(shared: &Shared) -> String {
          remote_workers_connected={}\nremote_workers_live={}\nremote_units={}\n\
          remote_completed={}\nremote_reclaimed_leases={}\nremote_lease_expiries={}\n\
          remote_nacks={}\nremote_rejected_results={}\nremote_duplicate_unitdone={}\n\
-         remote_degraded_to_local={}\nidle_reaped={}\n",
+         remote_degraded_to_local={}\nidle_reaped={}\ncheck_requests={}\n\
+         check_cache_hits={}\ncheck_inconsistent={}\n",
         s.queries,
         s.coalesced,
         s.compilations,
@@ -361,7 +384,73 @@ fn stats_body(shared: &Shared) -> String {
         s.remote.duplicate_unitdone,
         s.remote.degraded_to_local,
         s.idle_reaped,
+        s.check_requests,
+        s.check_cache_hits,
+        s.check_inconsistent,
     )
+}
+
+/// Answers a `CHECK`: parse, consult the fingerprint-keyed verdict
+/// cache, and on a miss run the polynomial consistency checker
+/// ([`litsynth_models::check`]) — never the enumeration oracle — caching
+/// the verdict core (everything but the per-reply `fingerprint`/`cached`
+/// lines) for warm repeats.
+fn handle_check(shared: &Shared, body: &str) -> Result<String, String> {
+    let c = &shared.counters;
+    c.check_requests.fetch_add(1, Ordering::Relaxed);
+    let req = CheckRequest::from_body(body)?;
+    let fingerprint = req.fingerprint();
+    if let Some((core, _)) = shared.check_cache.get(fingerprint) {
+        c.check_cache_hits.fetch_add(1, Ordering::Relaxed);
+        if core.starts_with("consistent=false") {
+            c.check_inconsistent.fetch_add(1, Ordering::Relaxed);
+        }
+        return Ok(format!(
+            "fingerprint={fingerprint:016x}\ncached=true\n{core}"
+        ));
+    }
+    let (test, outcome) =
+        litsynth_litmus::wire::decode(&req.test).map_err(|e| format!("bad CHECK test: {e}"))?;
+    struct CheckOp<'a> {
+        test: &'a litsynth_litmus::LitmusTest,
+        outcome: &'a litsynth_litmus::Outcome,
+    }
+    impl ModelOp for CheckOp<'_> {
+        type Out = litsynth_models::check::Verdict;
+        fn run<M: MemoryModel + Sync>(self, model: &M) -> Self::Out {
+            litsynth_models::check::check_outcome(model, self.test, self.outcome)
+        }
+    }
+    let verdict = models::dispatch(
+        &req.model,
+        CheckOp {
+            test: &test,
+            outcome: &outcome,
+        },
+    )?;
+    use litsynth_models::check::Verdict;
+    let (consistent, axiom, cycle) = match verdict {
+        Verdict::Consistent => (true, String::new(), Vec::new()),
+        Verdict::Inconsistent(None) => (false, String::new(), Vec::new()),
+        Verdict::Inconsistent(Some(w)) => (false, w.axiom, w.events),
+    };
+    if !consistent {
+        c.check_inconsistent.fetch_add(1, Ordering::Relaxed);
+    }
+    let core = format!(
+        "consistent={consistent}\naxiom={axiom}\ncycle={}\n",
+        cycle
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    shared
+        .check_cache
+        .put(fingerprint, Arc::new(core.clone()), usize::from(consistent));
+    Ok(format!(
+        "fingerprint={fingerprint:016x}\ncached=false\n{core}"
+    ))
 }
 
 /// Plans a request against its model: validates the axiom set and builds

@@ -370,6 +370,70 @@ fn stalled_server_surfaces_as_a_typed_timeout() {
 }
 
 #[test]
+fn check_verb_serves_verdicts_with_witnesses_and_a_warm_cache() {
+    use litsynth_litmus::suites::classics;
+
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    // Consistent path: SB's weak outcome is TSO's store-buffer relaxation.
+    let (sb, weak) = classics::sb();
+    let ok = client.check("tso", &sb, &weak).expect("CHECK round-trips");
+    assert!(!ok.cached, "first query computes");
+    assert!(ok.consistent, "sb is observable under TSO");
+    assert!(ok.axiom.is_empty() && ok.cycle.is_empty());
+
+    // Inconsistent path, with a violating-cycle witness: the same
+    // outcome is forbidden under SC, and saturation names the cycle.
+    let bad = client.check("sc", &sb, &weak).expect("CHECK round-trips");
+    assert!(!bad.consistent, "sb is forbidden under SC");
+    assert!(!bad.axiom.is_empty(), "saturation names the violated axiom");
+    assert!(
+        bad.cycle.len() >= 2,
+        "a violating cycle has at least two events: {:?}",
+        bad.cycle
+    );
+    assert!(
+        bad.cycle.iter().all(|&gid| gid < sb.num_events()),
+        "cycle events are test gids: {:?}",
+        bad.cycle
+    );
+    assert_ne!(ok.fingerprint, bad.fingerprint, "model keys the cache");
+
+    // Warm repeat: same fingerprint, served from the check cache, and
+    // the counters say so — including the inconsistent tally.
+    let warm = client.check("sc", &sb, &weak).expect("warm CHECK");
+    assert!(warm.cached, "repeat must hit the check cache");
+    assert_eq!(warm.fingerprint, bad.fingerprint);
+    assert_eq!(
+        (warm.consistent, &warm.axiom, &warm.cycle),
+        (bad.consistent, &bad.axiom, &bad.cycle),
+        "cached verdict is the computed verdict"
+    );
+    let stats = client.stats().expect("stats round-trip");
+    assert_eq!(stats["check_requests"], 3, "{stats:?}");
+    assert_eq!(stats["check_cache_hits"], 1, "{stats:?}");
+    assert_eq!(stats["check_inconsistent"], 2, "{stats:?}");
+
+    // Junk is an ERR, never a hang or a misparse.
+    let mut raw = litsynth_serve::CheckRequest {
+        model: "riscv".to_string(),
+        test: litsynth_litmus::wire::encode(&sb, &weak),
+    };
+    assert!(matches!(
+        client.check_raw(&raw),
+        Err(ClientError::Server(_))
+    ));
+    raw.model = "tso".to_string();
+    raw.test = "name=x\nthread=teleport,0\n".to_string();
+    assert!(matches!(
+        client.check_raw(&raw),
+        Err(ClientError::Server(_))
+    ));
+    server.shutdown();
+}
+
+#[test]
 fn idle_connections_are_reaped_and_ping_resets_the_deadline() {
     let server = Server::start(ServeConfig {
         idle_timeout_ms: 600,
